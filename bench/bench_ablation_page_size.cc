@@ -1,0 +1,94 @@
+// Ablation: cloud dbspaces with custom page sizes (the paper's §8 future
+// work — "the requirement of having a unified page size across the whole
+// database was primarily driven by the characteristics of shared block
+// devices that do not necessarily apply to object stores"). Sweeps the
+// user-dbspace page size and reports load time, footprint, request counts
+// and a scan-heavy / lookup-heavy query pair: small pages cost more
+// requests per byte (latency-bound loads suffer); large pages amplify
+// read volume for selective queries.
+
+#include "bench/bench_util.h"
+
+namespace cloudiq {
+namespace bench {
+namespace {
+
+int Main() {
+  double scale = BenchScale(0.1);
+  std::printf("=== Ablation: cloud dbspace page size (SF=%g) ===\n",
+              scale);
+  std::printf("%-10s %10s %10s %10s %12s %16s\n", "Page size", "Load (s)",
+              "PUTs", "At rest", "Q1 scan (s)", "50 lookups (s)");
+  Hr();
+
+  const uint64_t sizes[] = {64 << 10, 256 << 10, 512 << 10, 2 << 20};
+  for (uint64_t page_size : sizes) {
+    SimEnvironment env;
+    Database::Options options;
+    options.user_storage = UserStorage::kObjectStore;
+    options.page_size = page_size;
+    Database db(&env, InstanceProfile::M5ad24xlarge(), options);
+    TpchGenerator gen(scale);
+    Result<TpchLoadResult> load = LoadTpch(&db, &gen, {});
+    if (!load.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   load.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t puts = env.object_store().stats().puts;
+
+    // Start cold so page size shows up in the read path.
+    if (!db.CrashAndRecover().ok()) return 1;
+    SimTime before = db.node().clock().now();
+    {
+      Transaction* txn = db.Begin();
+      QueryContext ctx = db.NewQueryContext(txn);
+      if (!RunTpchQuery(&ctx, 1).ok()) return 1;
+      (void)db.Commit(txn);
+    }
+    double scan_time = db.node().clock().now() - before;
+
+    // Cold indexed point lookups: each reads one index page and one data
+    // page per touched column — exactly where oversized pages amplify
+    // the bytes read per probe.
+    if (!db.CrashAndRecover().ok()) return 1;
+    before = db.node().clock().now();
+    {
+      Transaction* txn = db.Begin();
+      QueryContext ctx = db.NewQueryContext(txn);
+      Result<TableReader> lineitem = ctx.OpenTable(kLineitem);
+      if (!lineitem.ok()) return 1;
+      Rng rng(7);
+      size_t partitions = lineitem->meta().partitions.size();
+      for (int i = 0; i < 50; ++i) {
+        int64_t orderkey = rng.UniformRange(
+            1, static_cast<int64_t>(gen.RowCount(kOrders)));
+        size_t p = rng.Uniform(partitions);
+        Result<IntervalSet> rows = lineitem->IndexLookup(p, 0, orderkey);
+        if (!rows.ok()) return 1;
+        if (rows->empty()) continue;
+        Result<Batch> hit = ScanRowIds(&ctx, &*lineitem, p,
+                                       {"l_orderkey", "l_quantity"},
+                                       *rows);
+        if (!hit.ok()) return 1;
+      }
+      (void)db.Commit(txn);
+    }
+    double lookup_time = db.node().clock().now() - before;
+
+    std::printf("%7llu KB %10.2f %10llu %7.1f MB %12.3f %16.3f\n",
+                static_cast<unsigned long long>(page_size >> 10),
+                load->seconds, static_cast<unsigned long long>(puts),
+                load->bytes_at_rest / 1e6, scan_time, lookup_time);
+  }
+  Hr();
+  std::printf("Small pages multiply request counts (latency-bound load); "
+              "large pages read more bytes per selective probe.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cloudiq
+
+int main() { return cloudiq::bench::Main(); }

@@ -1,0 +1,96 @@
+// Ablation: the never-write-an-object-twice policy (§3/§3.1). With the
+// policy on, a page stored on the object store has exactly one version,
+// so eventual consistency can only surface as a retryable NOT_FOUND.
+// With the policy off (updating objects in place), a reader can be served
+// a *stale page* — silent corruption no retry can detect. This bench
+// rewrites pages in place under an aggressive consistency lag and counts
+// what a verifying reader observes.
+
+#include "bench/bench_util.h"
+#include "tests/test_util.h"
+
+namespace cloudiq {
+namespace bench {
+namespace {
+
+int Main() {
+  std::printf("=== Ablation: never-write-twice vs in-place object "
+              "updates under eventual consistency ===\n");
+
+  const int kPages = 200;
+
+  // --- Policy ON: every rewrite takes a fresh key. -----------------------
+  uint64_t stale_with_policy = 0;
+  uint64_t retries_with_policy = 0;
+  {
+    ObjectStoreOptions store_options;
+    store_options.lag_probability = 0.5;
+    store_options.mean_visibility_lag = 1.0;
+    testing_util::SingleNodeHarness h(4096, store_options);
+    for (int i = 0; i < kPages; ++i) {
+      std::vector<uint8_t> v1 = h.MakePayload(512, 1);
+      std::vector<uint8_t> v2 = h.MakePayload(512, 2);
+      Result<PhysicalLoc> loc1 = h.storage->WritePage(
+          h.cloud_space, v1, CloudCache::WriteMode::kWriteThrough, 1);
+      if (!loc1.ok()) return 1;
+      // "Update": a new version under a NEW key (the old page would be
+      // garbage collected after commit).
+      Result<PhysicalLoc> loc2 = h.storage->WritePage(
+          h.cloud_space, v2, CloudCache::WriteMode::kWriteThrough, 1);
+      if (!loc2.ok()) return 1;
+      Result<std::vector<uint8_t>> read =
+          h.storage->ReadPage(h.cloud_space, *loc2);
+      if (!read.ok() || read.value() != v2) ++stale_with_policy;
+    }
+    stale_with_policy += h.env.object_store().stats().stale_reads;
+    retries_with_policy = h.storage->object_io().stats().not_found_retries;
+  }
+
+  // --- Policy OFF: rewrite the same key in place. ------------------------
+  uint64_t stale_without_policy = 0;
+  {
+    ObjectStoreOptions store_options;
+    store_options.lag_probability = 0.5;
+    store_options.mean_visibility_lag = 1.0;
+    StorageSubsystem::Options storage_options;
+    storage_options.never_write_twice = false;
+    testing_util::SingleNodeHarness h(4096, store_options,
+                                      storage_options);
+    for (int i = 0; i < kPages; ++i) {
+      std::vector<uint8_t> v1 = h.MakePayload(512, 1);
+      std::vector<uint8_t> v2 = h.MakePayload(512, 2);
+      Result<PhysicalLoc> loc = h.storage->WritePage(
+          h.cloud_space, v1, CloudCache::WriteMode::kWriteThrough, 1);
+      if (!loc.ok()) return 1;
+      if (!h.storage->OverwriteCloudPage(h.cloud_space, *loc, v2).ok()) {
+        return 1;
+      }
+      Result<std::vector<uint8_t>> read =
+          h.storage->ReadPage(h.cloud_space, *loc);
+      if (read.ok() && read.value() != v2) ++stale_without_policy;
+    }
+  }
+
+  std::printf("%-34s %18s %22s\n", "Policy", "Stale page reads",
+              "NOT_FOUND retries");
+  Hr();
+  std::printf("%-34s %18llu %22llu\n", "never-write-twice (paper)",
+              static_cast<unsigned long long>(stale_with_policy),
+              static_cast<unsigned long long>(retries_with_policy));
+  std::printf("%-34s %18llu %22s\n", "in-place updates",
+              static_cast<unsigned long long>(stale_without_policy),
+              "n/a (reads 'succeed')");
+  Hr();
+  std::printf(
+      "With the policy, eventual consistency degrades to a *detectable* "
+      "NOT_FOUND that retries absorb;\nwithout it, %.0f%% of fresh reads "
+      "silently returned the previous version of the page.\n",
+      100.0 * stale_without_policy / kPages);
+  return stale_with_policy == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cloudiq
+
+int main() { return cloudiq::bench::Main(); }

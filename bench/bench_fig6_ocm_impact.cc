@@ -1,0 +1,131 @@
+// Reproduces Figure 6: per-query execution times with and without the
+// OCM, on the low-RAM m5ad.4xlarge and the large m5ad.24xlarge.
+//
+// Expected shape (paper): ~25.8% / 25.6% geometric-mean improvement with
+// the OCM on the two instances; cold-cache warm-up hurts the first
+// queries; on the big instance, bursts of asynchronous cache fills can
+// make early queries (Q3/Q4 in the paper) *slower* with the OCM than
+// without — the brown-out analyzed in §6.
+
+#include "bench/bench_util.h"
+
+namespace cloudiq {
+namespace bench {
+namespace {
+
+struct ConfigResult {
+  std::array<double, kTpchQueryCount> times{};
+  uint64_t rerouted_reads = 0;
+};
+
+Result<ConfigResult> RunConfig(
+    const InstanceProfile& profile, bool enable_ocm, bool reroute,
+    double scale) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  options.enable_ocm = enable_ocm;
+  options.ocm.reroute_on_pressure = reroute;
+  // The paper's regime has the working set exceed the buffer cache (520
+  // GB of compressed data vs a <=192 GB buffer): scale the buffer to the
+  // same ratio of the bench-scale data so RAM churn is realistic. The
+  // 24xlarge keeps its 6x RAM advantage over the 4xlarge.
+  double data_bytes = scale * 0.8e9;  // ~compressed TPC-H footprint
+  options.buffer_capacity_override = static_cast<uint64_t>(
+      data_bytes * (profile.ram_gb / 384.0) * 0.15);
+  Database db(&env, profile, options);
+  TpchGenerator gen(scale);
+  CLOUDIQ_RETURN_IF_ERROR(LoadTpch(&db, &gen, {}).status());
+  // The paper's OCM experiment starts with a *cold* disk cache (reads
+  // warm it up); a simulated instance restart drops the cache while
+  // keeping the loaded data.
+  CLOUDIQ_RETURN_IF_ERROR(db.CrashAndRecover());
+  ConfigResult result;
+  CLOUDIQ_ASSIGN_OR_RETURN(result.times, RunQueriesOnly(&db));
+  if (db.ocm() != nullptr) {
+    result.rerouted_reads = db.ocm()->stats().rerouted_reads;
+  }
+  return result;
+}
+
+double GeoMean(const std::array<double, kTpchQueryCount>& qs) {
+  double log_sum = 0;
+  for (double q : qs) log_sum += std::log(std::max(q, 1e-9));
+  return std::exp(log_sum / kTpchQueryCount);
+}
+
+int Main() {
+  double scale = BenchScale(0.05);
+  std::printf("=== Figure 6: impact of the OCM on query execution times "
+              "(SF=%g) ===\n",
+              scale);
+
+  const InstanceProfile profiles[2] = {InstanceProfile::M5ad4xlarge(),
+                                       InstanceProfile::M5ad24xlarge()};
+  for (const InstanceProfile& profile : profiles) {
+    Result<ConfigResult> with_ocm_run =
+        RunConfig(profile, true, false, scale);
+    Result<ConfigResult> without_ocm_run =
+        RunConfig(profile, false, false, scale);
+    Result<ConfigResult> with_reroute_run =
+        RunConfig(profile, true, true, scale);
+    if (!with_ocm_run.ok() || !without_ocm_run.ok() ||
+        !with_reroute_run.ok()) {
+      std::fprintf(stderr, "run failed\n");
+      return 1;
+    }
+    const std::array<double, kTpchQueryCount>* with_ocm =
+        &with_ocm_run->times;
+    const std::array<double, kTpchQueryCount>* without_ocm =
+        &without_ocm_run->times;
+    const std::array<double, kTpchQueryCount>* with_reroute =
+        &with_reroute_run->times;
+    std::printf("\n--- %s ---\n", profile.name.c_str());
+    std::printf("%-6s %12s %12s %10s\n", "Query", "no OCM (s)",
+                "with OCM (s)", "speedup");
+    for (int q = 0; q < kTpchQueryCount; ++q) {
+      double off = (*without_ocm)[q];
+      double on = (*with_ocm)[q];
+      std::printf("Q%-5d %12.3f %12.3f %9.2fx%s\n", q + 1, off, on,
+                  on > 0 ? off / on : 0.0,
+                  on > off * 1.02 ? "   <- warm-up / fill-burst penalty"
+                                  : "");
+    }
+    double improvement =
+        100.0 * (1.0 - GeoMean(*with_ocm) / GeoMean(*without_ocm));
+    std::printf("Geometric-mean improvement with OCM: %.1f%% "
+                "(paper: 25.8%% on 4xlarge, 25.6%% on 24xlarge)\n",
+                improvement);
+
+    // The paper's proposed future work: re-route reads to the object
+    // store when the SSD is saturated by fill bursts. Count how many
+    // per-query regressions the mitigation removes.
+    int penalties_plain = 0;
+    int penalties_reroute = 0;
+    for (int q = 0; q < kTpchQueryCount; ++q) {
+      if ((*with_ocm)[q] > (*without_ocm)[q] * 1.02) ++penalties_plain;
+      if ((*with_reroute)[q] > (*without_ocm)[q] * 1.02) {
+        ++penalties_reroute;
+      }
+    }
+    std::printf("With latency-aware re-routing (the paper's proposed "
+                "mitigation): geo-mean improvement %.1f%%, slow-down "
+                "queries %d -> %d, %llu hits re-routed\n",
+                100.0 * (1.0 -
+                         GeoMean(*with_reroute) / GeoMean(*without_ocm)),
+                penalties_plain, penalties_reroute,
+                static_cast<unsigned long long>(
+                    with_reroute_run->rerouted_reads));
+    std::printf("(remaining slow-downs are cold-cache warm-up — both "
+                "paths read the object store — not SSD brown-outs; the "
+                "brown-out mechanism itself is exercised by "
+                "tests/ocm_test.cc)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cloudiq
+
+int main() { return cloudiq::bench::Main(); }

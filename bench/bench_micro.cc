@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark) for CloudIQ's hot primitives:
+// n-bit packing, column-page encode/decode, RLE page compression, object
+// key generation, bitmap and interval-set operations. These measure real
+// CPU time (not simulated time) and guard against regressions in the
+// encode/decode paths that the simulated CPU-cost model abstracts.
+
+#include <benchmark/benchmark.h>
+
+#include "columnar/encoding.h"
+#include "common/bitmap.h"
+#include "common/interval_set.h"
+#include "common/random.h"
+#include "keygen/object_key_generator.h"
+#include "store/page_codec.h"
+#include "store/physical_loc.h"
+
+namespace cloudiq {
+namespace {
+
+void BM_NBitPack(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<uint64_t> values(8192);
+  uint64_t mask =
+      width == 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+  for (auto& v : values) v = rng.Next() & mask;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NBitPack(values, width));
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_NBitPack)->Arg(4)->Arg(13)->Arg(32);
+
+void BM_NBitUnpack(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<uint64_t> values(8192);
+  uint64_t mask =
+      width == 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+  for (auto& v : values) v = rng.Next() & mask;
+  std::vector<uint8_t> packed = NBitPack(values, width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NBitUnpack(packed, width, values.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_NBitUnpack)->Arg(4)->Arg(13)->Arg(32);
+
+void BM_EncodeIntColumnPage(benchmark::State& state) {
+  ColumnVector col;
+  col.type = ColumnType::kInt64;
+  Rng rng(2);
+  for (int i = 0; i < 8192; ++i) {
+    col.ints.push_back(1000000 + static_cast<int64_t>(rng.Uniform(5000)));
+  }
+  for (auto _ : state) {
+    ZoneMapEntry zone;
+    benchmark::DoNotOptimize(EncodeColumnPage(col, 0, col.ints.size(),
+                                              &zone));
+  }
+  state.SetItemsProcessed(state.iterations() * col.ints.size());
+}
+BENCHMARK(BM_EncodeIntColumnPage);
+
+void BM_DecodeIntColumnPage(benchmark::State& state) {
+  ColumnVector col;
+  col.type = ColumnType::kInt64;
+  Rng rng(2);
+  for (int i = 0; i < 8192; ++i) {
+    col.ints.push_back(1000000 + static_cast<int64_t>(rng.Uniform(5000)));
+  }
+  ZoneMapEntry zone;
+  std::vector<uint8_t> page = EncodeColumnPage(col, 0, col.ints.size(),
+                                               &zone);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeColumnPage(page));
+  }
+  state.SetItemsProcessed(state.iterations() * col.ints.size());
+}
+BENCHMARK(BM_DecodeIntColumnPage);
+
+void BM_PageCodecRle(benchmark::State& state) {
+  std::vector<uint8_t> payload(512 * 1024, 0);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    payload[rng.Uniform(payload.size())] = static_cast<uint8_t>(rng.Next());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodePage(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+}
+BENCHMARK(BM_PageCodecRle);
+
+void BM_KeyGeneration(benchmark::State& state) {
+  ObjectKeyGenerator gen;
+  NodeKeyCache cache(
+      [&](uint64_t size, double) { return gen.AllocateRange(1, size); });
+  double now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.NextKey(now));
+    now += 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeyGeneration);
+
+void BM_HashKeyPrefix(benchmark::State& state) {
+  uint64_t key = kCloudKeyBase;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashKeyPrefix(key++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashKeyPrefix);
+
+void BM_BitmapSetRange(benchmark::State& state) {
+  for (auto _ : state) {
+    Bitmap bm;
+    bm.SetRange(0, 100000);
+    benchmark::DoNotOptimize(bm.CountSet());
+  }
+}
+BENCHMARK(BM_BitmapSetRange);
+
+void BM_IntervalSetInsert(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    IntervalSet set;
+    for (int i = 0; i < 1000; ++i) {
+      uint64_t begin = kCloudKeyBase + rng.Uniform(1 << 20);
+      set.InsertRange(begin, begin + 16);
+    }
+    benchmark::DoNotOptimize(set.Count());
+  }
+}
+BENCHMARK(BM_IntervalSetInsert);
+
+}  // namespace
+}  // namespace cloudiq
+
+BENCHMARK_MAIN();

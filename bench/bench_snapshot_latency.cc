@@ -1,0 +1,70 @@
+// §5's headline claim: "on a database where all user dbspaces are on the
+// cloud, taking a snapshot can be near-instantaneous", because only the
+// (shrunken) system dbspace must be backed up — cloud pages are already
+// retained by deferred deletion. This bench grows the database and
+// compares snapshot duration and backup bytes between a cloud-dbspace
+// database and a conventional EBS-dbspace database, whose user volume
+// must be copied in full.
+
+#include "bench/bench_util.h"
+
+namespace cloudiq {
+namespace bench {
+namespace {
+
+struct SnapResult {
+  double duration = 0;
+  uint64_t backup_bytes = 0;
+  uint64_t data_bytes = 0;
+};
+
+Result<SnapResult> SnapshotAfterLoad(UserStorage storage, double scale) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = storage;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  TpchGenerator gen(scale);
+  CLOUDIQ_ASSIGN_OR_RETURN(TpchLoadResult load, LoadTpch(&db, &gen, {}));
+  CLOUDIQ_ASSIGN_OR_RETURN(SnapshotManager::SnapshotInfo info,
+                           db.TakeSnapshot());
+  return SnapResult{info.duration_seconds, info.backup_bytes,
+                    load.bytes_at_rest};
+}
+
+int Main() {
+  std::printf("=== §5: snapshot cost vs database size "
+              "(cloud dbspace vs EBS dbspace) ===\n");
+  std::printf("%8s | %12s %14s | %12s %14s\n", "SF", "cloud snap(s)",
+              "cloud backup", "EBS snap(s)", "EBS backup");
+  Hr();
+  const double scales[] = {0.02, 0.1, 0.25};
+  double last_cloud = 0, last_ebs = 0;
+  for (double scale : scales) {
+    Result<SnapResult> cloud =
+        SnapshotAfterLoad(UserStorage::kObjectStore, scale);
+    Result<SnapResult> ebs = SnapshotAfterLoad(UserStorage::kEbs, scale);
+    if (!cloud.ok() || !ebs.ok()) {
+      std::fprintf(stderr, "run failed\n");
+      return 1;
+    }
+    std::printf("%8g | %12.4f %11.2f MB | %12.4f %11.2f MB\n", scale,
+                cloud->duration, cloud->backup_bytes / 1e6, ebs->duration,
+                ebs->backup_bytes / 1e6);
+    last_cloud = cloud->duration;
+    last_ebs = ebs->duration;
+  }
+  Hr();
+  std::printf(
+      "Cloud snapshots back up only the system dbspace (catalog, logs, "
+      "shrunken freelist) and stay flat as data grows;\nconventional "
+      "snapshots copy the whole user volume. At the largest size the "
+      "cloud snapshot is %.0fx faster.\n",
+      last_ebs / std::max(last_cloud, 1e-9));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cloudiq
+
+int main() { return cloudiq::bench::Main(); }

@@ -1,0 +1,79 @@
+// Reproduces Table 2 of "Bringing Cloud-Native Storage to SAP IQ"
+// (SIGMOD'21): load and per-query execution times of the TPC-H benchmark
+// in power mode, with the user dbspace on S3-like object storage vs
+// EBS-like and EFS-like block volumes, on an m5ad.24xlarge-shaped node.
+//
+// Expected shape (paper, SF1000): S3 loads ~1.6x faster than EBS and
+// ~4.8x faster than EFS; query geometric mean 23.2s (S3) vs 52.1 (EBS) vs
+// 119.3 (EFS); short queries (Q2, Q19) are the exception where S3's
+// per-request latency cannot be masked.
+
+#include "bench/bench_util.h"
+
+namespace cloudiq {
+namespace bench {
+namespace {
+
+int Main() {
+  // Table 2 needs enough data volume for bandwidth (not per-request
+  // latency) to gate the load; below SF ~0.1 the fixed commit cost
+  // dominates and EBS's low latency wins the load leg.
+  double scale = BenchScale(0.25);
+  std::printf(
+      "=== Table 2: TPC-H load & query times by storage volume "
+      "(SF=%g, simulated seconds) ===\n",
+      scale);
+
+  const UserStorage backends[] = {UserStorage::kObjectStore,
+                                  UserStorage::kEbs, UserStorage::kEfs};
+  PowerRunResult results[3];
+  for (int b = 0; b < 3; ++b) {
+    SimEnvironment env;
+    Database::Options options;
+    // The paper's regime: the compressed data (520 GB at SF1000) far
+    // exceeds the buffer cache; scale the buffer to the bench-scale data
+    // so the query leg measures storage, not RAM.
+    options.buffer_capacity_override =
+        static_cast<uint64_t>(scale * 0.8e9 * 0.15);
+    options.user_storage = backends[b];
+    Database db(&env, InstanceProfile::M5ad24xlarge(), options);
+    TpchGenerator gen(scale);
+    Result<PowerRunResult> run = RunPower(&db, &gen);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    results[b] = *run;
+  }
+
+  std::printf("%-9s %10s |", "Volume", "Load");
+  for (int q = 1; q <= kTpchQueryCount; ++q) std::printf("  Q%-2d  ", q);
+  std::printf("\n");
+  Hr();
+  for (int b = 0; b < 3; ++b) {
+    std::printf("%-9s %10.1f |", StorageName(backends[b]),
+                results[b].load_seconds);
+    for (int q = 0; q < kTpchQueryCount; ++q) {
+      std::printf(" %6.2f", results[b].query_seconds[q]);
+    }
+    std::printf("\n");
+  }
+  Hr();
+  std::printf("Query geometric means: S3=%.2f s   EBS=%.2f s   EFS=%.2f s\n",
+              results[0].QueryGeoMean(), results[1].QueryGeoMean(),
+              results[2].QueryGeoMean());
+  std::printf("Load speedup: S3 vs EBS = %.2fx, S3 vs EFS = %.2fx\n",
+              results[1].load_seconds / results[0].load_seconds,
+              results[2].load_seconds / results[0].load_seconds);
+  std::printf(
+      "Paper (SF1000): geo means 23.2 / 52.1 / 119.3; load 2657 / 4294 / "
+      "12677 s.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cloudiq
+
+int main() { return cloudiq::bench::Main(); }

@@ -1,0 +1,126 @@
+// Snapshots & point-in-time restore (§5 of the paper): because pages on
+// the object store are retained past their MVCC death for a retention
+// period, a snapshot only has to back up the tiny system dbspace — making
+// snapshots near-instantaneous — and restore garbage-collects exactly the
+// key range created after the snapshot.
+//
+//   ./build/examples/snapshot_time_travel
+
+#include <cstdio>
+
+#include "engine/database.h"
+#include "engine/snapshot_view.h"
+#include "exec/executor.h"
+
+using namespace cloudiq;
+
+namespace {
+
+Status LoadGeneration(Database* db, uint64_t table_id, uint8_t version,
+                      int rows) {
+  TableSchema schema;
+  schema.name = "ledger_v" + std::to_string(version);
+  schema.table_id = table_id;
+  schema.columns = {{"id", ColumnType::kInt64},
+                    {"balance", ColumnType::kDecimal}};
+  Transaction* txn = db->Begin();
+  TableLoader loader = db->NewTableLoader(txn, schema);
+  Batch batch;
+  batch.AddColumn("id", {ColumnType::kInt64, {}, {}, {}});
+  batch.AddColumn("balance", {ColumnType::kDecimal, {}, {}, {}});
+  for (int i = 0; i < rows; ++i) {
+    batch.columns[0].ints.push_back(i);
+    batch.columns[1].ints.push_back(version * 1000 + i);
+  }
+  CLOUDIQ_RETURN_IF_ERROR(loader.Append(batch.columns));
+  CLOUDIQ_RETURN_IF_ERROR(loader.Finish(db->system()).status());
+  return db->Commit(txn);
+}
+
+int64_t SumBalances(Database* db, uint64_t table_id) {
+  Transaction* txn = db->Begin();
+  QueryContext ctx(&db->txn_mgr(), txn, db->system());
+  Result<TableReader> reader = ctx.OpenTable(table_id);
+  if (!reader.ok()) {
+    (void)db->Commit(txn);
+    return -1;
+  }
+  Result<Batch> rows = ScanTable(&ctx, &*reader, {"balance"});
+  int64_t sum = 0;
+  if (rows.ok()) {
+    for (int64_t v : rows->column("balance").ints) sum += v;
+  }
+  (void)db->Commit(txn);
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  SimEnvironment cloud;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  options.snapshot_retention_seconds = 24 * 3600;
+  Database db(&cloud, InstanceProfile::M5ad4xlarge(), options);
+
+  // Generation 1 of the data, then a snapshot.
+  if (!LoadGeneration(&db, 1, 1, 20000).ok()) return 1;
+  int64_t v1_sum = SumBalances(&db, 1);
+
+  Result<SnapshotManager::SnapshotInfo> snap = db.TakeSnapshot();
+  if (!snap.ok()) return 1;
+  std::printf("Snapshot %llu taken in %.4f simulated seconds — it backed "
+              "up only %.1f KB\n",
+              static_cast<unsigned long long>(snap->id),
+              snap->duration_seconds, snap->backup_bytes / 1e3);
+  std::printf("(the %.1f MB of table data on the object store were NOT "
+              "copied: retained pages + monotonic keys make them "
+              "recoverable in place)\n\n",
+              db.UserBytesAtRest() / 1e6);
+
+  // Post-snapshot work: an extra table and lots of fresh objects.
+  if (!LoadGeneration(&db, 2, 2, 20000).ok()) return 1;
+  uint64_t live_before = cloud.object_store().LiveObjectCount();
+  std::printf("After more loads: table 2 exists, %llu live objects\n",
+              static_cast<unsigned long long>(live_before));
+
+  // Bonus (the paper's §8 future work, implemented here): open a
+  // READ-ONLY VIEW over the snapshot, without restoring. The view and
+  // the live database answer queries side by side.
+  {
+    Result<std::unique_ptr<SnapshotView>> view =
+        SnapshotView::Open(&db, snap->id);
+    if (!view.ok()) return 1;
+    QueryContext vctx = (*view)->NewQueryContext();
+    Result<TableReader> t1 = (*view)->OpenTable(1);
+    Result<Batch> rows =
+        t1.ok() ? ScanTable(&vctx, &*t1, {"balance"})
+                : Result<Batch>(t1.status());
+    bool t2_in_view = (*view)->OpenTable(2).ok();
+    std::printf("Read-only view over snapshot %llu (no restore): table 1 "
+                "has %zu rows, table 2 %s\n",
+                static_cast<unsigned long long>(snap->id),
+                rows.ok() ? rows->rows() : 0,
+                t2_in_view ? "VISIBLE (bug!)" : "not visible");
+  }
+
+  // Time travel: restore the snapshot. Keys allocated after the snapshot
+  // form a contiguous range (the generator is monotonic); restore polls
+  // and deletes exactly that range.
+  if (!db.RestoreSnapshot(snap->id).ok()) {
+    std::fprintf(stderr, "restore failed\n");
+    return 1;
+  }
+  std::printf("\nRestored snapshot %llu:\n",
+              static_cast<unsigned long long>(snap->id));
+  std::printf("  table 1 intact: balances sum %lld (was %lld)\n",
+              static_cast<long long>(SumBalances(&db, 1)),
+              static_cast<long long>(v1_sum));
+  std::printf("  table 2 gone:   %s\n",
+              db.system()->Contains("tablemeta/2") ? "NO (bug!)" : "yes");
+  std::printf("  post-snapshot objects GC'd: %llu -> %llu live\n",
+              static_cast<unsigned long long>(live_before),
+              static_cast<unsigned long long>(
+                  cloud.object_store().LiveObjectCount()));
+  return SumBalances(&db, 1) == v1_sum ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Runs the full workload of the paper's first experiment end to end at a
+// laptop-friendly scale factor: generate and load TPC-H into a cloud
+// dbspace, then execute the 22 queries sequentially in power mode,
+// printing timings and the storage/cost ledger.
+//
+//   ./build/examples/tpch_power_run          # SF 0.02
+//   CLOUDIQ_BENCH_SF=0.1 ./build/examples/tpch_power_run
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/database.h"
+#include "engine/metrics.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_loader.h"
+
+using namespace cloudiq;
+
+int main() {
+  double scale = 0.02;
+  if (const char* env = std::getenv("CLOUDIQ_BENCH_SF")) {
+    double v = std::atof(env);
+    if (v > 0) scale = v;
+  }
+
+  SimEnvironment cloud;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  Database db(&cloud, InstanceProfile::M5ad24xlarge(), options);
+  TpchGenerator gen(scale);
+
+  std::printf("Loading TPC-H SF=%g into a cloud dbspace "
+              "(m5ad.24xlarge)...\n",
+              scale);
+  Result<TpchLoadResult> load = LoadTpch(&db, &gen, {});
+  if (!load.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 load.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  %llu rows in %.1f simulated s; %.1f MB raw -> %.1f MB at "
+              "rest (%.2fx compression)\n\n",
+              static_cast<unsigned long long>(load->rows), load->seconds,
+              load->input_bytes / 1e6, load->bytes_at_rest / 1e6,
+              static_cast<double>(load->input_bytes) /
+                  load->bytes_at_rest);
+
+  std::printf("%-4s %9s   %s\n", "Q", "sim (s)", "workload shape");
+  double total = 0;
+  for (int q = 1; q <= kTpchQueryCount; ++q) {
+    SimTime before = db.node().clock().now();
+    Transaction* txn = db.Begin();
+    QueryContext ctx(&db.txn_mgr(), txn, db.system());
+    Result<Batch> result = RunTpchQuery(&ctx, q);
+    if (!result.ok()) {
+      std::fprintf(stderr, "Q%d failed: %s\n", q,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    (void)db.Commit(txn);
+    double elapsed = db.node().clock().now() - before;
+    total += elapsed;
+    std::printf("Q%-3d %9.3f   %s\n", q, elapsed,
+                TpchQueryDescription(q));
+  }
+  std::printf("\nPower run total: %.1f simulated seconds "
+              "(load %.1f + queries %.1f)\n",
+              load->seconds + total, load->seconds, total);
+  std::printf("\n%s", FormatMetrics(CollectMetrics(&db)).c_str());
+  return 0;
+}

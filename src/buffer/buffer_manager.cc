@@ -1,0 +1,169 @@
+#include "buffer/buffer_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cloudiq {
+
+Result<BufferManager::PageData> BufferManager::Get(
+    uint32_t dbspace_id, PhysicalLoc loc,
+    const std::function<Result<std::vector<uint8_t>>()>& loader) {
+  CleanKey key{dbspace_id, loc.encoded()};
+  auto it = clean_.find(key);
+  if (it != clean_.end()) {
+    ++stats_.hits;
+    TouchLru(it->second, key);
+    return it->second.data;
+  }
+  ++stats_.misses;
+  CLOUDIQ_ASSIGN_OR_RETURN(std::vector<uint8_t> payload, loader());
+  auto data = std::make_shared<const std::vector<uint8_t>>(
+      std::move(payload));
+  lru_.push_front(key);
+  clean_bytes_ += data->size();
+  clean_[key] = CleanEntry{data, lru_.begin()};
+  EvictCleanIfNeeded();
+  return PageData(data);
+}
+
+void BufferManager::Insert(uint32_t dbspace_id, PhysicalLoc loc,
+                           std::vector<uint8_t> payload) {
+  CleanKey key{dbspace_id, loc.encoded()};
+  auto it = clean_.find(key);
+  if (it != clean_.end()) {
+    TouchLru(it->second, key);
+    return;
+  }
+  auto data = std::make_shared<const std::vector<uint8_t>>(
+      std::move(payload));
+  lru_.push_front(key);
+  clean_bytes_ += data->size();
+  clean_[key] = CleanEntry{data, lru_.begin()};
+  EvictCleanIfNeeded();
+}
+
+bool BufferManager::Cached(uint32_t dbspace_id, PhysicalLoc loc) const {
+  return clean_.count(CleanKey{dbspace_id, loc.encoded()}) > 0;
+}
+
+void BufferManager::Invalidate(uint32_t dbspace_id, PhysicalLoc loc) {
+  CleanKey key{dbspace_id, loc.encoded()};
+  auto it = clean_.find(key);
+  if (it == clean_.end()) return;
+  clean_bytes_ -= it->second.data->size();
+  lru_.erase(it->second.lru_it);
+  clean_.erase(it);
+}
+
+void BufferManager::TouchLru(CleanEntry& entry, const CleanKey& key) {
+  lru_.erase(entry.lru_it);
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+}
+
+void BufferManager::EvictCleanIfNeeded() {
+  while (clean_bytes_ + dirty_bytes_ > options_.capacity_bytes &&
+         !lru_.empty()) {
+    CleanKey victim = lru_.back();
+    lru_.pop_back();
+    auto it = clean_.find(victim);
+    assert(it != clean_.end());
+    clean_bytes_ -= it->second.data->size();
+    clean_.erase(it);
+    ++stats_.clean_evictions;
+  }
+}
+
+Status BufferManager::PutDirty(uint64_t txn_id, uint64_t object_id,
+                               uint64_t page,
+                               std::vector<uint8_t> payload) {
+  TxnDirty& txn = dirty_[txn_id];
+  DirtyKey key{object_id, page};
+  auto it = txn.pages.find(key);
+  if (it != txn.pages.end()) {
+    dirty_bytes_ -= it->second.size();
+    it->second = std::move(payload);
+    dirty_bytes_ += it->second.size();
+  } else {
+    dirty_bytes_ += payload.size();
+    txn.pages.emplace(key, std::move(payload));
+    txn.order.push_back(key);
+  }
+  // Churn phase: make room by first dropping clean pages, then flushing
+  // this transaction's oldest dirty pages with write-back semantics.
+  EvictCleanIfNeeded();
+  return EvictDirtyIfNeeded(txn_id);
+}
+
+Status BufferManager::EvictDirtyIfNeeded(uint64_t txn_id) {
+  if (clean_bytes_ + dirty_bytes_ <= options_.capacity_bytes) {
+    return Status::Ok();
+  }
+  auto txn_it = dirty_.find(txn_id);
+  if (txn_it == dirty_.end()) return Status::Ok();
+  TxnDirty& txn = txn_it->second;
+
+  // Flush the oldest dirty pages in one batch until the cache fits again:
+  // batching lets the flush callback run the writes in parallel, which is
+  // where cloud dbspaces earn their throughput.
+  std::vector<DirtyPage> batch;
+  uint64_t to_free =
+      (clean_bytes_ + dirty_bytes_) - options_.capacity_bytes;
+  uint64_t freed = 0;
+  while (!txn.order.empty() && freed < to_free) {
+    DirtyKey key = txn.order.front();
+    // Keep at least one page: the page being written right now must stay.
+    if (txn.order.size() <= 1) break;
+    txn.order.pop_front();
+    auto page_it = txn.pages.find(key);
+    if (page_it == txn.pages.end()) continue;
+    freed += page_it->second.size();
+    dirty_bytes_ -= page_it->second.size();
+    batch.push_back(
+        DirtyPage{key.object_id, key.page, std::move(page_it->second)});
+    txn.pages.erase(page_it);
+  }
+  if (batch.empty()) return Status::Ok();
+  stats_.churn_flushes += batch.size();
+  return flush_(txn_id, std::move(batch), /*for_commit=*/false);
+}
+
+Result<BufferManager::PageData> BufferManager::GetDirty(
+    uint64_t txn_id, uint64_t object_id, uint64_t page) const {
+  auto txn_it = dirty_.find(txn_id);
+  if (txn_it == dirty_.end()) return Status::NotFound("no dirty pages");
+  auto it = txn_it->second.pages.find(DirtyKey{object_id, page});
+  if (it == txn_it->second.pages.end()) {
+    return Status::NotFound("page not dirty");
+  }
+  return std::make_shared<const std::vector<uint8_t>>(it->second);
+}
+
+Status BufferManager::FlushTxn(uint64_t txn_id) {
+  auto txn_it = dirty_.find(txn_id);
+  if (txn_it == dirty_.end()) return Status::Ok();
+  std::vector<DirtyPage> batch;
+  batch.reserve(txn_it->second.pages.size());
+  for (const DirtyKey& key : txn_it->second.order) {
+    auto page_it = txn_it->second.pages.find(key);
+    if (page_it == txn_it->second.pages.end()) continue;
+    dirty_bytes_ -= page_it->second.size();
+    batch.push_back(
+        DirtyPage{key.object_id, key.page, std::move(page_it->second)});
+  }
+  dirty_.erase(txn_it);
+  if (batch.empty()) return Status::Ok();
+  stats_.commit_flushes += batch.size();
+  return flush_(txn_id, std::move(batch), /*for_commit=*/true);
+}
+
+void BufferManager::DropTxn(uint64_t txn_id) {
+  auto txn_it = dirty_.find(txn_id);
+  if (txn_it == dirty_.end()) return;
+  for (const auto& [key, payload] : txn_it->second.pages) {
+    dirty_bytes_ -= payload.size();
+  }
+  dirty_.erase(txn_it);
+}
+
+}  // namespace cloudiq

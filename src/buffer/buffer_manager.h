@@ -1,0 +1,165 @@
+#ifndef CLOUDIQ_BUFFER_BUFFER_MANAGER_H_
+#define CLOUDIQ_BUFFER_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "store/physical_loc.h"
+#include "store/storage.h"
+
+namespace cloudiq {
+
+// SAP IQ's first-layer cache: decompressed pages in RAM (§2). CloudIQ's
+// buffer manager has two halves:
+//
+//  * a *clean* cache keyed by physical location, LRU-evicted. Cloud pages
+//    are immutable under their object key (never-write-twice), so a
+//    location is a perfect cache key; conventional locations are
+//    invalidated when their blocks are freed.
+//  * per-transaction *dirty lists* ("the buffer manager maintains a list
+//    of all the dirty pages associated with active transactions"). Dirty
+//    pages are flushed by the owning transaction — under cache pressure
+//    during the churn phase (write-back through the OCM) and exhaustively
+//    before commit (write-through), matching §4's three-phase model.
+//
+// The flush itself (storage write + blockmap update + RF/RB bookkeeping)
+// belongs to the transaction layer and is injected as a callback.
+class BufferManager {
+ public:
+  using PageData = std::shared_ptr<const std::vector<uint8_t>>;
+
+  struct Options {
+    uint64_t capacity_bytes = 64 << 20;
+  };
+
+  // One dirty page awaiting flush.
+  struct DirtyPage {
+    uint64_t object_id;
+    uint64_t page;
+    std::vector<uint8_t> payload;
+  };
+
+  // Flushes a batch of dirty pages for `txn_id`. `for_commit` selects the
+  // OCM write mode (write-through) and must leave every page durable on
+  // its backing store before returning OK.
+  using FlushBatchFn = std::function<Status(
+      uint64_t txn_id, std::vector<DirtyPage>&& pages, bool for_commit)>;
+
+  BufferManager(Options options, FlushBatchFn flush)
+      : options_(options), flush_(std::move(flush)) {}
+
+  // --- clean cache -------------------------------------------------------
+  // Looks up the page stored at (dbspace, loc); on miss, invokes `loader`
+  // (which performs the simulated I/O) and caches the result.
+  Result<PageData> Get(
+      uint32_t dbspace_id, PhysicalLoc loc,
+      const std::function<Result<std::vector<uint8_t>>()>& loader);
+
+  // Inserts an already-available page (prefetch results, pages built
+  // during load that later readers will want).
+  void Insert(uint32_t dbspace_id, PhysicalLoc loc,
+              std::vector<uint8_t> payload);
+
+  bool Cached(uint32_t dbspace_id, PhysicalLoc loc) const;
+
+  // Drops a location (its blocks were freed / object deleted).
+  void Invalidate(uint32_t dbspace_id, PhysicalLoc loc);
+
+  // --- dirty pages ---------------------------------------------------------
+  // Registers (or replaces) a dirty page owned by `txn_id`. May trigger
+  // churn-phase eviction: least-recently dirtied pages of the same
+  // transaction are flushed with write-back semantics until the total
+  // footprint fits the capacity.
+  Status PutDirty(uint64_t txn_id, uint64_t object_id, uint64_t page,
+                  std::vector<uint8_t> payload);
+
+  // Read-your-writes: the dirty copy if present.
+  Result<PageData> GetDirty(uint64_t txn_id, uint64_t object_id,
+                            uint64_t page) const;
+
+  // True if `txn_id` has any unflushed dirty pages.
+  bool HasDirty(uint64_t txn_id) const {
+    auto it = dirty_.find(txn_id);
+    return it != dirty_.end() && !it->second.pages.empty();
+  }
+
+  // Flushes every remaining dirty page of `txn_id` (commit path,
+  // write-through).
+  Status FlushTxn(uint64_t txn_id);
+
+  // Discards `txn_id`'s dirty pages (rollback).
+  void DropTxn(uint64_t txn_id);
+
+  uint64_t clean_bytes() const { return clean_bytes_; }
+  uint64_t dirty_bytes() const { return dirty_bytes_; }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t clean_evictions = 0;
+    uint64_t churn_flushes = 0;   // dirty pages flushed under pressure
+    uint64_t commit_flushes = 0;  // dirty pages flushed at commit
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct CleanKey {
+    uint32_t dbspace_id;
+    uint64_t encoded_loc;
+    bool operator==(const CleanKey& o) const {
+      return dbspace_id == o.dbspace_id && encoded_loc == o.encoded_loc;
+    }
+  };
+  struct CleanKeyHash {
+    size_t operator()(const CleanKey& k) const {
+      return std::hash<uint64_t>()(k.encoded_loc * 0x9e3779b97f4a7c15ULL ^
+                                   k.dbspace_id);
+    }
+  };
+  struct CleanEntry {
+    PageData data;
+    std::list<CleanKey>::iterator lru_it;
+  };
+
+  struct DirtyKey {
+    uint64_t object_id;
+    uint64_t page;
+    bool operator<(const DirtyKey& o) const {
+      return object_id != o.object_id ? object_id < o.object_id
+                                      : page < o.page;
+    }
+  };
+
+  void EvictCleanIfNeeded();
+  Status EvictDirtyIfNeeded(uint64_t txn_id);
+  void TouchLru(CleanEntry& entry, const CleanKey& key);
+
+  Options options_;
+  FlushBatchFn flush_;
+
+  std::unordered_map<CleanKey, CleanEntry, CleanKeyHash> clean_;
+  std::list<CleanKey> lru_;  // front = most recent
+  uint64_t clean_bytes_ = 0;
+
+  // txn -> (object, page) -> payload; flush order = dirty order (std::map
+  // inside a map of txns, plus an explicit FIFO per txn).
+  struct TxnDirty {
+    std::map<DirtyKey, std::vector<uint8_t>> pages;
+    std::list<DirtyKey> order;  // front = oldest
+  };
+  std::map<uint64_t, TxnDirty> dirty_;
+  uint64_t dirty_bytes_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_BUFFER_BUFFER_MANAGER_H_

@@ -1,0 +1,37 @@
+#include "buffer/prefetcher.h"
+
+namespace cloudiq {
+
+Status Prefetcher::PrefetchLocs(DbSpace* space,
+                                const std::vector<PhysicalLoc>& locs) {
+  std::vector<IoScheduler::Op> ops;
+  std::vector<std::shared_ptr<StorageSubsystem::ReadSlot>> slots;
+  std::vector<PhysicalLoc> fetched_locs;
+  stats_.requested += locs.size();
+  for (PhysicalLoc loc : locs) {
+    if (buffer_->Cached(space->id, loc)) {
+      ++stats_.already_cached;
+      continue;
+    }
+    auto slot = std::make_shared<StorageSubsystem::ReadSlot>();
+    ops.push_back(storage_->MakeReadOp(space, loc, slot));
+    slots.push_back(std::move(slot));
+    fetched_locs.push_back(loc);
+  }
+  if (ops.empty()) return Status::Ok();
+  storage_->node()->io().RunParallel(ops, storage_->node()->IoWidth());
+
+  Status first_error;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i]->status.ok()) {
+      if (first_error.ok()) first_error = slots[i]->status;
+      continue;
+    }
+    ++stats_.fetched;
+    buffer_->Insert(space->id, fetched_locs[i],
+                    std::move(slots[i]->payload));
+  }
+  return first_error;
+}
+
+}  // namespace cloudiq

@@ -1,0 +1,257 @@
+#include "columnar/encoding.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "common/coding.h"
+
+namespace cloudiq {
+namespace {
+
+constexpr uint8_t kEncodingNBit = 1;
+constexpr uint8_t kEncodingRawDouble = 2;
+constexpr uint8_t kEncodingDictString = 3;
+constexpr uint8_t kEncodingRawString = 4;
+// Sorted runs (load order often is: orderkeys, dates): successive deltas
+// are tiny even when the value range is wide, so delta + n-bit beats
+// frame-of-reference.
+constexpr uint8_t kEncodingDeltaNBit = 5;
+
+}  // namespace
+
+int BitWidthFor(uint64_t max_value) {
+  int width = 1;
+  while (width < 64 && (max_value >> width) != 0) ++width;
+  return width;
+}
+
+std::vector<uint8_t> NBitPack(const std::vector<uint64_t>& values,
+                              int bit_width) {
+  assert(bit_width >= 1 && bit_width <= 64);
+  std::vector<uint8_t> out((values.size() * bit_width + 7) / 8, 0);
+  size_t bit_pos = 0;
+  for (uint64_t v : values) {
+    for (int b = 0; b < bit_width; ++b, ++bit_pos) {
+      if ((v >> b) & 1) {
+        out[bit_pos / 8] |= static_cast<uint8_t>(1u << (bit_pos % 8));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> NBitUnpack(const std::vector<uint8_t>& bytes,
+                                 int bit_width, size_t count) {
+  std::vector<uint64_t> out(count, 0);
+  size_t bit_pos = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    for (int b = 0; b < bit_width; ++b, ++bit_pos) {
+      if (bit_pos / 8 < bytes.size() &&
+          (bytes[bit_pos / 8] >> (bit_pos % 8)) & 1) {
+        v |= uint64_t{1} << b;
+      }
+    }
+    out[i] = v;
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeColumnPage(const ColumnVector& values,
+                                      size_t begin, size_t end,
+                                      ZoneMapEntry* zone) {
+  assert(end <= values.size() && begin <= end);
+  size_t count = end - begin;
+  std::vector<uint8_t> out;
+  PutU32(out, static_cast<uint32_t>(values.type));
+  PutU32(out, static_cast<uint32_t>(count));
+  zone->row_count = static_cast<uint32_t>(count);
+
+  switch (values.type) {
+    case ColumnType::kInt64:
+    case ColumnType::kDate:
+    case ColumnType::kDecimal: {
+      int64_t min_v = count > 0 ? values.ints[begin] : 0;
+      int64_t max_v = min_v;
+      for (size_t i = begin; i < end; ++i) {
+        min_v = std::min(min_v, values.ints[i]);
+        max_v = std::max(max_v, values.ints[i]);
+      }
+      zone->min_int = min_v;
+      zone->max_int = max_v;
+      // Non-decreasing pages (sorted keys, monotone dates) get delta +
+      // n-bit; everything else frame-of-reference + n-bit.
+      bool sorted = true;
+      uint64_t max_step = 0;
+      for (size_t i = begin + 1; i < end; ++i) {
+        if (values.ints[i] < values.ints[i - 1]) {
+          sorted = false;
+          break;
+        }
+        max_step = std::max(
+            max_step,
+            static_cast<uint64_t>(values.ints[i] - values.ints[i - 1]));
+      }
+      int for_width =
+          BitWidthFor(static_cast<uint64_t>(max_v - min_v));
+      int delta_width = BitWidthFor(max_step);
+      if (sorted && count > 1 && delta_width < for_width) {
+        std::vector<uint64_t> deltas;
+        deltas.reserve(count - 1);
+        for (size_t i = begin + 1; i < end; ++i) {
+          deltas.push_back(
+              static_cast<uint64_t>(values.ints[i] - values.ints[i - 1]));
+        }
+        out.push_back(kEncodingDeltaNBit);
+        out.push_back(static_cast<uint8_t>(delta_width));
+        PutI64(out, values.ints[begin]);  // first value, raw
+        std::vector<uint8_t> packed = NBitPack(deltas, delta_width);
+        PutBytes(out, packed.data(), packed.size());
+        break;
+      }
+      std::vector<uint64_t> deltas;
+      deltas.reserve(count);
+      for (size_t i = begin; i < end; ++i) {
+        deltas.push_back(static_cast<uint64_t>(values.ints[i] - min_v));
+      }
+      out.push_back(kEncodingNBit);
+      out.push_back(static_cast<uint8_t>(for_width));
+      PutI64(out, min_v);
+      std::vector<uint8_t> packed = NBitPack(deltas, for_width);
+      PutBytes(out, packed.data(), packed.size());
+      break;
+    }
+    case ColumnType::kDouble: {
+      double min_v = count > 0 ? values.doubles[begin] : 0;
+      double max_v = min_v;
+      out.push_back(kEncodingRawDouble);
+      for (size_t i = begin; i < end; ++i) {
+        min_v = std::min(min_v, values.doubles[i]);
+        max_v = std::max(max_v, values.doubles[i]);
+        PutDouble(out, values.doubles[i]);
+      }
+      zone->min_double = min_v;
+      zone->max_double = max_v;
+      break;
+    }
+    case ColumnType::kString: {
+      // Page-local dictionary; n-bit codes if it pays, raw otherwise.
+      std::map<std::string, uint32_t> dict;
+      for (size_t i = begin; i < end; ++i) {
+        dict.emplace(values.strings[i], 0);
+      }
+      if (count > 0) {
+        zone->min_string = dict.begin()->first.substr(0, 16);
+        zone->max_string = std::prev(dict.end())->first.substr(0, 16);
+      }
+      size_t dict_bytes = 0;
+      for (const auto& [s, code] : dict) dict_bytes += s.size() + 4;
+      size_t raw_bytes = 0;
+      for (size_t i = begin; i < end; ++i) {
+        raw_bytes += values.strings[i].size() + 4;
+      }
+      int width =
+          BitWidthFor(dict.empty() ? 0 : dict.size() - 1);
+      size_t dict_total = dict_bytes + (count * width + 7) / 8;
+      if (dict_total < raw_bytes) {
+        uint32_t next = 0;
+        for (auto& [s, code] : dict) code = next++;
+        out.push_back(kEncodingDictString);
+        out.push_back(static_cast<uint8_t>(width));
+        PutU32(out, static_cast<uint32_t>(dict.size()));
+        for (const auto& [s, code] : dict) PutString(out, s);
+        std::vector<uint64_t> codes;
+        codes.reserve(count);
+        for (size_t i = begin; i < end; ++i) {
+          codes.push_back(dict[values.strings[i]]);
+        }
+        std::vector<uint8_t> packed = NBitPack(codes, width);
+        PutBytes(out, packed.data(), packed.size());
+      } else {
+        out.push_back(kEncodingRawString);
+        for (size_t i = begin; i < end; ++i) {
+          PutString(out, values.strings[i]);
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+Result<ColumnVector> DecodeColumnPage(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  ColumnVector out;
+  out.type = static_cast<ColumnType>(reader.GetU32());
+  uint32_t count = reader.GetU32();
+  if (reader.remaining() < 1) return Status::Corruption("column page");
+  uint8_t encoding = reader.GetBytes(1)[0];
+
+  switch (encoding) {
+    case kEncodingNBit: {
+      int width = reader.GetBytes(1)[0];
+      int64_t base = reader.GetI64();
+      std::vector<uint8_t> packed =
+          reader.GetBytes((static_cast<size_t>(count) * width + 7) / 8);
+      std::vector<uint64_t> deltas = NBitUnpack(packed, width, count);
+      out.ints.reserve(count);
+      for (uint64_t d : deltas) {
+        out.ints.push_back(base + static_cast<int64_t>(d));
+      }
+      break;
+    }
+    case kEncodingDeltaNBit: {
+      int width = reader.GetBytes(1)[0];
+      int64_t value = reader.GetI64();
+      size_t n_deltas = count > 0 ? count - 1 : 0;
+      std::vector<uint8_t> packed =
+          reader.GetBytes((n_deltas * width + 7) / 8);
+      std::vector<uint64_t> deltas = NBitUnpack(packed, width, n_deltas);
+      out.ints.reserve(count);
+      if (count > 0) out.ints.push_back(value);
+      for (uint64_t d : deltas) {
+        value += static_cast<int64_t>(d);
+        out.ints.push_back(value);
+      }
+      break;
+    }
+    case kEncodingRawDouble: {
+      out.doubles.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        out.doubles.push_back(reader.GetDouble());
+      }
+      break;
+    }
+    case kEncodingDictString: {
+      int width = reader.GetBytes(1)[0];
+      uint32_t dict_size = reader.GetU32();
+      std::vector<std::string> dict(dict_size);
+      for (uint32_t i = 0; i < dict_size; ++i) dict[i] = reader.GetString();
+      std::vector<uint8_t> packed =
+          reader.GetBytes((static_cast<size_t>(count) * width + 7) / 8);
+      std::vector<uint64_t> codes = NBitUnpack(packed, width, count);
+      out.strings.reserve(count);
+      for (uint64_t code : codes) {
+        if (code >= dict.size()) {
+          return Status::Corruption("dictionary code out of range");
+        }
+        out.strings.push_back(dict[code]);
+      }
+      break;
+    }
+    case kEncodingRawString: {
+      out.strings.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        out.strings.push_back(reader.GetString());
+      }
+      break;
+    }
+    default:
+      return Status::Corruption("unknown column encoding");
+  }
+  if (reader.overflow()) return Status::Corruption("column page truncated");
+  return out;
+}
+
+}  // namespace cloudiq

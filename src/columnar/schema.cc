@@ -1,0 +1,237 @@
+#include "columnar/schema.h"
+
+namespace cloudiq {
+namespace {
+
+void PutZone(std::vector<uint8_t>& out, const ZoneMapEntry& zone) {
+  PutI64(out, zone.min_int);
+  PutI64(out, zone.max_int);
+  PutDouble(out, zone.min_double);
+  PutDouble(out, zone.max_double);
+  PutString(out, zone.min_string);
+  PutString(out, zone.max_string);
+  PutU32(out, zone.row_count);
+}
+
+ZoneMapEntry GetZone(ByteReader& reader) {
+  ZoneMapEntry zone;
+  zone.min_int = reader.GetI64();
+  zone.max_int = reader.GetI64();
+  zone.min_double = reader.GetDouble();
+  zone.max_double = reader.GetDouble();
+  zone.min_string = reader.GetString();
+  zone.max_string = reader.GetString();
+  zone.row_count = reader.GetU32();
+  return zone;
+}
+
+}  // namespace
+
+std::vector<uint8_t> TableSchema::Serialize() const {
+  std::vector<uint8_t> out;
+  PutString(out, name);
+  PutU64(out, table_id);
+  PutU32(out, static_cast<uint32_t>(columns.size()));
+  for (const ColumnDef& col : columns) {
+    PutString(out, col.name);
+    PutU32(out, static_cast<uint32_t>(col.type));
+  }
+  PutI64(out, partition_column);
+  PutU32(out, static_cast<uint32_t>(partition_bounds.size()));
+  for (int64_t b : partition_bounds) PutI64(out, b);
+  PutU32(out, static_cast<uint32_t>(hg_index_columns.size()));
+  for (int c : hg_index_columns) PutI64(out, c);
+  PutU32(out, static_cast<uint32_t>(date_index_columns.size()));
+  for (int c : date_index_columns) PutI64(out, c);
+  PutU32(out, static_cast<uint32_t>(text_index_columns.size()));
+  for (int c : text_index_columns) PutI64(out, c);
+  return out;
+}
+
+TableSchema TableSchema::Deserialize(ByteReader& reader) {
+  TableSchema schema;
+  schema.name = reader.GetString();
+  schema.table_id = reader.GetU64();
+  uint32_t n_cols = reader.GetU32();
+  for (uint32_t i = 0; i < n_cols; ++i) {
+    ColumnDef col;
+    col.name = reader.GetString();
+    col.type = static_cast<ColumnType>(reader.GetU32());
+    schema.columns.push_back(col);
+  }
+  schema.partition_column = static_cast<int>(reader.GetI64());
+  uint32_t n_bounds = reader.GetU32();
+  for (uint32_t i = 0; i < n_bounds; ++i) {
+    schema.partition_bounds.push_back(reader.GetI64());
+  }
+  uint32_t n_idx = reader.GetU32();
+  for (uint32_t i = 0; i < n_idx; ++i) {
+    schema.hg_index_columns.push_back(static_cast<int>(reader.GetI64()));
+  }
+  uint32_t n_date = reader.GetU32();
+  for (uint32_t i = 0; i < n_date; ++i) {
+    schema.date_index_columns.push_back(static_cast<int>(reader.GetI64()));
+  }
+  uint32_t n_text = reader.GetU32();
+  for (uint32_t i = 0; i < n_text; ++i) {
+    schema.text_index_columns.push_back(static_cast<int>(reader.GetI64()));
+  }
+  return schema;
+}
+
+std::vector<uint8_t> SegmentMeta::Serialize() const {
+  std::vector<uint8_t> out;
+  PutU64(out, object_id);
+  PutU64(out, row_count);
+  PutU32(out, static_cast<uint32_t>(zones.size()));
+  for (const ZoneMapEntry& zone : zones) PutZone(out, zone);
+  PutU32(out, static_cast<uint32_t>(page_rows.size()));
+  for (uint32_t rows : page_rows) PutU32(out, rows);
+  return out;
+}
+
+SegmentMeta SegmentMeta::Deserialize(ByteReader& reader) {
+  SegmentMeta meta;
+  meta.object_id = reader.GetU64();
+  meta.row_count = reader.GetU64();
+  uint32_t n_zones = reader.GetU32();
+  for (uint32_t i = 0; i < n_zones; ++i) meta.zones.push_back(GetZone(reader));
+  uint32_t n_pages = reader.GetU32();
+  for (uint32_t i = 0; i < n_pages; ++i) {
+    meta.page_rows.push_back(reader.GetU32());
+  }
+  return meta;
+}
+
+std::vector<uint8_t> PartitionMeta::Serialize() const {
+  std::vector<uint8_t> out;
+  PutU64(out, row_count);
+  PutU32(out, static_cast<uint32_t>(columns.size()));
+  for (const SegmentMeta& seg : columns) {
+    std::vector<uint8_t> bytes = seg.Serialize();
+    PutU64(out, bytes.size());
+    PutBytes(out, bytes.data(), bytes.size());
+  }
+  PutU32(out, static_cast<uint32_t>(index_objects.size()));
+  for (uint64_t id : index_objects) PutU64(out, id);
+  PutU32(out, static_cast<uint32_t>(index_page_ranges.size()));
+  for (const auto& ranges : index_page_ranges) {
+    PutU32(out, static_cast<uint32_t>(ranges.size()));
+    for (const auto& [lo, hi] : ranges) {
+      PutI64(out, lo);
+      PutI64(out, hi);
+    }
+  }
+  PutU32(out, static_cast<uint32_t>(date_index_objects.size()));
+  for (uint64_t id : date_index_objects) PutU64(out, id);
+  PutU32(out, static_cast<uint32_t>(date_index_ranges.size()));
+  for (const auto& ranges : date_index_ranges) {
+    PutU32(out, static_cast<uint32_t>(ranges.size()));
+    for (const auto& [lo, hi] : ranges) {
+      PutI64(out, lo);
+      PutI64(out, hi);
+    }
+  }
+  PutU32(out, static_cast<uint32_t>(text_index_objects.size()));
+  for (uint64_t id : text_index_objects) PutU64(out, id);
+  PutU32(out, static_cast<uint32_t>(text_index_ranges.size()));
+  for (const auto& ranges : text_index_ranges) {
+    PutU32(out, static_cast<uint32_t>(ranges.size()));
+    for (const auto& [lo, hi] : ranges) {
+      PutString(out, lo);
+      PutString(out, hi);
+    }
+  }
+  return out;
+}
+
+PartitionMeta PartitionMeta::Deserialize(ByteReader& reader) {
+  PartitionMeta meta;
+  meta.row_count = reader.GetU64();
+  uint32_t n_cols = reader.GetU32();
+  for (uint32_t i = 0; i < n_cols; ++i) {
+    uint64_t len = reader.GetU64();
+    std::vector<uint8_t> bytes = reader.GetBytes(len);
+    ByteReader seg_reader(bytes);
+    meta.columns.push_back(SegmentMeta::Deserialize(seg_reader));
+  }
+  uint32_t n_idx = reader.GetU32();
+  for (uint32_t i = 0; i < n_idx; ++i) {
+    meta.index_objects.push_back(reader.GetU64());
+  }
+  uint32_t n_ranges = reader.GetU32();
+  for (uint32_t i = 0; i < n_ranges; ++i) {
+    uint32_t n = reader.GetU32();
+    std::vector<std::pair<int64_t, int64_t>> ranges;
+    for (uint32_t j = 0; j < n; ++j) {
+      int64_t lo = reader.GetI64();
+      int64_t hi = reader.GetI64();
+      ranges.emplace_back(lo, hi);
+    }
+    meta.index_page_ranges.push_back(std::move(ranges));
+  }
+  uint32_t n_date_idx = reader.GetU32();
+  for (uint32_t i = 0; i < n_date_idx; ++i) {
+    meta.date_index_objects.push_back(reader.GetU64());
+  }
+  uint32_t n_date_ranges = reader.GetU32();
+  for (uint32_t i = 0; i < n_date_ranges; ++i) {
+    uint32_t n = reader.GetU32();
+    std::vector<std::pair<int64_t, int64_t>> ranges;
+    for (uint32_t j = 0; j < n; ++j) {
+      int64_t lo = reader.GetI64();
+      int64_t hi = reader.GetI64();
+      ranges.emplace_back(lo, hi);
+    }
+    meta.date_index_ranges.push_back(std::move(ranges));
+  }
+  uint32_t n_text_idx = reader.GetU32();
+  for (uint32_t i = 0; i < n_text_idx; ++i) {
+    meta.text_index_objects.push_back(reader.GetU64());
+  }
+  uint32_t n_text_ranges = reader.GetU32();
+  for (uint32_t i = 0; i < n_text_ranges; ++i) {
+    uint32_t n = reader.GetU32();
+    std::vector<std::pair<std::string, std::string>> ranges;
+    for (uint32_t j = 0; j < n; ++j) {
+      std::string lo = reader.GetString();
+      std::string hi = reader.GetString();
+      ranges.emplace_back(std::move(lo), std::move(hi));
+    }
+    meta.text_index_ranges.push_back(std::move(ranges));
+  }
+  return meta;
+}
+
+std::vector<uint8_t> TableMeta::Serialize() const {
+  std::vector<uint8_t> out;
+  std::vector<uint8_t> schema_bytes = schema.Serialize();
+  PutU64(out, schema_bytes.size());
+  PutBytes(out, schema_bytes.data(), schema_bytes.size());
+  PutU32(out, static_cast<uint32_t>(partitions.size()));
+  for (const PartitionMeta& p : partitions) {
+    std::vector<uint8_t> bytes = p.Serialize();
+    PutU64(out, bytes.size());
+    PutBytes(out, bytes.data(), bytes.size());
+  }
+  return out;
+}
+
+TableMeta TableMeta::Deserialize(const std::vector<uint8_t>& bytes) {
+  TableMeta meta;
+  ByteReader reader(bytes);
+  uint64_t schema_len = reader.GetU64();
+  std::vector<uint8_t> schema_bytes = reader.GetBytes(schema_len);
+  ByteReader schema_reader(schema_bytes);
+  meta.schema = TableSchema::Deserialize(schema_reader);
+  uint32_t n_parts = reader.GetU32();
+  for (uint32_t i = 0; i < n_parts; ++i) {
+    uint64_t len = reader.GetU64();
+    std::vector<uint8_t> part_bytes = reader.GetBytes(len);
+    ByteReader part_reader(part_bytes);
+    meta.partitions.push_back(PartitionMeta::Deserialize(part_reader));
+  }
+  return meta;
+}
+
+}  // namespace cloudiq

@@ -1,0 +1,162 @@
+#include "columnar/table_reader.h"
+
+#include <algorithm>
+
+#include "columnar/date_index.h"
+#include "columnar/text_index.h"
+
+namespace cloudiq {
+
+TableReader::TableReader(TransactionManager* txn_mgr, Transaction* txn,
+                         TableMeta meta)
+    : txn_mgr_(txn_mgr), txn_(txn), meta_(std::move(meta)) {}
+
+Result<TableReader> TableReader::Open(TransactionManager* txn_mgr,
+                                      Transaction* txn, SystemStore* system,
+                                      uint64_t table_id) {
+  SimClock& clock = txn_mgr->storage().node()->clock();
+  SimTime done = clock.now();
+  CLOUDIQ_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> bytes,
+      system->Get("tablemeta/" + std::to_string(table_id), clock.now(),
+                  &done));
+  clock.AdvanceTo(done);
+  return TableReader(txn_mgr, txn, TableMeta::Deserialize(bytes));
+}
+
+Result<StorageObject*> TableReader::ObjectFor(uint64_t object_id) {
+  auto it = objects_.find(object_id);
+  if (it != objects_.end()) return it->second.get();
+  CLOUDIQ_ASSIGN_OR_RETURN(std::unique_ptr<StorageObject> object,
+                           txn_mgr_->OpenForRead(txn_, object_id));
+  StorageObject* ptr = object.get();
+  objects_[object_id] = std::move(object);
+  return ptr;
+}
+
+Result<ColumnVector> TableReader::ReadPage(size_t partition, int column,
+                                           size_t page) {
+  const SegmentMeta& seg = meta_.partitions[partition].columns[column];
+  CLOUDIQ_ASSIGN_OR_RETURN(StorageObject * object,
+                           ObjectFor(seg.object_id));
+  CLOUDIQ_ASSIGN_OR_RETURN(BufferManager::PageData data,
+                           object->ReadPage(page));
+  decoded_bytes_ += data->size();
+  return DecodeColumnPage(*data);
+}
+
+Status TableReader::Prefetch(size_t partition, int column,
+                             const std::vector<uint64_t>& pages) {
+  const SegmentMeta& seg = meta_.partitions[partition].columns[column];
+  CLOUDIQ_ASSIGN_OR_RETURN(StorageObject * object,
+                           ObjectFor(seg.object_id));
+  return object->Prefetch(pages);
+}
+
+std::vector<uint64_t> TableReader::PrunePagesInt(size_t partition,
+                                                 int column, int64_t lo,
+                                                 int64_t hi) const {
+  const SegmentMeta& seg = meta_.partitions[partition].columns[column];
+  std::vector<uint64_t> pages;
+  for (size_t p = 0; p < seg.zones.size(); ++p) {
+    if (seg.zones[p].max_int >= lo && seg.zones[p].min_int <= hi) {
+      pages.push_back(p);
+    }
+  }
+  return pages;
+}
+
+uint64_t TableReader::PageFirstRow(size_t partition, int column,
+                                   size_t page) const {
+  const SegmentMeta& seg = meta_.partitions[partition].columns[column];
+  uint64_t row = 0;
+  for (size_t p = 0; p < page && p < seg.page_rows.size(); ++p) {
+    row += seg.page_rows[p];
+  }
+  return row;
+}
+
+Result<IntervalSet> TableReader::IndexLookup(size_t partition, int column,
+                                             int64_t value) {
+  return IndexLookupRange(partition, column, value, value);
+}
+
+Result<IntervalSet> TableReader::IndexLookupRange(size_t partition,
+                                                  int column, int64_t lo,
+                                                  int64_t hi) {
+  const TableSchema& schema = meta_.schema;
+  int slot = -1;
+  for (size_t s = 0; s < schema.hg_index_columns.size(); ++s) {
+    if (schema.hg_index_columns[s] == column) slot = static_cast<int>(s);
+  }
+  if (slot < 0) {
+    return Status::InvalidArgument("column has no HG index");
+  }
+  const PartitionMeta& pm = meta_.partitions[partition];
+  if (pm.index_objects[slot] == 0) return IntervalSet();  // empty partition
+  CLOUDIQ_ASSIGN_OR_RETURN(StorageObject * object,
+                           ObjectFor(pm.index_objects[slot]));
+  return HgIndex::LookupRange(object, pm.index_page_ranges[slot], lo, hi);
+}
+
+namespace {
+int DateIndexSlot(const TableSchema& schema, int column) {
+  for (size_t s = 0; s < schema.date_index_columns.size(); ++s) {
+    if (schema.date_index_columns[s] == column) {
+      return static_cast<int>(s);
+    }
+  }
+  return -1;
+}
+}  // namespace
+
+Result<IntervalSet> TableReader::DateIndexMonth(size_t partition,
+                                                int column, int year,
+                                                int month) {
+  int slot = DateIndexSlot(meta_.schema, column);
+  if (slot < 0) {
+    return Status::InvalidArgument("column has no DATE index");
+  }
+  const PartitionMeta& pm = meta_.partitions[partition];
+  if (pm.date_index_objects[slot] == 0) return IntervalSet();
+  CLOUDIQ_ASSIGN_OR_RETURN(StorageObject * object,
+                           ObjectFor(pm.date_index_objects[slot]));
+  return DateIndex::LookupMonth(object, pm.date_index_ranges[slot], year,
+                                month);
+}
+
+Result<IntervalSet> TableReader::TextIndexAllWords(
+    size_t partition, int column, const std::vector<std::string>& words) {
+  int slot = -1;
+  for (size_t s = 0; s < meta_.schema.text_index_columns.size(); ++s) {
+    if (meta_.schema.text_index_columns[s] == column) {
+      slot = static_cast<int>(s);
+    }
+  }
+  if (slot < 0) {
+    return Status::InvalidArgument("column has no TEXT index");
+  }
+  const PartitionMeta& pm = meta_.partitions[partition];
+  if (pm.text_index_objects[slot] == 0) return IntervalSet();
+  CLOUDIQ_ASSIGN_OR_RETURN(StorageObject * object,
+                           ObjectFor(pm.text_index_objects[slot]));
+  return TextIndex::LookupAllWords(object, pm.text_index_ranges[slot],
+                                   words);
+}
+
+Result<IntervalSet> TableReader::DateIndexYears(size_t partition,
+                                                int column, int year_lo,
+                                                int year_hi) {
+  int slot = DateIndexSlot(meta_.schema, column);
+  if (slot < 0) {
+    return Status::InvalidArgument("column has no DATE index");
+  }
+  const PartitionMeta& pm = meta_.partitions[partition];
+  if (pm.date_index_objects[slot] == 0) return IntervalSet();
+  CLOUDIQ_ASSIGN_OR_RETURN(StorageObject * object,
+                           ObjectFor(pm.date_index_objects[slot]));
+  return DateIndex::LookupYearRange(object, pm.date_index_ranges[slot],
+                                    year_lo, year_hi);
+}
+
+}  // namespace cloudiq

@@ -1,0 +1,87 @@
+#ifndef CLOUDIQ_COLUMNAR_TABLE_READER_H_
+#define CLOUDIQ_COLUMNAR_TABLE_READER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "columnar/schema.h"
+#include "columnar/table_loader.h"
+#include "common/interval_set.h"
+#include "store/system_store.h"
+#include "txn/transaction_manager.h"
+
+namespace cloudiq {
+
+// Snapshot-consistent read access to a loaded table: page reads with
+// decode, zone-map pruning, parallel prefetch, and HG index probes. One
+// TableReader per (transaction, table); storage objects are opened
+// lazily from the transaction's snapshot.
+class TableReader {
+ public:
+  TableReader(TransactionManager* txn_mgr, Transaction* txn,
+              TableMeta meta);
+
+  // Loads the table metadata blob and constructs a reader.
+  static Result<TableReader> Open(TransactionManager* txn_mgr,
+                                  Transaction* txn, SystemStore* system,
+                                  uint64_t table_id);
+
+  const TableMeta& meta() const { return meta_; }
+  const TableSchema& schema() const { return meta_.schema; }
+
+  // Decodes page `page` of (partition, column).
+  Result<ColumnVector> ReadPage(size_t partition, int column, size_t page);
+
+  // Parallel read-ahead of the listed pages of one column segment.
+  Status Prefetch(size_t partition, int column,
+                  const std::vector<uint64_t>& pages);
+
+  // Pages of (partition, column) whose zone map intersects [lo, hi]
+  // (int-family columns).
+  std::vector<uint64_t> PrunePagesInt(size_t partition, int column,
+                                      int64_t lo, int64_t hi) const;
+
+  // HG index probe: partition-local row ids with column == value
+  // (column must be one of the schema's hg_index_columns).
+  Result<IntervalSet> IndexLookup(size_t partition, int column,
+                                  int64_t value);
+  Result<IntervalSet> IndexLookupRange(size_t partition, int column,
+                                       int64_t lo, int64_t hi);
+
+  // DATE-index probes: rows whose DATE column falls in one calendar
+  // month, or in whole years [year_lo, year_hi] (column must be in the
+  // schema's date_index_columns).
+  Result<IntervalSet> DateIndexMonth(size_t partition, int column,
+                                     int year, int month);
+  Result<IntervalSet> DateIndexYears(size_t partition, int column,
+                                     int year_lo, int year_hi);
+
+  // TEXT-index probe: rows whose string column contains every word in
+  // `words` (candidate set; callers verify exact patterns). The column
+  // must be in the schema's text_index_columns.
+  Result<IntervalSet> TextIndexAllWords(
+      size_t partition, int column, const std::vector<std::string>& words);
+
+  // First row id (partition-local) of each page, for mapping page-local
+  // offsets to row ids.
+  uint64_t PageFirstRow(size_t partition, int column, size_t page) const;
+
+  // Bytes decoded since construction (the executor charges decode CPU
+  // from this).
+  uint64_t decoded_bytes() const { return decoded_bytes_; }
+
+ private:
+  Result<StorageObject*> ObjectFor(uint64_t object_id);
+
+  TransactionManager* txn_mgr_;
+  Transaction* txn_;
+  TableMeta meta_;
+  std::map<uint64_t, std::unique_ptr<StorageObject>> objects_;
+  uint64_t decoded_bytes_ = 0;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_COLUMNAR_TABLE_READER_H_

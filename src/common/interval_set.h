@@ -1,0 +1,74 @@
+#ifndef CLOUDIQ_COMMON_INTERVAL_SET_H_
+#define CLOUDIQ_COMMON_INTERVAL_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace cloudiq {
+
+// Set of uint64 values stored as coalesced half-open intervals [begin, end).
+//
+// The Object Key Generator hands out keys in monotonically increasing
+// *ranges* precisely so that bookkeeping structures (active sets, RF/RB
+// bitmap entries for cloud keys, post-restore garbage-collection sets) can
+// be represented as a handful of intervals instead of millions of singleton
+// bits. This container is that representation.
+class IntervalSet {
+ public:
+  struct Interval {
+    uint64_t begin;
+    uint64_t end;  // exclusive
+    bool operator==(const Interval& o) const {
+      return begin == o.begin && end == o.end;
+    }
+  };
+
+  IntervalSet() = default;
+
+  bool empty() const { return intervals_.empty(); }
+
+  // Total number of contained values.
+  uint64_t Count() const;
+
+  // Number of maximal intervals (bookkeeping footprint).
+  size_t IntervalCount() const { return intervals_.size(); }
+
+  void Insert(uint64_t value) { InsertRange(value, value + 1); }
+  void InsertRange(uint64_t begin, uint64_t end);
+
+  void Erase(uint64_t value) { EraseRange(value, value + 1); }
+  void EraseRange(uint64_t begin, uint64_t end);
+
+  bool Contains(uint64_t value) const;
+
+  // Smallest / largest contained value. Undefined when empty.
+  uint64_t Min() const;
+  uint64_t Max() const;
+
+  // All maximal intervals in ascending order.
+  std::vector<Interval> Intervals() const;
+
+  // All contained values in ascending order (use only for small sets,
+  // e.g. in tests and garbage-collection polls).
+  std::vector<uint64_t> Values() const;
+
+  void Clear() { intervals_.clear(); }
+
+  // Flat serialization: [count][begin,end]... little-endian.
+  std::vector<uint8_t> Serialize() const;
+  static IntervalSet Deserialize(const std::vector<uint8_t>& bytes);
+
+  bool operator==(const IntervalSet& other) const {
+    return intervals_ == other.intervals_;
+  }
+
+ private:
+  // begin -> end, non-overlapping, non-adjacent.
+  std::map<uint64_t, uint64_t> intervals_;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_COMMON_INTERVAL_SET_H_

@@ -1,0 +1,88 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace cloudiq {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  return Next() % bound;
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  if (u >= 1.0) u = 0.9999999999;
+  return -mean * std::log(1.0 - u);
+}
+
+uint64_t HashKeyPrefix(uint64_t key) {
+  // The Mersenne Twister tempering transform, applied to both 32-bit halves
+  // of the key. Cheap (a handful of shifts/xors), stateless and well mixing —
+  // the properties §3.1 of the paper asks of the prefixing hash.
+  auto temper = [](uint32_t y) {
+    y ^= y >> 11;
+    y ^= (y << 7) & 0x9d2c5680u;
+    y ^= (y << 15) & 0xefc60000u;
+    y ^= y >> 18;
+    return y;
+  };
+  uint32_t lo = temper(static_cast<uint32_t>(key));
+  uint32_t hi = temper(static_cast<uint32_t>(key >> 32) ^ lo);
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+std::string FormatObjectKey(uint64_t key) {
+  char buf[64];
+  // 16-hex-digit hashed prefix, then the raw key. The prefix is what the
+  // object store's rate limiter buckets on.
+  std::snprintf(buf, sizeof(buf), "%016llx/%016llx",
+                static_cast<unsigned long long>(HashKeyPrefix(key)),
+                static_cast<unsigned long long>(key));
+  return std::string(buf);
+}
+
+}  // namespace cloudiq

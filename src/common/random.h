@@ -1,0 +1,51 @@
+#ifndef CLOUDIQ_COMMON_RANDOM_H_
+#define CLOUDIQ_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cloudiq {
+
+// Deterministic pseudo-random generator (xoshiro256**). All randomness in
+// CloudIQ — simulator jitter, TPC-H data generation, query stream
+// permutations — flows through seeded Rng instances so that tests and
+// benchmarks are exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Exponentially distributed with the given mean (for latency jitter).
+  double Exponential(double mean);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Computes the randomized key prefix that CloudIQ prepends to the 64-bit
+// object key before storing it in the object store. AWS throttles request
+// rates per key *prefix*; hashing the key (the paper uses a computationally
+// efficient hash such as the Mersenne Twister's tempering transform) spreads
+// consecutive keys across many prefixes so that a sequential allocator does
+// not funnel all traffic into one rate-limit bucket.
+uint64_t HashKeyPrefix(uint64_t key);
+
+// Full object-store key string: "<hex prefix>/<hex key>".
+std::string FormatObjectKey(uint64_t key);
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_COMMON_RANDOM_H_

@@ -1,0 +1,70 @@
+#ifndef CLOUDIQ_COMMON_RESULT_H_
+#define CLOUDIQ_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cloudiq {
+
+// A value-or-error holder in the spirit of absl::StatusOr<T>.
+//
+// Usage:
+//   Result<Page> r = store.ReadPage(id);
+//   if (!r.ok()) return r.status();
+//   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return status;` and `return value;` both work
+  // inside functions declared to return Result<T>.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Evaluates `rexpr` (a Result<T>), propagates its error, or assigns the
+// value to `lhs`.
+#define CLOUDIQ_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  CLOUDIQ_ASSIGN_OR_RETURN_IMPL_(                            \
+      CLOUDIQ_RESULT_CONCAT_(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define CLOUDIQ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define CLOUDIQ_RESULT_CONCAT_INNER_(a, b) a##b
+#define CLOUDIQ_RESULT_CONCAT_(a, b) CLOUDIQ_RESULT_CONCAT_INNER_(a, b)
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_COMMON_RESULT_H_

@@ -1,0 +1,44 @@
+#include "common/status.h"
+
+namespace cloudiq {
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NOT_FOUND";
+    case Status::Code::kIoError:
+      return "IO_ERROR";
+    case Status::Code::kCorruption:
+      return "CORRUPTION";
+    case Status::Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::Code::kAborted:
+      return "ABORTED";
+    case Status::Code::kBusy:
+      return "BUSY";
+    case Status::Code::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case Status::Code::kNotSupported:
+      return "NOT_SUPPORTED";
+    case Status::Code::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace cloudiq

@@ -1,0 +1,97 @@
+#ifndef CLOUDIQ_COMMON_STATUS_H_
+#define CLOUDIQ_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace cloudiq {
+
+// Operation outcome for all storage, transaction and engine APIs.
+//
+// CloudIQ does not use C++ exceptions on any data path; fallible operations
+// return a Status (or Result<T>, see result.h). Statuses are cheap to copy
+// for the common OK case (empty message, code only).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,         // object / page / key does not exist (maybe *yet*:
+                       // eventual consistency surfaces as kNotFound)
+    kIoError,          // device-level failure
+    kCorruption,       // checksum / format mismatch
+    kInvalidArgument,  // caller error
+    kAborted,          // transaction aborted (e.g., write retries exhausted)
+    kBusy,             // resource saturated / throttled
+    kAlreadyExists,    // e.g., attempt to write an object key twice
+    kNotSupported,
+    kFailedPrecondition,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg = "") {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg = "") {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" string for logs and test diagnostics.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+// Propagates a non-OK status to the caller. Usable only in functions
+// returning Status.
+#define CLOUDIQ_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::cloudiq::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_COMMON_STATUS_H_

@@ -1,0 +1,113 @@
+#include "engine/metrics.h"
+
+#include <cstdio>
+
+namespace cloudiq {
+
+MetricsSnapshot CollectMetrics(Database* db) {
+  MetricsSnapshot m;
+  const SimObjectStore::Stats& s3 = db->env().object_store().stats();
+  m.s3_puts = s3.puts;
+  m.s3_gets = s3.gets;
+  m.s3_overwrites = s3.overwrites;
+  m.s3_stale_reads = s3.stale_reads;
+  m.s3_not_found_races = s3.not_found_races;
+  m.s3_throttle_events = s3.throttle_events;
+  m.live_objects = db->env().object_store().LiveObjectCount();
+  m.live_bytes = db->env().object_store().LiveBytes();
+
+  const StorageSubsystem::Stats& st = db->storage().stats();
+  m.pages_written = st.pages_written;
+  m.pages_read = st.pages_read;
+  m.bytes_written = st.bytes_written;
+  m.raw_bytes_written = st.raw_bytes_written;
+  m.not_found_retries = db->storage().object_io().stats().not_found_retries;
+  m.transient_retries = db->storage().object_io().stats().transient_retries;
+
+  const BufferManager::Stats& buf = db->txn_mgr().buffer().stats();
+  m.buffer_hits = buf.hits;
+  m.buffer_misses = buf.misses;
+  m.churn_flushes = buf.churn_flushes;
+  m.commit_flushes = buf.commit_flushes;
+
+  if (db->ocm() != nullptr) {
+    m.ocm_enabled = true;
+    const ObjectCacheManager::Stats& ocm = db->ocm()->stats();
+    m.ocm_hits = ocm.hits;
+    m.ocm_misses = ocm.misses;
+    m.ocm_evictions = ocm.evictions;
+    m.ocm_background_uploads = ocm.background_uploads;
+    m.ocm_rerouted_reads = ocm.rerouted_reads;
+  }
+
+  const TransactionManager::Stats& txn = db->txn_mgr().stats();
+  m.commits = txn.commits;
+  m.rollbacks = txn.rollbacks;
+  m.gc_pages_deleted = txn.gc_pages_deleted;
+
+  m.max_allocated_key = db->keygen().max_allocated();
+  m.key_fetches = db->key_cache().fetch_count();
+
+  m.snapshots = db->snapshot_mgr()->ListSnapshots().size();
+  m.retained_pages = db->snapshot_mgr()->retained_page_count();
+
+  m.s3_request_usd = db->env().cost_meter().S3RequestUsd();
+  m.s3_monthly_storage_usd =
+      db->env().cost_meter().S3MonthlyUsd(m.live_bytes / 1e9);
+  m.sim_seconds = db->node().clock().now();
+  return m;
+}
+
+std::string FormatMetrics(const MetricsSnapshot& m) {
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      "=== CloudIQ metrics (t=%.2f sim s) ===\n"
+      "object store : %llu PUT / %llu GET, %llu live objects (%.2f MB)\n"
+      "               overwrites=%llu stale_reads=%llu (policy invariants)\n"
+      "               consistency races retried=%llu throttle events=%llu\n"
+      "storage      : %llu pages written (%.2f MB raw -> %.2f MB encoded), "
+      "%llu pages read\n"
+      "               NOT_FOUND retries=%llu transient retries=%llu\n"
+      "buffer (RAM) : %llu hits / %llu misses, churn flushes=%llu, "
+      "commit flushes=%llu\n"
+      "OCM (SSD)    : %s, %llu hits / %llu misses, evictions=%llu, "
+      "bg uploads=%llu, rerouted=%llu\n"
+      "transactions : %llu commits, %llu rollbacks, GC deleted %llu pages\n"
+      "key generator: watermark offset=%llu, range fetches=%llu\n"
+      "snapshots    : %llu taken, %llu pages under retention\n"
+      "cost         : $%.4f in requests, $%.4f/month at rest\n",
+      m.sim_seconds, static_cast<unsigned long long>(m.s3_puts),
+      static_cast<unsigned long long>(m.s3_gets),
+      static_cast<unsigned long long>(m.live_objects), m.live_bytes / 1e6,
+      static_cast<unsigned long long>(m.s3_overwrites),
+      static_cast<unsigned long long>(m.s3_stale_reads),
+      static_cast<unsigned long long>(m.s3_not_found_races),
+      static_cast<unsigned long long>(m.s3_throttle_events),
+      static_cast<unsigned long long>(m.pages_written),
+      m.raw_bytes_written / 1e6, m.bytes_written / 1e6,
+      static_cast<unsigned long long>(m.pages_read),
+      static_cast<unsigned long long>(m.not_found_retries),
+      static_cast<unsigned long long>(m.transient_retries),
+      static_cast<unsigned long long>(m.buffer_hits),
+      static_cast<unsigned long long>(m.buffer_misses),
+      static_cast<unsigned long long>(m.churn_flushes),
+      static_cast<unsigned long long>(m.commit_flushes),
+      m.ocm_enabled ? "enabled" : "disabled",
+      static_cast<unsigned long long>(m.ocm_hits),
+      static_cast<unsigned long long>(m.ocm_misses),
+      static_cast<unsigned long long>(m.ocm_evictions),
+      static_cast<unsigned long long>(m.ocm_background_uploads),
+      static_cast<unsigned long long>(m.ocm_rerouted_reads),
+      static_cast<unsigned long long>(m.commits),
+      static_cast<unsigned long long>(m.rollbacks),
+      static_cast<unsigned long long>(m.gc_pages_deleted),
+      static_cast<unsigned long long>(m.max_allocated_key - kCloudKeyBase),
+      static_cast<unsigned long long>(m.key_fetches),
+      static_cast<unsigned long long>(m.snapshots),
+      static_cast<unsigned long long>(m.retained_pages),
+      m.s3_request_usd, m.s3_monthly_storage_usd);
+  return buf;
+}
+
+}  // namespace cloudiq

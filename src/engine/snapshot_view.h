@@ -1,0 +1,64 @@
+#ifndef CLOUDIQ_ENGINE_SNAPSHOT_VIEW_H_
+#define CLOUDIQ_ENGINE_SNAPSHOT_VIEW_H_
+
+#include <memory>
+
+#include "engine/database.h"
+
+namespace cloudiq {
+
+// A read-only view over a past snapshot *without restoring the database*
+// — the first item of the paper's future work (§8). It works because of
+// the two properties §5 already establishes: the pages a snapshot
+// references are retained on the object store for the retention period
+// (deferred deletion), and the snapshot's backup carries the full system
+// dbspace image (catalog + table metadata). The view reconstructs that
+// image on a private scratch volume, pins a read transaction whose
+// snapshot is the historical catalog, and serves queries against the
+// retained pages — concurrent with live traffic on the same database.
+//
+//   auto view = SnapshotView::Open(&db, snapshot_id);
+//   QueryContext ctx = (*view)->NewQueryContext();
+//   Result<TableReader> t = (*view)->OpenTable(table_id);
+//   ... ScanTable(&ctx, &*t, ...) sees the data as of the snapshot ...
+//
+// Views are only supported for databases whose user dbspace is a cloud
+// dbspace: conventional block dbspaces reuse freed blocks, so historical
+// locations are not stable there. A view stays valid for the snapshot's
+// retention period.
+class SnapshotView {
+ public:
+  ~SnapshotView();
+
+  SnapshotView(const SnapshotView&) = delete;
+  SnapshotView& operator=(const SnapshotView&) = delete;
+
+  static Result<std::unique_ptr<SnapshotView>> Open(Database* db,
+                                                    uint64_t snapshot_id);
+
+  // The historical catalog the view resolves tables against.
+  const IdentityCatalog& catalog() const { return catalog_; }
+  const SnapshotManager::SnapshotInfo& info() const { return info_; }
+
+  // Opens a table as of the snapshot.
+  Result<TableReader> OpenTable(uint64_t table_id);
+
+  // A query context resolving table metadata from the snapshot image.
+  QueryContext NewQueryContext();
+
+ private:
+  SnapshotView(Database* db, SnapshotManager::SnapshotInfo info);
+
+  Database* db_;
+  SnapshotManager::SnapshotInfo info_;
+  // Scratch reconstruction of the snapshot's system dbspace. unique_ptr:
+  // the SystemStore holds a pointer to the volume.
+  std::unique_ptr<SimBlockVolume> image_volume_;
+  std::unique_ptr<SystemStore> image_system_;
+  IdentityCatalog catalog_;
+  Transaction* txn_ = nullptr;  // pinned read transaction
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_ENGINE_SNAPSHOT_VIEW_H_

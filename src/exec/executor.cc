@@ -1,0 +1,595 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace cloudiq {
+
+void QueryContext::ChargeValues(uint64_t values) {
+  node()->io().AddCpuWork(values * options_.cpu_per_value,
+                          node()->profile().vcpus);
+}
+
+void QueryContext::ChargeDecodedBytes(uint64_t bytes) {
+  node()->io().AddCpuWork(bytes * options_.cpu_per_decoded_byte,
+                          node()->profile().vcpus);
+}
+
+namespace {
+
+// Partition-level pruning with range-partition bounds.
+bool PartitionMayMatch(const TableSchema& schema, size_t partition,
+                       const std::optional<ScanRange>& range,
+                       int range_col) {
+  if (!range.has_value() || schema.partition_column < 0 ||
+      range_col != schema.partition_column) {
+    return true;
+  }
+  int64_t part_lo = partition == 0
+                        ? INT64_MIN
+                        : schema.partition_bounds[partition - 1];
+  int64_t part_hi = partition < schema.partition_bounds.size()
+                        ? schema.partition_bounds[partition] - 1
+                        : INT64_MAX;
+  return range->hi >= part_lo && range->lo <= part_hi;
+}
+
+// Pages of (partition, column) that contain any row in `rows`.
+std::vector<uint64_t> PagesForRows(const SegmentMeta& seg,
+                                   const IntervalSet& rows) {
+  std::vector<uint64_t> pages;
+  uint64_t first = 0;
+  for (size_t page = 0; page < seg.page_rows.size(); ++page) {
+    uint64_t last = first + seg.page_rows[page];  // exclusive
+    for (const auto& iv : rows.Intervals()) {
+      if (iv.begin < last && iv.end > first) {
+        pages.push_back(page);
+        break;
+      }
+    }
+    first = last;
+  }
+  return pages;
+}
+
+// Appends the values of `col_ids` for the ascending row ids in `rows` of
+// one partition to `out`. Column segments page independently (each column
+// fills its pages to capacity), so each column walks its own page
+// boundaries; appending in ascending row order keeps the output columns
+// row-aligned.
+Status ReadRowSet(QueryContext* ctx, TableReader* reader, size_t partition,
+                  const std::vector<int>& col_ids, const IntervalSet& rows,
+                  Batch* out) {
+  if (rows.empty()) return Status::Ok();
+  // Parallel prefetch of every column's needed pages first.
+  std::vector<std::vector<uint64_t>> pages(col_ids.size());
+  for (size_t i = 0; i < col_ids.size(); ++i) {
+    const SegmentMeta& seg =
+        reader->meta().partitions[partition].columns[col_ids[i]];
+    pages[i] = PagesForRows(seg, rows);
+    CLOUDIQ_RETURN_IF_ERROR(
+        reader->Prefetch(partition, col_ids[i], pages[i]));
+  }
+  uint64_t values = 0;
+  for (size_t i = 0; i < col_ids.size(); ++i) {
+    const SegmentMeta& seg =
+        reader->meta().partitions[partition].columns[col_ids[i]];
+    ColumnVector& dst = out->columns[i];
+    for (uint64_t page : pages[i]) {
+      CLOUDIQ_ASSIGN_OR_RETURN(
+          ColumnVector decoded, reader->ReadPage(partition, col_ids[i],
+                                                 page));
+      uint64_t page_first = reader->PageFirstRow(partition, col_ids[i],
+                                                 page);
+      uint64_t page_end = page_first + seg.page_rows[page];
+      for (const auto& iv : rows.Intervals()) {
+        uint64_t begin = std::max(iv.begin, page_first);
+        uint64_t end = std::min(iv.end, page_end);
+        for (uint64_t r = begin; r < end; ++r) {
+          size_t off = static_cast<size_t>(r - page_first);
+          switch (decoded.type) {
+            case ColumnType::kDouble:
+              dst.doubles.push_back(decoded.doubles[off]);
+              break;
+            case ColumnType::kString:
+              dst.strings.push_back(decoded.strings[off]);
+              break;
+            default:
+              dst.ints.push_back(decoded.ints[off]);
+          }
+          ++values;
+        }
+      }
+    }
+  }
+  ctx->ChargeValues(values);
+  return Status::Ok();
+}
+
+Batch MakeOutputShape(const TableSchema& schema,
+                      const std::vector<std::string>& columns,
+                      std::vector<int>* col_ids, Status* status) {
+  Batch out;
+  *status = Status::Ok();
+  for (const std::string& name : columns) {
+    int c = schema.ColumnIndex(name);
+    if (c < 0) {
+      *status = Status::InvalidArgument("unknown column " + name);
+      return out;
+    }
+    col_ids->push_back(c);
+    ColumnVector vec;
+    vec.type = schema.columns[c].type;
+    out.AddColumn(name, std::move(vec));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Batch> ScanTable(QueryContext* ctx, TableReader* reader,
+                        const std::vector<std::string>& columns,
+                        const std::optional<ScanRange>& range) {
+  const TableSchema& schema = reader->schema();
+  int range_col =
+      range.has_value() ? schema.ColumnIndex(range->column) : -1;
+  if (range.has_value() && range_col < 0) {
+    return Status::InvalidArgument("unknown range column");
+  }
+  // Read the range column too (for the exact post-filter), dropping it at
+  // the end if the caller did not ask for it.
+  std::vector<std::string> read_columns = columns;
+  bool extra_range_col = false;
+  if (range.has_value() &&
+      std::find(columns.begin(), columns.end(), range->column) ==
+          columns.end()) {
+    read_columns.push_back(range->column);
+    extra_range_col = true;
+  }
+  std::vector<int> col_ids;
+  Status shape_status;
+  Batch out = MakeOutputShape(schema, read_columns, &col_ids,
+                              &shape_status);
+  CLOUDIQ_RETURN_IF_ERROR(shape_status);
+
+  uint64_t decoded_before = reader->decoded_bytes();
+  for (size_t p = 0; p < reader->meta().partitions.size(); ++p) {
+    const PartitionMeta& pm = reader->meta().partitions[p];
+    if (pm.row_count == 0) continue;
+    if (!PartitionMayMatch(schema, p, range, range_col)) continue;
+
+    // Candidate rows: all of the partition, or — with a range predicate —
+    // the union of row ranges of the range column's zone-map survivors.
+    IntervalSet rows;
+    if (range.has_value()) {
+      const SegmentMeta& seg = pm.columns[range_col];
+      std::vector<uint64_t> pages =
+          reader->PrunePagesInt(p, range_col, range->lo, range->hi);
+      for (uint64_t page : pages) {
+        uint64_t first = reader->PageFirstRow(p, range_col, page);
+        rows.InsertRange(first, first + seg.page_rows[page]);
+      }
+    } else {
+      rows.InsertRange(0, pm.row_count);
+    }
+    CLOUDIQ_RETURN_IF_ERROR(ReadRowSet(ctx, reader, p, col_ids, rows,
+                                       &out));
+  }
+  ctx->ChargeDecodedBytes(reader->decoded_bytes() - decoded_before);
+
+  if (range.has_value()) {
+    // Exact filter on the range column (zone maps only pruned pages).
+    int rc = out.Col(range->column);
+    Batch filtered = out.EmptyLike();
+    const ColumnVector& vals = out.columns[rc];
+    for (size_t r = 0; r < out.rows(); ++r) {
+      if (vals.ints[r] >= range->lo && vals.ints[r] <= range->hi) {
+        out.AppendRowTo(&filtered, r);
+      }
+    }
+    ctx->ChargeValues(out.rows());
+    out = std::move(filtered);
+    if (extra_range_col) {
+      out.names.pop_back();
+      out.columns.pop_back();
+    }
+  }
+  return out;
+}
+
+Result<Batch> ScanRowIds(QueryContext* ctx, TableReader* reader,
+                         size_t partition,
+                         const std::vector<std::string>& columns,
+                         const IntervalSet& row_ids) {
+  std::vector<int> col_ids;
+  Status shape_status;
+  Batch out = MakeOutputShape(reader->schema(), columns, &col_ids,
+                              &shape_status);
+  CLOUDIQ_RETURN_IF_ERROR(shape_status);
+  if (row_ids.empty()) return out;
+  CLOUDIQ_RETURN_IF_ERROR(
+      ReadRowSet(ctx, reader, partition, col_ids, row_ids, &out));
+  return out;
+}
+
+Batch FilterBatch(QueryContext* ctx, const Batch& in,
+                  const std::function<bool(const Batch&, size_t)>& keep) {
+  Batch out = in.EmptyLike();
+  for (size_t r = 0; r < in.rows(); ++r) {
+    if (keep(in, r)) in.AppendRowTo(&out, r);
+  }
+  ctx->ChargeValues(in.rows());
+  return out;
+}
+
+Result<Batch> HashJoin(QueryContext* ctx, const Batch& left,
+                       const std::string& left_key, const Batch& right,
+                       const std::string& right_key, JoinType type) {
+  int lk = left.Col(left_key);
+  int rk = right.Col(right_key);
+  if (lk < 0 || rk < 0) return Status::InvalidArgument("bad join key");
+  if (left.columns[lk].type == ColumnType::kDouble ||
+      right.columns[rk].type == ColumnType::kDouble) {
+    return Status::InvalidArgument("join keys must be int or string");
+  }
+  bool string_key = left.columns[lk].type == ColumnType::kString;
+
+  // Build side: the right batch.
+  std::unordered_map<int64_t, std::vector<size_t>> int_build;
+  std::unordered_map<std::string, std::vector<size_t>> str_build;
+  for (size_t r = 0; r < right.rows(); ++r) {
+    if (string_key) {
+      str_build[right.columns[rk].strings[r]].push_back(r);
+    } else {
+      int_build[right.columns[rk].ints[r]].push_back(r);
+    }
+  }
+  ctx->ChargeValues(right.rows());
+
+  // Output shape.
+  Batch out = left.EmptyLike();
+  std::vector<int> right_cols;  // emitted right columns (inner join)
+  if (type == JoinType::kInner) {
+    for (size_t c = 0; c < right.columns.size(); ++c) {
+      if (static_cast<int>(c) == rk) continue;
+      if (out.Col(right.names[c]) >= 0) continue;  // left name wins
+      right_cols.push_back(static_cast<int>(c));
+      ColumnVector vec;
+      vec.type = right.columns[c].type;
+      out.AddColumn(right.names[c], std::move(vec));
+    }
+  }
+
+  for (size_t r = 0; r < left.rows(); ++r) {
+    const std::vector<size_t>* matches = nullptr;
+    if (string_key) {
+      auto it = str_build.find(left.columns[lk].strings[r]);
+      if (it != str_build.end()) matches = &it->second;
+    } else {
+      auto it = int_build.find(left.columns[lk].ints[r]);
+      if (it != int_build.end()) matches = &it->second;
+    }
+    switch (type) {
+      case JoinType::kLeftSemi:
+        if (matches != nullptr) {
+          for (size_t c = 0; c < left.columns.size(); ++c) {
+            const ColumnVector& src = left.columns[c];
+            ColumnVector& dst = out.columns[c];
+            switch (src.type) {
+              case ColumnType::kDouble:
+                dst.doubles.push_back(src.doubles[r]);
+                break;
+              case ColumnType::kString:
+                dst.strings.push_back(src.strings[r]);
+                break;
+              default:
+                dst.ints.push_back(src.ints[r]);
+            }
+          }
+        }
+        break;
+      case JoinType::kLeftAnti:
+        if (matches == nullptr) {
+          for (size_t c = 0; c < left.columns.size(); ++c) {
+            const ColumnVector& src = left.columns[c];
+            ColumnVector& dst = out.columns[c];
+            switch (src.type) {
+              case ColumnType::kDouble:
+                dst.doubles.push_back(src.doubles[r]);
+                break;
+              case ColumnType::kString:
+                dst.strings.push_back(src.strings[r]);
+                break;
+              default:
+                dst.ints.push_back(src.ints[r]);
+            }
+          }
+        }
+        break;
+      case JoinType::kInner:
+        if (matches != nullptr) {
+          for (size_t m : *matches) {
+            for (size_t c = 0; c < left.columns.size(); ++c) {
+              const ColumnVector& src = left.columns[c];
+              ColumnVector& dst = out.columns[c];
+              switch (src.type) {
+                case ColumnType::kDouble:
+                  dst.doubles.push_back(src.doubles[r]);
+                  break;
+                case ColumnType::kString:
+                  dst.strings.push_back(src.strings[r]);
+                  break;
+                default:
+                  dst.ints.push_back(src.ints[r]);
+              }
+            }
+            for (size_t i = 0; i < right_cols.size(); ++i) {
+              const ColumnVector& src = right.columns[right_cols[i]];
+              ColumnVector& dst = out.columns[left.columns.size() + i];
+              switch (src.type) {
+                case ColumnType::kDouble:
+                  dst.doubles.push_back(src.doubles[m]);
+                  break;
+                case ColumnType::kString:
+                  dst.strings.push_back(src.strings[m]);
+                  break;
+                default:
+                  dst.ints.push_back(src.ints[m]);
+              }
+            }
+          }
+        }
+        break;
+    }
+  }
+  ctx->ChargeValues(left.rows() * (1 + out.columns.size()));
+  return out;
+}
+
+namespace {
+
+struct AggState {
+  double sum = 0;
+  int64_t isum = 0;
+  uint64_t count = 0;
+  double min = 0;
+  double max = 0;
+  int64_t imin = 0;
+  int64_t imax = 0;
+  std::string smin;
+  std::string smax;
+  bool has_value = false;
+};
+
+}  // namespace
+
+Result<Batch> HashAggregate(QueryContext* ctx, const Batch& in,
+                            const std::vector<std::string>& keys,
+                            const std::vector<AggSpec>& aggs) {
+  std::vector<int> key_cols;
+  for (const std::string& k : keys) {
+    int c = in.Col(k);
+    if (c < 0) return Status::InvalidArgument("unknown group key " + k);
+    key_cols.push_back(c);
+  }
+  std::vector<int> agg_cols;
+  for (const AggSpec& spec : aggs) {
+    int c = spec.op == AggOp::kCount && spec.column.empty()
+                ? 0
+                : in.Col(spec.column);
+    if (c < 0 && !(spec.op == AggOp::kCount && spec.column.empty())) {
+      return Status::InvalidArgument("unknown agg column " + spec.column);
+    }
+    agg_cols.push_back(c);
+  }
+
+  // Group rows by a composite string key (simple and type-agnostic).
+  std::unordered_map<std::string, size_t> groups;
+  std::vector<size_t> group_of_first_row;  // representative row per group
+  std::vector<std::vector<AggState>> states;
+
+  for (size_t r = 0; r < in.rows(); ++r) {
+    std::string composite;
+    for (int c : key_cols) {
+      const ColumnVector& col = in.columns[c];
+      switch (col.type) {
+        case ColumnType::kDouble:
+          composite += std::to_string(col.doubles[r]);
+          break;
+        case ColumnType::kString:
+          composite += col.strings[r];
+          break;
+        default:
+          composite += std::to_string(col.ints[r]);
+      }
+      composite += '\x1f';
+    }
+    auto [it, inserted] = groups.try_emplace(composite, groups.size());
+    if (inserted) {
+      group_of_first_row.push_back(r);
+      states.emplace_back(aggs.size());
+    }
+    std::vector<AggState>& st = states[it->second];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      AggState& s = st[a];
+      ++s.count;
+      if (agg_cols[a] < 0) continue;
+      const ColumnVector& col = in.columns[agg_cols[a]];
+      double v = 0;
+      int64_t iv = 0;
+      const std::string* sv = nullptr;
+      switch (col.type) {
+        case ColumnType::kDouble:
+          v = col.doubles[r];
+          iv = static_cast<int64_t>(v);
+          break;
+        case ColumnType::kString:
+          sv = &col.strings[r];
+          break;
+        default:
+          iv = col.ints[r];
+          v = static_cast<double>(iv);
+      }
+      if (!s.has_value) {
+        s.min = s.max = v;
+        s.imin = s.imax = iv;
+        if (sv != nullptr) s.smin = s.smax = *sv;
+        s.has_value = true;
+      } else {
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+        s.imin = std::min(s.imin, iv);
+        s.imax = std::max(s.imax, iv);
+        if (sv != nullptr) {
+          if (*sv < s.smin) s.smin = *sv;
+          if (*sv > s.smax) s.smax = *sv;
+        }
+      }
+      s.sum += v;
+      s.isum += iv;
+    }
+  }
+  ctx->ChargeValues(in.rows() * (key_cols.size() + aggs.size()));
+
+  // Materialize output: group keys, then aggregates.
+  Batch out;
+  for (size_t k = 0; k < keys.size(); ++k) {
+    ColumnVector vec;
+    vec.type = in.columns[key_cols[k]].type;
+    out.AddColumn(keys[k], std::move(vec));
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    ColumnVector vec;
+    const AggSpec& spec = aggs[a];
+    if (spec.op == AggOp::kCount) {
+      vec.type = ColumnType::kInt64;
+    } else if (agg_cols[a] >= 0 &&
+               in.columns[agg_cols[a]].type == ColumnType::kString) {
+      vec.type = ColumnType::kString;
+    } else if (agg_cols[a] >= 0 &&
+               in.columns[agg_cols[a]].type != ColumnType::kDouble &&
+               in.columns[agg_cols[a]].type != ColumnType::kString &&
+               (spec.op == AggOp::kMin || spec.op == AggOp::kMax ||
+                spec.op == AggOp::kSum)) {
+      // Int-family inputs (INT64 / DATE / DECIMAL) keep exact int sums,
+      // minima and maxima.
+      vec.type = ColumnType::kInt64;
+    } else {
+      vec.type = ColumnType::kDouble;
+    }
+    out.AddColumn(spec.as, std::move(vec));
+  }
+
+  for (size_t g = 0; g < states.size(); ++g) {
+    size_t rep = group_of_first_row[g];
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      const ColumnVector& src = in.columns[key_cols[k]];
+      ColumnVector& dst = out.columns[k];
+      switch (src.type) {
+        case ColumnType::kDouble:
+          dst.doubles.push_back(src.doubles[rep]);
+          break;
+        case ColumnType::kString:
+          dst.strings.push_back(src.strings[rep]);
+          break;
+        default:
+          dst.ints.push_back(src.ints[rep]);
+      }
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggState& s = states[g][a];
+      ColumnVector& dst = out.columns[key_cols.size() + a];
+      switch (aggs[a].op) {
+        case AggOp::kCount:
+          dst.ints.push_back(static_cast<int64_t>(s.count));
+          break;
+        case AggOp::kSum:
+          if (dst.type == ColumnType::kInt64) {
+            dst.ints.push_back(s.isum);
+          } else {
+            dst.doubles.push_back(s.sum);
+          }
+          break;
+        case AggOp::kAvg:
+          dst.doubles.push_back(s.count > 0 ? s.sum / s.count : 0);
+          break;
+        case AggOp::kMin:
+          if (dst.type == ColumnType::kString) {
+            dst.strings.push_back(s.smin);
+          } else if (dst.type == ColumnType::kInt64) {
+            dst.ints.push_back(s.imin);
+          } else {
+            dst.doubles.push_back(s.min);
+          }
+          break;
+        case AggOp::kMax:
+          if (dst.type == ColumnType::kString) {
+            dst.strings.push_back(s.smax);
+          } else if (dst.type == ColumnType::kInt64) {
+            dst.ints.push_back(s.imax);
+          } else {
+            dst.doubles.push_back(s.max);
+          }
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+Batch SortBatch(QueryContext* ctx, Batch in,
+                const std::vector<SortKey>& sort_keys, size_t limit) {
+  std::vector<size_t> order(in.rows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  auto compare = [&](size_t a, size_t b) {
+    for (const SortKey& key : sort_keys) {
+      int c = in.Col(key.column);
+      if (c < 0) continue;
+      const ColumnVector& col = in.columns[c];
+      int cmp = 0;
+      switch (col.type) {
+        case ColumnType::kDouble:
+          cmp = col.doubles[a] < col.doubles[b]
+                    ? -1
+                    : (col.doubles[a] > col.doubles[b] ? 1 : 0);
+          break;
+        case ColumnType::kString:
+          cmp = col.strings[a].compare(col.strings[b]);
+          cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+          break;
+        default:
+          cmp = col.ints[a] < col.ints[b]
+                    ? -1
+                    : (col.ints[a] > col.ints[b] ? 1 : 0);
+      }
+      if (cmp != 0) return key.ascending ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  };
+  std::stable_sort(order.begin(), order.end(), compare);
+  if (limit > 0 && order.size() > limit) order.resize(limit);
+
+  Batch out = in.EmptyLike();
+  for (size_t r : order) in.AppendRowTo(&out, r);
+  // n log n comparisons, each touching the sort-key values.
+  double n = static_cast<double>(in.rows());
+  ctx->ChargeValues(static_cast<uint64_t>(
+      n * (n > 1 ? std::log2(n) : 1) * sort_keys.size()));
+  return out;
+}
+
+Batch WithComputedColumn(
+    QueryContext* ctx, Batch in, const std::string& name, ColumnType type,
+    const std::function<void(const Batch&, size_t, ColumnVector*)>& emit) {
+  ColumnVector vec;
+  vec.type = type;
+  vec.reserve(in.rows());
+  for (size_t r = 0; r < in.rows(); ++r) emit(in, r, &vec);
+  ctx->ChargeValues(in.rows());
+  in.AddColumn(name, std::move(vec));
+  return in;
+}
+
+}  // namespace cloudiq

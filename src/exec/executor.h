@@ -1,0 +1,133 @@
+#ifndef CLOUDIQ_EXEC_EXECUTOR_H_
+#define CLOUDIQ_EXEC_EXECUTOR_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "columnar/table_reader.h"
+#include "common/result.h"
+#include "exec/batch.h"
+#include "sim/environment.h"
+#include "txn/transaction_manager.h"
+
+namespace cloudiq {
+
+// Execution context for one query: tracks the transaction, opens table
+// readers, and accounts CPU work onto the node's simulated clock with the
+// node's intra-query parallelism. Operators charge a per-value cost; scans
+// additionally charge per decoded byte.
+class QueryContext {
+ public:
+  struct Options {
+    double cpu_per_value = 1.2e-9;       // seconds per value touched
+    double cpu_per_decoded_byte = 2e-9;  // decode/decompress cost
+  };
+
+  QueryContext(TransactionManager* txn_mgr, Transaction* txn,
+               SystemStore* system)
+      : QueryContext(txn_mgr, txn, system, Options()) {}
+  QueryContext(TransactionManager* txn_mgr, Transaction* txn,
+               SystemStore* system, Options options)
+      : txn_mgr_(txn_mgr), txn_(txn), system_(system), options_(options) {}
+
+  // Loads a table's metadata (per-segment zone maps etc.). When a meta
+  // provider is installed (the Database facade caches metadata after the
+  // first open), repeated opens avoid the system-dbspace round trip — in
+  // a multiplex, table metadata lives on the *shared* EFS volume, so this
+  // is the difference between catalog reads scaling with queries or not.
+  using MetaProvider = std::function<Result<TableMeta>(uint64_t table_id)>;
+  void set_meta_provider(MetaProvider provider) {
+    meta_provider_ = std::move(provider);
+  }
+
+  Result<TableReader> OpenTable(uint64_t table_id) {
+    if (meta_provider_) {
+      CLOUDIQ_ASSIGN_OR_RETURN(TableMeta meta, meta_provider_(table_id));
+      return TableReader(txn_mgr_, txn_, std::move(meta));
+    }
+    return TableReader::Open(txn_mgr_, txn_, system_, table_id);
+  }
+
+  // Charges `values` touched at the per-value rate; applied to the clock
+  // with the node's vCPU parallelism.
+  void ChargeValues(uint64_t values);
+  void ChargeDecodedBytes(uint64_t bytes);
+
+  TransactionManager* txn_mgr() { return txn_mgr_; }
+  Transaction* txn() { return txn_; }
+  NodeContext* node() { return txn_mgr_->storage().node(); }
+  const Options& options() const { return options_; }
+
+ private:
+  TransactionManager* txn_mgr_;
+  Transaction* txn_;
+  SystemStore* system_;
+  Options options_;
+  MetaProvider meta_provider_;
+};
+
+// Zone-map-prunable scan predicate: int-family column in [lo, hi].
+struct ScanRange {
+  std::string column;
+  int64_t lo;
+  int64_t hi;
+};
+
+// Scans `columns` of the table, prefetching pages in parallel. When
+// `range` is given, partitions and pages are pruned with partition bounds
+// and zone maps, and rows outside the range are filtered out.
+Result<Batch> ScanTable(QueryContext* ctx, TableReader* reader,
+                        const std::vector<std::string>& columns,
+                        const std::optional<ScanRange>& range = {});
+
+// Index-assisted scan: rows of one partition whose ids are in `row_ids`.
+Result<Batch> ScanRowIds(QueryContext* ctx, TableReader* reader,
+                         size_t partition,
+                         const std::vector<std::string>& columns,
+                         const IntervalSet& row_ids);
+
+// Row-wise filter.
+Batch FilterBatch(QueryContext* ctx, const Batch& in,
+                  const std::function<bool(const Batch&, size_t)>& keep);
+
+enum class JoinType { kInner, kLeftSemi, kLeftAnti };
+
+// Hash join on int64 keys. Inner joins emit left columns followed by the
+// right batch's non-key columns (right key dropped; name collisions keep
+// the left column). Semi/anti joins emit left columns only.
+Result<Batch> HashJoin(QueryContext* ctx, const Batch& left,
+                       const std::string& left_key, const Batch& right,
+                       const std::string& right_key, JoinType type);
+
+// Aggregations.
+enum class AggOp { kSum, kCount, kMin, kMax, kAvg };
+struct AggSpec {
+  AggOp op;
+  std::string column;  // ignored for kCount
+  std::string as;
+};
+
+// Hash aggregate grouped by `keys` (empty = single global group).
+Result<Batch> HashAggregate(QueryContext* ctx, const Batch& in,
+                            const std::vector<std::string>& keys,
+                            const std::vector<AggSpec>& aggs);
+
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+// Sorts (optionally truncating to `limit` rows).
+Batch SortBatch(QueryContext* ctx, Batch in,
+                const std::vector<SortKey>& sort_keys, size_t limit = 0);
+
+// Appends a computed column.
+Batch WithComputedColumn(
+    QueryContext* ctx, Batch in, const std::string& name, ColumnType type,
+    const std::function<void(const Batch&, size_t, ColumnVector*)>& emit);
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_EXEC_EXECUTOR_H_

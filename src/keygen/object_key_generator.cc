@@ -1,0 +1,147 @@
+#include "keygen/object_key_generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace cloudiq {
+
+ObjectKeyGenerator::ObjectKeyGenerator(Options options)
+    : options_(options), next_key_(options.first_key) {
+  assert(options_.first_key >= (uint64_t{1} << 63) &&
+         "object keys must live in [2^63, 2^64)");
+}
+
+KeyRange ObjectKeyGenerator::AllocateRange(NodeId node, uint64_t size) {
+  size = std::clamp(size, options_.min_range_size, options_.max_range_size);
+  KeyRange range{next_key_, next_key_ + size};
+  next_key_ = range.end;
+  active_sets_[node].InsertRange(range.begin, range.end);
+
+  KeygenLogRecord rec;
+  rec.type = KeygenLogRecord::Type::kAllocate;
+  rec.node = node;
+  rec.begin = range.begin;
+  rec.end = range.end;
+  pending_log_.push_back(std::move(rec));
+  return range;
+}
+
+void ObjectKeyGenerator::OnTransactionCommitted(NodeId node,
+                                                const IntervalSet& keys) {
+  auto it = active_sets_.find(node);
+  if (it != active_sets_.end()) {
+    for (const auto& iv : keys.Intervals()) {
+      it->second.EraseRange(iv.begin, iv.end);
+    }
+  }
+  KeygenLogRecord rec;
+  rec.type = KeygenLogRecord::Type::kCommit;
+  rec.node = node;
+  rec.committed = keys;
+  pending_log_.push_back(std::move(rec));
+}
+
+IntervalSet ObjectKeyGenerator::TakeActiveSetForRecovery(NodeId node) {
+  auto it = active_sets_.find(node);
+  if (it == active_sets_.end()) return IntervalSet();
+  IntervalSet set = std::move(it->second);
+  active_sets_.erase(it);
+  return set;
+}
+
+const IntervalSet& ObjectKeyGenerator::ActiveSet(NodeId node) const {
+  static const IntervalSet kEmpty;
+  auto it = active_sets_.find(node);
+  return it == active_sets_.end() ? kEmpty : it->second;
+}
+
+std::vector<uint8_t> ObjectKeyGenerator::Checkpoint() {
+  std::vector<uint8_t> out;
+  PutU64(out, next_key_);
+  PutU64(out, active_sets_.size());
+  for (const auto& [node, set] : active_sets_) {
+    PutU32(out, node);
+    std::vector<uint8_t> set_bytes = set.Serialize();
+    PutU64(out, set_bytes.size());
+    PutBytes(out, set_bytes.data(), set_bytes.size());
+  }
+  pending_log_.clear();
+  return out;
+}
+
+ObjectKeyGenerator ObjectKeyGenerator::Recover(
+    const std::vector<uint8_t>& checkpoint,
+    const std::vector<KeygenLogRecord>& log) {
+  return Recover(checkpoint, log, Options());
+}
+
+ObjectKeyGenerator ObjectKeyGenerator::Recover(
+    const std::vector<uint8_t>& checkpoint,
+    const std::vector<KeygenLogRecord>& log, Options options) {
+  ObjectKeyGenerator gen(options);
+  if (!checkpoint.empty()) {
+    ByteReader reader(checkpoint);
+    gen.next_key_ = reader.GetU64();
+    uint64_t n = reader.GetU64();
+    for (uint64_t i = 0; i < n; ++i) {
+      NodeId node = reader.GetU32();
+      uint64_t len = reader.GetU64();
+      std::vector<uint8_t> set_bytes = reader.GetBytes(len);
+      gen.active_sets_[node] = IntervalSet::Deserialize(set_bytes);
+    }
+  }
+  // Replay the transaction log in order, as the coordinator does after the
+  // checkpointed state is loaded (Table 1, clock 120).
+  for (const KeygenLogRecord& rec : log) {
+    switch (rec.type) {
+      case KeygenLogRecord::Type::kAllocate:
+        gen.active_sets_[rec.node].InsertRange(rec.begin, rec.end);
+        gen.next_key_ = std::max(gen.next_key_, rec.end);
+        break;
+      case KeygenLogRecord::Type::kCommit: {
+        auto it = gen.active_sets_.find(rec.node);
+        if (it != gen.active_sets_.end()) {
+          for (const auto& iv : rec.committed.Intervals()) {
+            it->second.EraseRange(iv.begin, iv.end);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return gen;
+}
+
+NodeKeyCache::NodeKeyCache(RangeFetcher fetcher, Options options)
+    : fetcher_(std::move(fetcher)),
+      options_(options),
+      next_request_size_(options.initial_range_size) {}
+
+uint64_t NodeKeyCache::NextKey(double now) {
+  if (cursor_ >= range_.end) {
+    // Adapt the request size to the observed consumption rate before
+    // fetching: a node that burns through ranges quickly asks for bigger
+    // ones (fewer coordinator RPCs); an idle node shrinks its footprint
+    // (smaller active set to garbage collect after a crash).
+    if (last_fetch_time_ >= 0) {
+      double elapsed = now - last_fetch_time_;
+      if (elapsed < options_.fast_exhaust_seconds) {
+        next_request_size_ =
+            std::min(options_.max_range_size, next_request_size_ * 2);
+      } else if (elapsed > 10 * options_.fast_exhaust_seconds) {
+        next_request_size_ =
+            std::max(options_.min_range_size, next_request_size_ / 2);
+      }
+    }
+    range_ = fetcher_(next_request_size_, now);
+    assert(!range_.empty() && "coordinator returned an empty key range");
+    cursor_ = range_.begin;
+    last_fetch_time_ = now;
+    ++fetch_count_;
+  }
+  return cursor_++;
+}
+
+}  // namespace cloudiq

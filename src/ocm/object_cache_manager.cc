@@ -1,0 +1,251 @@
+#include "ocm/object_cache_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/random.h"
+
+namespace cloudiq {
+
+ObjectCacheManager::ObjectCacheManager(NodeContext* node, ObjectStoreIo* io,
+                                       Options options)
+    : node_(node),
+      io_(io),
+      options_(options),
+      capacity_bytes_(node->ssd().CapacityBytes() *
+                      options.capacity_fraction),
+      liveness_(std::make_shared<ObjectCacheManager*>(this)) {}
+
+Result<std::vector<uint8_t>> ObjectCacheManager::Read(uint64_t key,
+                                                      SimTime start,
+                                                      SimTime* completion) {
+  std::string ssd_key = FormatObjectKey(key);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    // Touch LRU.
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second.lru_it = lru_.begin();
+    // Cache hit: read from local SSD. Under a flood of asynchronous
+    // background writes the SSD's queues back up and this read can take
+    // longer than the object store would — the Figure 6 brown-out. The
+    // optional mitigation re-routes the read to the object store when
+    // the device backlog exceeds the threshold.
+    if (options_.reroute_on_pressure &&
+        node_->ssd().BacklogSeconds(start) >
+            options_.reroute_backlog_seconds) {
+      ++stats_.rerouted_reads;
+      return io_->Get(key, start, completion);
+    }
+    Result<std::vector<uint8_t>> r =
+        node_->ssd().Read(ssd_key, start, completion);
+    if (r.ok()) return r;
+    // Local copy unreadable: fall back to the object store; drop the entry.
+    Erase(key);
+  } else {
+    // A write-back page still awaiting upload is readable from its queue
+    // entry (the storage subsystem normally serves such reads from the RAM
+    // buffer, but correctness must not depend on that).
+    for (const PendingWrite& pw : write_queue_) {
+      if (pw.key == key) {
+        *completion = start;  // in-memory
+        ++stats_.hits;
+        return pw.data;
+      }
+    }
+    ++stats_.misses;
+  }
+
+  // Read-through: fetch from the object store, hand the page to the
+  // caller, and cache it on the SSD asynchronously.
+  CLOUDIQ_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                           io_->Get(key, start, completion));
+  ScheduleCacheFill(key, data, *completion);
+  return data;
+}
+
+void ObjectCacheManager::ScheduleCacheFill(uint64_t key,
+                                           std::vector<uint8_t> data,
+                                           SimTime at) {
+  NodeContext* node = node_;
+  std::weak_ptr<ObjectCacheManager*> alive = liveness_;
+  node_->executor().Schedule(
+      at + options_.background_delay,
+      [alive, node, key, data = std::move(data)](SimTime run_at) mutable {
+        auto token = alive.lock();
+        if (!token) return;  // the OCM is gone (instance restart)
+        ObjectCacheManager* self = *token;
+        SimTime done = run_at;
+        uint64_t bytes = data.size();
+        Status st = node->ssd().Write(FormatObjectKey(key), std::move(data),
+                                      run_at, &done);
+        if (!st.ok()) {
+          // §4: local cache write failures are ignored.
+          ++self->stats_.local_write_errors_ignored;
+          return;
+        }
+        self->AdmitToLru(key, bytes);
+      });
+}
+
+Status ObjectCacheManager::Write(uint64_t key, std::vector<uint8_t> data,
+                                 WriteMode mode, uint64_t txn_id,
+                                 SimTime start, SimTime* completion) {
+  // A transaction that has signalled FlushForCommit writes through from
+  // then on (§4).
+  if (committing_txns_.count(txn_id) > 0) mode = WriteMode::kWriteThrough;
+
+  if (mode == WriteMode::kWriteThrough) {
+    // Synchronous upload; asynchronous local caching.
+    ++stats_.write_through;
+    CLOUDIQ_RETURN_IF_ERROR(io_->Put(key, data, start, completion));
+    ScheduleCacheFill(key, std::move(data), *completion);
+    return Status::Ok();
+  }
+
+  // Write-back: synchronous SSD write, asynchronous upload. Latency seen
+  // by the caller is the SSD's.
+  std::string ssd_key = FormatObjectKey(key);
+  bool on_ssd = true;
+  Status local = node_->ssd().Write(ssd_key, data, start, completion);
+  if (!local.ok()) {
+    // Ignore the local error; the upload below is what matters.
+    ++stats_.local_write_errors_ignored;
+    on_ssd = false;
+    *completion = start;
+  }
+  pending_bytes_ += data.size();
+  write_queue_.push_back(PendingWrite{key, txn_id, std::move(data), on_ssd});
+
+  // Kick the background pump.
+  std::weak_ptr<ObjectCacheManager*> alive = liveness_;
+  node_->executor().Schedule(
+      *completion + options_.background_delay, [alive](SimTime run_at) {
+        if (auto token = alive.lock()) (*token)->PumpOne(run_at);
+      });
+  return Status::Ok();
+}
+
+void ObjectCacheManager::PumpOne(SimTime run_at) {
+  if (write_queue_.empty()) return;
+  PendingWrite pw = std::move(write_queue_.front());
+  write_queue_.pop_front();
+  pending_bytes_ -= pw.data.size();
+
+  SimTime done = run_at;
+  Status st = io_->Put(pw.key, pw.data, run_at, &done);
+  ++stats_.background_uploads;
+  if (!st.ok()) {
+    // Upload ultimately failed (ObjectStoreIo already retried): the page
+    // is not durable. Drop the local copy; the owning transaction will
+    // observe the failure at FlushForCommit / flush time and roll back.
+    if (pw.on_ssd) node_->ssd().Erase(FormatObjectKey(pw.key));
+    return;
+  }
+  // Only now does the page enter the LRU (§4's "not added to the LRU list
+  // until it has been successfully written to the underlying object
+  // store").
+  if (pw.on_ssd) AdmitToLru(pw.key, pw.data.size());
+}
+
+Status ObjectCacheManager::FlushForCommit(uint64_t txn_id, SimTime start,
+                                          SimTime* completion) {
+  committing_txns_.insert(txn_id);
+  *completion = start;
+
+  // Pull the committing transaction's queued uploads to the head of the
+  // queue, then execute them immediately (prioritizing all previously
+  // started background jobs for that transaction).
+  std::vector<PendingWrite> mine;
+  std::deque<PendingWrite> rest;
+  for (PendingWrite& pw : write_queue_) {
+    if (pw.txn_id == txn_id) {
+      mine.push_back(std::move(pw));
+    } else {
+      rest.push_back(std::move(pw));
+    }
+  }
+  write_queue_ = std::move(rest);
+
+  // Upload in parallel using the node's I/O width.
+  std::vector<IoScheduler::Op> ops;
+  auto statuses = std::make_shared<std::vector<Status>>(mine.size());
+  auto pages = std::make_shared<std::vector<PendingWrite>>(std::move(mine));
+  ObjectStoreIo* io = io_;
+  for (size_t i = 0; i < pages->size(); ++i) {
+    pending_bytes_ -= (*pages)[i].data.size();
+    ops.push_back([io, pages, statuses, i](SimTime t) {
+      SimTime done = t;
+      (*statuses)[i] = io->Put((*pages)[i].key, (*pages)[i].data, t, &done);
+      return done;
+    });
+  }
+  stats_.commit_promotions += ops.size();
+  SimTime before = node_->clock().now();
+  node_->clock().AdvanceTo(start);
+  node_->io().RunParallel(ops, node_->IoWidth());
+  *completion = std::max(node_->clock().now(), before);
+
+  for (size_t i = 0; i < pages->size(); ++i) {
+    const PendingWrite& pw = (*pages)[i];
+    if (!(*statuses)[i].ok()) {
+      if (pw.on_ssd) node_->ssd().Erase(FormatObjectKey(pw.key));
+      return (*statuses)[i];
+    }
+    if (pw.on_ssd) AdmitToLru(pw.key, pw.data.size());
+  }
+  return Status::Ok();
+}
+
+void ObjectCacheManager::AbortTxn(uint64_t txn_id) {
+  committing_txns_.erase(txn_id);
+  std::deque<PendingWrite> rest;
+  for (PendingWrite& pw : write_queue_) {
+    if (pw.txn_id == txn_id) {
+      pending_bytes_ -= pw.data.size();
+      if (pw.on_ssd) node_->ssd().Erase(FormatObjectKey(pw.key));
+    } else {
+      rest.push_back(std::move(pw));
+    }
+  }
+  write_queue_ = std::move(rest);
+}
+
+void ObjectCacheManager::Erase(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  cached_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  index_.erase(it);
+  node_->ssd().Erase(FormatObjectKey(key));
+}
+
+void ObjectCacheManager::AdmitToLru(uint64_t key, uint64_t bytes) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second.lru_it = lru_.begin();
+    return;
+  }
+  lru_.push_front(key);
+  index_[key] = Entry{bytes, lru_.begin()};
+  cached_bytes_ += bytes;
+  EvictIfNeeded();
+}
+
+void ObjectCacheManager::EvictIfNeeded() {
+  while (cached_bytes_ + pending_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = index_.find(victim);
+    assert(it != index_.end());
+    cached_bytes_ -= it->second.bytes;
+    index_.erase(it);
+    node_->ssd().Erase(FormatObjectKey(victim));
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace cloudiq

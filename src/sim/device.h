@@ -1,0 +1,100 @@
+#ifndef CLOUDIQ_SIM_DEVICE_H_
+#define CLOUDIQ_SIM_DEVICE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim_clock.h"
+
+namespace cloudiq {
+
+// Building blocks for analytic device models. Every simulated device is a
+// small queueing network assembled from these two primitives; submitting a
+// request advances the queue state and returns the absolute completion time,
+// from which the caller derives the request's latency.
+
+// A pool of `channels` identical servers (think: NVMe queues, S3 connection
+// streams, an EBS volume's internal parallelism). A request occupies the
+// earliest-free channel for `occupancy` seconds; `extra_latency` is
+// pipelined delay (propagation, first-byte wait) that does not occupy the
+// channel.
+class ChannelQueue {
+ public:
+  explicit ChannelQueue(int channels)
+      : next_free_(static_cast<size_t>(std::max(1, channels)), 0.0) {}
+
+  SimTime Submit(SimTime arrival, double occupancy, double extra_latency) {
+    // Pick the earliest-free channel.
+    size_t best = 0;
+    for (size_t i = 1; i < next_free_.size(); ++i) {
+      if (next_free_[i] < next_free_[best]) best = i;
+    }
+    SimTime start = std::max(arrival, next_free_[best]);
+    next_free_[best] = start + occupancy;
+    return start + occupancy + extra_latency;
+  }
+
+  // Earliest time a new request could start service.
+  SimTime EarliestStart() const {
+    SimTime t = next_free_[0];
+    for (SimTime v : next_free_) t = std::min(t, v);
+    return t;
+  }
+
+  // Fraction of channels still busy at time `t` — a utilization signal used
+  // by the local-SSD model to inflate read latency under write floods.
+  double BusyFraction(SimTime t) const {
+    size_t busy = 0;
+    for (SimTime v : next_free_) {
+      if (v > t) ++busy;
+    }
+    return static_cast<double>(busy) / static_cast<double>(next_free_.size());
+  }
+
+  // Total backlog (seconds of queued work past `t`) across channels.
+  double Backlog(SimTime t) const {
+    double sum = 0;
+    for (SimTime v : next_free_) sum += std::max(0.0, v - t);
+    return sum;
+  }
+
+ private:
+  std::vector<SimTime> next_free_;
+};
+
+// Enforces a maximum request rate (IOPS cap, per-prefix request limits).
+// Requests are admitted no faster than `rate` per second; an over-rate
+// request waits for the next slot.
+class RatePacer {
+ public:
+  explicit RatePacer(double rate_per_sec) : interval_(1.0 / rate_per_sec) {}
+
+  // Returns the admission time for a request arriving at `arrival`.
+  SimTime Admit(SimTime arrival) {
+    SimTime start = std::max(arrival, next_slot_);
+    next_slot_ = start + interval_;
+    return start;
+  }
+
+  SimTime next_slot() const { return next_slot_; }
+
+ private:
+  double interval_;
+  SimTime next_slot_ = 0.0;
+};
+
+// Aggregate I/O statistics kept by every device.
+struct DeviceStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t deletes = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  double read_time = 0;   // summed per-request latency, seconds
+  double write_time = 0;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_SIM_DEVICE_H_

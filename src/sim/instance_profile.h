@@ -1,0 +1,30 @@
+#ifndef CLOUDIQ_SIM_INSTANCE_PROFILE_H_
+#define CLOUDIQ_SIM_INSTANCE_PROFILE_H_
+
+#include <string>
+
+namespace cloudiq {
+
+// Shape of a simulated compute instance (the EC2 instance types the paper's
+// evaluation uses). The buffer manager sizes itself from `ram_gb` (half of
+// RAM, per the paper's configuration), the OCM from `ssd_gb`, and the
+// IoScheduler bounds I/O parallelism by `vcpus` and NIC bandwidth.
+struct InstanceProfile {
+  std::string name;
+  int vcpus = 1;
+  double ram_gb = 1;
+  double ssd_gb = 0;        // total local NVMe capacity (RAID 0 across devs)
+  int ssd_devices = 0;      // number of NVMe devices bundled
+  double nic_gbps = 1;      // advertised NIC bandwidth ("up to")
+  double hourly_usd = 0;
+
+  // Instance types used in the paper's experiments.
+  static InstanceProfile M5ad4xlarge();
+  static InstanceProfile M5ad12xlarge();
+  static InstanceProfile M5ad24xlarge();
+  static InstanceProfile R5Large();
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_SIM_INSTANCE_PROFILE_H_

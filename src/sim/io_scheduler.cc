@@ -1,0 +1,47 @@
+#include "sim/io_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cloudiq {
+
+void IoScheduler::RunParallel(const std::vector<Op>& ops, int width) {
+  if (ops.empty()) return;
+  width = std::max(1, width);
+  std::vector<SimTime> workers(
+      static_cast<size_t>(std::min<size_t>(width, ops.size())),
+      clock_->now());
+  for (const Op& op : ops) {
+    // Assign to the earliest-free worker.
+    size_t best = 0;
+    for (size_t i = 1; i < workers.size(); ++i) {
+      if (workers[i] < workers[best]) best = i;
+    }
+    SimTime start = workers[best];
+    // Let background work scheduled before this op's start occupy devices
+    // first, so asynchronous writes contend with this foreground op.
+    executor_->RunDue(start);
+    workers[best] = op(start);
+    assert(workers[best] >= start);
+  }
+  SimTime done = *std::max_element(workers.begin(), workers.end());
+  clock_->AdvanceTo(done);
+  executor_->RunDue(done);
+}
+
+SimTime IoScheduler::RunOne(const Op& op) {
+  executor_->RunDue(clock_->now());
+  SimTime done = op(clock_->now());
+  clock_->AdvanceTo(done);
+  executor_->RunDue(done);
+  return done;
+}
+
+void IoScheduler::AddCpuWork(double total_cpu_seconds, int parallelism) {
+  if (total_cpu_seconds <= 0) return;
+  parallelism = std::max(1, parallelism);
+  clock_->Advance(total_cpu_seconds / parallelism);
+  executor_->RunDue(clock_->now());
+}
+
+}  // namespace cloudiq

@@ -1,0 +1,50 @@
+#ifndef CLOUDIQ_SIM_IO_SCHEDULER_H_
+#define CLOUDIQ_SIM_IO_SCHEDULER_H_
+
+#include <functional>
+#include <vector>
+
+#include "sim/sim_clock.h"
+#include "sim/sim_executor.h"
+
+namespace cloudiq {
+
+// Folds batches of (possibly parallel) operations into simulated elapsed
+// time.
+//
+// An Op is a callable that, given its start time, submits work to device
+// models and returns its completion time. RunParallel dispatches ops onto
+// `width` virtual workers (worker = a CPU thread driving an I/O stream,
+// exactly SAP IQ's prefetch/flush thread pools); the clock advances to the
+// time the last worker finishes. Background tasks that come due while the
+// batch executes are interleaved, so asynchronous OCM work competes with
+// foreground I/O for device time.
+class IoScheduler {
+ public:
+  using Op = std::function<SimTime(SimTime start)>;
+
+  IoScheduler(SimClock* clock, SimExecutor* executor)
+      : clock_(clock), executor_(executor) {}
+
+  // Runs `ops` with at most `width` in flight. Advances the clock past the
+  // last completion.
+  void RunParallel(const std::vector<Op>& ops, int width);
+
+  // Runs a single op synchronously; advances the clock.
+  SimTime RunOne(const Op& op);
+
+  // Accounts pure CPU work of `total_cpu_seconds` spread over
+  // `parallelism` cores; advances the clock by the critical path.
+  void AddCpuWork(double total_cpu_seconds, int parallelism);
+
+  SimClock* clock() { return clock_; }
+  SimExecutor* executor() { return executor_; }
+
+ private:
+  SimClock* clock_;
+  SimExecutor* executor_;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_SIM_IO_SCHEDULER_H_

@@ -1,0 +1,72 @@
+#ifndef CLOUDIQ_SIM_NIC_H_
+#define CLOUDIQ_SIM_NIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/sim_clock.h"
+
+namespace cloudiq {
+
+// Per-node network interface. All object-store and shared-volume traffic of
+// a node flows through its NIC, which both caps throughput and records a
+// bandwidth trace (bytes per one-second bucket) — the trace behind the
+// paper's Figure 8.
+class Nic {
+ public:
+  explicit Nic(double gbps)
+      : bandwidth_(gbps * 1e9 / 8.0), queue_(/*channels=*/1) {}
+
+  // Accounts a transfer of `bytes` arriving at `arrival`; returns the time
+  // at which the transfer clears the NIC.
+  SimTime Transfer(uint64_t bytes, SimTime arrival) {
+    double occupancy = static_cast<double>(bytes) / bandwidth_;
+    SimTime done = queue_.Submit(arrival, occupancy, 0.0);
+    // The bytes move only while the wire is actually occupied — the trace
+    // must not smear them over queueing delay.
+    RecordTrace(done - occupancy, done, bytes);
+    total_bytes_ += bytes;
+    return done;
+  }
+
+  double bandwidth_bytes_per_sec() const { return bandwidth_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  // Bandwidth trace: bucket[i] holds bytes transferred during simulated
+  // interval [i*res, (i+1)*res), res = trace_resolution() seconds.
+  const std::vector<double>& trace() const { return trace_; }
+  double trace_resolution() const { return resolution_; }
+  void set_trace_resolution(double seconds) {
+    resolution_ = seconds;
+    trace_.clear();
+  }
+  void ResetTrace() {
+    trace_.clear();
+    total_bytes_ = 0;
+  }
+
+ private:
+  void RecordTrace(SimTime start, SimTime end, uint64_t bytes) {
+    if (end <= start) end = start + 1e-9;
+    size_t first = static_cast<size_t>(start / resolution_);
+    size_t last = static_cast<size_t>(end / resolution_);
+    if (trace_.size() <= last) trace_.resize(last + 1, 0.0);
+    double span = end - start;
+    for (size_t b = first; b <= last; ++b) {
+      double lo = std::max(start, b * resolution_);
+      double hi = std::min(end, (b + 1) * resolution_);
+      if (hi > lo) trace_[b] += bytes * (hi - lo) / span;
+    }
+  }
+
+  double bandwidth_;
+  ChannelQueue queue_;
+  std::vector<double> trace_;
+  double resolution_ = 1.0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_SIM_NIC_H_

@@ -1,0 +1,186 @@
+#include "sim/object_store.h"
+
+#include <algorithm>
+
+namespace cloudiq {
+
+SimObjectStore::SimObjectStore(ObjectStoreOptions options)
+    : options_(options), rng_(options.seed), streams_(options.streams) {}
+
+std::string SimObjectStore::PrefixOf(const std::string& key) {
+  size_t slash = key.find('/');
+  if (slash == std::string::npos) return key;
+  return key.substr(0, slash);
+}
+
+SimTime SimObjectStore::ServiceRequest(const std::string& key, bool is_put,
+                                       uint64_t bytes, SimTime arrival) {
+  // Per-prefix request-rate pacing (the S3 "optimizing performance"
+  // limits the paper works around with hashed prefixes).
+  std::string prefix = PrefixOf(key);
+  auto& pacers = is_put ? put_pacers_ : get_pacers_;
+  double rate =
+      is_put ? options_.per_prefix_put_rate : options_.per_prefix_get_rate;
+  auto [it, inserted] = pacers.try_emplace(prefix, rate);
+  SimTime admitted = it->second.Admit(arrival);
+  if (admitted > arrival + 1e-12) ++stats_.throttle_events;
+
+  // Bound pacer-map growth: hashed prefixes are effectively unique, so
+  // stale entries (whose pacing can no longer matter) dominate. Flush the
+  // maps wholesale once they get large; in-window pacing state for hot
+  // prefixes is rebuilt on the next request.
+  if (pacers.size() > 200000) {
+    auto hot = pacers.extract(prefix);
+    pacers.clear();
+    pacers.insert(std::move(hot));
+  }
+
+  double base =
+      is_put ? options_.put_base_latency : options_.get_base_latency;
+  double transfer = static_cast<double>(bytes) / options_.stream_bandwidth;
+  // Mild deterministic-seeded jitter so request times are not lockstep.
+  double jitter = rng_.Exponential(base * 0.15);
+  return streams_.Submit(admitted, transfer, base + jitter);
+}
+
+Status SimObjectStore::Put(const std::string& key,
+                           std::vector<uint8_t> value, SimTime arrival,
+                           SimTime* completion) {
+  *completion = ServiceRequest(key, /*is_put=*/true, value.size(), arrival);
+  ++stats_.puts;
+  stats_.put_bytes += value.size();
+  if (cost_meter_ != nullptr) cost_meter_->AddS3Put();
+  if (options_.transient_error_rate > 0 &&
+      rng_.Bernoulli(options_.transient_error_rate)) {
+    return Status::IoError("simulated transient PUT failure");
+  }
+
+  SimTime visible_at = *completion;
+  if (rng_.Bernoulli(options_.lag_probability)) {
+    visible_at += rng_.Exponential(options_.mean_visibility_lag);
+  }
+  Object& obj = objects_[key];
+  if (!obj.versions.empty()) ++stats_.overwrites;
+  // Versions are kept in *creation* order: the store eventually converges
+  // to the last mutation issued, even when an earlier mutation's
+  // visibility lag outlasts a later one's.
+  obj.versions.push_back({visible_at, /*is_delete=*/false, std::move(value)});
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> SimObjectStore::Get(const std::string& key,
+                                                 SimTime arrival,
+                                                 SimTime* completion) {
+  ++stats_.gets;
+  if (cost_meter_ != nullptr) cost_meter_->AddS3Get();
+
+  auto it = objects_.find(key);
+  const Version* newest = nullptr;
+  const Version* newest_visible = nullptr;
+  if (it != objects_.end()) {
+    for (const Version& v : it->second.versions) {
+      newest = &v;
+      if (v.visible_at <= arrival) newest_visible = &v;
+    }
+  }
+
+  if (newest_visible == nullptr || newest_visible->is_delete) {
+    // Nothing visible: either the key truly does not exist, or we raced
+    // eventual consistency (scenario 3).
+    *completion =
+        ServiceRequest(key, /*is_put=*/false, /*bytes=*/0, arrival);
+    if (newest != nullptr && !newest->is_delete) ++stats_.not_found_races;
+    if (options_.transient_error_rate > 0 &&
+        rng_.Bernoulli(options_.transient_error_rate)) {
+      return Status::IoError("simulated transient GET failure");
+    }
+    return Status::NotFound(key);
+  }
+
+  *completion = ServiceRequest(key, /*is_put=*/false,
+                               newest_visible->value.size(), arrival);
+  stats_.get_bytes += newest_visible->value.size();
+  if (newest_visible != newest) ++stats_.stale_reads;  // scenario 2
+  if (options_.transient_error_rate > 0 &&
+      rng_.Bernoulli(options_.transient_error_rate)) {
+    return Status::IoError("simulated transient GET failure");
+  }
+  return newest_visible->value;
+}
+
+bool SimObjectStore::Exists(const std::string& key, SimTime arrival,
+                            SimTime* completion) {
+  ++stats_.gets;  // HEAD is billed like GET
+  if (cost_meter_ != nullptr) cost_meter_->AddS3Get();
+  *completion = ServiceRequest(key, /*is_put=*/false, /*bytes=*/0, arrival);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return false;
+  const Version* newest_visible = nullptr;
+  for (const Version& v : it->second.versions) {
+    if (v.visible_at <= arrival) newest_visible = &v;
+  }
+  return newest_visible != nullptr && !newest_visible->is_delete;
+}
+
+Status SimObjectStore::Delete(const std::string& key, SimTime arrival,
+                              SimTime* completion) {
+  *completion = ServiceRequest(key, /*is_put=*/true, /*bytes=*/0, arrival);
+  ++stats_.deletes;
+  if (cost_meter_ != nullptr) cost_meter_->AddS3Put();  // billed as write
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::Ok();  // idempotent
+  SimTime visible_at = *completion;
+  if (rng_.Bernoulli(options_.lag_probability)) {
+    visible_at += rng_.Exponential(options_.mean_visibility_lag);
+  }
+  it->second.versions.push_back({visible_at, /*is_delete=*/true, {}});
+  return Status::Ok();
+}
+
+SimTime SimObjectStore::ExternalRead(uint64_t bytes, SimTime arrival) {
+  // Streamed as 8 MB ranged GETs over multiple connections.
+  constexpr uint64_t kPartBytes = 8 << 20;
+  uint64_t parts = (bytes + kPartBytes - 1) / kPartBytes;
+  SimTime done = arrival;
+  for (uint64_t i = 0; i < parts; ++i) {
+    uint64_t part = std::min(kPartBytes, bytes - i * kPartBytes);
+    ++stats_.gets;
+    stats_.get_bytes += part;
+    if (cost_meter_ != nullptr) cost_meter_->AddS3Get();
+    double transfer = static_cast<double>(part) / options_.stream_bandwidth;
+    done = std::max(done, streams_.Submit(arrival, transfer,
+                                          options_.get_base_latency));
+  }
+  return done;
+}
+
+uint64_t SimObjectStore::LiveObjectCount() const {
+  uint64_t count = 0;
+  for (const auto& [key, obj] : objects_) {
+    if (!obj.versions.empty() && !obj.versions.back().is_delete) ++count;
+  }
+  return count;
+}
+
+uint64_t SimObjectStore::LiveBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [key, obj] : objects_) {
+    if (!obj.versions.empty() && !obj.versions.back().is_delete) {
+      bytes += obj.versions.back().value.size();
+    }
+  }
+  return bytes;
+}
+
+std::vector<std::string> SimObjectStore::LiveKeys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, obj] : objects_) {
+    if (!obj.versions.empty() && !obj.versions.back().is_delete) {
+      keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace cloudiq

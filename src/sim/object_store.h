@@ -1,0 +1,145 @@
+#ifndef CLOUDIQ_SIM_OBJECT_STORE_H_
+#define CLOUDIQ_SIM_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/cost_model.h"
+#include "sim/device.h"
+#include "sim/sim_clock.h"
+
+namespace cloudiq {
+
+// Tuning knobs for the simulated object store. Defaults approximate S3
+// circa the paper's evaluation: double-digit-millisecond request latencies,
+// ~90 MB/s per connection stream, enormous aggregate throughput, documented
+// per-prefix request-rate ceilings (3,500 writes/s and 5,500 reads/s), and
+// eventual consistency for fresh PUTs, overwrites and deletes.
+struct ObjectStoreOptions {
+  double get_base_latency = 0.012;   // seconds to first byte
+  double put_base_latency = 0.020;
+  double stream_bandwidth = 90e6;    // bytes/sec per connection
+  int streams = 4096;                // aggregate parallel connections
+  double per_prefix_put_rate = 3500;
+  double per_prefix_get_rate = 5500;
+
+  // Eventual consistency: a mutation becomes visible `visibility_lag`
+  // seconds after completion with probability `lag_probability`
+  // (otherwise read-after-write appears immediate). The defaults model
+  // pre-2020 S3, where the race was real but rare; consistency tests
+  // crank these up to force every code path.
+  double lag_probability = 0.02;
+  double mean_visibility_lag = 0.15;  // seconds, exponential
+
+  // Fault injection: probability that a request fails with a transient
+  // IO error (caller retries).
+  double transient_error_rate = 0.0;
+
+  uint64_t seed = 42;
+};
+
+// In-memory object store with S3-like performance and consistency
+// semantics. All operations take the simulated arrival time and return the
+// completion time through `*completion`; the caller (IoScheduler) advances
+// the clock.
+//
+// Consistency model: each key holds a list of versions stamped with the
+// simulated time at which they become visible. A Get at time T returns the
+// newest version visible at T. Overwriting a key therefore yields *stale
+// reads* until the new version becomes visible, and a fresh key yields
+// NOT_FOUND until its first version becomes visible — exactly the three
+// read scenarios of §3 of the paper. CloudIQ's storage layer never
+// overwrites a key, so scenario (2) is impossible by construction;
+// `stats().stale_reads` lets tests and the write-twice ablation verify
+// this.
+class SimObjectStore {
+ public:
+  explicit SimObjectStore(ObjectStoreOptions options = ObjectStoreOptions());
+
+  // Uploads an object. Completion time accounts for per-prefix pacing,
+  // stream bandwidth and base latency.
+  Status Put(const std::string& key, std::vector<uint8_t> value,
+             SimTime arrival, SimTime* completion);
+
+  // Downloads the newest visible version. Returns NotFound if the key has
+  // no visible version at `arrival` (including the eventual-consistency
+  // window after a fresh PUT).
+  Result<std::vector<uint8_t>> Get(const std::string& key, SimTime arrival,
+                                   SimTime* completion);
+
+  // HEAD request: true if any visible, non-deleted version exists.
+  bool Exists(const std::string& key, SimTime arrival, SimTime* completion);
+
+  // Removes the object (eventually: a delete marker that becomes visible
+  // after the consistency lag).
+  Status Delete(const std::string& key, SimTime arrival,
+                SimTime* completion);
+
+  // Models streaming `bytes` of *external input data* (e.g. TPC-H load
+  // files staged in an input bucket) without materializing the objects:
+  // bills one GET per part, occupies download streams, and returns the
+  // completion time.
+  SimTime ExternalRead(uint64_t bytes, SimTime arrival);
+
+  // Number of keys whose *final* state (ignoring visibility lag) is a live
+  // object. Used by garbage-collection completeness tests.
+  uint64_t LiveObjectCount() const;
+  // Bytes in live objects (final state). Feeds the data-at-rest cost table.
+  uint64_t LiveBytes() const;
+  // All live keys (final state), for audits.
+  std::vector<std::string> LiveKeys() const;
+
+  struct Stats {
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    uint64_t deletes = 0;
+    uint64_t not_found_races = 0;  // GETs that raced visibility (scenario 3)
+    uint64_t stale_reads = 0;      // GETs served an old version (scenario 2)
+    uint64_t overwrites = 0;       // PUTs to a key that already existed
+    uint64_t throttle_events = 0;  // requests delayed by per-prefix pacing
+    uint64_t put_bytes = 0;
+    uint64_t get_bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  // Wires a cost meter; when set, every PUT/GET is billed.
+  void set_cost_meter(CostMeter* meter) { cost_meter_ = meter; }
+
+  const ObjectStoreOptions& options() const { return options_; }
+
+ private:
+  struct Version {
+    SimTime visible_at;
+    bool is_delete;
+    std::vector<uint8_t> value;
+  };
+  struct Object {
+    std::vector<Version> versions;  // ascending by visible_at
+  };
+
+  // Applies pacing + bandwidth + latency for one request; returns
+  // completion time.
+  SimTime ServiceRequest(const std::string& key, bool is_put, uint64_t bytes,
+                         SimTime arrival);
+
+  static std::string PrefixOf(const std::string& key);
+
+  ObjectStoreOptions options_;
+  Rng rng_;
+  ChannelQueue streams_;
+  std::unordered_map<std::string, RatePacer> put_pacers_;
+  std::unordered_map<std::string, RatePacer> get_pacers_;
+  std::unordered_map<std::string, Object> objects_;
+  Stats stats_;
+  CostMeter* cost_meter_ = nullptr;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_SIM_OBJECT_STORE_H_

@@ -1,0 +1,39 @@
+#ifndef CLOUDIQ_SIM_SIM_CLOCK_H_
+#define CLOUDIQ_SIM_SIM_CLOCK_H_
+
+#include <algorithm>
+#include <cassert>
+
+namespace cloudiq {
+
+// Simulated time, in seconds since simulation start.
+using SimTime = double;
+
+// Virtual wall clock shared by every component of a simulation.
+//
+// Nothing in CloudIQ sleeps: device models compute completion times
+// analytically and the clock jumps forward. Benchmarks therefore report
+// simulated seconds (comparable to the paper's measurements) while running
+// in real milliseconds.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimTime now() const { return now_; }
+
+  // Moves time forward by `seconds` (must be >= 0).
+  void Advance(double seconds) {
+    assert(seconds >= 0);
+    now_ += seconds;
+  }
+
+  // Moves time forward to `t` if `t` is in the future; never moves back.
+  void AdvanceTo(SimTime t) { now_ = std::max(now_, t); }
+
+ private:
+  SimTime now_ = 0.0;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_SIM_SIM_CLOCK_H_

@@ -1,0 +1,63 @@
+#ifndef CLOUDIQ_SIM_SIM_EXECUTOR_H_
+#define CLOUDIQ_SIM_SIM_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/sim_clock.h"
+
+namespace cloudiq {
+
+// Deterministic background-task queue.
+//
+// The OCM's asynchronous work (cache fills after read-through, write-back
+// uploads to the object store) is modelled as tasks scheduled here. Tasks
+// run when simulated time passes their due time; running a task typically
+// submits I/O to a device model, which advances that device's queue state
+// and thereby inflates the latency of concurrent foreground requests — the
+// mechanism behind the OCM brown-out analysis.
+//
+// Tasks with equal due times run in scheduling order, so a simulation with
+// a fixed seed is exactly reproducible.
+class SimExecutor {
+ public:
+  using Task = std::function<void(SimTime run_at)>;
+
+  // Enqueues `task` to run at `due` (or as soon after as the queue drains).
+  void Schedule(SimTime due, Task task) {
+    tasks_.emplace(std::pair<SimTime, uint64_t>(due, seq_++),
+                   std::move(task));
+  }
+
+  // Runs every task due at or before `now`. Tasks may schedule more tasks;
+  // newly scheduled tasks also run if due.
+  void RunDue(SimTime now) {
+    while (!tasks_.empty() && tasks_.begin()->first.first <= now) {
+      auto node = tasks_.extract(tasks_.begin());
+      node.mapped()(node.key().first);
+    }
+  }
+
+  // Runs everything regardless of due time (used at shutdown / commit
+  // barriers). Returns the number of tasks run.
+  uint64_t Drain() {
+    uint64_t n = 0;
+    while (!tasks_.empty()) {
+      auto node = tasks_.extract(tasks_.begin());
+      node.mapped()(node.key().first);
+      ++n;
+    }
+    return n;
+  }
+
+  size_t pending() const { return tasks_.size(); }
+
+ private:
+  std::map<std::pair<SimTime, uint64_t>, Task> tasks_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_SIM_SIM_EXECUTOR_H_

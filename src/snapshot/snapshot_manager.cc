@@ -1,0 +1,172 @@
+#include "snapshot/snapshot_manager.h"
+
+#include "common/coding.h"
+
+namespace cloudiq {
+namespace {
+constexpr char kMetadataKey[] = "snapmgr/metadata";
+}  // namespace
+
+SnapshotManager::SnapshotManager(NodeContext* node, ObjectStoreIo* io,
+                                 SimObjectStore* store, Options options)
+    : node_(node), io_(io), store_(store), options_(options) {}
+
+bool SnapshotManager::OnPageDropped(uint64_t key) {
+  fifo_.push_back(
+      Retained{key, node_->clock().now() + options_.retention_seconds});
+  return true;
+}
+
+Status SnapshotManager::PersistMetadata() {
+  std::vector<uint8_t> bytes;
+  PutU64(bytes, fifo_.size());
+  for (const Retained& r : fifo_) {
+    PutU64(bytes, r.key);
+    PutDouble(bytes, r.expires_at);
+  }
+  SimTime done = node_->clock().now();
+  Status st = store_->Put(kMetadataKey, std::move(bytes),
+                          node_->clock().now(), &done);
+  node_->clock().AdvanceTo(done);
+  return st;
+}
+
+Status SnapshotManager::CollectExpired() {
+  SimTime now = node_->clock().now();
+  bool changed = false;
+  while (!fifo_.empty() && fifo_.front().expires_at <= now) {
+    SimTime done = now;
+    CLOUDIQ_RETURN_IF_ERROR(io_->Delete(fifo_.front().key, now, &done));
+    node_->clock().AdvanceTo(done);
+    fifo_.pop_front();
+    ++pages_permanently_deleted_;
+    changed = true;
+  }
+  if (changed) return PersistMetadata();
+  return Status::Ok();
+}
+
+Result<SnapshotManager::SnapshotInfo> SnapshotManager::TakeSnapshot(
+    uint64_t max_allocated_key,
+    const std::vector<SimBlockVolume*>& non_cloud_volumes) {
+  SimTime start = node_->clock().now();
+  CLOUDIQ_RETURN_IF_ERROR(PersistMetadata());
+
+  StoredSnapshot stored;
+  stored.fifo = fifo_;
+  uint64_t backup_bytes = 0;
+  for (SimBlockVolume* volume : non_cloud_volumes) {
+    stored.volumes.push_back(volume->SnapshotRuns());
+    backup_bytes += volume->StoredBytes();
+  }
+  // The backup itself lands on the object store; charge its upload (one
+  // logical PUT stream — the volumes are small by design).
+  SimTime done = node_->clock().now();
+  std::vector<uint8_t> marker(64, 0);  // backup manifest object
+  CLOUDIQ_RETURN_IF_ERROR(store_->Put(
+      "backup/" + std::to_string(next_snapshot_id_), std::move(marker),
+      node_->clock().now(), &done));
+  node_->clock().AdvanceTo(done);
+  // Upload time for the backup payload through the NIC.
+  node_->clock().AdvanceTo(node_->nic().Transfer(backup_bytes, done));
+
+  SnapshotInfo info;
+  info.id = next_snapshot_id_++;
+  info.taken_at = start;
+  info.max_allocated_key = max_allocated_key;
+  info.backup_bytes = backup_bytes;
+  info.duration_seconds = node_->clock().now() - start;
+  info.expires_at = start + options_.retention_seconds;
+  stored.info = info;
+  snapshots_[info.id] = std::move(stored);
+  return info;
+}
+
+Result<uint64_t> SnapshotManager::Restore(
+    uint64_t snapshot_id, uint64_t current_max_allocated_key,
+    const std::vector<SimBlockVolume*>& non_cloud_volumes) {
+  auto it = snapshots_.find(snapshot_id);
+  if (it == snapshots_.end()) {
+    return Status::NotFound("snapshot " + std::to_string(snapshot_id));
+  }
+  StoredSnapshot& stored = it->second;
+  if (node_->clock().now() > stored.info.expires_at) {
+    return Status::FailedPrecondition("snapshot retention expired");
+  }
+  if (stored.volumes.size() != non_cloud_volumes.size()) {
+    return Status::InvalidArgument("volume count mismatch");
+  }
+
+  // Restore the system dbspace (and other non-cloud volumes) from the
+  // backup; download time through the NIC.
+  uint64_t restore_bytes = 0;
+  for (size_t i = 0; i < non_cloud_volumes.size(); ++i) {
+    for (const auto& [run, data] : stored.volumes[i]) {
+      restore_bytes += data.size();
+    }
+    non_cloud_volumes[i]->RestoreRuns(stored.volumes[i]);
+  }
+  node_->clock().AdvanceTo(
+      node_->nic().Transfer(restore_bytes, node_->clock().now()));
+
+  // Roll the retained-page FIFO back to its snapshot image: pages dropped
+  // after the snapshot are referenced again by the restored catalog.
+  fifo_ = stored.fifo;
+  CLOUDIQ_RETURN_IF_ERROR(PersistMetadata());
+
+  // Pages created after the snapshot are garbage: their keys form the
+  // contiguous range (snapshot watermark, restore watermark] thanks to
+  // monotonic key generation. Poll and delete.
+  uint64_t collected = 0;
+  for (uint64_t key = stored.info.max_allocated_key;
+       key < current_max_allocated_key; ++key) {
+    SimTime done = node_->clock().now();
+    if (io_->Exists(key, node_->clock().now(), &done)) {
+      node_->clock().AdvanceTo(done);
+      CLOUDIQ_RETURN_IF_ERROR(io_->Delete(key, node_->clock().now(), &done));
+      ++collected;
+    }
+    node_->clock().AdvanceTo(done);
+  }
+  return collected;
+}
+
+Result<SnapshotManager::SnapshotImage> SnapshotManager::GetImage(
+    uint64_t snapshot_id) const {
+  auto it = snapshots_.find(snapshot_id);
+  if (it == snapshots_.end()) {
+    return Status::NotFound("snapshot " + std::to_string(snapshot_id));
+  }
+  if (node_->clock().now() > it->second.info.expires_at) {
+    return Status::FailedPrecondition("snapshot retention expired");
+  }
+  SnapshotImage image;
+  image.info = it->second.info;
+  image.volumes = it->second.volumes;
+  return image;
+}
+
+std::vector<SnapshotManager::SnapshotInfo> SnapshotManager::ListSnapshots()
+    const {
+  std::vector<SnapshotInfo> infos;
+  for (const auto& [id, stored] : snapshots_) infos.push_back(stored.info);
+  return infos;
+}
+
+Status SnapshotManager::ExpireSnapshots() {
+  SimTime now = node_->clock().now();
+  for (auto it = snapshots_.begin(); it != snapshots_.end();) {
+    if (it->second.info.expires_at <= now) {
+      SimTime done = now;
+      CLOUDIQ_RETURN_IF_ERROR(
+          store_->Delete("backup/" + std::to_string(it->first), now, &done));
+      node_->clock().AdvanceTo(done);
+      it = snapshots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cloudiq

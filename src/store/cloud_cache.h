@@ -1,0 +1,56 @@
+#ifndef CLOUDIQ_STORE_CLOUD_CACHE_H_
+#define CLOUDIQ_STORE_CLOUD_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/sim_clock.h"
+
+namespace cloudiq {
+
+// Interface the storage subsystem uses to reach cloud dbspace objects when
+// a second-layer cache is configured. The Object Cache Manager (src/ocm)
+// is the production implementation; its absence must not affect
+// correctness (§4: "the OCM is intended solely as a performance
+// optimization"), which tests verify by running every workload both ways.
+class CloudCache {
+ public:
+  // Matches the OCM's two write modes (§4): write-back is used for
+  // cache-pressure evictions during the churn phase (synchronous to local
+  // SSD, asynchronous to the object store); write-through for the commit
+  // phase (synchronous to the object store, asynchronous local caching).
+  enum class WriteMode { kWriteBack, kWriteThrough };
+
+  virtual ~CloudCache() = default;
+
+  // Reads the object for `key`, from local cache if present, otherwise
+  // read-through from the object store (with NOT_FOUND retry).
+  virtual Result<std::vector<uint8_t>> Read(uint64_t key, SimTime start,
+                                            SimTime* completion) = 0;
+
+  // Writes the object for `key` under the given mode on behalf of
+  // transaction `txn_id`.
+  virtual Status Write(uint64_t key, std::vector<uint8_t> data,
+                       WriteMode mode, uint64_t txn_id, SimTime start,
+                       SimTime* completion) = 0;
+
+  // Drops any cached copy (page deleted by GC).
+  virtual void Erase(uint64_t key) = 0;
+
+  // The FlushForCommit signal: promote `txn_id`'s queued background writes
+  // to the head of the write queue and execute them through to the object
+  // store; subsequent writes from this transaction use write-through.
+  virtual Status FlushForCommit(uint64_t txn_id, SimTime start,
+                                SimTime* completion) = 0;
+
+  // The transaction rolled back: queued background uploads for it are
+  // dropped and locally cached pages that never reached the object store
+  // are discarded (they must not linger in the cache, §4).
+  virtual void AbortTxn(uint64_t txn_id) = 0;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_STORE_CLOUD_CACHE_H_

@@ -1,0 +1,23 @@
+#include "store/freelist.h"
+
+namespace cloudiq {
+
+uint64_t Freelist::AllocateRun(uint32_t block_count) {
+  // Next-fit: resume searching where the last allocation ended to keep the
+  // scan amortized O(1) for append-heavy load workloads.
+  uint64_t first = bitmap_.FindClearRun(alloc_cursor_, block_count);
+  bitmap_.SetRange(first, first + block_count);
+  alloc_cursor_ = first + block_count;
+  return first;
+}
+
+void Freelist::FreeRun(uint64_t first_block, uint32_t block_count) {
+  bitmap_.ClearRange(first_block, first_block + block_count);
+  if (first_block < alloc_cursor_) alloc_cursor_ = first_block;
+}
+
+void Freelist::MarkUsed(uint64_t first_block, uint32_t block_count) {
+  bitmap_.SetRange(first_block, first_block + block_count);
+}
+
+}  // namespace cloudiq

@@ -1,0 +1,78 @@
+#include "store/object_store_io.h"
+
+#include <cstdio>
+
+#include "common/random.h"
+
+namespace cloudiq {
+
+std::string ObjectStoreIo::StoreKey(uint64_t key) const {
+  if (options_.hashed_prefixes) return FormatObjectKey(key);
+  // Ablation: a single shared prefix funnels all requests into one
+  // rate-limit bucket.
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "data/%016llx",
+                static_cast<unsigned long long>(key));
+  return std::string(buf);
+}
+
+Status ObjectStoreIo::Put(uint64_t key, const std::vector<uint8_t>& frame,
+                          SimTime start, SimTime* completion) {
+  std::string store_key = StoreKey(key);
+  SimTime t = start;
+  for (int attempt = 0;; ++attempt) {
+    SimTime nic_done = nic_->Transfer(frame.size(), t);
+    Status st = store_->Put(store_key, frame, nic_done, completion);
+    if (st.ok()) return st;
+    ++stats_.transient_retries;
+    if (attempt >= options_.max_transient_retries) {
+      // §4: "after a pre-determined number of failures of the same page,
+      // the transaction is rolled back."
+      return Status::Aborted("PUT retries exhausted for key " + store_key);
+    }
+    t = *completion;
+  }
+}
+
+Result<std::vector<uint8_t>> ObjectStoreIo::Get(uint64_t key, SimTime start,
+                                                SimTime* completion) {
+  std::string store_key = StoreKey(key);
+  SimTime t = start;
+  double backoff = options_.not_found_backoff;
+  int not_found = 0;
+  int transient = 0;
+  for (;;) {
+    Result<std::vector<uint8_t>> r = store_->Get(store_key, t, completion);
+    if (r.ok()) {
+      // NIC transfer of the downloaded bytes.
+      *completion = nic_->Transfer(r.value().size(), *completion);
+      return r;
+    }
+    if (r.status().IsNotFound()) {
+      // Eventual consistency: the one-and-only version of this object may
+      // simply not be visible yet. Back off and retry (§3: "we have
+      // modified the storage subsystem to retry until the object is
+      // found, up to a configurable number of retries").
+      if (++not_found > options_.max_not_found_retries) return r.status();
+      ++stats_.not_found_retries;
+      t = *completion + backoff;
+      backoff *= 2;
+      continue;
+    }
+    if (++transient > options_.max_transient_retries) return r.status();
+    ++stats_.transient_retries;
+    t = *completion;
+  }
+}
+
+bool ObjectStoreIo::Exists(uint64_t key, SimTime start,
+                           SimTime* completion) {
+  return store_->Exists(StoreKey(key), start, completion);
+}
+
+Status ObjectStoreIo::Delete(uint64_t key, SimTime start,
+                             SimTime* completion) {
+  return store_->Delete(StoreKey(key), start, completion);
+}
+
+}  // namespace cloudiq

@@ -1,0 +1,78 @@
+#ifndef CLOUDIQ_STORE_OBJECT_STORE_IO_H_
+#define CLOUDIQ_STORE_OBJECT_STORE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/nic.h"
+#include "sim/object_store.h"
+#include "sim/sim_clock.h"
+
+namespace cloudiq {
+
+// One node's channel to the object store: routes every request through the
+// node's NIC, maps 64-bit object keys to full store keys (hashed prefix +
+// key, §3.1), and implements the retry policies of §3/§4:
+//   - GET NOT_FOUND (eventual-consistency race on a never-rewritten key)
+//     is retried with backoff up to a configurable limit;
+//   - transient PUT/GET failures are retried a fixed number of times, after
+//     which the caller rolls the transaction back.
+class ObjectStoreIo {
+ public:
+  struct Options {
+    int max_not_found_retries = 14;
+    double not_found_backoff = 0.02;  // seconds, doubled each retry
+    int max_transient_retries = 5;
+    // Ablation knob: disable prefix hashing so that all keys share one
+    // rate-limit bucket (bench_ablation_prefixing).
+    bool hashed_prefixes = true;
+  };
+
+  ObjectStoreIo(SimObjectStore* store, Nic* nic)
+      : ObjectStoreIo(store, nic, Options()) {}
+  ObjectStoreIo(SimObjectStore* store, Nic* nic, Options options)
+      : store_(store), nic_(nic), options_(options) {}
+
+  // Uploads `frame` under `key`. Returns Aborted after exhausting
+  // transient-failure retries.
+  Status Put(uint64_t key, const std::vector<uint8_t>& frame, SimTime start,
+             SimTime* completion);
+
+  // Downloads the object, retrying NOT_FOUND (visibility races) and
+  // transient failures. Returns NotFound only after the retry budget is
+  // exhausted — which for a correctly keyed read means the object truly
+  // does not exist.
+  Result<std::vector<uint8_t>> Get(uint64_t key, SimTime start,
+                                   SimTime* completion);
+
+  // HEAD: true if the object currently exists (no retries — GC polling
+  // treats "not visible" as "nothing to collect *now*"; idempotent
+  // re-polls are the safety net).
+  bool Exists(uint64_t key, SimTime start, SimTime* completion);
+
+  Status Delete(uint64_t key, SimTime start, SimTime* completion);
+
+  // Full store key for a 64-bit object key under the current prefix policy.
+  std::string StoreKey(uint64_t key) const;
+
+  struct Stats {
+    uint64_t not_found_retries = 0;
+    uint64_t transient_retries = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  SimObjectStore* store_;
+  Nic* nic_;
+  Options options_;
+  Stats stats_;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_STORE_OBJECT_STORE_IO_H_

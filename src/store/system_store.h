@@ -1,0 +1,71 @@
+#ifndef CLOUDIQ_STORE_SYSTEM_STORE_H_
+#define CLOUDIQ_STORE_SYSTEM_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/block_volume.h"
+#include "sim/sim_clock.h"
+
+namespace cloudiq {
+
+// Durable key-value store over the *system* dbspace (a strongly consistent
+// block volume; §3.1: "the identity object is part of the system dbspace,
+// which is always stored on devices with strong consistency guarantees;
+// therefore, it can be updated in-place").
+//
+// Holds everything the engine must be able to update in place and recover
+// after a crash: identity objects / the system catalog, checkpoint blocks,
+// the transaction log, committed RF/RB bitmaps and the key generator's
+// checkpoints. A directory run at block 0 maps names to runs; reopening the
+// same volume (simulated node restart) recovers the full contents.
+class SystemStore {
+ public:
+  // Opens (or initializes) the store on `volume`. Each node's clock is
+  // passed per call so multiplex nodes can share one volume.
+  explicit SystemStore(SimBlockVolume* volume);
+
+  // Loads the directory from the volume; call after a simulated restart.
+  Status Open(SimTime now, SimTime* completion);
+
+  // Writes (or overwrites, in place) the blob under `name`.
+  Status Put(const std::string& name, const std::vector<uint8_t>& value,
+             SimTime now, SimTime* completion);
+
+  Result<std::vector<uint8_t>> Get(const std::string& name, SimTime now,
+                                   SimTime* completion);
+
+  Status Delete(const std::string& name, SimTime now, SimTime* completion);
+
+  bool Contains(const std::string& name) const {
+    return directory_.count(name) > 0;
+  }
+
+  // Names currently stored (sorted).
+  std::vector<std::string> List() const;
+
+  // Bytes held, directory included — the "system dbspace size" that §5's
+  // near-instant snapshot argument depends on staying small.
+  uint64_t StoredBytes() const;
+
+ private:
+  Status PersistDirectory(SimTime now, SimTime* completion);
+  // Re-reads the directory run so that multiple SystemStore instances
+  // over one shared (EFS) volume stay coherent: another multiplex node
+  // may have added names since we last looked.
+  Status RefreshDirectory(SimTime now, SimTime* completion);
+
+  static constexpr uint64_t kDirectoryRun = 0;
+
+  SimBlockVolume* volume_;
+  std::map<std::string, uint64_t> directory_;  // name -> run id
+  uint64_t next_run_ = 1;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_STORE_SYSTEM_STORE_H_

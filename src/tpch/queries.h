@@ -1,0 +1,25 @@
+#ifndef CLOUDIQ_TPCH_QUERIES_H_
+#define CLOUDIQ_TPCH_QUERIES_H_
+
+#include "common/result.h"
+#include "exec/batch.h"
+#include "exec/executor.h"
+
+namespace cloudiq {
+
+// Runs TPC-H query `query_number` (1-22) against the tables loaded by
+// LoadTpch, returning the result batch. Queries are expressed directly
+// against the vectorized executor (scan with zone-map pruning and
+// prefetch, hash joins, hash aggregation, sort/top-n) and follow the
+// spec's semantics; a few thresholds are rescaled to the generator's
+// fixed four lineitems per order and noted inline.
+Result<Batch> RunTpchQuery(QueryContext* ctx, int query_number);
+
+// One-line description of the query's workload shape.
+const char* TpchQueryDescription(int query_number);
+
+inline constexpr int kTpchQueryCount = 22;
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_TPCH_QUERIES_H_

@@ -1,0 +1,83 @@
+#ifndef CLOUDIQ_TPCH_TPCH_GEN_H_
+#define CLOUDIQ_TPCH_TPCH_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/schema.h"
+#include "common/random.h"
+#include "exec/batch.h"
+
+namespace cloudiq {
+
+// Table ids for the eight TPC-H tables.
+enum TpchTable : uint64_t {
+  kRegion = 1,
+  kNation = 2,
+  kSupplier = 3,
+  kCustomer = 4,
+  kPart = 5,
+  kPartSupp = 6,
+  kOrders = 7,
+  kLineitem = 8,
+};
+
+// TPC-H data generator: spec-shaped schemas, cardinalities and value
+// distributions at a configurable scale factor, produced directly as
+// columnar batches. Orders carry a variable 1-7 lineitems (the spec's
+// distribution, average 4); a lazily built per-order prefix sum maps
+// lineitem row ranges back to their orders so any batch split stays
+// deterministic. Tables are created range-partitioned and carry the HG
+// indexes the paper's evaluation declares (o_custkey, n_regionkey,
+// s_nationkey, c_nationkey, ps_suppkey, ps_partkey, l_orderkey), plus
+// DATE and TEXT niche indexes.
+class TpchGenerator {
+ public:
+  // `scale` is the TPC-H scale factor (1.0 = ~8.6 GB raw). Sub-1 scales
+  // shrink row counts proportionally (min 1 per table).
+  explicit TpchGenerator(double scale, uint64_t seed = 20210620);
+
+  double scale() const { return scale_; }
+
+  // Schema (with partitioning and HG index declarations) for a table.
+  // `partitions` controls the number of range partitions for the large
+  // tables.
+  TableSchema SchemaFor(TpchTable table, size_t partitions = 8) const;
+
+  // Total rows for a table at this scale factor. (For lineitem this
+  // builds the order->line prefix sum on first use.)
+  uint64_t RowCount(TpchTable table) const;
+
+  // Number of lineitems of order `orderkey` (1-7, deterministic).
+  static int LinesPerOrder(uint64_t orderkey);
+
+  // Average raw text bytes per row (for modelling the load-input files
+  // staged in the S3 input bucket).
+  static uint64_t RawRowBytes(TpchTable table);
+
+  // Generates rows [first, first + count) of `table` as a columnar batch
+  // in schema column order. Deterministic: the same (seed, row range)
+  // yields the same data regardless of batch boundaries.
+  Batch GenerateBatch(TpchTable table, uint64_t first, uint64_t count);
+
+  // Date domain constants (days since epoch).
+  static int64_t MinOrderDate();  // 1992-01-01
+  static int64_t MaxOrderDate();  // 1998-08-02
+
+ private:
+  // Cumulative lineitem counts: line_prefix_[i] = total lineitems of
+  // orders 1..i. Built lazily; purely a function of (seed, scale).
+  void EnsureLinePrefix() const;
+  // Order index (0-based) owning global lineitem row `row`, plus the
+  // line number within the order.
+  void OrderForLineRow(uint64_t row, uint64_t* order_index,
+                       int* linenumber) const;
+
+  double scale_;
+  uint64_t seed_;
+  mutable std::vector<uint64_t> line_prefix_;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_TPCH_TPCH_GEN_H_

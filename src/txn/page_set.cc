@@ -1,0 +1,53 @@
+#include "txn/page_set.h"
+
+#include "common/coding.h"
+
+namespace cloudiq {
+
+void PageSet::Add(uint32_t dbspace_id, PhysicalLoc loc) {
+  if (!loc.valid()) return;
+  if (loc.is_cloud()) {
+    cloud_keys_.Insert(loc.cloud_key());
+  } else {
+    block_locs_.emplace_back(dbspace_id, loc);
+  }
+}
+
+Bitmap PageSet::BlockBitmap(uint32_t dbspace_id) const {
+  Bitmap bm;
+  for (const auto& [space, loc] : block_locs_) {
+    if (space != dbspace_id) continue;
+    bm.SetRange(loc.first_block(), loc.first_block() + loc.block_count());
+  }
+  return bm;
+}
+
+std::vector<uint8_t> PageSet::Serialize() const {
+  std::vector<uint8_t> out;
+  std::vector<uint8_t> cloud = cloud_keys_.Serialize();
+  PutU64(out, cloud.size());
+  PutBytes(out, cloud.data(), cloud.size());
+  PutU64(out, block_locs_.size());
+  for (const auto& [space, loc] : block_locs_) {
+    PutU32(out, space);
+    PutU64(out, loc.encoded());
+  }
+  return out;
+}
+
+PageSet PageSet::Deserialize(const std::vector<uint8_t>& bytes) {
+  PageSet set;
+  ByteReader reader(bytes);
+  uint64_t cloud_len = reader.GetU64();
+  std::vector<uint8_t> cloud = reader.GetBytes(cloud_len);
+  set.cloud_keys_ = IntervalSet::Deserialize(cloud);
+  uint64_t n = reader.GetU64();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t space = reader.GetU32();
+    uint64_t encoded = reader.GetU64();
+    set.block_locs_.emplace_back(space, PhysicalLoc::FromEncoded(encoded));
+  }
+  return set;
+}
+
+}  // namespace cloudiq

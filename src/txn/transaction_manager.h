@@ -1,0 +1,221 @@
+#ifndef CLOUDIQ_TXN_TRANSACTION_MANAGER_H_
+#define CLOUDIQ_TXN_TRANSACTION_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "blockmap/blockmap.h"
+#include "blockmap/identity.h"
+#include "buffer/buffer_manager.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "keygen/object_key_generator.h"
+#include "store/storage.h"
+#include "store/system_store.h"
+#include "txn/page_set.h"
+#include "txn/txn_log.h"
+
+namespace cloudiq {
+
+class TransactionManager;
+class StorageObject;
+
+// A transaction: MVCC with table-level versioning and snapshot isolation
+// (§2). Readers see the identity catalog as of Begin(); writers build
+// copy-on-write blockmap working copies that become visible atomically at
+// Commit().
+struct Transaction {
+  enum class State { kActive, kCommitted, kRolledBack };
+
+  uint64_t id = 0;
+  NodeId node = 0;
+  State state = State::kActive;
+  uint64_t begin_seq = 0;
+  uint64_t commit_seq = 0;
+
+  // RF: pages this transaction marked for deletion (superseded versions).
+  // RB: pages this transaction allocated.
+  PageSet rf;
+  PageSet rb;
+
+  // Snapshot of the identity catalog at Begin().
+  IdentityCatalog snapshot;
+
+  // Working copies of objects opened for write, by object id.
+  std::map<uint64_t, std::unique_ptr<StorageObject>> write_objects;
+  std::vector<uint64_t> dropped_objects;
+};
+
+// A storage object under a transaction: one table / column segment / index
+// whose pages are mapped by a blockmap. Writable instances hold the
+// transaction's COW working copy; read instances wrap the snapshot's
+// committed tree.
+class StorageObject {
+ public:
+  StorageObject(TransactionManager* txn_mgr, Transaction* txn,
+                uint64_t object_id, DbSpace* space, Blockmap blockmap,
+                bool writable);
+
+  uint64_t object_id() const { return object_id_; }
+  DbSpace* space() { return space_; }
+  Blockmap& blockmap() { return blockmap_; }
+  uint64_t page_count() const { return blockmap_.page_count(); }
+  bool writable() const { return writable_; }
+
+  // Appends a new logical page with `payload` (goes to the dirty list;
+  // physical location assigned at flush). Returns the logical page number.
+  Result<uint64_t> AppendPage(std::vector<uint8_t> payload);
+
+  // Replaces the contents of an existing logical page.
+  Status WritePage(uint64_t page, std::vector<uint8_t> payload);
+
+  // Reads a logical page: the transaction's dirty copy if any, else the
+  // buffer cache, else storage (through the OCM for cloud dbspaces).
+  Result<BufferManager::PageData> ReadPage(uint64_t page);
+
+  // Parallel read-ahead of the given logical pages into the buffer cache.
+  Status Prefetch(const std::vector<uint64_t>& pages);
+  Status PrefetchAll();
+
+ private:
+  friend class TransactionManager;
+
+  TransactionManager* txn_mgr_;
+  Transaction* txn_;  // nullptr for read-only snapshot objects
+  uint64_t object_id_;
+  DbSpace* space_;
+  Blockmap blockmap_;
+  bool writable_;
+};
+
+// The transaction manager (§2, §3.3): transaction lifecycle, the committed-
+// transaction chain with RF/RB-driven garbage collection, checkpoints and
+// crash recovery. Owns the node's buffer manager (its flush callback needs
+// the per-transaction RF/RB bookkeeping).
+class TransactionManager {
+ public:
+  struct Options {
+    NodeId node_id = 0;
+    uint32_t blockmap_fanout = 64;
+    uint64_t buffer_capacity_bytes = 64 << 20;
+    // Prefix for node-local durable structures (transaction log, commit
+    // chain, RF/RB blobs, freelists) when the system dbspace is shared by
+    // a multiplex. The catalog and table metadata stay unprefixed —
+    // they are the cluster-shared state readers attach to.
+    std::string name_prefix;
+    // Reader nodes of a multiplex cannot perform modifications (§2):
+    // object creation, writes and drops are rejected.
+    bool read_only = false;
+  };
+
+  TransactionManager(StorageSubsystem* storage, SystemStore* system,
+                     Options options);
+
+  // Called at every commit with the cloud keys the transaction consumed,
+  // so the coordinator can update its active sets (§3.2). Wired to the
+  // local ObjectKeyGenerator in single-node setups and to the coordinator
+  // RPC in a multiplex.
+  using CommitListener =
+      std::function<void(NodeId node, const IntervalSet& keys)>;
+  void set_commit_listener(CommitListener listener) {
+    commit_listener_ = std::move(listener);
+  }
+
+  // --- transaction lifecycle ---------------------------------------------
+  Transaction* Begin();
+  Status Commit(Transaction* txn);
+  // Rollback deletes the transaction's RB pages immediately and, per the
+  // paper's optimization, does NOT notify the coordinator.
+  Status Rollback(Transaction* txn);
+
+  // Simulates this node dying with `txn` in flight: all volatile state is
+  // dropped without deleting any storage. Cleanup must then happen through
+  // the crash-recovery path (keygen active-set polling). Test-only.
+  void SimulateCrash();
+
+  // --- storage objects ------------------------------------------------------
+  // Creates a new (empty) object on `space` owned by `txn`.
+  Result<StorageObject*> CreateObject(Transaction* txn, uint64_t object_id,
+                                      DbSpace* space);
+  // Opens an existing object for write (COW working copy from the
+  // snapshot).
+  Result<StorageObject*> OpenForWrite(Transaction* txn, uint64_t object_id);
+  // Opens a read-only view from the transaction's snapshot.
+  Result<std::unique_ptr<StorageObject>> OpenForRead(Transaction* txn,
+                                                     uint64_t object_id);
+  // Drops the object: every reachable page joins the RF set at commit.
+  Status DropObject(Transaction* txn, uint64_t object_id);
+
+  // --- garbage collection ---------------------------------------------------
+  // Deletes the pages of committed transactions that are no longer
+  // referenced by any active transaction; prunes the chain.
+  Status RunGarbageCollection();
+  size_t committed_chain_length() const { return chain_.size(); }
+
+  // --- durability -----------------------------------------------------------
+  // Persists catalog + freelists + a checkpoint marker; truncates the log.
+  Status Checkpoint();
+  // Rebuilds state from the system store after a crash: checkpointed
+  // catalog/freelists, then log replay (commits re-applied, chain and
+  // freelist brought forward).
+  Status RecoverAfterCrash();
+
+  const IdentityCatalog& catalog() const { return catalog_; }
+  BufferManager& buffer() { return *buffer_; }
+  StorageSubsystem& storage() { return *storage_; }
+  TxnLog& log() { return log_; }
+  uint64_t commit_seq() const { return commit_seq_; }
+  NodeId node_id() const { return options_.node_id; }
+
+  struct Stats {
+    uint64_t commits = 0;
+    uint64_t rollbacks = 0;
+    uint64_t gc_pages_deleted = 0;
+    uint64_t gc_runs = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class StorageObject;
+
+  struct CommittedTxn {
+    uint64_t txn_id;
+    uint64_t commit_seq;
+    PageSet rf;
+    std::string rf_name;
+    std::string rb_name;
+  };
+
+  // BufferManager flush callback: writes dirty pages, updates blockmaps,
+  // records RF/RB.
+  Status FlushBatch(uint64_t txn_id, std::vector<BufferManager::DirtyPage>&&
+                                          pages,
+                    bool for_commit);
+
+  Status DeleteLoc(uint32_t dbspace_id, PhysicalLoc loc);
+  Status PersistChain();
+  uint64_t OldestActiveBeginSeq() const;
+  Transaction* FindTxn(uint64_t txn_id);
+
+  StorageSubsystem* storage_;
+  SystemStore* system_;
+  Options options_;
+  std::unique_ptr<BufferManager> buffer_;
+  TxnLog log_;
+  IdentityCatalog catalog_;
+  CommitListener commit_listener_;
+
+  std::map<uint64_t, std::unique_ptr<Transaction>> active_;
+  std::list<CommittedTxn> chain_;
+  uint64_t next_txn_local_ = 1;
+  uint64_t commit_seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_TXN_TRANSACTION_MANAGER_H_

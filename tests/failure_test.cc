@@ -1,0 +1,150 @@
+// Failure injection across the full stack: transient object-store errors
+// (absorbed by retries per §3/§4), persistent failures (transaction
+// aborts, rollback leaves no garbage), and a flaky local SSD under the
+// OCM (ignored per §4).
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "exec/executor.h"
+
+namespace cloudiq {
+namespace {
+
+TableSchema KvSchema(uint64_t table_id) {
+  TableSchema schema;
+  schema.name = "t" + std::to_string(table_id);
+  schema.table_id = table_id;
+  schema.columns = {{"k", ColumnType::kInt64},
+                    {"v", ColumnType::kString}};
+  return schema;
+}
+
+Batch MakeRows(int64_t n) {
+  Batch batch;
+  batch.AddColumn("k", {ColumnType::kInt64, {}, {}, {}});
+  batch.AddColumn("v", {ColumnType::kString, {}, {}, {}});
+  for (int64_t i = 0; i < n; ++i) {
+    batch.columns[0].ints.push_back(i);
+    batch.columns[1].strings.push_back("value-" + std::to_string(i % 101));
+  }
+  return batch;
+}
+
+TEST(FailureInjectionTest, TransientStoreErrorsAbsorbedByRetries) {
+  ObjectStoreOptions store_options;
+  store_options.transient_error_rate = 0.25;  // 1 in 4 requests fails
+  SimEnvironment env(store_options);
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  options.page_size = 4096;  // many pages -> failures are certain
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+
+  Transaction* txn = db.Begin();
+  TableLoader loader = db.NewTableLoader(txn, KvSchema(1));
+  ASSERT_TRUE(loader.Append(MakeRows(20000).columns).ok());
+  ASSERT_TRUE(loader.Finish(db.system()).ok());
+  ASSERT_TRUE(db.Commit(txn).ok());
+  EXPECT_GT(env.object_store().stats().puts, 50u);
+  EXPECT_GT(db.storage().object_io().stats().transient_retries, 0u);
+
+  // Reads also ride through the error rate.
+  Transaction* rtxn = db.Begin();
+  QueryContext ctx = db.NewQueryContext(rtxn);
+  Result<TableReader> reader = ctx.OpenTable(1);
+  ASSERT_TRUE(reader.ok());
+  Result<Batch> rows = ScanTable(&ctx, &*reader, {"k", "v"});
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows(), 20000u);
+  ASSERT_TRUE(db.Commit(rtxn).ok());
+}
+
+TEST(FailureInjectionTest, PersistentFailureAbortsAndRollbackIsClean) {
+  ObjectStoreOptions store_options;
+  store_options.transient_error_rate = 0.95;  // retries will exhaust
+  SimEnvironment env(store_options);
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  options.page_size = 16384;
+  StorageSubsystem::Options storage_opts;
+  storage_opts.object_io.max_transient_retries = 1;
+  options.storage = storage_opts;
+  options.enable_ocm = false;  // direct PUT path
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+
+  Transaction* txn = db.Begin();
+  TableLoader loader = db.NewTableLoader(txn, KvSchema(1));
+  ASSERT_TRUE(loader.Append(MakeRows(4000).columns).ok());
+  ASSERT_TRUE(loader.Finish(db.system()).ok());
+  // The commit must fail with Aborted ("after a pre-determined number of
+  // failures of the same page, the transaction is rolled back", §4).
+  Status commit_status = db.Commit(txn);
+  ASSERT_FALSE(commit_status.ok());
+  EXPECT_TRUE(commit_status.IsAborted()) << commit_status.ToString();
+  ASSERT_TRUE(db.Rollback(txn).ok());
+
+  // Any partially uploaded objects are deleted by the rollback; the
+  // catalog never learned about the table.
+  EXPECT_EQ(env.object_store().LiveObjectCount(), 0u);
+  EXPECT_FALSE(db.txn_mgr().catalog().Contains(
+      TableLoader::ObjectIdFor(1, 0, 0)));
+}
+
+TEST(FailureInjectionTest, FlakySsdNeverCorruptsResults) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  options.page_size = 16384;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  // Every local cache write fails from the start; the OCM must ignore
+  // the errors (§4) and stay correct end to end.
+  db.node().ssd().set_write_error_rate(1.0);
+
+  Transaction* txn = db.Begin();
+  TableLoader loader = db.NewTableLoader(txn, KvSchema(1));
+  ASSERT_TRUE(loader.Append(MakeRows(3000).columns).ok());
+  ASSERT_TRUE(loader.Finish(db.system()).ok());
+  ASSERT_TRUE(db.Commit(txn).ok());
+
+  Transaction* rtxn = db.Begin();
+  QueryContext ctx = db.NewQueryContext(rtxn);
+  Result<TableReader> reader = ctx.OpenTable(1);
+  ASSERT_TRUE(reader.ok());
+  Result<Batch> rows = ScanTable(&ctx, &*reader, {"k", "v"});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows(), 3000u);
+  ASSERT_TRUE(db.Commit(rtxn).ok());
+  ASSERT_NE(db.ocm(), nullptr);
+  EXPECT_GT(db.ocm()->stats().local_write_errors_ignored, 0u);
+}
+
+TEST(FailureInjectionTest, ErrorsDuringRecoveryRetryToo) {
+  // Crash recovery's orphan polling runs against the same flaky store.
+  ObjectStoreOptions store_options;
+  store_options.transient_error_rate = 0.2;
+  SimEnvironment env(store_options);
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  options.page_size = 16384;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+
+  Transaction* txn = db.Begin();
+  TableLoader loader = db.NewTableLoader(txn, KvSchema(1));
+  ASSERT_TRUE(loader.Append(MakeRows(2000).columns).ok());
+  ASSERT_TRUE(loader.Finish(db.system()).ok());
+  ASSERT_TRUE(db.Commit(txn).ok());
+  ASSERT_TRUE(db.Checkpoint().ok());
+
+  ASSERT_TRUE(db.CrashAndRecover().ok());
+  Transaction* rtxn = db.Begin();
+  QueryContext ctx = db.NewQueryContext(rtxn);
+  Result<TableReader> reader = ctx.OpenTable(1);
+  ASSERT_TRUE(reader.ok());
+  Result<Batch> rows = ScanTable(&ctx, &*reader, {"k"});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows(), 2000u);
+  ASSERT_TRUE(db.Commit(rtxn).ok());
+}
+
+}  // namespace
+}  // namespace cloudiq

@@ -1,0 +1,324 @@
+// Tests for the extension features: read-only snapshot views (§8 future
+// work), latency-aware OCM re-routing (§6 future work), reader-node
+// enforcement (§2), the read-only commit fast path, and engine-level
+// table-metadata caching.
+
+#include <gtest/gtest.h>
+
+#include "engine/consistency_check.h"
+#include "engine/database.h"
+#include "engine/metrics.h"
+#include "engine/snapshot_view.h"
+#include "exec/executor.h"
+#include "multiplex/multiplex.h"
+#include "tests/test_util.h"
+
+namespace cloudiq {
+namespace {
+
+TableSchema KvSchema(uint64_t table_id, const char* name) {
+  TableSchema schema;
+  schema.name = name;
+  schema.table_id = table_id;
+  schema.columns = {{"k", ColumnType::kInt64},
+                    {"v", ColumnType::kInt64}};
+  return schema;
+}
+
+Status LoadKv(Database* db, uint64_t table_id, const char* name,
+              int64_t rows, int64_t value_base) {
+  Transaction* txn = db->Begin();
+  TableLoader loader = db->NewTableLoader(txn, KvSchema(table_id, name));
+  Batch batch;
+  batch.AddColumn("k", {ColumnType::kInt64, {}, {}, {}});
+  batch.AddColumn("v", {ColumnType::kInt64, {}, {}, {}});
+  for (int64_t i = 0; i < rows; ++i) {
+    batch.columns[0].ints.push_back(i);
+    batch.columns[1].ints.push_back(value_base + i);
+  }
+  CLOUDIQ_RETURN_IF_ERROR(loader.Append(batch.columns));
+  CLOUDIQ_RETURN_IF_ERROR(loader.Finish(db->system()).status());
+  return db->Commit(txn);
+}
+
+int64_t SumColumn(QueryContext* ctx, uint64_t table_id) {
+  Result<TableReader> reader = ctx->OpenTable(table_id);
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  Result<Batch> rows = ScanTable(ctx, &*reader, {"v"});
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  int64_t sum = 0;
+  for (int64_t v : rows->column("v").ints) sum += v;
+  return sum;
+}
+
+TEST(SnapshotViewTest, SeesPastWhileLiveMovesOn) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+
+  ASSERT_TRUE(LoadKv(&db, 1, "t", 5000, 0).ok());
+  Result<SnapshotManager::SnapshotInfo> snap = db.TakeSnapshot();
+  ASSERT_TRUE(snap.ok());
+
+  // Live database moves on: replace the table's contents and GC the old
+  // version (which lands in the snapshot manager's retention queue).
+  Transaction* txn = db.Begin();
+  Result<StorageObject*> obj = db.txn_mgr().OpenForWrite(
+      txn, TableLoader::ObjectIdFor(1, 0, 1));
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE((*obj)->WritePage(0, std::vector<uint8_t>(64, 1)).ok());
+  ASSERT_TRUE(db.Commit(txn).ok());
+  ASSERT_TRUE(db.RunGarbageCollection().ok());
+  ASSERT_TRUE(LoadKv(&db, 2, "t2", 100, 0).ok());
+
+  // The view serves the snapshot's world: table 1's original contents,
+  // and no table 2.
+  Result<std::unique_ptr<SnapshotView>> view =
+      SnapshotView::Open(&db, snap->id);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ((*view)->info().id, snap->id);
+  QueryContext view_ctx = (*view)->NewQueryContext();
+  EXPECT_EQ(SumColumn(&view_ctx, 1), 5000LL * 4999 / 2);
+  EXPECT_TRUE((*view)->OpenTable(2).status().IsNotFound());
+
+  // Meanwhile the live catalog still has both tables.
+  Transaction* live_txn = db.Begin();
+  QueryContext live_ctx = db.NewQueryContext(live_txn);
+  EXPECT_TRUE(live_ctx.OpenTable(2).ok());
+  ASSERT_TRUE(db.Commit(live_txn).ok());
+}
+
+TEST(SnapshotViewTest, RequiresCloudDbSpace) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = UserStorage::kEbs;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  ASSERT_TRUE(LoadKv(&db, 1, "t", 100, 0).ok());
+  Result<SnapshotManager::SnapshotInfo> snap = db.TakeSnapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_TRUE(
+      SnapshotView::Open(&db, snap->id).status().IsNotSupported());
+}
+
+TEST(SnapshotViewTest, ExpiredSnapshotRejected) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  options.snapshot_retention_seconds = 100;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  ASSERT_TRUE(LoadKv(&db, 1, "t", 100, 0).ok());
+  Result<SnapshotManager::SnapshotInfo> snap = db.TakeSnapshot();
+  ASSERT_TRUE(snap.ok());
+  db.node().clock().Advance(200);
+  EXPECT_TRUE(SnapshotView::Open(&db, snap->id)
+                  .status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(SnapshotView::Open(&db, 999).status().IsNotFound());
+}
+
+TEST(OcmRerouteTest, PressureReroutesHitsToObjectStore) {
+  testing_util::SingleNodeHarness h;
+  ObjectCacheManager::Options opts;
+  opts.reroute_on_pressure = true;
+  opts.reroute_backlog_seconds = 0.005;
+  ObjectCacheManager ocm(h.node, &h.storage->object_io(), opts);
+
+  // Seed a hot object (cached on SSD).
+  uint64_t hot = h.key_cache->NextKey(0);
+  SimTime done = 0;
+  ASSERT_TRUE(ocm.Write(hot, h.MakePayload(512 * 1024, 1),
+                        CloudCache::WriteMode::kWriteBack, 1, 0.0, &done)
+                  .ok());
+  h.node->executor().RunDue(done + 10.0);
+  h.node->clock().AdvanceTo(done + 10.0);
+
+  // Flood the SSD with asynchronous cache fills.
+  std::vector<uint64_t> cold;
+  for (int i = 0; i < 400; ++i) {
+    uint64_t key = h.key_cache->NextKey(0);
+    SimTime put_done = 0;
+    ASSERT_TRUE(h.storage->object_io()
+                    .Put(key, h.MakePayload(512 * 1024, 2),
+                         h.node->clock().now(), &put_done)
+                    .ok());
+    cold.push_back(key);
+  }
+  h.node->clock().Advance(50);
+  SimTime burst = h.node->clock().now();
+  for (uint64_t key : cold) {
+    ASSERT_TRUE(ocm.Read(key, burst, &done).ok());
+  }
+  SimTime t1 = burst + 0.1;
+  h.node->executor().RunDue(t1);
+
+  // The hit gets re-routed to the object store instead of queueing
+  // behind the fill backlog: latency stays at object-store levels.
+  ASSERT_TRUE(ocm.Read(hot, t1, &done).ok());
+  double latency = done - t1;
+  EXPECT_GT(ocm.stats().rerouted_reads, 0u);
+  EXPECT_LT(latency, 0.1);  // vs the multi-hundred-ms backlog wait
+}
+
+TEST(ReaderNodeTest, ReadersCannotModify) {
+  SimEnvironment env;
+  Multiplex::Options options;
+  options.db.user_storage = UserStorage::kObjectStore;
+  options.db.page_size = 64 * 1024;
+  options.writer_count = 1;  // secondary 0 writes, secondary 1 reads
+  Multiplex mx(&env, 2, options);
+
+  ASSERT_TRUE(LoadKv(&mx.secondary(0), 1, "t", 2000, 0).ok());
+  ASSERT_TRUE(mx.SyncCatalogs().ok());
+
+  Database& reader_db = mx.secondary(1);
+  // Reads work...
+  Transaction* read_txn = reader_db.Begin();
+  QueryContext ctx = reader_db.NewQueryContext(read_txn);
+  EXPECT_EQ(SumColumn(&ctx, 1), 2000LL * 1999 / 2);
+  ASSERT_TRUE(reader_db.Commit(read_txn).ok());
+
+  // ...modifications do not.
+  Transaction* write_txn = reader_db.Begin();
+  EXPECT_TRUE(reader_db.txn_mgr()
+                  .CreateObject(write_txn, 9, reader_db.user_space())
+                  .status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(reader_db.txn_mgr()
+                  .OpenForWrite(write_txn,
+                                TableLoader::ObjectIdFor(1, 0, 0))
+                  .status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(reader_db.txn_mgr()
+                  .DropObject(write_txn, TableLoader::ObjectIdFor(1, 0, 0))
+                  .IsFailedPrecondition());
+  ASSERT_TRUE(reader_db.Rollback(write_txn).ok());
+}
+
+TEST(ReadOnlyCommitTest, FastPathSkipsDurableWrites) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  ASSERT_TRUE(LoadKv(&db, 1, "t", 1000, 0).ok());
+
+  size_t names_before = db.system()->List().size();
+  Transaction* txn = db.Begin();
+  QueryContext ctx = db.NewQueryContext(txn);
+  SumColumn(&ctx, 1);
+  ASSERT_TRUE(db.Commit(txn).ok());
+  // No RF/RB blobs, no log growth: the read-only commit left the system
+  // store untouched.
+  EXPECT_EQ(db.system()->List().size(), names_before);
+}
+
+TEST(ConsistencyCheckTest, CleanDatabasePasses) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  options.snapshot_retention_seconds = 3600;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  ASSERT_TRUE(LoadKv(&db, 1, "a", 4000, 0).ok());
+  ASSERT_TRUE(LoadKv(&db, 2, "b", 500, 9).ok());
+  // Update table 1 so superseded versions flow to the snapshot manager.
+  Transaction* txn = db.Begin();
+  Result<StorageObject*> obj = db.txn_mgr().OpenForWrite(
+      txn, TableLoader::ObjectIdFor(1, 0, 0));
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE((*obj)->WritePage(0, std::vector<uint8_t>(64, 1)).ok());
+  ASSERT_TRUE(db.Commit(txn).ok());
+  ASSERT_TRUE(db.RunGarbageCollection().ok());
+
+  Result<ConsistencyReport> report = CheckConsistency(&db);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << (report->problems.empty()
+                                    ? ""
+                                    : report->problems.front());
+  EXPECT_GT(report->objects_checked, 2u);
+  EXPECT_GT(report->pages_checked, 4u);
+  EXPECT_EQ(report->unreadable_pages, 0u);
+  EXPECT_EQ(report->leaked_objects, 0u);
+}
+
+TEST(ConsistencyCheckTest, DetectsLeakedObject) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  ASSERT_TRUE(LoadKv(&db, 1, "a", 500, 0).ok());
+
+  // Plant an orphan: a page-like object no catalog path reaches.
+  uint64_t orphan = db.key_cache().NextKey(0);
+  SimTime done = 0;
+  ASSERT_TRUE(db.storage()
+                  .object_io()
+                  .Put(orphan, std::vector<uint8_t>(128, 7),
+                       db.node().clock().now(), &done)
+                  .ok());
+  db.node().clock().Advance(100);  // let it become visible
+
+  Result<ConsistencyReport> report = CheckConsistency(&db);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  EXPECT_EQ(report->leaked_objects, 1u);
+  ASSERT_FALSE(report->problems.empty());
+  EXPECT_NE(report->problems.front().find("leaked"), std::string::npos);
+}
+
+TEST(MetricsTest, SnapshotReflectsActivity) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  ASSERT_TRUE(LoadKv(&db, 1, "t", 3000, 0).ok());
+  Transaction* txn = db.Begin();
+  QueryContext ctx = db.NewQueryContext(txn);
+  SumColumn(&ctx, 1);
+  ASSERT_TRUE(db.Commit(txn).ok());
+  ASSERT_TRUE(db.TakeSnapshot().ok());
+
+  MetricsSnapshot m = CollectMetrics(&db);
+  EXPECT_GT(m.s3_puts, 0u);
+  EXPECT_EQ(m.s3_overwrites, 0u);
+  EXPECT_EQ(m.s3_stale_reads, 0u);
+  EXPECT_GT(m.pages_written, 0u);
+  EXPECT_GT(m.commits, 1u);
+  EXPECT_EQ(m.snapshots, 1u);
+  EXPECT_TRUE(m.ocm_enabled);
+  EXPECT_GT(m.max_allocated_key, kCloudKeyBase);
+  EXPECT_GT(m.sim_seconds, 0.0);
+  EXPECT_GT(m.s3_monthly_storage_usd, 0.0);
+
+  std::string report = FormatMetrics(m);
+  EXPECT_NE(report.find("object store"), std::string::npos);
+  EXPECT_NE(report.find("transactions"), std::string::npos);
+  EXPECT_NE(report.find("snapshots"), std::string::npos);
+  EXPECT_NE(report.find("stale_reads=0"), std::string::npos);
+}
+
+TEST(MetaCacheTest, SecondOpenIsFree) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  ASSERT_TRUE(LoadKv(&db, 1, "t", 1000, 0).ok());
+
+  Transaction* txn = db.Begin();
+  ASSERT_TRUE(db.OpenTable(txn, 1).ok());  // cold: hits the system store
+  SimTime before = db.node().clock().now();
+  ASSERT_TRUE(db.OpenTable(txn, 1).ok());  // cached
+  EXPECT_DOUBLE_EQ(db.node().clock().now(), before);
+  ASSERT_TRUE(db.Commit(txn).ok());
+
+  // Recovery invalidates the cache (the catalog may have moved).
+  ASSERT_TRUE(db.Checkpoint().ok());
+  ASSERT_TRUE(db.CrashAndRecover().ok());
+  Transaction* txn2 = db.Begin();
+  before = db.node().clock().now();
+  ASSERT_TRUE(db.OpenTable(txn2, 1).ok());
+  EXPECT_GT(db.node().clock().now(), before);  // re-read from system store
+  ASSERT_TRUE(db.Commit(txn2).ok());
+}
+
+}  // namespace
+}  // namespace cloudiq

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "multiplex/multiplex.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+#include "tpch/tpch_loader.h"
+
+namespace cloudiq {
+namespace {
+
+Multiplex::Options TestOptions() {
+  Multiplex::Options options;
+  options.db.user_storage = UserStorage::kObjectStore;
+  options.db.page_size = 64 * 1024;
+  return options;
+}
+
+TEST(MultiplexTest, SecondariesDrawKeysFromCoordinator) {
+  SimEnvironment env;
+  Multiplex mx(&env, /*secondary_count=*/2, TestOptions());
+
+  // Write through a secondary: keys must come from the coordinator's
+  // generator, tracked in that node's active set.
+  Database& writer = mx.secondary(0);
+  TableSchema schema;
+  schema.name = "t";
+  schema.table_id = 30;
+  schema.columns = {{"k", ColumnType::kInt64}};
+  Transaction* txn = writer.Begin();
+  TableLoader loader = writer.NewTableLoader(txn, schema);
+  Batch batch;
+  batch.AddColumn("k", {ColumnType::kInt64, {}, {}, {}});
+  for (int64_t i = 0; i < 5000; ++i) batch.columns[0].ints.push_back(i);
+  ASSERT_TRUE(loader.Append(batch.columns).ok());
+  ASSERT_TRUE(loader.Finish(writer.system()).ok());
+  ASSERT_TRUE(writer.Commit(txn).ok());
+
+  EXPECT_GT(mx.rpc_count(), 0u);
+  EXPECT_GT(mx.coordinator().keygen().max_allocated(), uint64_t{1} << 63);
+  // Consumed keys left node 1's active set at commit.
+  Result<IdentityObject> identity = writer.txn_mgr().catalog().Get(
+      TableLoader::ObjectIdFor(30, 0, 0));
+  ASSERT_TRUE(identity.ok());
+  EXPECT_FALSE(mx.coordinator().keygen().ActiveSet(1).Contains(
+      identity->root.cloud_key()));
+}
+
+TEST(MultiplexTest, ReadersSeeWriterCommitsAfterSync) {
+  SimEnvironment env;
+  Multiplex mx(&env, 2, TestOptions());
+  TpchGenerator gen(0.002);
+  TpchLoadOptions load;
+  load.partitions = 2;
+  // Load nation through the coordinator (the DDL/bulk node).
+  ASSERT_TRUE(LoadTpchTable(&mx.coordinator(), &gen, kNation, load).ok());
+  ASSERT_TRUE(mx.SyncCatalogs().ok());
+
+  for (int i = 0; i < 2; ++i) {
+    Database& reader_db = mx.secondary(i);
+    Transaction* txn = reader_db.Begin();
+    QueryContext ctx(&reader_db.txn_mgr(), txn, reader_db.system());
+    Result<TableReader> reader = ctx.OpenTable(kNation);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    Result<Batch> rows = ScanTable(&ctx, &*reader, {"n_name"});
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->rows(), 25u);
+    ASSERT_TRUE(reader_db.Commit(txn).ok());
+  }
+}
+
+TEST(MultiplexTest, WriterRestartCollectsOrphans) {
+  SimEnvironment env;
+  Multiplex mx(&env, 1, TestOptions());
+  Database& writer = mx.secondary(0);
+
+  // Commit a table so there is live committed data to protect.
+  TableSchema schema;
+  schema.name = "keep";
+  schema.table_id = 40;
+  schema.columns = {{"k", ColumnType::kInt64}};
+  Transaction* txn = writer.Begin();
+  TableLoader keep = writer.NewTableLoader(txn, schema);
+  Batch batch;
+  batch.AddColumn("k", {ColumnType::kInt64, {}, {}, {}});
+  for (int64_t i = 0; i < 2000; ++i) batch.columns[0].ints.push_back(i);
+  ASSERT_TRUE(keep.Append(batch.columns).ok());
+  ASSERT_TRUE(keep.Finish(writer.system()).ok());
+  ASSERT_TRUE(writer.Commit(txn).ok());
+  uint64_t committed_live = env.object_store().LiveObjectCount();
+
+  // An in-flight transaction uploads orphans, then the node dies.
+  TableSchema doomed = schema;
+  doomed.table_id = 41;
+  doomed.name = "doomed";
+  Transaction* dtxn = writer.Begin();
+  TableLoader dloader = writer.NewTableLoader(dtxn, doomed);
+  ASSERT_TRUE(dloader.Append(batch.columns).ok());
+  ASSERT_TRUE(dloader.Finish(writer.system()).ok());
+  ASSERT_TRUE(writer.txn_mgr().buffer().FlushTxn(dtxn->id).ok());
+  ASSERT_GT(env.object_store().LiveObjectCount(), committed_live);
+
+  Result<uint64_t> collected = mx.RestartSecondary(0);
+  ASSERT_TRUE(collected.ok()) << collected.status().ToString();
+  EXPECT_GT(*collected, 0u);
+  EXPECT_EQ(env.object_store().LiveObjectCount(), committed_live);
+  // The coordinator cleared the node's active set.
+  EXPECT_TRUE(mx.coordinator().keygen().ActiveSet(1).empty());
+  // Committed data still readable on the restarted node.
+  Transaction* rtxn = writer.Begin();
+  QueryContext ctx(&writer.txn_mgr(), rtxn, writer.system());
+  Result<TableReader> reader = ctx.OpenTable(40);
+  ASSERT_TRUE(reader.ok());
+  Result<Batch> rows = ScanTable(&ctx, &*reader, {"k"});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows(), 2000u);
+  ASSERT_TRUE(writer.Commit(rtxn).ok());
+}
+
+TEST(MultiplexTest, SequentialWritersPropagateThroughSharedCatalog) {
+  // Writer A commits table 30, everyone syncs; writer B (having attached
+  // A's catalog) commits table 31. Both tables must be visible
+  // cluster-wide afterwards — the shared "catalog" blob accumulates both
+  // writers' updates because each writer attaches before writing.
+  SimEnvironment env;
+  Multiplex mx(&env, 3, TestOptions());
+
+  auto load = [&](Database& writer, uint64_t table_id) {
+    TableSchema schema;
+    schema.name = "t" + std::to_string(table_id);
+    schema.table_id = table_id;
+    schema.columns = {{"k", ColumnType::kInt64}};
+    Transaction* txn = writer.Begin();
+    TableLoader loader = writer.NewTableLoader(txn, schema);
+    Batch batch;
+    batch.AddColumn("k", {ColumnType::kInt64, {}, {}, {}});
+    for (int64_t i = 0; i < 1000; ++i) batch.columns[0].ints.push_back(i);
+    ASSERT_TRUE(loader.Append(batch.columns).ok());
+    ASSERT_TRUE(loader.Finish(writer.system()).ok());
+    ASSERT_TRUE(writer.Commit(txn).ok());
+  };
+
+  load(mx.secondary(0), 30);
+  ASSERT_TRUE(mx.SyncCatalogs().ok());
+  load(mx.secondary(1), 31);
+  ASSERT_TRUE(mx.SyncCatalogs().ok());
+
+  for (int i = 0; i < 3; ++i) {
+    Database& reader_db = mx.secondary(i);
+    for (uint64_t table : {uint64_t{30}, uint64_t{31}}) {
+      Transaction* txn = reader_db.Begin();
+      QueryContext ctx = reader_db.NewQueryContext(txn);
+      Result<TableReader> reader = ctx.OpenTable(table);
+      ASSERT_TRUE(reader.ok())
+          << "node " << i << " table " << table << ": "
+          << reader.status().ToString();
+      Result<Batch> rows = ScanTable(&ctx, &*reader, {"k"});
+      ASSERT_TRUE(rows.ok());
+      EXPECT_EQ(rows->rows(), 1000u);
+      ASSERT_TRUE(reader_db.Commit(txn).ok());
+    }
+  }
+}
+
+TEST(MultiplexTest, RolledBackRangesRepolledIdempotently) {
+  // The §3.3 optimization: rollback GC is not communicated; restart
+  // re-polls the same ranges, and idempotent deletes make that safe.
+  SimEnvironment env;
+  Multiplex mx(&env, 1, TestOptions());
+  Database& writer = mx.secondary(0);
+
+  TableSchema schema;
+  schema.name = "rb";
+  schema.table_id = 50;
+  schema.columns = {{"k", ColumnType::kInt64}};
+  Transaction* txn = writer.Begin();
+  TableLoader loader = writer.NewTableLoader(txn, schema);
+  Batch batch;
+  batch.AddColumn("k", {ColumnType::kInt64, {}, {}, {}});
+  for (int64_t i = 0; i < 3000; ++i) batch.columns[0].ints.push_back(i);
+  ASSERT_TRUE(loader.Append(batch.columns).ok());
+  ASSERT_TRUE(loader.Finish(writer.system()).ok());
+  ASSERT_TRUE(writer.txn_mgr().buffer().FlushTxn(txn->id).ok());
+  ASSERT_TRUE(writer.Rollback(txn).ok());
+  EXPECT_EQ(env.object_store().LiveObjectCount(), 0u);
+  // Coordinator was NOT told about the rollback.
+  EXPECT_FALSE(mx.coordinator().keygen().ActiveSet(1).empty());
+
+  // Restart re-polls the whole range without error. A key may be
+  // re-collected if its rollback delete's visibility lagged (eventual
+  // consistency) — the re-poll is the idempotent safety net.
+  Result<uint64_t> collected = mx.RestartSecondary(0);
+  ASSERT_TRUE(collected.ok());
+  EXPECT_LE(*collected, 3u);
+  EXPECT_TRUE(mx.coordinator().keygen().ActiveSet(1).empty());
+  EXPECT_EQ(env.object_store().LiveObjectCount(), 0u);
+}
+
+}  // namespace
+}  // namespace cloudiq

@@ -1,0 +1,373 @@
+// Property-style sweeps over the stack's central invariants:
+//  * load -> read round trips hold for every page size;
+//  * correctness is independent of eventual-consistency aggressiveness
+//    (stale reads never happen; retries absorb visibility races);
+//  * after arbitrary committed/rolled-back/dropped workloads plus GC,
+//    the object store holds exactly the reachable set;
+//  * crash recovery preserves every committed table and collects every
+//    orphan, wherever the crash lands;
+//  * query results do not depend on the buffer cache capacity;
+//  * the page codec never crashes on corrupted input.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/consistency_check.h"
+#include "engine/database.h"
+#include "exec/executor.h"
+#include "store/page_codec.h"
+#include "tests/test_util.h"
+
+namespace cloudiq {
+namespace {
+
+TableSchema KvSchema(uint64_t table_id) {
+  TableSchema schema;
+  schema.name = "t" + std::to_string(table_id);
+  schema.table_id = table_id;
+  schema.columns = {{"k", ColumnType::kInt64},
+                    {"s", ColumnType::kString},
+                    {"d", ColumnType::kDouble}};
+  return schema;
+}
+
+Status LoadKv(Database* db, uint64_t table_id, int64_t rows,
+              uint64_t seed) {
+  Transaction* txn = db->Begin();
+  TableLoader loader = db->NewTableLoader(txn, KvSchema(table_id));
+  Rng rng(seed);
+  Batch batch;
+  batch.AddColumn("k", {ColumnType::kInt64, {}, {}, {}});
+  batch.AddColumn("s", {ColumnType::kString, {}, {}, {}});
+  batch.AddColumn("d", {ColumnType::kDouble, {}, {}, {}});
+  for (int64_t i = 0; i < rows; ++i) {
+    batch.columns[0].ints.push_back(i);
+    batch.columns[1].strings.push_back(
+        "row-" + std::to_string(seed) + "-" + std::to_string(i % 37));
+    batch.columns[2].doubles.push_back(rng.NextDouble());
+  }
+  CLOUDIQ_RETURN_IF_ERROR(loader.Append(batch.columns));
+  CLOUDIQ_RETURN_IF_ERROR(loader.Finish(db->system()).status());
+  return db->Commit(txn);
+}
+
+// Scans table `table_id` and returns a content fingerprint.
+uint64_t FingerprintTable(Database* db, uint64_t table_id) {
+  Transaction* txn = db->Begin();
+  QueryContext ctx = db->NewQueryContext(txn);
+  Result<TableReader> reader = ctx.OpenTable(table_id);
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  Result<Batch> rows = ScanTable(&ctx, &*reader, {"k", "s"});
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  uint64_t fp = 1469598103934665603ULL;
+  for (size_t r = 0; r < rows->rows(); ++r) {
+    fp = (fp ^ static_cast<uint64_t>(rows->Int("k", r))) * 1099511628211ULL;
+    for (char c : rows->Str("s", r)) {
+      fp = (fp ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+    }
+  }
+  EXPECT_TRUE(db->Commit(txn).ok());
+  return fp;
+}
+
+// ---------------------------------------------------------------------------
+// Page-size sweep.
+// ---------------------------------------------------------------------------
+
+class PageSizeSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageSizeSweep, LoadReadRoundTrip) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  options.page_size = GetParam();
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  ASSERT_TRUE(LoadKv(&db, 1, 3000, /*seed=*/GetParam()).ok());
+
+  Transaction* txn = db.Begin();
+  QueryContext ctx = db.NewQueryContext(txn);
+  Result<TableReader> reader = ctx.OpenTable(1);
+  ASSERT_TRUE(reader.ok());
+  Result<Batch> rows = ScanTable(&ctx, &*reader, {"k", "s", "d"});
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->rows(), 3000u);
+  for (size_t r = 0; r < rows->rows(); ++r) {
+    ASSERT_EQ(rows->Int("k", r), static_cast<int64_t>(r));
+    ASSERT_EQ(rows->Str("s", r),
+              "row-" + std::to_string(GetParam()) + "-" +
+                  std::to_string(r % 37));
+  }
+  ASSERT_TRUE(db.Commit(txn).ok());
+  EXPECT_EQ(env.object_store().stats().overwrites, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, PageSizeSweep,
+                         ::testing::Values(2048, 8192, 65536, 524288));
+
+// ---------------------------------------------------------------------------
+// Eventual-consistency aggressiveness sweep.
+// ---------------------------------------------------------------------------
+
+struct LagConfig {
+  double probability;
+  double mean_lag;
+};
+
+class ConsistencySweep : public ::testing::TestWithParam<LagConfig> {};
+
+TEST_P(ConsistencySweep, CorrectUnderAnyVisibilityLag) {
+  ObjectStoreOptions store_options;
+  store_options.lag_probability = GetParam().probability;
+  store_options.mean_visibility_lag = GetParam().mean_lag;
+  SimEnvironment env(store_options);
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  options.page_size = 16384;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+
+  ASSERT_TRUE(LoadKv(&db, 1, 2000, 99).ok());
+  uint64_t fp1 = FingerprintTable(&db, 1);
+  // Update-then-read immediately: the read-after-write window is where
+  // the races live.
+  ASSERT_TRUE(LoadKv(&db, 2, 500, 7).ok());
+  FingerprintTable(&db, 2);
+  EXPECT_EQ(FingerprintTable(&db, 1), fp1);
+  // The invariant the whole design exists for:
+  EXPECT_EQ(env.object_store().stats().stale_reads, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lags, ConsistencySweep,
+    ::testing::Values(LagConfig{0.0, 0.0}, LagConfig{0.05, 0.1},
+                      LagConfig{0.5, 0.5}, LagConfig{1.0, 1.0}));
+
+// ---------------------------------------------------------------------------
+// Randomized GC completeness.
+// ---------------------------------------------------------------------------
+
+class GcWorkloadSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GcWorkloadSweep, StoreHoldsExactlyTheReachableSet) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  options.page_size = 8192;
+  options.snapshot_retention_seconds = 0;  // no deferred retention
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  Rng rng(GetParam());
+
+  std::set<uint64_t> live_tables;
+  uint64_t next_table = 1;
+  for (int round = 0; round < 12; ++round) {
+    double dice = rng.NextDouble();
+    if (dice < 0.5 || live_tables.empty()) {
+      uint64_t id = next_table++;
+      int64_t rows = 200 + static_cast<int64_t>(rng.Uniform(2000));
+      ASSERT_TRUE(LoadKv(&db, id, rows, GetParam() * 100 + id).ok());
+      live_tables.insert(id);
+    } else if (dice < 0.75) {
+      // Drop a random table.
+      auto it = live_tables.begin();
+      std::advance(it, rng.Uniform(live_tables.size()));
+      Transaction* txn = db.Begin();
+      for (size_t c = 0; c < 3; ++c) {
+        ASSERT_TRUE(db.txn_mgr()
+                        .DropObject(txn, TableLoader::ObjectIdFor(*it, 0, c))
+                        .ok());
+      }
+      ASSERT_TRUE(db.Commit(txn).ok());
+      live_tables.erase(it);
+    } else {
+      // Start a load and roll it back.
+      uint64_t id = next_table++;
+      Transaction* txn = db.Begin();
+      TableLoader loader = db.NewTableLoader(txn, KvSchema(id));
+      Batch batch;
+      batch.AddColumn("k", {ColumnType::kInt64, {}, {}, {}});
+      batch.AddColumn("s", {ColumnType::kString, {}, {}, {}});
+      batch.AddColumn("d", {ColumnType::kDouble, {}, {}, {}});
+      for (int64_t i = 0; i < 500; ++i) {
+        batch.columns[0].ints.push_back(i);
+        batch.columns[1].strings.push_back("x");
+        batch.columns[2].doubles.push_back(0.5);
+      }
+      ASSERT_TRUE(loader.Append(batch.columns).ok());
+      ASSERT_TRUE(loader.Finish(db.system()).ok());
+      ASSERT_TRUE(db.txn_mgr().buffer().FlushTxn(txn->id).ok());
+      ASSERT_TRUE(db.Rollback(txn).ok());
+    }
+  }
+  ASSERT_TRUE(db.RunGarbageCollection().ok());
+  ASSERT_TRUE(db.snapshot_mgr()->CollectExpired().ok());
+
+  // Reachable set = nodes + data pages of every live table, via the
+  // committed catalog.
+  uint64_t reachable = 0;
+  Transaction* probe = db.Begin();
+  for (uint64_t id : live_tables) {
+    for (size_t c = 0; c < 3; ++c) {
+      Result<std::unique_ptr<StorageObject>> obj =
+          db.txn_mgr().OpenForRead(probe,
+                                   TableLoader::ObjectIdFor(id, 0, c));
+      ASSERT_TRUE(obj.ok());
+      std::vector<PhysicalLoc> nodes, pages;
+      ASSERT_TRUE((*obj)->blockmap().CollectReachable(&nodes, &pages).ok());
+      reachable += nodes.size() + pages.size();
+    }
+  }
+  ASSERT_TRUE(db.Commit(probe).ok());
+  // The snapshot manager's metadata object is legitimately live too.
+  uint64_t metadata_objects = 0;
+  for (const std::string& key : env.object_store().LiveKeys()) {
+    if (key.rfind("snapmgr/", 0) == 0) ++metadata_objects;
+  }
+  EXPECT_EQ(env.object_store().LiveObjectCount(),
+            reachable + metadata_objects)
+      << "seed " << GetParam();
+  EXPECT_EQ(env.object_store().stats().overwrites, 0u);
+
+  // Every surviving table still reads back.
+  for (uint64_t id : live_tables) FingerprintTable(&db, id);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcWorkloadSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---------------------------------------------------------------------------
+// Crash-anywhere recovery.
+// ---------------------------------------------------------------------------
+
+class CrashPointSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrashPointSweep, CommittedDataSurvivesOrphansDie) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  options.page_size = 8192;
+  options.snapshot_retention_seconds = 0;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  Rng rng(GetParam());
+
+  std::map<uint64_t, uint64_t> committed_fps;
+  int commits_before_crash = 1 + static_cast<int>(rng.Uniform(4));
+  for (int i = 0; i < commits_before_crash; ++i) {
+    uint64_t id = i + 1;
+    ASSERT_TRUE(
+        LoadKv(&db, id, 300 + rng.Uniform(1500), GetParam() + id).ok());
+    committed_fps[id] = FingerprintTable(&db, id);
+  }
+  ASSERT_TRUE(db.Checkpoint().ok());
+  ASSERT_TRUE(db.RunGarbageCollection().ok());
+  ASSERT_TRUE(db.snapshot_mgr()->CollectExpired().ok());
+  uint64_t committed_live = env.object_store().LiveObjectCount();
+
+  // An in-flight transaction flushes a random number of pages... crash.
+  Transaction* doomed = db.Begin();
+  TableLoader loader = db.NewTableLoader(doomed, KvSchema(99));
+  Batch batch;
+  batch.AddColumn("k", {ColumnType::kInt64, {}, {}, {}});
+  batch.AddColumn("s", {ColumnType::kString, {}, {}, {}});
+  batch.AddColumn("d", {ColumnType::kDouble, {}, {}, {}});
+  int64_t rows = 200 + static_cast<int64_t>(rng.Uniform(3000));
+  for (int64_t i = 0; i < rows; ++i) {
+    batch.columns[0].ints.push_back(i);
+    batch.columns[1].strings.push_back("doomed");
+    batch.columns[2].doubles.push_back(1.0);
+  }
+  ASSERT_TRUE(loader.Append(batch.columns).ok());
+  ASSERT_TRUE(loader.Finish(db.system()).ok());
+  if (rng.Bernoulli(0.7)) {
+    ASSERT_TRUE(db.txn_mgr().buffer().FlushTxn(doomed->id).ok());
+  }
+
+  ASSERT_TRUE(db.CrashAndRecover().ok());
+
+  // Orphans collected, committed data intact and bit-identical.
+  EXPECT_EQ(env.object_store().LiveObjectCount(), committed_live)
+      << "seed " << GetParam();
+  for (const auto& [id, fp] : committed_fps) {
+    EXPECT_EQ(FingerprintTable(&db, id), fp) << "table " << id;
+  }
+
+  // The full audit agrees: everything reachable reads back, nothing
+  // leaked.
+  Result<ConsistencyReport> audit = CheckConsistency(&db);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->ok()) << (audit->problems.empty()
+                                   ? ""
+                                   : audit->problems.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashPointSweep,
+                         ::testing::Values(21, 34, 55, 89, 144));
+
+// ---------------------------------------------------------------------------
+// Buffer capacity independence.
+// ---------------------------------------------------------------------------
+
+class BufferCapacitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BufferCapacitySweep, ResultsIndependentOfCacheSize) {
+  SimEnvironment env;
+  Database::Options options;
+  options.user_storage = UserStorage::kObjectStore;
+  options.page_size = 8192;
+  options.buffer_capacity_override = GetParam();
+  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  ASSERT_TRUE(LoadKv(&db, 1, 4000, 1234).ok());
+  // The fingerprint is capacity-invariant; churn-phase evictions and
+  // re-reads must not change what a scan sees.
+  EXPECT_EQ(FingerprintTable(&db, 1), FingerprintTable(&db, 1));
+  static uint64_t reference_fp = 0;
+  uint64_t fp = FingerprintTable(&db, 1);
+  if (reference_fp == 0) {
+    reference_fp = fp;
+  } else {
+    EXPECT_EQ(fp, reference_fp);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BufferCapacitySweep,
+                         ::testing::Values(64 << 10, 512 << 10, 4 << 20,
+                                           256 << 20));
+
+// ---------------------------------------------------------------------------
+// Codec corruption fuzz.
+// ---------------------------------------------------------------------------
+
+TEST(CodecFuzzTest, CorruptedFramesErrorCleanly) {
+  Rng rng(777);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<uint8_t> payload(rng.Uniform(4000) + 1);
+    for (auto& b : payload) b = static_cast<uint8_t>(rng.Next());
+    std::vector<uint8_t> frame = EncodePage(payload);
+
+    // Clean round trip.
+    Result<std::vector<uint8_t>> ok = DecodePage(frame);
+    ASSERT_TRUE(ok.ok());
+    ASSERT_EQ(ok.value(), payload);
+
+    // Mutate one byte: must either fail cleanly or (if the mutation hit
+    // redundant bits) still decode to the original payload — never crash
+    // or return wrong data.
+    std::vector<uint8_t> bad = frame;
+    bad[rng.Uniform(bad.size())] ^=
+        static_cast<uint8_t>(1 + rng.Uniform(255));
+    Result<std::vector<uint8_t>> r = DecodePage(bad);
+    if (r.ok()) {
+      EXPECT_EQ(r.value(), payload);
+    }
+
+    // Truncate: must fail cleanly.
+    std::vector<uint8_t> truncated(frame.begin(),
+                                   frame.begin() + rng.Uniform(frame.size()));
+    Result<std::vector<uint8_t>> t = DecodePage(truncated);
+    if (t.ok()) {
+      EXPECT_EQ(t.value(), payload);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudiq
