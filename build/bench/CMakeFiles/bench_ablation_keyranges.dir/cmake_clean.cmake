@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_keyranges.dir/bench_ablation_keyranges.cc.o"
+  "CMakeFiles/bench_ablation_keyranges.dir/bench_ablation_keyranges.cc.o.d"
+  "bench_ablation_keyranges"
+  "bench_ablation_keyranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_keyranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

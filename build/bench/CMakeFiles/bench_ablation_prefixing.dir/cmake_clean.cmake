@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prefixing.dir/bench_ablation_prefixing.cc.o"
+  "CMakeFiles/bench_ablation_prefixing.dir/bench_ablation_prefixing.cc.o.d"
+  "bench_ablation_prefixing"
+  "bench_ablation_prefixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prefixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_write_twice.dir/bench_ablation_write_twice.cc.o"
+  "CMakeFiles/bench_ablation_write_twice.dir/bench_ablation_write_twice.cc.o.d"
+  "bench_ablation_write_twice"
+  "bench_ablation_write_twice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_write_twice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ocm_impact.dir/bench_fig6_ocm_impact.cc.o"
+  "CMakeFiles/bench_fig6_ocm_impact.dir/bench_fig6_ocm_impact.cc.o.d"
+  "bench_fig6_ocm_impact"
+  "bench_fig6_ocm_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ocm_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_scale_up.dir/bench_fig7_scale_up.cc.o"
+  "CMakeFiles/bench_fig7_scale_up.dir/bench_fig7_scale_up.cc.o.d"
+  "bench_fig7_scale_up"
+  "bench_fig7_scale_up.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_scale_up.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

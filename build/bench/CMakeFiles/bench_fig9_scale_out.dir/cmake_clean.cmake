@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_scale_out.dir/bench_fig9_scale_out.cc.o"
+  "CMakeFiles/bench_fig9_scale_out.dir/bench_fig9_scale_out.cc.o.d"
+  "bench_fig9_scale_out"
+  "bench_fig9_scale_out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_scale_out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

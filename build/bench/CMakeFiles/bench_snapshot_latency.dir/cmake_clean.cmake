@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snapshot_latency.dir/bench_snapshot_latency.cc.o"
+  "CMakeFiles/bench_snapshot_latency.dir/bench_snapshot_latency.cc.o.d"
+  "bench_snapshot_latency"
+  "bench_snapshot_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snapshot_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

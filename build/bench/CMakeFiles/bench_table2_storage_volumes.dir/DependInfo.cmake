@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_storage_volumes.cc" "bench/CMakeFiles/bench_table2_storage_volumes.dir/bench_table2_storage_volumes.cc.o" "gcc" "bench/CMakeFiles/bench_table2_storage_volumes.dir/bench_table2_storage_volumes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpch/CMakeFiles/cloudiq_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiplex/CMakeFiles/cloudiq_multiplex.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/cloudiq_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/cloudiq_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/cloudiq_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/cloudiq_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockmap/CMakeFiles/cloudiq_blockmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/cloudiq_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/keygen/CMakeFiles/cloudiq_keygen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocm/CMakeFiles/cloudiq_ocm.dir/DependInfo.cmake"
+  "/root/repo/build/src/snapshot/CMakeFiles/cloudiq_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/cloudiq_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudiq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cloudiq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

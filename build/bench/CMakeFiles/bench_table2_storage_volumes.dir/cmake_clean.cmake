@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_storage_volumes.dir/bench_table2_storage_volumes.cc.o"
+  "CMakeFiles/bench_table2_storage_volumes.dir/bench_table2_storage_volumes.cc.o.d"
+  "bench_table2_storage_volumes"
+  "bench_table2_storage_volumes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_storage_volumes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_time_travel.dir/snapshot_time_travel.cpp.o"
+  "CMakeFiles/snapshot_time_travel.dir/snapshot_time_travel.cpp.o.d"
+  "snapshot_time_travel"
+  "snapshot_time_travel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_time_travel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

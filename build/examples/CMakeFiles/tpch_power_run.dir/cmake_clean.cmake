@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_power_run.dir/tpch_power_run.cpp.o"
+  "CMakeFiles/tpch_power_run.dir/tpch_power_run.cpp.o.d"
+  "tpch_power_run"
+  "tpch_power_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_power_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("store")
+subdirs("keygen")
+subdirs("blockmap")
+subdirs("buffer")
+subdirs("txn")
+subdirs("ocm")
+subdirs("snapshot")
+subdirs("columnar")
+subdirs("exec")
+subdirs("tpch")
+subdirs("multiplex")
+subdirs("engine")

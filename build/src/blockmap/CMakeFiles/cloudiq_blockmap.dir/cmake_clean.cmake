@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudiq_blockmap.dir/blockmap.cc.o"
+  "CMakeFiles/cloudiq_blockmap.dir/blockmap.cc.o.d"
+  "CMakeFiles/cloudiq_blockmap.dir/identity.cc.o"
+  "CMakeFiles/cloudiq_blockmap.dir/identity.cc.o.d"
+  "libcloudiq_blockmap.a"
+  "libcloudiq_blockmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudiq_blockmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/buffer_manager.cc" "src/buffer/CMakeFiles/cloudiq_buffer.dir/buffer_manager.cc.o" "gcc" "src/buffer/CMakeFiles/cloudiq_buffer.dir/buffer_manager.cc.o.d"
+  "/root/repo/src/buffer/prefetcher.cc" "src/buffer/CMakeFiles/cloudiq_buffer.dir/prefetcher.cc.o" "gcc" "src/buffer/CMakeFiles/cloudiq_buffer.dir/prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/cloudiq_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudiq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cloudiq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudiq_buffer.dir/buffer_manager.cc.o"
+  "CMakeFiles/cloudiq_buffer.dir/buffer_manager.cc.o.d"
+  "CMakeFiles/cloudiq_buffer.dir/prefetcher.cc.o"
+  "CMakeFiles/cloudiq_buffer.dir/prefetcher.cc.o.d"
+  "libcloudiq_buffer.a"
+  "libcloudiq_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudiq_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

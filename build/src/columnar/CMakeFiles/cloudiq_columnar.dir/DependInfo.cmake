@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnar/date_index.cc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/date_index.cc.o" "gcc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/date_index.cc.o.d"
+  "/root/repo/src/columnar/encoding.cc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/encoding.cc.o" "gcc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/encoding.cc.o.d"
+  "/root/repo/src/columnar/hg_index.cc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/hg_index.cc.o" "gcc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/hg_index.cc.o.d"
+  "/root/repo/src/columnar/schema.cc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/schema.cc.o" "gcc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/schema.cc.o.d"
+  "/root/repo/src/columnar/table_loader.cc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/table_loader.cc.o" "gcc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/table_loader.cc.o.d"
+  "/root/repo/src/columnar/table_reader.cc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/table_reader.cc.o" "gcc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/table_reader.cc.o.d"
+  "/root/repo/src/columnar/text_index.cc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/text_index.cc.o" "gcc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/text_index.cc.o.d"
+  "/root/repo/src/columnar/value.cc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/value.cc.o" "gcc" "src/columnar/CMakeFiles/cloudiq_columnar.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/cloudiq_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockmap/CMakeFiles/cloudiq_blockmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/cloudiq_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/keygen/CMakeFiles/cloudiq_keygen.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/cloudiq_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudiq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cloudiq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

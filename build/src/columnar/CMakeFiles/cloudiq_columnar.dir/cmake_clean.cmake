@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudiq_columnar.dir/date_index.cc.o"
+  "CMakeFiles/cloudiq_columnar.dir/date_index.cc.o.d"
+  "CMakeFiles/cloudiq_columnar.dir/encoding.cc.o"
+  "CMakeFiles/cloudiq_columnar.dir/encoding.cc.o.d"
+  "CMakeFiles/cloudiq_columnar.dir/hg_index.cc.o"
+  "CMakeFiles/cloudiq_columnar.dir/hg_index.cc.o.d"
+  "CMakeFiles/cloudiq_columnar.dir/schema.cc.o"
+  "CMakeFiles/cloudiq_columnar.dir/schema.cc.o.d"
+  "CMakeFiles/cloudiq_columnar.dir/table_loader.cc.o"
+  "CMakeFiles/cloudiq_columnar.dir/table_loader.cc.o.d"
+  "CMakeFiles/cloudiq_columnar.dir/table_reader.cc.o"
+  "CMakeFiles/cloudiq_columnar.dir/table_reader.cc.o.d"
+  "CMakeFiles/cloudiq_columnar.dir/text_index.cc.o"
+  "CMakeFiles/cloudiq_columnar.dir/text_index.cc.o.d"
+  "CMakeFiles/cloudiq_columnar.dir/value.cc.o"
+  "CMakeFiles/cloudiq_columnar.dir/value.cc.o.d"
+  "libcloudiq_columnar.a"
+  "libcloudiq_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudiq_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

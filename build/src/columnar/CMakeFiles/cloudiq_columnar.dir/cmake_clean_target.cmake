@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcloudiq_columnar.a"
+)

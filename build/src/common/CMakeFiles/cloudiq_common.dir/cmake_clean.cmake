@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudiq_common.dir/bitmap.cc.o"
+  "CMakeFiles/cloudiq_common.dir/bitmap.cc.o.d"
+  "CMakeFiles/cloudiq_common.dir/interval_set.cc.o"
+  "CMakeFiles/cloudiq_common.dir/interval_set.cc.o.d"
+  "CMakeFiles/cloudiq_common.dir/random.cc.o"
+  "CMakeFiles/cloudiq_common.dir/random.cc.o.d"
+  "CMakeFiles/cloudiq_common.dir/status.cc.o"
+  "CMakeFiles/cloudiq_common.dir/status.cc.o.d"
+  "libcloudiq_common.a"
+  "libcloudiq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudiq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudiq_engine.dir/consistency_check.cc.o"
+  "CMakeFiles/cloudiq_engine.dir/consistency_check.cc.o.d"
+  "CMakeFiles/cloudiq_engine.dir/database.cc.o"
+  "CMakeFiles/cloudiq_engine.dir/database.cc.o.d"
+  "CMakeFiles/cloudiq_engine.dir/metrics.cc.o"
+  "CMakeFiles/cloudiq_engine.dir/metrics.cc.o.d"
+  "CMakeFiles/cloudiq_engine.dir/snapshot_view.cc.o"
+  "CMakeFiles/cloudiq_engine.dir/snapshot_view.cc.o.d"
+  "libcloudiq_engine.a"
+  "libcloudiq_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudiq_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

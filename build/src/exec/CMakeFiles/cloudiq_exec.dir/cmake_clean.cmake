@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudiq_exec.dir/executor.cc.o"
+  "CMakeFiles/cloudiq_exec.dir/executor.cc.o.d"
+  "libcloudiq_exec.a"
+  "libcloudiq_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudiq_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

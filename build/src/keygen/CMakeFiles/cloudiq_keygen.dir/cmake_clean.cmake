@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudiq_keygen.dir/object_key_generator.cc.o"
+  "CMakeFiles/cloudiq_keygen.dir/object_key_generator.cc.o.d"
+  "libcloudiq_keygen.a"
+  "libcloudiq_keygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudiq_keygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

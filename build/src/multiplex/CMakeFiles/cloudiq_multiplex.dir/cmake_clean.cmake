@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudiq_multiplex.dir/multiplex.cc.o"
+  "CMakeFiles/cloudiq_multiplex.dir/multiplex.cc.o.d"
+  "libcloudiq_multiplex.a"
+  "libcloudiq_multiplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudiq_multiplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudiq_ocm.dir/object_cache_manager.cc.o"
+  "CMakeFiles/cloudiq_ocm.dir/object_cache_manager.cc.o.d"
+  "libcloudiq_ocm.a"
+  "libcloudiq_ocm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudiq_ocm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/block_volume.cc" "src/sim/CMakeFiles/cloudiq_sim.dir/block_volume.cc.o" "gcc" "src/sim/CMakeFiles/cloudiq_sim.dir/block_volume.cc.o.d"
+  "/root/repo/src/sim/environment.cc" "src/sim/CMakeFiles/cloudiq_sim.dir/environment.cc.o" "gcc" "src/sim/CMakeFiles/cloudiq_sim.dir/environment.cc.o.d"
+  "/root/repo/src/sim/instance_profile.cc" "src/sim/CMakeFiles/cloudiq_sim.dir/instance_profile.cc.o" "gcc" "src/sim/CMakeFiles/cloudiq_sim.dir/instance_profile.cc.o.d"
+  "/root/repo/src/sim/io_scheduler.cc" "src/sim/CMakeFiles/cloudiq_sim.dir/io_scheduler.cc.o" "gcc" "src/sim/CMakeFiles/cloudiq_sim.dir/io_scheduler.cc.o.d"
+  "/root/repo/src/sim/local_ssd.cc" "src/sim/CMakeFiles/cloudiq_sim.dir/local_ssd.cc.o" "gcc" "src/sim/CMakeFiles/cloudiq_sim.dir/local_ssd.cc.o.d"
+  "/root/repo/src/sim/object_store.cc" "src/sim/CMakeFiles/cloudiq_sim.dir/object_store.cc.o" "gcc" "src/sim/CMakeFiles/cloudiq_sim.dir/object_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cloudiq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

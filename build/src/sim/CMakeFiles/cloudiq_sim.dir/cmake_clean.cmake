@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudiq_sim.dir/block_volume.cc.o"
+  "CMakeFiles/cloudiq_sim.dir/block_volume.cc.o.d"
+  "CMakeFiles/cloudiq_sim.dir/environment.cc.o"
+  "CMakeFiles/cloudiq_sim.dir/environment.cc.o.d"
+  "CMakeFiles/cloudiq_sim.dir/instance_profile.cc.o"
+  "CMakeFiles/cloudiq_sim.dir/instance_profile.cc.o.d"
+  "CMakeFiles/cloudiq_sim.dir/io_scheduler.cc.o"
+  "CMakeFiles/cloudiq_sim.dir/io_scheduler.cc.o.d"
+  "CMakeFiles/cloudiq_sim.dir/local_ssd.cc.o"
+  "CMakeFiles/cloudiq_sim.dir/local_ssd.cc.o.d"
+  "CMakeFiles/cloudiq_sim.dir/object_store.cc.o"
+  "CMakeFiles/cloudiq_sim.dir/object_store.cc.o.d"
+  "libcloudiq_sim.a"
+  "libcloudiq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudiq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudiq_snapshot.dir/snapshot_manager.cc.o"
+  "CMakeFiles/cloudiq_snapshot.dir/snapshot_manager.cc.o.d"
+  "libcloudiq_snapshot.a"
+  "libcloudiq_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudiq_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

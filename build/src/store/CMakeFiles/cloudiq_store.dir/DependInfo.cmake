@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/freelist.cc" "src/store/CMakeFiles/cloudiq_store.dir/freelist.cc.o" "gcc" "src/store/CMakeFiles/cloudiq_store.dir/freelist.cc.o.d"
+  "/root/repo/src/store/object_store_io.cc" "src/store/CMakeFiles/cloudiq_store.dir/object_store_io.cc.o" "gcc" "src/store/CMakeFiles/cloudiq_store.dir/object_store_io.cc.o.d"
+  "/root/repo/src/store/page_codec.cc" "src/store/CMakeFiles/cloudiq_store.dir/page_codec.cc.o" "gcc" "src/store/CMakeFiles/cloudiq_store.dir/page_codec.cc.o.d"
+  "/root/repo/src/store/storage.cc" "src/store/CMakeFiles/cloudiq_store.dir/storage.cc.o" "gcc" "src/store/CMakeFiles/cloudiq_store.dir/storage.cc.o.d"
+  "/root/repo/src/store/system_store.cc" "src/store/CMakeFiles/cloudiq_store.dir/system_store.cc.o" "gcc" "src/store/CMakeFiles/cloudiq_store.dir/system_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cloudiq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudiq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudiq_store.dir/freelist.cc.o"
+  "CMakeFiles/cloudiq_store.dir/freelist.cc.o.d"
+  "CMakeFiles/cloudiq_store.dir/object_store_io.cc.o"
+  "CMakeFiles/cloudiq_store.dir/object_store_io.cc.o.d"
+  "CMakeFiles/cloudiq_store.dir/page_codec.cc.o"
+  "CMakeFiles/cloudiq_store.dir/page_codec.cc.o.d"
+  "CMakeFiles/cloudiq_store.dir/storage.cc.o"
+  "CMakeFiles/cloudiq_store.dir/storage.cc.o.d"
+  "CMakeFiles/cloudiq_store.dir/system_store.cc.o"
+  "CMakeFiles/cloudiq_store.dir/system_store.cc.o.d"
+  "libcloudiq_store.a"
+  "libcloudiq_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudiq_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

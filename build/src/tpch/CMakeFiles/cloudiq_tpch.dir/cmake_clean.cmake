@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudiq_tpch.dir/queries_a.cc.o"
+  "CMakeFiles/cloudiq_tpch.dir/queries_a.cc.o.d"
+  "CMakeFiles/cloudiq_tpch.dir/queries_b.cc.o"
+  "CMakeFiles/cloudiq_tpch.dir/queries_b.cc.o.d"
+  "CMakeFiles/cloudiq_tpch.dir/tpch_gen.cc.o"
+  "CMakeFiles/cloudiq_tpch.dir/tpch_gen.cc.o.d"
+  "CMakeFiles/cloudiq_tpch.dir/tpch_loader.cc.o"
+  "CMakeFiles/cloudiq_tpch.dir/tpch_loader.cc.o.d"
+  "libcloudiq_tpch.a"
+  "libcloudiq_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudiq_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/page_set.cc" "src/txn/CMakeFiles/cloudiq_txn.dir/page_set.cc.o" "gcc" "src/txn/CMakeFiles/cloudiq_txn.dir/page_set.cc.o.d"
+  "/root/repo/src/txn/transaction_manager.cc" "src/txn/CMakeFiles/cloudiq_txn.dir/transaction_manager.cc.o" "gcc" "src/txn/CMakeFiles/cloudiq_txn.dir/transaction_manager.cc.o.d"
+  "/root/repo/src/txn/txn_log.cc" "src/txn/CMakeFiles/cloudiq_txn.dir/txn_log.cc.o" "gcc" "src/txn/CMakeFiles/cloudiq_txn.dir/txn_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blockmap/CMakeFiles/cloudiq_blockmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/cloudiq_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/keygen/CMakeFiles/cloudiq_keygen.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/cloudiq_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudiq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cloudiq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

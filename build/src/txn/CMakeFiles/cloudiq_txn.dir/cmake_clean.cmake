@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudiq_txn.dir/page_set.cc.o"
+  "CMakeFiles/cloudiq_txn.dir/page_set.cc.o.d"
+  "CMakeFiles/cloudiq_txn.dir/transaction_manager.cc.o"
+  "CMakeFiles/cloudiq_txn.dir/transaction_manager.cc.o.d"
+  "CMakeFiles/cloudiq_txn.dir/txn_log.cc.o"
+  "CMakeFiles/cloudiq_txn.dir/txn_log.cc.o.d"
+  "libcloudiq_txn.a"
+  "libcloudiq_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudiq_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

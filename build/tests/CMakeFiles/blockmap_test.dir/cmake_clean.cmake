@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockmap_test.dir/blockmap_test.cc.o"
+  "CMakeFiles/blockmap_test.dir/blockmap_test.cc.o.d"
+  "blockmap_test"
+  "blockmap_test.pdb"
+  "blockmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

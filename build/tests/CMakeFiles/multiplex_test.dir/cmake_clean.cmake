@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplex_test.dir/multiplex_test.cc.o"
+  "CMakeFiles/multiplex_test.dir/multiplex_test.cc.o.d"
+  "multiplex_test"
+  "multiplex_test.pdb"
+  "multiplex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocm_test.dir/ocm_test.cc.o"
+  "CMakeFiles/ocm_test.dir/ocm_test.cc.o.d"
+  "ocm_test"
+  "ocm_test.pdb"
+  "ocm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
