@@ -42,6 +42,7 @@ int Main() {
     options.key_cache.min_range_size = config.min_size;
     options.key_cache.max_range_size = config.max_size;
     Database db(&env, InstanceProfile::M5ad24xlarge(), options);
+    MaybeEnableTracing(&db);
     TpchGenerator gen(scale);
     Result<TpchLoadResult> load = LoadTpch(&db, &gen, {});
     if (!load.ok()) {
@@ -53,6 +54,7 @@ int Main() {
     std::printf("%-18s %12.2f %22llu\n", config.label, load->seconds,
                 static_cast<unsigned long long>(
                     db.key_cache().fetch_count()));
+    MaybeReportTelemetry(&db);
   }
   Hr();
   std::printf("Every fetch is a coordinator transaction (log write + "
@@ -66,4 +68,7 @@ int Main() {
 }  // namespace bench
 }  // namespace cloudiq
 
-int main() { return cloudiq::bench::Main(); }
+int main(int argc, char** argv) {
+  cloudiq::bench::InitTelemetry(argc, argv);
+  return cloudiq::bench::Main();
+}

@@ -27,8 +27,10 @@ Result<ModeResult> RunLoad(bool enable_ocm, double scale) {
   // long-running OLAP transaction.
   options.buffer_ram_fraction = 0.0002;  // ~13 MB on the 64 GB instance
   Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  MaybeEnableTracing(&db);
   TpchGenerator gen(scale);
   CLOUDIQ_ASSIGN_OR_RETURN(TpchLoadResult load, LoadTpch(&db, &gen, {}));
+  MaybeReportTelemetry(&db);
   ModeResult result;
   result.load_seconds = load.seconds;
   result.churn_flushes = db.txn_mgr().buffer().stats().churn_flushes;
@@ -71,4 +73,7 @@ int Main() {
 }  // namespace bench
 }  // namespace cloudiq
 
-int main() { return cloudiq::bench::Main(); }
+int main(int argc, char** argv) {
+  cloudiq::bench::InitTelemetry(argc, argv);
+  return cloudiq::bench::Main();
+}

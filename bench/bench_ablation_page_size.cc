@@ -28,6 +28,7 @@ int Main() {
     options.user_storage = UserStorage::kObjectStore;
     options.page_size = page_size;
     Database db(&env, InstanceProfile::M5ad24xlarge(), options);
+    MaybeEnableTracing(&db);
     TpchGenerator gen(scale);
     Result<TpchLoadResult> load = LoadTpch(&db, &gen, {});
     if (!load.ok()) {
@@ -80,6 +81,7 @@ int Main() {
                 static_cast<unsigned long long>(page_size >> 10),
                 load->seconds, static_cast<unsigned long long>(puts),
                 load->bytes_at_rest / 1e6, scan_time, lookup_time);
+    MaybeReportTelemetry(&db);
   }
   Hr();
   std::printf("Small pages multiply request counts (latency-bound load); "
@@ -91,4 +93,7 @@ int Main() {
 }  // namespace bench
 }  // namespace cloudiq
 
-int main() { return cloudiq::bench::Main(); }
+int main(int argc, char** argv) {
+  cloudiq::bench::InitTelemetry(argc, argv);
+  return cloudiq::bench::Main();
+}

@@ -28,8 +28,10 @@ Result<AblationResult> RunLoad(bool hashed, double scale) {
   options.user_storage = UserStorage::kObjectStore;
   options.storage.object_io.hashed_prefixes = hashed;
   Database db(&env, InstanceProfile::M5ad24xlarge(), options);
+  MaybeEnableTracing(&db);
   TpchGenerator gen(scale);
   CLOUDIQ_ASSIGN_OR_RETURN(TpchLoadResult load, LoadTpch(&db, &gen, {}));
+  MaybeReportTelemetry(&db);
   return AblationResult{load.seconds,
                         env.object_store().stats().throttle_events};
 }
@@ -62,4 +64,7 @@ int Main() {
 }  // namespace bench
 }  // namespace cloudiq
 
-int main() { return cloudiq::bench::Main(); }
+int main(int argc, char** argv) {
+  cloudiq::bench::InitTelemetry(argc, argv);
+  return cloudiq::bench::Main();
+}

@@ -27,6 +27,7 @@ int Main() {
     store_options.lag_probability = 0.5;
     store_options.mean_visibility_lag = 1.0;
     testing_util::SingleNodeHarness h(4096, store_options);
+    MaybeEnableTracing(&h.env);
     for (int i = 0; i < kPages; ++i) {
       std::vector<uint8_t> v1 = h.MakePayload(512, 1);
       std::vector<uint8_t> v2 = h.MakePayload(512, 2);
@@ -44,6 +45,7 @@ int Main() {
     }
     stale_with_policy += h.env.object_store().stats().stale_reads;
     retries_with_policy = h.storage->object_io().stats().not_found_retries;
+    MaybeReportTelemetry(&h.env);
   }
 
   // --- Policy OFF: rewrite the same key in place. ------------------------
@@ -56,6 +58,7 @@ int Main() {
     storage_options.never_write_twice = false;
     testing_util::SingleNodeHarness h(4096, store_options,
                                       storage_options);
+    MaybeEnableTracing(&h.env);
     for (int i = 0; i < kPages; ++i) {
       std::vector<uint8_t> v1 = h.MakePayload(512, 1);
       std::vector<uint8_t> v2 = h.MakePayload(512, 2);
@@ -69,6 +72,7 @@ int Main() {
           h.storage->ReadPage(h.cloud_space, *loc);
       if (read.ok() && read.value() != v2) ++stale_without_policy;
     }
+    MaybeReportTelemetry(&h.env);
   }
 
   std::printf("%-34s %18s %22s\n", "Policy", "Stale page reads",
@@ -93,4 +97,7 @@ int Main() {
 }  // namespace bench
 }  // namespace cloudiq
 
-int main() { return cloudiq::bench::Main(); }
+int main(int argc, char** argv) {
+  cloudiq::bench::InitTelemetry(argc, argv);
+  return cloudiq::bench::Main();
+}

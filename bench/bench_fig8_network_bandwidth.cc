@@ -22,6 +22,7 @@ int Main() {
   Database::Options options;
   options.user_storage = UserStorage::kObjectStore;
   Database db(&env, InstanceProfile::M5ad24xlarge(), options);
+  MaybeEnableTracing(&db);
   TpchGenerator gen(scale);
   // Bench-scale loads finish in simulated seconds, so the trace samples
   // at 50 ms (the paper's figure samples a multi-minute load per second).
@@ -56,6 +57,7 @@ int Main() {
   std::printf("Reproduced %s: the plateau sits at the pipeline's "
               "80-stream ceiling, far below the NIC line rate.\n",
               peak_gbps < 15.0 ? "YES" : "NO");
+  MaybeReportTelemetry(&db);
   return 0;
 }
 
@@ -63,4 +65,7 @@ int Main() {
 }  // namespace bench
 }  // namespace cloudiq
 
-int main() { return cloudiq::bench::Main(); }
+int main(int argc, char** argv) {
+  cloudiq::bench::InitTelemetry(argc, argv);
+  return cloudiq::bench::Main();
+}

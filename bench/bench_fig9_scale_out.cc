@@ -27,6 +27,7 @@ Result<double> RunStreams(int secondaries, double scale) {
   options.db.buffer_capacity_override =
       static_cast<uint64_t>(scale * 0.8e9 * 0.15);
   Multiplex mx(&env, secondaries, options);
+  MaybeEnableTracing(&env);
 
   // Bulk-load through the first writer node, then attach every reader.
   TpchGenerator gen(scale);
@@ -98,6 +99,7 @@ Result<double> RunStreams(int secondaries, double scale) {
     elapsed = std::max(
         elapsed, mx.secondary(i).node().clock().now() - start);
   }
+  MaybeReportTelemetry(&mx.secondary(0));
   return elapsed;
 }
 
@@ -134,4 +136,7 @@ int Main() {
 }  // namespace bench
 }  // namespace cloudiq
 
-int main() { return cloudiq::bench::Main(); }
+int main(int argc, char** argv) {
+  cloudiq::bench::InitTelemetry(argc, argv);
+  return cloudiq::bench::Main();
+}

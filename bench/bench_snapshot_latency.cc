@@ -23,10 +23,12 @@ Result<SnapResult> SnapshotAfterLoad(UserStorage storage, double scale) {
   Database::Options options;
   options.user_storage = storage;
   Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  MaybeEnableTracing(&db);
   TpchGenerator gen(scale);
   CLOUDIQ_ASSIGN_OR_RETURN(TpchLoadResult load, LoadTpch(&db, &gen, {}));
   CLOUDIQ_ASSIGN_OR_RETURN(SnapshotManager::SnapshotInfo info,
                            db.TakeSnapshot());
+  MaybeReportTelemetry(&db);
   return SnapResult{info.duration_seconds, info.backup_bytes,
                     load.bytes_at_rest};
 }
@@ -67,4 +69,7 @@ int Main() {
 }  // namespace bench
 }  // namespace cloudiq
 
-int main() { return cloudiq::bench::Main(); }
+int main(int argc, char** argv) {
+  cloudiq::bench::InitTelemetry(argc, argv);
+  return cloudiq::bench::Main();
+}

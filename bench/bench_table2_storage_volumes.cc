@@ -76,4 +76,7 @@ int Main() {
 }  // namespace bench
 }  // namespace cloudiq
 
-int main() { return cloudiq::bench::Main(); }
+int main(int argc, char** argv) {
+  cloudiq::bench::InitTelemetry(argc, argv);
+  return cloudiq::bench::Main();
+}

@@ -24,6 +24,7 @@ int Main() {
   Database::Options options;
   options.user_storage = UserStorage::kObjectStore;
   Database db(&env, InstanceProfile::M5ad24xlarge(), options);
+  MaybeEnableTracing(&db);
   TpchGenerator gen(scale);
   Result<TpchLoadResult> load = LoadTpch(&db, &gen, {});
   if (!load.ok()) {
@@ -49,6 +50,7 @@ int Main() {
               "(paper: 51.80/12.05 = 4.30x, 155.40/12.05 = 12.9x)\n",
               meter.EbsMonthlyUsd(gb) / meter.S3MonthlyUsd(gb),
               meter.EfsMonthlyUsd(gb) / meter.S3MonthlyUsd(gb));
+  MaybeReportTelemetry(&db);
   return 0;
 }
 
@@ -56,4 +58,7 @@ int Main() {
 }  // namespace bench
 }  // namespace cloudiq
 
-int main() { return cloudiq::bench::Main(); }
+int main(int argc, char** argv) {
+  cloudiq::bench::InitTelemetry(argc, argv);
+  return cloudiq::bench::Main();
+}

@@ -4,16 +4,106 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
 #include "engine/database.h"
+#include "engine/metrics.h"
+#include "telemetry/tracer.h"
 #include "tpch/queries.h"
 #include "tpch/tpch_gen.h"
 #include "tpch/tpch_loader.h"
 
 namespace cloudiq {
 namespace bench {
+
+// Shared telemetry toggles for the bench binaries:
+//   --metrics        (or CLOUDIQ_METRICS=1)    print the per-layer metrics
+//                                              report after each run
+//   --trace=PATH     (or CLOUDIQ_TRACE=PATH)   enable the sim tracer and
+//                                              export a Chrome trace (open
+//                                              in chrome://tracing or
+//                                              https://ui.perfetto.dev)
+// Benches that execute several configurations write the trace after each
+// run, so the exported file holds the most recent configuration.
+struct TelemetryOptions {
+  bool print_metrics = false;
+  std::string trace_path;  // empty = tracing off
+};
+
+inline TelemetryOptions& Telemetry() {
+  static TelemetryOptions options;
+  return options;
+}
+
+// Parses the toggles above from argv + environment. Call from main()
+// before the bench body; unknown arguments are left alone.
+inline void InitTelemetry(int argc, char** argv) {
+  TelemetryOptions& options = Telemetry();
+  const char* env_metrics = std::getenv("CLOUDIQ_METRICS");
+  if (env_metrics != nullptr && env_metrics[0] != '\0' &&
+      std::strcmp(env_metrics, "0") != 0) {
+    options.print_metrics = true;
+  }
+  const char* env_trace = std::getenv("CLOUDIQ_TRACE");
+  if (env_trace != nullptr && env_trace[0] != '\0') {
+    options.trace_path = env_trace;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      options.print_metrics = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      options.trace_path = argv[i] + 8;
+    }
+  }
+}
+
+// Switches the tracer on for `env` when --trace was given. The overload
+// taking a Database is a convenience for the common single-node benches;
+// multiplex benches pass any node's env (all nodes share one environment).
+inline void MaybeEnableTracing(SimEnvironment* env) {
+  if (!Telemetry().trace_path.empty()) {
+    env->telemetry().tracer().set_enabled(true);
+  }
+}
+
+inline void MaybeEnableTracing(Database* db) {
+  MaybeEnableTracing(&db->env());
+}
+
+inline void MaybeWriteTrace(SimEnvironment* env) {
+  const TelemetryOptions& options = Telemetry();
+  if (options.trace_path.empty()) return;
+  Status st = TraceExporter::WriteChromeTrace(env->telemetry().tracer(),
+                                              options.trace_path);
+  if (st.ok()) {
+    std::printf("trace written to %s\n", options.trace_path.c_str());
+  } else {
+    std::printf("trace export failed: %s\n", st.ToString().c_str());
+  }
+}
+
+// Prints the metrics report and/or exports the Chrome trace, as toggled.
+// The env-only overload serves benches that drive storage layers without
+// a Database facade: it prints the registry's percentile report instead
+// of the full FormatMetrics dump.
+inline void MaybeReportTelemetry(Database* db) {
+  if (Telemetry().print_metrics) {
+    std::printf("%s", FormatMetrics(CollectMetrics(db)).c_str());
+  }
+  MaybeWriteTrace(&db->env());
+}
+
+inline void MaybeReportTelemetry(SimEnvironment* env) {
+  if (Telemetry().print_metrics) {
+    std::printf("%s",
+                TraceExporter::PercentileReport(env->telemetry().stats())
+                    .c_str());
+  }
+  MaybeWriteTrace(env);
+}
 
 // Default scale factor for the reproduction benches. The paper ran SF
 // 1000 on real AWS hardware; the simulator reproduces the *shape* of the
@@ -52,14 +142,19 @@ struct PowerRunResult {
 // mode"), measuring simulated seconds for each phase.
 inline Result<PowerRunResult> RunPower(Database* db, TpchGenerator* gen,
                                        size_t partitions = 8) {
+  MaybeEnableTracing(db);
+  Tracer& tracer = db->env().telemetry().tracer();
   PowerRunResult result;
   TpchLoadOptions load_options;
   load_options.partitions = partitions;
+  SimTime load_start = db->node().clock().now();
   CLOUDIQ_ASSIGN_OR_RETURN(TpchLoadResult load,
                            LoadTpch(db, gen, load_options));
   result.load_seconds = load.seconds;
   result.bytes_at_rest = load.bytes_at_rest;
   result.input_bytes = load.input_bytes;
+  tracer.CompleteSpan(db->node().trace_pid(), kTrackExec, "query",
+                      "load TPC-H", load_start, db->node().clock().now());
 
   for (int q = 1; q <= kTpchQueryCount; ++q) {
     SimTime before = db->node().clock().now();
@@ -68,13 +163,19 @@ inline Result<PowerRunResult> RunPower(Database* db, TpchGenerator* gen,
     CLOUDIQ_RETURN_IF_ERROR(RunTpchQuery(&ctx, q).status());
     CLOUDIQ_RETURN_IF_ERROR(db->Commit(txn));
     result.query_seconds[q - 1] = db->node().clock().now() - before;
+    tracer.CompleteSpan(db->node().trace_pid(), kTrackExec, "query",
+                        "Q" + std::to_string(q), before,
+                        db->node().clock().now());
   }
+  MaybeReportTelemetry(db);
   return result;
 }
 
 // Runs the 22 queries only (the database must already be loaded).
 inline Result<std::array<double, kTpchQueryCount>> RunQueriesOnly(
     Database* db) {
+  MaybeEnableTracing(db);
+  Tracer& tracer = db->env().telemetry().tracer();
   std::array<double, kTpchQueryCount> times{};
   for (int q = 1; q <= kTpchQueryCount; ++q) {
     SimTime before = db->node().clock().now();
@@ -83,7 +184,11 @@ inline Result<std::array<double, kTpchQueryCount>> RunQueriesOnly(
     CLOUDIQ_RETURN_IF_ERROR(RunTpchQuery(&ctx, q).status());
     CLOUDIQ_RETURN_IF_ERROR(db->Commit(txn));
     times[q - 1] = db->node().clock().now() - before;
+    tracer.CompleteSpan(db->node().trace_pid(), kTrackExec, "query",
+                        "Q" + std::to_string(q), before,
+                        db->node().clock().now());
   }
+  MaybeReportTelemetry(db);
   return times;
 }
 

@@ -5,25 +5,37 @@
 //
 //   ./build/examples/tpch_power_run          # SF 0.02
 //   CLOUDIQ_BENCH_SF=0.1 ./build/examples/tpch_power_run
+//   ./build/examples/tpch_power_run --trace=power.trace.json
+//     (then open power.trace.json in chrome://tracing or
+//      https://ui.perfetto.dev to see per-layer spans on the sim
+//      timeline)
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "engine/database.h"
 #include "engine/metrics.h"
+#include "telemetry/tracer.h"
 #include "tpch/queries.h"
 #include "tpch/tpch_loader.h"
 
 using namespace cloudiq;
 
-int main() {
+int main(int argc, char** argv) {
   double scale = 0.02;
   if (const char* env = std::getenv("CLOUDIQ_BENCH_SF")) {
     double v = std::atof(env);
     if (v > 0) scale = v;
   }
+  std::string trace_path;
+  if (const char* env = std::getenv("CLOUDIQ_TRACE")) trace_path = env;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+  }
 
   SimEnvironment cloud;
+  if (!trace_path.empty()) cloud.telemetry().tracer().set_enabled(true);
   Database::Options options;
   options.user_storage = UserStorage::kObjectStore;
   Database db(&cloud, InstanceProfile::M5ad24xlarge(), options);
@@ -60,6 +72,9 @@ int main() {
     (void)db.Commit(txn);
     double elapsed = db.node().clock().now() - before;
     total += elapsed;
+    cloud.telemetry().tracer().CompleteSpan(
+        db.node().trace_pid(), kTrackExec, "query", "Q" + std::to_string(q),
+        before, db.node().clock().now());
     std::printf("Q%-3d %9.3f   %s\n", q, elapsed,
                 TpchQueryDescription(q));
   }
@@ -67,5 +82,17 @@ int main() {
               "(load %.1f + queries %.1f)\n",
               load->seconds + total, load->seconds, total);
   std::printf("\n%s", FormatMetrics(CollectMetrics(&db)).c_str());
+  if (!trace_path.empty()) {
+    Status st = TraceExporter::WriteChromeTrace(cloud.telemetry().tracer(),
+                                                trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nChrome trace written to %s (open in chrome://tracing "
+                "or https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
   return 0;
 }

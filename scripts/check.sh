@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus sanitizer sweeps.
+#
+#   scripts/check.sh            # plain build + ctest, then ASan and UBSan
+#   scripts/check.sh asan       # just the AddressSanitizer pass
+#   scripts/check.sh ubsan      # just the UndefinedBehaviorSanitizer pass
+#   scripts/check.sh plain      # just the uninstrumented build + tests
+#
+# Each pass uses its own build tree (build/, build-asan/, build-ubsan/) so
+# the sweeps never poison the primary build's cache.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_pass() {
+  local name="$1" dir="$2" sanitize="$3"
+  echo "=== ${name}: configure + build + ctest (${dir}) ==="
+  cmake -B "${dir}" -S . -DCLOUDIQ_SANITIZE="${sanitize}" \
+    > "${dir}-configure.log" 2>&1 || {
+      cat "${dir}-configure.log"; return 1; }
+  cmake --build "${dir}" -j "${JOBS}"
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  echo "=== ${name}: OK ==="
+}
+
+what="${1:-all}"
+case "${what}" in
+  plain) run_pass "plain" build "" ;;
+  asan)  run_pass "ASan"  build-asan address ;;
+  ubsan) run_pass "UBSan" build-ubsan undefined ;;
+  tsan)  run_pass "TSan"  build-tsan thread ;;
+  all)
+    run_pass "plain" build ""
+    run_pass "ASan"  build-asan address
+    run_pass "UBSan" build-ubsan undefined
+    ;;
+  *)
+    echo "usage: $0 [all|plain|asan|ubsan|tsan]" >&2
+    exit 2
+    ;;
+esac

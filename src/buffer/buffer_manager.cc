@@ -5,6 +5,20 @@
 
 namespace cloudiq {
 
+void BufferManager::set_telemetry(Telemetry* telemetry,
+                                  const SimClock* clock,
+                                  uint32_t trace_pid) {
+  telemetry_ = telemetry;
+  clock_ = clock;
+  trace_pid_ = trace_pid;
+  if (telemetry == nullptr) {
+    miss_fill_latency_ = flush_latency_ = nullptr;
+    return;
+  }
+  miss_fill_latency_ = &telemetry->stats().histogram("buffer.miss_fill");
+  flush_latency_ = &telemetry->stats().histogram("buffer.flush");
+}
+
 Result<BufferManager::PageData> BufferManager::Get(
     uint32_t dbspace_id, PhysicalLoc loc,
     const std::function<Result<std::vector<uint8_t>>()>& loader) {
@@ -16,7 +30,18 @@ Result<BufferManager::PageData> BufferManager::Get(
     return it->second.data;
   }
   ++stats_.misses;
+  // The loader performs the device I/O and advances the node clock, so
+  // bracketing it with clock reads yields the miss-fill latency.
+  SimTime miss_start = clock_ != nullptr ? clock_->now() : 0;
   CLOUDIQ_ASSIGN_OR_RETURN(std::vector<uint8_t> payload, loader());
+  if (miss_fill_latency_ != nullptr) {
+    miss_fill_latency_->Record(clock_->now() - miss_start);
+    if (telemetry_->tracer().enabled()) {
+      telemetry_->tracer().CompleteSpan(trace_pid_, kTrackBuffer, "buffer",
+                                        "miss fill", miss_start,
+                                        clock_->now());
+    }
+  }
   auto data = std::make_shared<const std::vector<uint8_t>>(
       std::move(payload));
   lru_.push_front(key);
@@ -125,7 +150,19 @@ Status BufferManager::EvictDirtyIfNeeded(uint64_t txn_id) {
   }
   if (batch.empty()) return Status::Ok();
   stats_.churn_flushes += batch.size();
-  return flush_(txn_id, std::move(batch), /*for_commit=*/false);
+  size_t batch_size = batch.size();
+  SimTime flush_start = clock_ != nullptr ? clock_->now() : 0;
+  Status st = flush_(txn_id, std::move(batch), /*for_commit=*/false);
+  if (flush_latency_ != nullptr) {
+    flush_latency_->Record(clock_->now() - flush_start);
+    if (telemetry_->tracer().enabled()) {
+      telemetry_->tracer().CompleteSpan(
+          trace_pid_, kTrackBuffer, "buffer",
+          "churn flush (" + std::to_string(batch_size) + " pages)",
+          flush_start, clock_->now());
+    }
+  }
+  return st;
 }
 
 Result<BufferManager::PageData> BufferManager::GetDirty(
@@ -154,7 +191,19 @@ Status BufferManager::FlushTxn(uint64_t txn_id) {
   dirty_.erase(txn_it);
   if (batch.empty()) return Status::Ok();
   stats_.commit_flushes += batch.size();
-  return flush_(txn_id, std::move(batch), /*for_commit=*/true);
+  size_t batch_size = batch.size();
+  SimTime flush_start = clock_ != nullptr ? clock_->now() : 0;
+  Status st = flush_(txn_id, std::move(batch), /*for_commit=*/true);
+  if (flush_latency_ != nullptr) {
+    flush_latency_->Record(clock_->now() - flush_start);
+    if (telemetry_->tracer().enabled()) {
+      telemetry_->tracer().CompleteSpan(
+          trace_pid_, kTrackBuffer, "buffer",
+          "commit flush (" + std::to_string(batch_size) + " pages)",
+          flush_start, clock_->now());
+    }
+  }
+  return st;
 }
 
 void BufferManager::DropTxn(uint64_t txn_id) {

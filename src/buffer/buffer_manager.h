@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "store/physical_loc.h"
 #include "store/storage.h"
+#include "telemetry/telemetry.h"
 
 namespace cloudiq {
 
@@ -109,6 +110,13 @@ class BufferManager {
   };
   const Stats& stats() const { return stats_; }
 
+  // Wires telemetry. `clock` is the owning node's clock, used to time
+  // miss fills and flush batches (the loader / flush callbacks advance
+  // it); miss latencies land in "buffer.miss_fill", flush batches in
+  // "buffer.flush".
+  void set_telemetry(Telemetry* telemetry, const SimClock* clock,
+                     uint32_t trace_pid);
+
  private:
   struct CleanKey {
     uint32_t dbspace_id;
@@ -158,6 +166,11 @@ class BufferManager {
   uint64_t dirty_bytes_ = 0;
 
   Stats stats_;
+  Telemetry* telemetry_ = nullptr;
+  const SimClock* clock_ = nullptr;
+  uint32_t trace_pid_ = 0;
+  Histogram* miss_fill_latency_ = nullptr;
+  Histogram* flush_latency_ = nullptr;
 };
 
 }  // namespace cloudiq

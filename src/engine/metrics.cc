@@ -55,6 +55,21 @@ MetricsSnapshot CollectMetrics(Database* db) {
   m.s3_monthly_storage_usd =
       db->env().cost_meter().S3MonthlyUsd(m.live_bytes / 1e9);
   m.sim_seconds = db->node().clock().now();
+
+  const StatsRegistry& registry = db->env().telemetry().stats();
+  for (const auto& [name, hist] : registry.histograms()) {
+    if (hist.count() == 0) continue;
+    m.latencies.push_back(MetricsSnapshot::LatencySummary{
+        name, hist.count(), hist.p50(), hist.p95(), hist.p99(),
+        hist.max()});
+  }
+  for (const auto& [name, counter] : registry.counters()) {
+    if (counter.value() == 0) continue;
+    m.counters.emplace_back(name, counter.value());
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    m.gauges.emplace_back(name, gauge.value());
+  }
   return m;
 }
 
@@ -107,7 +122,30 @@ std::string FormatMetrics(const MetricsSnapshot& m) {
       static_cast<unsigned long long>(m.snapshots),
       static_cast<unsigned long long>(m.retained_pages),
       m.s3_request_usd, m.s3_monthly_storage_usd);
-  return buf;
+  std::string report = buf;
+  for (const MetricsSnapshot::LatencySummary& lat : m.latencies) {
+    // Milliseconds of simulated time; %-13s keeps the two-column layout
+    // of the block above.
+    std::snprintf(buf, sizeof(buf),
+                  "latency      : %-13s n=%-8llu p50=%9.3fms p95=%9.3fms "
+                  "p99=%9.3fms max=%9.3fms\n",
+                  lat.name.c_str(),
+                  static_cast<unsigned long long>(lat.count),
+                  lat.p50 * 1e3, lat.p95 * 1e3, lat.p99 * 1e3,
+                  lat.max * 1e3);
+    report += buf;
+  }
+  for (const auto& [name, value] : m.counters) {
+    std::snprintf(buf, sizeof(buf), "counter      : %-13s %llu\n",
+                  name.c_str(), static_cast<unsigned long long>(value));
+    report += buf;
+  }
+  for (const auto& [name, value] : m.gauges) {
+    std::snprintf(buf, sizeof(buf), "gauge        : %-13s %g\n",
+                  name.c_str(), value);
+    report += buf;
+  }
+  return report;
 }
 
 }  // namespace cloudiq

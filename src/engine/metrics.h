@@ -2,6 +2,8 @@
 #define CLOUDIQ_ENGINE_METRICS_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "engine/database.h"
 
@@ -61,6 +63,24 @@ struct MetricsSnapshot {
 
   // Simulated wall clock of the node.
   double sim_seconds = 0;
+
+  // Per-operation latency percentiles, folded in from the telemetry
+  // registry (one entry per non-empty histogram, e.g. "s3.get",
+  // "s3.put", "ocm.hit", "buffer.flush", "txn.commit"). Sim seconds.
+  struct LatencySummary {
+    std::string name;
+    uint64_t count = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    double max = 0;
+  };
+  std::vector<LatencySummary> latencies;
+
+  // Registry counters and gauges not already surfaced above (zero-valued
+  // counters are skipped).
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
 };
 
 // Gathers a snapshot from every layer of `db`.

@@ -131,6 +131,11 @@ Batch MakeOutputShape(const TableSchema& schema,
 Result<Batch> ScanTable(QueryContext* ctx, TableReader* reader,
                         const std::vector<std::string>& columns,
                         const std::optional<ScanRange>& range) {
+  Tracer& tracer = ctx->node()->telemetry().tracer();
+  ScopedSpan span(&tracer, &ctx->node()->clock(), ctx->node()->trace_pid(),
+                  kTrackExec, "exec",
+                  tracer.enabled() ? "scan " + reader->schema().name
+                                   : std::string());
   const TableSchema& schema = reader->schema();
   int range_col =
       range.has_value() ? schema.ColumnIndex(range->column) : -1;
@@ -226,6 +231,9 @@ Batch FilterBatch(QueryContext* ctx, const Batch& in,
 Result<Batch> HashJoin(QueryContext* ctx, const Batch& left,
                        const std::string& left_key, const Batch& right,
                        const std::string& right_key, JoinType type) {
+  ScopedSpan span(&ctx->node()->telemetry().tracer(), &ctx->node()->clock(),
+                  ctx->node()->trace_pid(), kTrackExec, "exec",
+                  "hash join");
   int lk = left.Col(left_key);
   int rk = right.Col(right_key);
   if (lk < 0 || rk < 0) return Status::InvalidArgument("bad join key");
@@ -367,6 +375,9 @@ struct AggState {
 Result<Batch> HashAggregate(QueryContext* ctx, const Batch& in,
                             const std::vector<std::string>& keys,
                             const std::vector<AggSpec>& aggs) {
+  ScopedSpan span(&ctx->node()->telemetry().tracer(), &ctx->node()->clock(),
+                  ctx->node()->trace_pid(), kTrackExec, "exec",
+                  "hash aggregate");
   std::vector<int> key_cols;
   for (const std::string& k : keys) {
     int c = in.Col(k);
@@ -540,6 +551,8 @@ Result<Batch> HashAggregate(QueryContext* ctx, const Batch& in,
 
 Batch SortBatch(QueryContext* ctx, Batch in,
                 const std::vector<SortKey>& sort_keys, size_t limit) {
+  ScopedSpan span(&ctx->node()->telemetry().tracer(), &ctx->node()->clock(),
+                  ctx->node()->trace_pid(), kTrackExec, "exec", "sort");
   std::vector<size_t> order(in.rows());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 

@@ -34,6 +34,8 @@ Multiplex::Multiplex(SimEnvironment* env, int secondary_count,
     NodeId node_id = sec_options.node_id;
     secondary->UseRemoteKeyFetcher(
         [this, coord, sec, node_id](uint64_t size, double) {
+          Telemetry& telemetry = env_->telemetry();
+          SimTime fetch_start = sec->node().clock().now();
           RpcHop(&sec->node(), &coord->node());
           KeyRange range = coord->keygen().AllocateRange(node_id, size);
           TxnLogRecord rec;
@@ -46,10 +48,22 @@ Multiplex::Multiplex(SimEnvironment* env, int secondary_count,
               rec, coord->node().clock().now(), &done);
           coord->node().clock().AdvanceTo(done);
           RpcHop(&coord->node(), &sec->node());
+          telemetry.stats().counter("keygen.remote_fetches").Add(1);
+          telemetry.stats()
+              .histogram("keygen.fetch")
+              .Record(sec->node().clock().now() - fetch_start);
+          if (telemetry.tracer().enabled()) {
+            telemetry.tracer().CompleteSpan(
+                sec->node().trace_pid(), kTrackKeygen, "keygen",
+                "fetch range (" + std::to_string(size) + " keys)",
+                fetch_start, sec->node().clock().now());
+          }
           return range;
         });
     secondary->UseRemoteCommitListener(
         [this, coord, sec](NodeId node, const IntervalSet& keys) {
+          Telemetry& telemetry = env_->telemetry();
+          SimTime notify_start = sec->node().clock().now();
           RpcHop(&sec->node(), &coord->node());
           coord->keygen().OnTransactionCommitted(node, keys);
           TxnLogRecord rec;
@@ -61,6 +75,12 @@ Multiplex::Multiplex(SimEnvironment* env, int secondary_count,
               rec, coord->node().clock().now(), &done);
           coord->node().clock().AdvanceTo(done);
           RpcHop(&coord->node(), &sec->node());
+          telemetry.stats().counter("keygen.commit_notifies").Add(1);
+          if (telemetry.tracer().enabled()) {
+            telemetry.tracer().CompleteSpan(
+                sec->node().trace_pid(), kTrackKeygen, "keygen",
+                "commit notify", notify_start, sec->node().clock().now());
+          }
         });
     secondaries_.push_back(std::move(secondary));
   }

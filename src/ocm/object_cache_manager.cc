@@ -14,6 +14,10 @@ ObjectCacheManager::ObjectCacheManager(NodeContext* node, ObjectStoreIo* io,
       options_(options),
       capacity_bytes_(node->ssd().CapacityBytes() *
                       options.capacity_fraction),
+      telemetry_(&node->telemetry()),
+      trace_pid_(node->trace_pid()),
+      hit_latency_(&telemetry_->stats().histogram("ocm.hit")),
+      miss_latency_(&telemetry_->stats().histogram("ocm.miss")),
       liveness_(std::make_shared<ObjectCacheManager*>(this)) {}
 
 Result<std::vector<uint8_t>> ObjectCacheManager::Read(uint64_t key,
@@ -36,11 +40,26 @@ Result<std::vector<uint8_t>> ObjectCacheManager::Read(uint64_t key,
         node_->ssd().BacklogSeconds(start) >
             options_.reroute_backlog_seconds) {
       ++stats_.rerouted_reads;
-      return io_->Get(key, start, completion);
+      if (telemetry_->tracer().enabled()) {
+        telemetry_->tracer().Instant(trace_pid_, kTrackOcm, "ocm",
+                                     "reroute (SSD pressure)", start);
+      }
+      Result<std::vector<uint8_t>> rerouted =
+          io_->Get(key, start, completion);
+      if (rerouted.ok()) hit_latency_->Record(*completion - start);
+      return rerouted;
     }
     Result<std::vector<uint8_t>> r =
         node_->ssd().Read(ssd_key, start, completion);
-    if (r.ok()) return r;
+    if (r.ok()) {
+      hit_latency_->Record(*completion - start);
+      if (telemetry_->tracer().enabled()) {
+        telemetry_->tracer().CompleteSpan(trace_pid_, kTrackOcm, "ocm",
+                                          "hit " + FormatObjectKey(key),
+                                          start, *completion);
+      }
+      return r;
+    }
     // Local copy unreadable: fall back to the object store; drop the entry.
     Erase(key);
   } else {
@@ -61,6 +80,12 @@ Result<std::vector<uint8_t>> ObjectCacheManager::Read(uint64_t key,
   // caller, and cache it on the SSD asynchronously.
   CLOUDIQ_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
                            io_->Get(key, start, completion));
+  miss_latency_->Record(*completion - start);
+  if (telemetry_->tracer().enabled()) {
+    telemetry_->tracer().CompleteSpan(trace_pid_, kTrackOcm, "ocm",
+                                      "miss " + FormatObjectKey(key),
+                                      start, *completion);
+  }
   ScheduleCacheFill(key, data, *completion);
   return data;
 }
@@ -100,6 +125,11 @@ Status ObjectCacheManager::Write(uint64_t key, std::vector<uint8_t> data,
     // Synchronous upload; asynchronous local caching.
     ++stats_.write_through;
     CLOUDIQ_RETURN_IF_ERROR(io_->Put(key, data, start, completion));
+    if (telemetry_->tracer().enabled()) {
+      telemetry_->tracer().CompleteSpan(
+          trace_pid_, kTrackOcm, "ocm",
+          "write-through " + FormatObjectKey(key), start, *completion);
+    }
     ScheduleCacheFill(key, std::move(data), *completion);
     return Status::Ok();
   }
@@ -114,6 +144,11 @@ Status ObjectCacheManager::Write(uint64_t key, std::vector<uint8_t> data,
     ++stats_.local_write_errors_ignored;
     on_ssd = false;
     *completion = start;
+  }
+  if (telemetry_->tracer().enabled()) {
+    telemetry_->tracer().CompleteSpan(trace_pid_, kTrackOcm, "ocm",
+                                      "write-back " + FormatObjectKey(key),
+                                      start, *completion);
   }
   pending_bytes_ += data.size();
   write_queue_.push_back(PendingWrite{key, txn_id, std::move(data), on_ssd});
@@ -136,6 +171,11 @@ void ObjectCacheManager::PumpOne(SimTime run_at) {
   SimTime done = run_at;
   Status st = io_->Put(pw.key, pw.data, run_at, &done);
   ++stats_.background_uploads;
+  if (telemetry_->tracer().enabled()) {
+    telemetry_->tracer().CompleteSpan(
+        trace_pid_, kTrackOcm, "ocm",
+        "bg upload " + FormatObjectKey(pw.key), run_at, done);
+  }
   if (!st.ok()) {
     // Upload ultimately failed (ObjectStoreIo already retried): the page
     // is not durable. Drop the local copy; the owning transaction will
@@ -186,6 +226,12 @@ Status ObjectCacheManager::FlushForCommit(uint64_t txn_id, SimTime start,
   node_->clock().AdvanceTo(start);
   node_->io().RunParallel(ops, node_->IoWidth());
   *completion = std::max(node_->clock().now(), before);
+  if (telemetry_->tracer().enabled() && !pages->empty()) {
+    telemetry_->tracer().CompleteSpan(
+        trace_pid_, kTrackOcm, "ocm",
+        "flush-for-commit (" + std::to_string(pages->size()) + " uploads)",
+        start, *completion);
+  }
 
   for (size_t i = 0; i < pages->size(); ++i) {
     const PendingWrite& pw = (*pages)[i];
@@ -245,6 +291,11 @@ void ObjectCacheManager::EvictIfNeeded() {
     index_.erase(it);
     node_->ssd().Erase(FormatObjectKey(victim));
     ++stats_.evictions;
+    if (telemetry_->tracer().enabled()) {
+      telemetry_->tracer().Instant(trace_pid_, kTrackOcm, "ocm",
+                                   "evict " + FormatObjectKey(victim),
+                                   node_->clock().now());
+    }
   }
 }
 

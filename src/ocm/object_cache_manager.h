@@ -102,6 +102,10 @@ class ObjectCacheManager : public CloudCache {
   ObjectStoreIo* io_;
   Options options_;
   double capacity_bytes_;
+  Telemetry* telemetry_;
+  uint32_t trace_pid_;
+  Histogram* hit_latency_;   // SSD-served cache hits
+  Histogram* miss_latency_;  // read-throughs to the object store
   // Background tasks scheduled on the node executor can outlive this OCM
   // (e.g. the instance "loses" its cache on a simulated crash and a new
   // OCM is built); they hold a weak reference to this token and become

@@ -22,9 +22,20 @@ LocalSsdOptions SsdOptionsFor(const InstanceProfile& profile) {
 NodeContext::NodeContext(const InstanceProfile& profile, SimEnvironment* env)
     : profile_(profile),
       env_(env),
+      trace_pid_(static_cast<uint32_t>(env->node_count()) + 1),
       nic_(profile.nic_gbps),
       ssd_(SsdOptionsFor(profile)),
-      io_(&clock_, &executor_) {}
+      io_(&clock_, &executor_) {
+  Tracer& tracer = env->telemetry().tracer();
+  std::string node = "node" + std::to_string(trace_pid_ - 1);
+  tracer.SetProcessName(trace_pid_, node + " (" + profile.name + ")");
+  tracer.SetTrackName(trace_pid_, kTrackExec, "executor");
+  tracer.SetTrackName(trace_pid_, kTrackTxn, "transactions");
+  tracer.SetTrackName(trace_pid_, kTrackBuffer, "buffer manager");
+  tracer.SetTrackName(trace_pid_, kTrackOcm, "OCM (SSD cache)");
+  tracer.SetTrackName(trace_pid_, kTrackStoreIo, "object-store I/O");
+  tracer.SetTrackName(trace_pid_, kTrackKeygen, "key generator");
+}
 
 int NodeContext::IoWidth() const {
   // Each vCPU drives a couple of asynchronous requests; the pipeline
@@ -35,6 +46,10 @@ int NodeContext::IoWidth() const {
 SimEnvironment::SimEnvironment(ObjectStoreOptions store_options)
     : object_store_(store_options) {
   object_store_.set_cost_meter(&cost_meter_);
+  object_store_.set_telemetry(&telemetry_);
+  telemetry_.tracer().SetProcessName(kClusterPid, "cluster");
+  telemetry_.tracer().SetTrackName(kClusterPid, kTrackObjectStore,
+                                   "object store (S3)");
 }
 
 SimBlockVolume& SimEnvironment::CreateVolume(const std::string& name,

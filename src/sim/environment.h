@@ -15,6 +15,7 @@
 #include "sim/object_store.h"
 #include "sim/sim_clock.h"
 #include "sim/sim_executor.h"
+#include "telemetry/telemetry.h"
 
 namespace cloudiq {
 
@@ -35,6 +36,10 @@ class NodeContext {
   SimLocalSsd& ssd() { return ssd_; }
   IoScheduler& io() { return io_; }
   SimEnvironment& env() { return *env_; }
+  // Cluster-shared telemetry (defined below SimEnvironment).
+  Telemetry& telemetry();
+  // Chrome-trace process id of this node (0 is the shared object store).
+  uint32_t trace_pid() const { return trace_pid_; }
 
   // Maximum useful I/O stream width for this node. Bounded by vCPUs and by
   // the engine's intrinsic ~48-stream flush/prefetch pipeline limit (the
@@ -45,6 +50,7 @@ class NodeContext {
  private:
   InstanceProfile profile_;
   SimEnvironment* env_;
+  uint32_t trace_pid_ = 0;
   SimClock clock_;
   SimExecutor executor_;
   Nic nic_;
@@ -60,6 +66,7 @@ class SimEnvironment {
 
   SimObjectStore& object_store() { return object_store_; }
   CostMeter& cost_meter() { return cost_meter_; }
+  Telemetry& telemetry() { return telemetry_; }
 
   // Creates (or returns the existing) named block volume.
   SimBlockVolume& CreateVolume(const std::string& name,
@@ -72,11 +79,14 @@ class SimEnvironment {
   size_t node_count() const { return nodes_.size(); }
 
  private:
+  Telemetry telemetry_;  // before the object store, which points into it
   SimObjectStore object_store_;
   CostMeter cost_meter_;
   std::map<std::string, std::unique_ptr<SimBlockVolume>> volumes_;
   std::vector<std::unique_ptr<NodeContext>> nodes_;
 };
+
+inline Telemetry& NodeContext::telemetry() { return env_->telemetry(); }
 
 }  // namespace cloudiq
 

@@ -7,6 +7,17 @@ namespace cloudiq {
 SimObjectStore::SimObjectStore(ObjectStoreOptions options)
     : options_(options), rng_(options.seed), streams_(options.streams) {}
 
+void SimObjectStore::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    get_latency_ = put_latency_ = delete_latency_ = nullptr;
+    return;
+  }
+  get_latency_ = &telemetry->stats().histogram("s3.get");
+  put_latency_ = &telemetry->stats().histogram("s3.put");
+  delete_latency_ = &telemetry->stats().histogram("s3.delete");
+}
+
 std::string SimObjectStore::PrefixOf(const std::string& key) {
   size_t slash = key.find('/');
   if (slash == std::string::npos) return key;
@@ -23,7 +34,13 @@ SimTime SimObjectStore::ServiceRequest(const std::string& key, bool is_put,
       is_put ? options_.per_prefix_put_rate : options_.per_prefix_get_rate;
   auto [it, inserted] = pacers.try_emplace(prefix, rate);
   SimTime admitted = it->second.Admit(arrival);
-  if (admitted > arrival + 1e-12) ++stats_.throttle_events;
+  if (admitted > arrival + 1e-12) {
+    ++stats_.throttle_events;
+    if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+      telemetry_->tracer().Instant(kClusterPid, kTrackObjectStore, "s3",
+                                   "throttle " + prefix, arrival);
+    }
+  }
 
   // Bound pacer-map growth: hashed prefixes are effectively unique, so
   // stale entries (whose pacing can no longer matter) dominate. Flush the
@@ -50,6 +67,11 @@ Status SimObjectStore::Put(const std::string& key,
   ++stats_.puts;
   stats_.put_bytes += value.size();
   if (cost_meter_ != nullptr) cost_meter_->AddS3Put();
+  if (put_latency_ != nullptr) put_latency_->Record(*completion - arrival);
+  if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+    telemetry_->tracer().CompleteSpan(kClusterPid, kTrackObjectStore, "s3",
+                                      "PUT " + key, arrival, *completion);
+  }
   if (options_.transient_error_rate > 0 &&
       rng_.Bernoulli(options_.transient_error_rate)) {
     return Status::IoError("simulated transient PUT failure");
@@ -89,7 +111,20 @@ Result<std::vector<uint8_t>> SimObjectStore::Get(const std::string& key,
     // eventual consistency (scenario 3).
     *completion =
         ServiceRequest(key, /*is_put=*/false, /*bytes=*/0, arrival);
-    if (newest != nullptr && !newest->is_delete) ++stats_.not_found_races;
+    if (get_latency_ != nullptr) {
+      get_latency_->Record(*completion - arrival);
+    }
+    bool raced = newest != nullptr && !newest->is_delete;
+    if (raced) ++stats_.not_found_races;
+    if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+      telemetry_->tracer().CompleteSpan(
+          kClusterPid, kTrackObjectStore, "s3",
+          "GET " + key + " -> NOT_FOUND", arrival, *completion);
+      if (raced) {
+        telemetry_->tracer().Instant(kClusterPid, kTrackObjectStore, "s3",
+                                     "visibility race " + key, arrival);
+      }
+    }
     if (options_.transient_error_rate > 0 &&
         rng_.Bernoulli(options_.transient_error_rate)) {
       return Status::IoError("simulated transient GET failure");
@@ -100,6 +135,11 @@ Result<std::vector<uint8_t>> SimObjectStore::Get(const std::string& key,
   *completion = ServiceRequest(key, /*is_put=*/false,
                                newest_visible->value.size(), arrival);
   stats_.get_bytes += newest_visible->value.size();
+  if (get_latency_ != nullptr) get_latency_->Record(*completion - arrival);
+  if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+    telemetry_->tracer().CompleteSpan(kClusterPid, kTrackObjectStore, "s3",
+                                      "GET " + key, arrival, *completion);
+  }
   if (newest_visible != newest) ++stats_.stale_reads;  // scenario 2
   if (options_.transient_error_rate > 0 &&
       rng_.Bernoulli(options_.transient_error_rate)) {
@@ -127,6 +167,14 @@ Status SimObjectStore::Delete(const std::string& key, SimTime arrival,
   *completion = ServiceRequest(key, /*is_put=*/true, /*bytes=*/0, arrival);
   ++stats_.deletes;
   if (cost_meter_ != nullptr) cost_meter_->AddS3Put();  // billed as write
+  if (delete_latency_ != nullptr) {
+    delete_latency_->Record(*completion - arrival);
+  }
+  if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+    telemetry_->tracer().CompleteSpan(kClusterPid, kTrackObjectStore, "s3",
+                                      "DELETE " + key, arrival,
+                                      *completion);
+  }
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::Ok();  // idempotent
   SimTime visible_at = *completion;
@@ -148,8 +196,15 @@ SimTime SimObjectStore::ExternalRead(uint64_t bytes, SimTime arrival) {
     stats_.get_bytes += part;
     if (cost_meter_ != nullptr) cost_meter_->AddS3Get();
     double transfer = static_cast<double>(part) / options_.stream_bandwidth;
-    done = std::max(done, streams_.Submit(arrival, transfer,
-                                          options_.get_base_latency));
+    SimTime part_done = streams_.Submit(arrival, transfer,
+                                        options_.get_base_latency);
+    if (get_latency_ != nullptr) get_latency_->Record(part_done - arrival);
+    if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+      telemetry_->tracer().CompleteSpan(
+          kClusterPid, kTrackObjectStore, "s3",
+          "ranged GET (" + std::to_string(part) + " B)", arrival, part_done);
+    }
+    done = std::max(done, part_done);
   }
   return done;
 }

@@ -12,6 +12,7 @@
 #include "sim/cost_model.h"
 #include "sim/device.h"
 #include "sim/sim_clock.h"
+#include "telemetry/telemetry.h"
 
 namespace cloudiq {
 
@@ -111,6 +112,12 @@ class SimObjectStore {
   // Wires a cost meter; when set, every PUT/GET is billed.
   void set_cost_meter(CostMeter* meter) { cost_meter_ = meter; }
 
+  // Wires telemetry: request latencies land in the "s3.get"/"s3.put"/
+  // "s3.delete" histograms; throttle events and visibility races become
+  // instant trace events; every request becomes a span when tracing is
+  // enabled.
+  void set_telemetry(Telemetry* telemetry);
+
   const ObjectStoreOptions& options() const { return options_; }
 
  private:
@@ -138,6 +145,10 @@ class SimObjectStore {
   std::unordered_map<std::string, Object> objects_;
   Stats stats_;
   CostMeter* cost_meter_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
+  Histogram* get_latency_ = nullptr;
+  Histogram* put_latency_ = nullptr;
+  Histogram* delete_latency_ = nullptr;
 };
 
 }  // namespace cloudiq

@@ -2,7 +2,6 @@
 #define CLOUDIQ_SIM_SIM_CLOCK_H_
 
 #include <algorithm>
-#include <cassert>
 
 namespace cloudiq {
 
@@ -21,10 +20,14 @@ class SimClock {
 
   SimTime now() const { return now_; }
 
-  // Moves time forward by `seconds` (must be >= 0).
+  // Moves time forward by `seconds`. A negative advance — typically a
+  // device model's duration formula going negative on unexpected input —
+  // is clamped to zero rather than asserted: the old assert compiled out
+  // under NDEBUG, silently letting release builds run the clock
+  // backwards, and monotonicity is what makes completion times
+  // meaningful. NaN is also ignored (NaN > 0 is false).
   void Advance(double seconds) {
-    assert(seconds >= 0);
-    now_ += seconds;
+    if (seconds > 0) now_ += seconds;
   }
 
   // Moves time forward to `t` if `t` is in the future; never moves back.

@@ -6,6 +6,18 @@
 
 namespace cloudiq {
 
+void ObjectStoreIo::set_telemetry(Telemetry* telemetry,
+                                  uint32_t trace_pid) {
+  telemetry_ = telemetry;
+  trace_pid_ = trace_pid;
+  if (telemetry == nullptr) {
+    get_latency_ = put_latency_ = nullptr;
+    return;
+  }
+  get_latency_ = &telemetry->stats().histogram("io.get");
+  put_latency_ = &telemetry->stats().histogram("io.put");
+}
+
 std::string ObjectStoreIo::StoreKey(uint64_t key) const {
   if (options_.hashed_prefixes) return FormatObjectKey(key);
   // Ablation: a single shared prefix funnels all requests into one
@@ -23,8 +35,21 @@ Status ObjectStoreIo::Put(uint64_t key, const std::vector<uint8_t>& frame,
   for (int attempt = 0;; ++attempt) {
     SimTime nic_done = nic_->Transfer(frame.size(), t);
     Status st = store_->Put(store_key, frame, nic_done, completion);
-    if (st.ok()) return st;
+    if (st.ok()) {
+      if (put_latency_ != nullptr) put_latency_->Record(*completion - start);
+      if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+        telemetry_->tracer().CompleteSpan(trace_pid_, kTrackStoreIo, "io",
+                                          "put " + store_key, start,
+                                          *completion);
+      }
+      return st;
+    }
     ++stats_.transient_retries;
+    if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+      telemetry_->tracer().Instant(trace_pid_, kTrackStoreIo, "io",
+                                   "transient retry " + store_key,
+                                   *completion);
+    }
     if (attempt >= options_.max_transient_retries) {
       // §4: "after a pre-determined number of failures of the same page,
       // the transaction is rolled back."
@@ -46,6 +71,12 @@ Result<std::vector<uint8_t>> ObjectStoreIo::Get(uint64_t key, SimTime start,
     if (r.ok()) {
       // NIC transfer of the downloaded bytes.
       *completion = nic_->Transfer(r.value().size(), *completion);
+      if (get_latency_ != nullptr) get_latency_->Record(*completion - start);
+      if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+        telemetry_->tracer().CompleteSpan(trace_pid_, kTrackStoreIo, "io",
+                                          "get " + store_key, start,
+                                          *completion);
+      }
       return r;
     }
     if (r.status().IsNotFound()) {
@@ -55,6 +86,11 @@ Result<std::vector<uint8_t>> ObjectStoreIo::Get(uint64_t key, SimTime start,
       // found, up to a configurable number of retries").
       if (++not_found > options_.max_not_found_retries) return r.status();
       ++stats_.not_found_retries;
+      if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+        telemetry_->tracer().Instant(trace_pid_, kTrackStoreIo, "io",
+                                     "NOT_FOUND retry " + store_key,
+                                     *completion);
+      }
       t = *completion + backoff;
       backoff *= 2;
       continue;

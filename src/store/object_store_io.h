@@ -10,6 +10,7 @@
 #include "sim/nic.h"
 #include "sim/object_store.h"
 #include "sim/sim_clock.h"
+#include "telemetry/telemetry.h"
 
 namespace cloudiq {
 
@@ -66,11 +67,20 @@ class ObjectStoreIo {
 
   const Options& options() const { return options_; }
 
+  // Wires telemetry for this node's channel: end-to-end latencies
+  // (retries and NIC time included) land in "io.get"/"io.put"; retries
+  // become instant events on the node's store-I/O track.
+  void set_telemetry(Telemetry* telemetry, uint32_t trace_pid);
+
  private:
   SimObjectStore* store_;
   Nic* nic_;
   Options options_;
   Stats stats_;
+  Telemetry* telemetry_ = nullptr;
+  uint32_t trace_pid_ = 0;
+  Histogram* get_latency_ = nullptr;
+  Histogram* put_latency_ = nullptr;
 };
 
 }  // namespace cloudiq

@@ -31,7 +31,9 @@ StorageSubsystem::StorageSubsystem(NodeContext* node, SimObjectStore* store,
                                    Options options)
     : node_(node),
       options_(options),
-      object_io_(store, &node->nic(), options.object_io) {}
+      object_io_(store, &node->nic(), options.object_io) {
+  object_io_.set_telemetry(&node->telemetry(), node->trace_pid());
+}
 
 DbSpace* StorageSubsystem::CreateBlockDbSpace(const std::string& name,
                                               SimBlockVolume* volume,

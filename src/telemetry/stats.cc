@@ -1,0 +1,96 @@
+#include "telemetry/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudiq {
+
+namespace {
+// 1 / ln(kGrowth), hoisted so Record costs one log() and one multiply.
+const double kInvLogGrowth = 1.0 / std::log(Histogram::kGrowth);
+}  // namespace
+
+int Histogram::BucketFor(double value) {
+  if (!(value > kMinValue)) return 0;
+  int bucket =
+      static_cast<int>(std::log(value / kMinValue) * kInvLogGrowth);
+  return std::min(bucket, kBucketCount - 1);
+}
+
+double Histogram::BucketMidpoint(int bucket) {
+  // Geometric midpoint of [kMin * g^b, kMin * g^(b+1)).
+  return kMinValue * std::pow(kGrowth, bucket + 0.5);
+}
+
+double Histogram::MaxRelativeError() { return std::sqrt(kGrowth) - 1.0; }
+
+void Histogram::Record(double value) {
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (exact_.size() + 1 == count_ && exact_.size() < kExactSamples) {
+    exact_.push_back(value);
+  } else if (exact_.size() != count_) {
+    exact_.clear();  // outgrown: buckets take over
+  }
+  ++buckets_[BucketFor(value)];
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest value with cumulative count >= q * n.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count_));
+  if (rank == 0) rank = 1;
+
+  if (exact_.size() == count_) {
+    std::vector<double> sorted(exact_);
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[rank - 1];
+  }
+
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kBucketCount; ++b) {
+    cumulative += buckets_[b];
+    if (cumulative >= rank) {
+      return std::clamp(BucketMidpoint(b), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  bool exact_ok = exact_.size() == count_ &&
+                  other.exact_.size() == other.count_ &&
+                  count_ + other.count_ <= kExactSamples;
+  if (exact_ok) {
+    exact_.insert(exact_.end(), other.exact_.begin(), other.exact_.end());
+  } else {
+    exact_.clear();
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int b = 0; b < kBucketCount; ++b) buckets_[b] += other.buckets_[b];
+}
+
+void StatsRegistry::Reset() {
+  for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, g] : gauges_) g.Reset();
+  for (auto& [name, h] : histograms_) h.Reset();
+}
+
+}  // namespace cloudiq

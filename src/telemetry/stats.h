@@ -1,0 +1,117 @@
+#ifndef CLOUDIQ_TELEMETRY_STATS_H_
+#define CLOUDIQ_TELEMETRY_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cloudiq {
+
+// Log-bucketed latency histogram over positive doubles (seconds).
+//
+// Values are binned geometrically: bucket i covers
+// [kMinValue * g^i, kMinValue * g^(i+1)) with g = kGrowth, so a quantile
+// reconstructed from the bucket's geometric midpoint is off by at most
+// sqrt(g) - 1 relative error (~2.5% at g = 1.05). The first
+// kExactSamples values are additionally kept verbatim, so small
+// histograms — most per-op distributions in a short simulation — report
+// *exact* quantiles. Histograms merge losslessly at the bucket level,
+// which is how per-node distributions roll up to cluster-wide ones.
+class Histogram {
+ public:
+  static constexpr double kMinValue = 1e-7;  // 0.1 us
+  static constexpr double kGrowth = 1.05;
+  static constexpr int kBucketCount = 640;   // covers past 3e6 seconds
+  static constexpr size_t kExactSamples = 128;
+
+  void Record(double value);
+
+  // Quantile in [0, 1] by nearest rank. Exact while the sample set is
+  // small; bucket-midpoint approximation (clamped to [min, max]) after.
+  double Quantile(double q) const;
+
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+
+  // Folds `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  void Reset() { *this = Histogram(); }
+
+  // Largest relative error Quantile() can make once the exact sample set
+  // has been outgrown (see class comment).
+  static double MaxRelativeError();
+
+ private:
+  static int BucketFor(double value);
+  static double BucketMidpoint(int bucket);
+
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  // Exact values while count_ <= kExactSamples (valid iff size == count_).
+  std::vector<double> exact_;
+  std::array<uint64_t, kBucketCount> buckets_{};
+};
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  double value_ = 0;
+};
+
+// Name-keyed registry so layers can publish stats without adding fields
+// to MetricsSnapshot. Returned references are stable for the registry's
+// lifetime; hot paths resolve their instruments once and keep the
+// pointer.
+class StatsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  void Reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_TELEMETRY_STATS_H_

@@ -1,0 +1,28 @@
+#ifndef CLOUDIQ_TELEMETRY_TELEMETRY_H_
+#define CLOUDIQ_TELEMETRY_TELEMETRY_H_
+
+#include "telemetry/stats.h"
+#include "telemetry/tracer.h"
+
+namespace cloudiq {
+
+// One simulation's observability state: the name-keyed stats registry
+// (always on — histogram/counter updates are a few arithmetic ops) and
+// the event tracer (off by default; see Tracer). Owned by SimEnvironment
+// and shared by every node of the cluster, so multi-node runs land on a
+// single timeline with per-node tracks.
+class Telemetry {
+ public:
+  StatsRegistry& stats() { return stats_; }
+  const StatsRegistry& stats() const { return stats_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+ private:
+  StatsRegistry stats_;
+  Tracer tracer_;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,145 @@
+#include "telemetry/tracer.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace cloudiq {
+
+namespace {
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendMetadata(const char* kind, uint32_t pid, uint32_t tid,
+                    const std::string& value, bool* first,
+                    std::string* out) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "%s{\"ph\":\"M\",\"pid\":%u,\"tid\":%u,\"name\":\"%s\","
+                "\"args\":{\"name\":\"",
+                *first ? "" : ",\n", pid, tid, kind);
+  *first = false;
+  *out += buf;
+  AppendJsonEscaped(value, out);
+  *out += "\"}}";
+}
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string TraceExporter::ToChromeTraceJson(const Tracer& tracer) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& [pid, name] : tracer.process_names()) {
+    AppendMetadata("process_name", pid, 0, name, &first, &out);
+  }
+  for (const auto& [key, name] : tracer.track_names()) {
+    AppendMetadata("thread_name", key.first, key.second, name, &first,
+                   &out);
+  }
+  for (const TraceEvent& e : tracer.events()) {
+    char buf[160];
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"ph\":\"X\",\"pid\":%u,\"tid\":%u,\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"cat\":\"%s\",\"name\":\"",
+                    first ? "" : ",\n", e.pid, e.tid, e.ts * 1e6,
+                    e.dur * 1e6, e.category);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"ph\":\"i\",\"s\":\"t\",\"pid\":%u,\"tid\":%u,"
+                    "\"ts\":%.3f,\"cat\":\"%s\",\"name\":\"",
+                    first ? "" : ",\n", e.pid, e.tid, e.ts * 1e6,
+                    e.category);
+    }
+    first = false;
+    out += buf;
+    AppendJsonEscaped(e.name, &out);
+    out += "\"}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceExporter::WriteChromeTrace(const Tracer& tracer,
+                                       const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open trace file " + path);
+  }
+  file << ToChromeTraceJson(tracer);
+  file.close();
+  if (!file) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+std::string TraceExporter::PercentileReport(const StatsRegistry& registry) {
+  std::string out = "=== latency percentiles (simulated time) ===\n";
+  for (const auto& [name, h] : registry.histograms()) {
+    if (h.count() == 0) continue;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%-24s n=%-8" PRIu64
+                  " p50=%-9s p95=%-9s p99=%-9s max=%-9s mean=%s\n",
+                  name.c_str(), h.count(), FormatSeconds(h.p50()).c_str(),
+                  FormatSeconds(h.p95()).c_str(),
+                  FormatSeconds(h.p99()).c_str(),
+                  FormatSeconds(h.max()).c_str(),
+                  FormatSeconds(h.mean()).c_str());
+    out += buf;
+  }
+  bool have_scalars = false;
+  for (const auto& [name, c] : registry.counters()) {
+    if (c.value() == 0) continue;
+    if (!have_scalars) {
+      out += "=== registered counters & gauges ===\n";
+      have_scalars = true;
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-24s %" PRIu64 "\n", name.c_str(),
+                  c.value());
+    out += buf;
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    if (g.value() == 0) continue;
+    if (!have_scalars) {
+      out += "=== registered counters & gauges ===\n";
+      have_scalars = true;
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-24s %.6g\n", name.c_str(),
+                  g.value());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cloudiq

@@ -1,0 +1,151 @@
+#ifndef CLOUDIQ_TELEMETRY_TRACER_H_
+#define CLOUDIQ_TELEMETRY_TRACER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/sim_clock.h"
+#include "telemetry/stats.h"
+
+namespace cloudiq {
+
+// Track ids (Chrome trace "tid") used by the instrumented layers. Every
+// compute node is one trace process (pid = NodeContext::trace_pid());
+// the shared object store is pid kClusterPid.
+enum TraceTrack : uint32_t {
+  kTrackObjectStore = 1,  // cluster pid only
+  kTrackExec = 1,
+  kTrackTxn = 2,
+  kTrackBuffer = 3,
+  kTrackOcm = 4,
+  kTrackStoreIo = 5,
+  kTrackKeygen = 6,
+};
+
+constexpr uint32_t kClusterPid = 0;
+
+// One Chrome trace_event entry, stamped with *simulated* seconds.
+struct TraceEvent {
+  const char* category;  // static string
+  std::string name;
+  char phase;   // 'X' complete span, 'i' instant
+  double ts;    // sim seconds
+  double dur;   // sim seconds ('X' only)
+  uint32_t pid;
+  uint32_t tid;
+};
+
+// Records spans and instant events on the simulated timeline. Disabled
+// by default: every recording call first checks a single bool, so the
+// tracer costs one predictable branch per call site when off. Call sites
+// that would build a dynamic name must guard with enabled() themselves
+// so the allocation is also skipped.
+class Tracer {
+ public:
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  // A span known to cover [start, end] on the given track. `end < start`
+  // is recorded as a zero-length span at `start`.
+  void CompleteSpan(uint32_t pid, uint32_t tid, const char* category,
+                    std::string name, SimTime start, SimTime end) {
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{category, std::move(name), 'X', start,
+                                 end > start ? end - start : 0, pid, tid});
+  }
+
+  // A point event (throttle, eviction, retry, ...).
+  void Instant(uint32_t pid, uint32_t tid, const char* category,
+               std::string name, SimTime t) {
+    if (!enabled_) return;
+    events_.push_back(
+        TraceEvent{category, std::move(name), 'i', t, 0, pid, tid});
+  }
+
+  // Track naming, surfaced as Chrome trace metadata. Cheap and recorded
+  // regardless of enabled() so a tracer switched on mid-run still labels
+  // its tracks.
+  void SetProcessName(uint32_t pid, std::string name) {
+    process_names_[pid] = std::move(name);
+  }
+  void SetTrackName(uint32_t pid, uint32_t tid, std::string name) {
+    track_names_[{pid, tid}] = std::move(name);
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::map<uint32_t, std::string>& process_names() const {
+    return process_names_;
+  }
+  const std::map<std::pair<uint32_t, uint32_t>, std::string>& track_names()
+      const {
+    return track_names_;
+  }
+
+  void Clear() { events_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+  std::map<uint32_t, std::string> process_names_;
+  std::map<std::pair<uint32_t, uint32_t>, std::string> track_names_;
+};
+
+// RAII span: stamps `start` from the clock at construction and records
+// the span at destruction, so early returns inside the scope still close
+// it. Does nothing when the tracer is disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const SimClock* clock, uint32_t pid,
+             uint32_t tid, const char* category, std::string name)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        clock_(clock),
+        pid_(pid),
+        tid_(tid),
+        category_(category) {
+    if (tracer_ != nullptr) {
+      name_ = std::move(name);
+      start_ = clock->now();
+    }
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->CompleteSpan(pid_, tid_, category_, std::move(name_), start_,
+                            clock_->now());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const SimClock* clock_;
+  uint32_t pid_;
+  uint32_t tid_;
+  const char* category_;
+  std::string name_;
+  SimTime start_ = 0;
+};
+
+// Serializes traces and stats for humans and for chrome://tracing (or
+// https://ui.perfetto.dev — both read the trace_event JSON format).
+class TraceExporter {
+ public:
+  // {"traceEvents": [...]} with sim seconds scaled to microseconds, plus
+  // process/track name metadata events.
+  static std::string ToChromeTraceJson(const Tracer& tracer);
+
+  static Status WriteChromeTrace(const Tracer& tracer,
+                                 const std::string& path);
+
+  // Plain-text percentile report over every registered histogram, plus
+  // the registered counters and gauges.
+  static std::string PercentileReport(const StatsRegistry& registry);
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_TELEMETRY_TRACER_H_

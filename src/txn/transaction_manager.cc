@@ -19,6 +19,17 @@ constexpr char kCatalogName[] = "catalog";
 constexpr char kChainName[] = "chain";
 constexpr char kTxnLogName[] = "txnlog";
 
+// Records the elapsed sim time into a histogram when the scope exits,
+// covering every early return of the commit/rollback paths.
+struct LatencyScope {
+  Histogram* histogram;
+  const SimClock* clock;
+  SimTime start;
+  ~LatencyScope() {
+    if (histogram != nullptr) histogram->Record(clock->now() - start);
+  }
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -125,6 +136,11 @@ TransactionManager::TransactionManager(StorageSubsystem* storage,
              bool for_commit) {
         return FlushBatch(txn_id, std::move(pages), for_commit);
       });
+  NodeContext* node = storage_->node();
+  buffer_->set_telemetry(&node->telemetry(), &node->clock(),
+                         node->trace_pid());
+  commit_latency_ = &node->telemetry().stats().histogram("txn.commit");
+  rollback_latency_ = &node->telemetry().stats().histogram("txn.rollback");
 }
 
 Transaction* TransactionManager::Begin() {
@@ -292,8 +308,16 @@ Status TransactionManager::Commit(Transaction* txn) {
     return RunGarbageCollection();
   }
 
-  SimClock& clock = storage_->node()->clock();
+  NodeContext* node = storage_->node();
+  SimClock& clock = node->clock();
   SimTime done = clock.now();
+  LatencyScope commit_latency{commit_latency_, &clock, clock.now()};
+  Tracer& tracer = node->telemetry().tracer();
+  ScopedSpan commit_span(&tracer, &clock, node->trace_pid(), kTrackTxn,
+                         "txn",
+                         tracer.enabled()
+                             ? "commit txn " + std::to_string(txn->id)
+                             : std::string());
 
   // (1) FlushForCommit: the OCM promotes this transaction's queued
   // background uploads and switches it to write-through (§4).
@@ -400,6 +424,15 @@ Status TransactionManager::Rollback(Transaction* txn) {
   if (txn->state != Transaction::State::kActive) {
     return Status::FailedPrecondition("transaction not active");
   }
+  NodeContext* node = storage_->node();
+  SimClock& clock = node->clock();
+  LatencyScope rollback_latency{rollback_latency_, &clock, clock.now()};
+  Tracer& tracer = node->telemetry().tracer();
+  ScopedSpan rollback_span(&tracer, &clock, node->trace_pid(), kTrackTxn,
+                           "txn",
+                           tracer.enabled()
+                               ? "rollback txn " + std::to_string(txn->id)
+                               : std::string());
   if (storage_->cloud_cache() != nullptr) {
     storage_->cloud_cache()->AbortTxn(txn->id);
   }
@@ -446,6 +479,9 @@ void TransactionManager::SimulateCrash() {
              bool for_commit) {
         return FlushBatch(txn_id, std::move(pages), for_commit);
       });
+  NodeContext* node = storage_->node();
+  buffer_->set_telemetry(&node->telemetry(), &node->clock(),
+                         node->trace_pid());
 }
 
 uint64_t TransactionManager::OldestActiveBeginSeq() const {

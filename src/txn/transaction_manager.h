@@ -214,6 +214,8 @@ class TransactionManager {
   uint64_t next_txn_local_ = 1;
   uint64_t commit_seq_ = 0;
   Stats stats_;
+  Histogram* commit_latency_ = nullptr;    // "txn.commit"
+  Histogram* rollback_latency_ = nullptr;  // "txn.rollback"
 };
 
 }  // namespace cloudiq

@@ -28,6 +28,20 @@ TEST(SimClockTest, AdvanceMonotonic) {
   EXPECT_DOUBLE_EQ(clock.now(), 2.0);
 }
 
+// Regression: Advance(-x) used to rely on an assert that compiles out
+// under NDEBUG, letting release builds move the clock backwards. Negative
+// advances are now clamped to no-ops in every build.
+TEST(SimClockTest, NegativeAdvanceClamped) {
+  SimClock clock;
+  clock.Advance(3.0);
+  clock.Advance(-1.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+  clock.Advance(0.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+  clock.Advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 3.5);
+}
+
 TEST(ChannelQueueTest, ParallelChannelsOverlap) {
   ChannelQueue q(2);
   // Two requests arriving together on two channels complete in parallel.

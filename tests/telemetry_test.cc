@@ -1,0 +1,380 @@
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_clock.h"
+#include "telemetry/stats.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/tracer.h"
+
+namespace cloudiq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+}
+
+// While the sample set is small the histogram keeps raw values, so
+// quantiles are *exact*, not bucket midpoints.
+TEST(HistogramTest, ExactQuantilesWhileSmall) {
+  Histogram h;
+  // 100 distinct values, inserted out of order.
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(i * 0.001);
+  std::reverse(values.begin(), values.end());
+  for (double v : values) h.Record(v);
+
+  EXPECT_EQ(h.count(), 100u);
+  // Nearest rank: rank = ceil(q * n).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.50), 0.050);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.95), 0.095);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.099);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.00), 0.100);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 0.100);
+  EXPECT_NEAR(h.mean(), 0.0505, 1e-12);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(0.042);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.042);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.042);
+  EXPECT_DOUBLE_EQ(h.min(), 0.042);
+  EXPECT_DOUBLE_EQ(h.max(), 0.042);
+}
+
+// Past kExactSamples the histogram answers from log buckets; every
+// quantile must stay within the documented relative-error bound of the
+// true (nearest-rank) sample quantile.
+TEST(HistogramTest, LogBucketRelativeErrorBound) {
+  Histogram h;
+  std::vector<double> values;
+  // Log-uniform spread over six decades (0.1 us .. 100 s) — the worst
+  // case for a fixed-width design and the natural case for a geometric
+  // one. Deterministic LCG so the test is stable.
+  uint64_t state = 12345;
+  for (int i = 0; i < 10000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    double u = static_cast<double>(state >> 11) / 9007199254740992.0;
+    double v = 1e-7 * std::pow(10.0, 9.0 * u);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+
+  double bound = Histogram::MaxRelativeError();
+  EXPECT_GT(bound, 0);
+  EXPECT_LT(bound, 0.05);  // ~2.47% at growth 1.05
+  for (double q : {0.01, 0.10, 0.50, 0.90, 0.95, 0.99, 0.999}) {
+    size_t rank = static_cast<size_t>(std::ceil(q * values.size()));
+    if (rank == 0) rank = 1;
+    double exact = values[rank - 1];
+    double approx = h.Quantile(q);
+    EXPECT_NEAR(approx, exact, exact * (bound + 1e-9))
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+  // And the edges are clamped to observed extremes.
+  EXPECT_GE(h.Quantile(0.0), h.min());
+  EXPECT_LE(h.Quantile(1.0), h.max());
+}
+
+TEST(HistogramTest, MergeSmallStaysExact) {
+  Histogram a, b;
+  for (int i = 1; i <= 40; ++i) a.Record(i * 0.001);
+  for (int i = 41; i <= 80; ++i) b.Record(i * 0.001);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 80u);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 0.040);  // still exact
+  EXPECT_DOUBLE_EQ(a.min(), 0.001);
+  EXPECT_DOUBLE_EQ(a.max(), 0.080);
+  EXPECT_NEAR(a.sum(), 0.001 * (80 * 81) / 2, 1e-9);
+}
+
+TEST(HistogramTest, MergeLargeMatchesCombinedRecording) {
+  Histogram a, b, combined;
+  uint64_t state = 99;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    double v = 1e-5 + static_cast<double>(state >> 40) * 1e-9;
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  // Bucket-level merge is lossless: identical quantiles, not merely
+  // close ones.
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), combined.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  for (int i = 0; i < 500; ++i) h.Record(0.001 * (i + 1));
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(StatsRegistryTest, StableRefsAndIteration) {
+  StatsRegistry registry;
+  Counter& c = registry.counter("s3.retries");
+  c.Add(3);
+  registry.counter("s3.retries").Add();
+  EXPECT_EQ(registry.counter("s3.retries").value(), 4u);
+
+  registry.gauge("cache.bytes").Set(1.5e9);
+  registry.histogram("s3.get").Record(0.012);
+
+  EXPECT_EQ(registry.counters().size(), 1u);
+  EXPECT_EQ(registry.gauges().size(), 1u);
+  EXPECT_EQ(registry.histograms().size(), 1u);
+
+  registry.Reset();
+  EXPECT_EQ(registry.counter("s3.retries").value(), 0u);
+  EXPECT_EQ(registry.gauge("cache.bytes").value(), 0);
+  EXPECT_EQ(registry.histogram("s3.get").count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  Tracer tracer;
+  SimClock clock;
+  tracer.CompleteSpan(1, 1, "x", "span", 0.0, 1.0);
+  tracer.Instant(1, 1, "x", "evt", 0.5);
+  {
+    ScopedSpan span(&tracer, &clock, 1, 1, "x", "scoped");
+    clock.Advance(1.0);
+  }
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+// Nested scoped spans under the sim clock: the inner span closes first
+// (so it is recorded first) and its interval nests inside the outer's.
+TEST(TracerTest, ScopedSpanNestingAndOrdering) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  SimClock clock;
+  clock.Advance(10.0);
+  {
+    ScopedSpan outer(&tracer, &clock, 2, kTrackTxn, "txn", "commit");
+    clock.Advance(1.0);
+    {
+      ScopedSpan inner(&tracer, &clock, 2, kTrackBuffer, "buffer", "flush");
+      clock.Advance(2.0);
+    }
+    clock.Advance(0.5);
+  }
+  ASSERT_EQ(tracer.events().size(), 2u);
+  const TraceEvent& inner = tracer.events()[0];
+  const TraceEvent& outer = tracer.events()[1];
+  EXPECT_EQ(inner.name, "flush");
+  EXPECT_EQ(outer.name, "commit");
+  EXPECT_EQ(inner.phase, 'X');
+  EXPECT_DOUBLE_EQ(outer.ts, 10.0);
+  EXPECT_DOUBLE_EQ(outer.dur, 3.5);
+  EXPECT_DOUBLE_EQ(inner.ts, 11.0);
+  EXPECT_DOUBLE_EQ(inner.dur, 2.0);
+  // Interval containment.
+  EXPECT_LE(outer.ts, inner.ts);
+  EXPECT_GE(outer.ts + outer.dur, inner.ts + inner.dur);
+}
+
+TEST(TracerTest, BackwardsSpanClampedToZeroLength) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.CompleteSpan(1, 1, "x", "oops", 5.0, 4.0);
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].ts, 5.0);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].dur, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace JSON
+// ---------------------------------------------------------------------------
+
+// Minimal JSON validity scanner: verifies the whole string parses as one
+// JSON value. Enough to prove chrome://tracing / Perfetto can load it.
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& s) : s_(s) {}
+
+  bool Validate() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == '-' || (c >= '0' && c <= '9')) return Number();
+    if (Literal("true") || Literal("false") || Literal("null")) return true;
+    return false;
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw ctrl
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char esc = s_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(s_[pos_])) return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) ==
+                   std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(s_[pos_]) || s_[pos_] == '.' || s_[pos_] == 'e' ||
+            s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) == 0) { pos_ += n; return true; }
+    return false;
+  }
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(TraceExporterTest, ChromeTraceJsonWellFormed) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.SetProcessName(0, "cluster");
+  tracer.SetProcessName(1, "node0 (m5d.16xlarge)");
+  tracer.SetTrackName(1, kTrackBuffer, "buffer manager");
+  // Names that exercise every escape path.
+  tracer.CompleteSpan(1, kTrackBuffer, "buffer",
+                      "evil \"name\" with \\ and \n and \t and \x01", 0.001,
+                      0.002);
+  tracer.Instant(0, kTrackObjectStore, "s3", "throttle p/42", 0.0015);
+  tracer.CompleteSpan(1, kTrackExec, "exec", "Q1", 0.0, 1.5);
+
+  std::string json = TraceExporter::ToChromeTraceJson(tracer);
+  EXPECT_TRUE(JsonScanner(json).Validate()) << json;
+
+  // Structure spot checks: trace_event requires these fields.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // Q1 span: 1.5 sim seconds -> 1500000 us.
+  EXPECT_NE(json.find("\"dur\":1500000"), std::string::npos);
+  // The raw control byte must have been \u-escaped.
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
+TEST(TraceExporterTest, EmptyTracerStillValidJson) {
+  Tracer tracer;
+  std::string json = TraceExporter::ToChromeTraceJson(tracer);
+  EXPECT_TRUE(JsonScanner(json).Validate()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceExporterTest, PercentileReportListsInstruments) {
+  Telemetry telemetry;
+  for (int i = 1; i <= 100; ++i) {
+    telemetry.stats().histogram("s3.get").Record(i * 0.001);
+  }
+  telemetry.stats().counter("s3.retries").Add(7);
+  telemetry.stats().counter("zero.counter");  // zero: skipped
+  telemetry.stats().gauge("cache.bytes").Set(2.5e9);
+
+  std::string report = TraceExporter::PercentileReport(telemetry.stats());
+  EXPECT_NE(report.find("s3.get"), std::string::npos);
+  EXPECT_NE(report.find("s3.retries"), std::string::npos);
+  EXPECT_NE(report.find("cache.bytes"), std::string::npos);
+  EXPECT_EQ(report.find("zero.counter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudiq
