@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "keygen/object_key_generator.h"
 #include "store/physical_loc.h"
 
@@ -122,4 +123,9 @@ int Main() {
 }  // namespace
 }  // namespace cloudiq
 
-int main() { return cloudiq::Main(); }
+int main(int argc, char** argv) {
+  // No simulated environment here (pure keygen walk-through), but the
+  // shared flags are accepted so every bench binary has the same CLI.
+  cloudiq::bench::InitTelemetry(argc, argv);
+  return cloudiq::Main();
+}

@@ -11,6 +11,8 @@
 
 #include "engine/database.h"
 #include "engine/metrics.h"
+#include "exec/explain.h"
+#include "telemetry/report.h"
 #include "telemetry/tracer.h"
 #include "tpch/queries.h"
 #include "tpch/tpch_gen.h"
@@ -26,11 +28,24 @@ namespace bench {
 //                                              export a Chrome trace (open
 //                                              in chrome://tracing or
 //                                              https://ui.perfetto.dev)
-// Benches that execute several configurations write the trace after each
-// run, so the exported file holds the most recent configuration.
+//   --report=PATH    (or CLOUDIQ_REPORT=PATH)  write the structured JSON
+//                                              run report: global cost,
+//                                              the attribution ledger by
+//                                              query/node/prefix, and the
+//                                              stats registry
+//   --explain        (or CLOUDIQ_EXPLAIN=1)    print EXPLAIN ANALYZE after
+//                                              each TPC-H query run by the
+//                                              shared harness
+// Benches that execute several configurations write the trace/report
+// after each run, so the exported file holds the most recent
+// configuration.
 struct TelemetryOptions {
   bool print_metrics = false;
-  std::string trace_path;  // empty = tracing off
+  bool print_explain = false;
+  std::string trace_path;   // empty = tracing off
+  std::string report_path;  // empty = no JSON report
+  std::string bench_name;   // argv[0] basename, stamped into the report
+  double scale_factor = 0;  // benches may set for the report (0 = n/a)
 };
 
 inline TelemetryOptions& Telemetry() {
@@ -42,20 +57,37 @@ inline TelemetryOptions& Telemetry() {
 // before the bench body; unknown arguments are left alone.
 inline void InitTelemetry(int argc, char** argv) {
   TelemetryOptions& options = Telemetry();
+  if (argc > 0 && argv[0] != nullptr) {
+    const char* slash = std::strrchr(argv[0], '/');
+    options.bench_name = slash != nullptr ? slash + 1 : argv[0];
+  }
   const char* env_metrics = std::getenv("CLOUDIQ_METRICS");
   if (env_metrics != nullptr && env_metrics[0] != '\0' &&
       std::strcmp(env_metrics, "0") != 0) {
     options.print_metrics = true;
   }
+  const char* env_explain = std::getenv("CLOUDIQ_EXPLAIN");
+  if (env_explain != nullptr && env_explain[0] != '\0' &&
+      std::strcmp(env_explain, "0") != 0) {
+    options.print_explain = true;
+  }
   const char* env_trace = std::getenv("CLOUDIQ_TRACE");
   if (env_trace != nullptr && env_trace[0] != '\0') {
     options.trace_path = env_trace;
   }
+  const char* env_report = std::getenv("CLOUDIQ_REPORT");
+  if (env_report != nullptr && env_report[0] != '\0') {
+    options.report_path = env_report;
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       options.print_metrics = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      options.print_explain = true;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       options.trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      options.report_path = argv[i] + 9;
     }
   }
 }
@@ -85,15 +117,45 @@ inline void MaybeWriteTrace(SimEnvironment* env) {
   }
 }
 
-// Prints the metrics report and/or exports the Chrome trace, as toggled.
-// The env-only overload serves benches that drive storage layers without
-// a Database facade: it prints the registry's percentile report instead
-// of the full FormatMetrics dump.
+// Writes the structured JSON run report when --report was given.
+// `sim_seconds` is the run's simulated end time (0 when no single node
+// clock is authoritative).
+inline void MaybeWriteReport(SimEnvironment* env, double sim_seconds) {
+  const TelemetryOptions& options = Telemetry();
+  if (options.report_path.empty()) return;
+  const CostMeter& meter = env->cost_meter();
+  RunReportInfo info;
+  info.bench = options.bench_name;
+  info.scale_factor = options.scale_factor;
+  info.sim_seconds = sim_seconds;
+  info.s3_puts = meter.s3_puts();
+  info.s3_gets = meter.s3_gets();
+  info.s3_deletes = meter.s3_deletes();
+  info.s3_ranged_gets = meter.s3_ranged_gets();
+  info.request_usd = meter.S3RequestUsd();
+  info.ec2_usd = meter.Ec2Usd();
+  info.storage_usd_month =
+      meter.S3MonthlyUsd(env->object_store().LiveBytes() / 1e9);
+  Status st = WriteRunReport(info, env->telemetry().stats(),
+                             env->telemetry().ledger(),
+                             options.report_path);
+  if (st.ok()) {
+    std::printf("report written to %s\n", options.report_path.c_str());
+  } else {
+    std::printf("report export failed: %s\n", st.ToString().c_str());
+  }
+}
+
+// Prints the metrics report and/or exports the Chrome trace and JSON run
+// report, as toggled. The env-only overload serves benches that drive
+// storage layers without a Database facade: it prints the registry's
+// percentile report instead of the full FormatMetrics dump.
 inline void MaybeReportTelemetry(Database* db) {
   if (Telemetry().print_metrics) {
     std::printf("%s", FormatMetrics(CollectMetrics(db)).c_str());
   }
   MaybeWriteTrace(&db->env());
+  MaybeWriteReport(&db->env(), db->node().clock().now());
 }
 
 inline void MaybeReportTelemetry(SimEnvironment* env) {
@@ -103,6 +165,17 @@ inline void MaybeReportTelemetry(SimEnvironment* env) {
                     .c_str());
   }
   MaybeWriteTrace(env);
+  MaybeWriteReport(env, /*sim_seconds=*/0);
+}
+
+// Bills `seconds` of this node's instance time both globally (CostMeter)
+// and to `who` in the attribution ledger — the same rate and duration, so
+// the ledger's USD sums to the meter's.
+inline void ChargePhase(Database* db, const AttributionContext& who,
+                        double seconds) {
+  double hourly = db->node().profile().hourly_usd;
+  db->env().cost_meter().AddEc2Hours(seconds / 3600.0, hourly);
+  db->env().telemetry().ledger().ChargeCompute(who, seconds, hourly);
 }
 
 // Default scale factor for the reproduction benches. The paper ran SF
@@ -138,34 +211,62 @@ struct PowerRunResult {
   double TotalSeconds() const { return load_seconds + QuerySum(); }
 };
 
+// Runs one TPC-H query under full attribution: the query id and tag are
+// assigned by NewQueryContext, the whole Begin..Commit window executes
+// inside the query's ledger scope (so commit flushes and OCM promotions
+// are charged to it), and the query's simulated duration is billed as EC2
+// time. Prints EXPLAIN ANALYZE when --explain is on.
+inline Status RunOneTpchQuery(Database* db, int q, double* seconds) {
+  SimTime before = db->node().clock().now();
+  Transaction* txn = db->Begin();
+  QueryContext ctx = db->NewQueryContext(txn, "Q" + std::to_string(q));
+  {
+    ScopedQueryAttribution scope(&ctx);
+    CLOUDIQ_RETURN_IF_ERROR(RunTpchQuery(&ctx, q).status());
+    CLOUDIQ_RETURN_IF_ERROR(db->Commit(txn));
+  }
+  *seconds = db->node().clock().now() - before;
+  ChargePhase(db, ctx.attribution(), *seconds);
+  db->env().telemetry().tracer().CompleteSpan(
+      db->node().trace_pid(), kTrackExec, "query", "Q" + std::to_string(q),
+      before, db->node().clock().now());
+  if (Telemetry().print_explain) {
+    std::printf("%s", FormatExplainAnalyze(&ctx).c_str());
+  }
+  return Status::Ok();
+}
+
 // Loads TPC-H into `db` and runs the 22 queries sequentially ("power
 // mode"), measuring simulated seconds for each phase.
 inline Result<PowerRunResult> RunPower(Database* db, TpchGenerator* gen,
                                        size_t partitions = 8) {
   MaybeEnableTracing(db);
   Tracer& tracer = db->env().telemetry().tracer();
+  CostLedger& ledger = db->env().telemetry().ledger();
   PowerRunResult result;
   TpchLoadOptions load_options;
   load_options.partitions = partitions;
   SimTime load_start = db->node().clock().now();
-  CLOUDIQ_ASSIGN_OR_RETURN(TpchLoadResult load,
-                           LoadTpch(db, gen, load_options));
-  result.load_seconds = load.seconds;
-  result.bytes_at_rest = load.bytes_at_rest;
-  result.input_bytes = load.input_bytes;
+  // The load is attributed like a query of its own, tagged "load".
+  AttributionContext load_attr;
+  load_attr.query_id = ledger.NextQueryId();
+  load_attr.node_id = db->node().trace_pid();
+  load_attr.tag = "load";
+  {
+    ScopedAttribution scope(&ledger, load_attr);
+    CLOUDIQ_ASSIGN_OR_RETURN(TpchLoadResult load,
+                             LoadTpch(db, gen, load_options));
+    result.load_seconds = load.seconds;
+    result.bytes_at_rest = load.bytes_at_rest;
+    result.input_bytes = load.input_bytes;
+  }
+  ChargePhase(db, load_attr, result.load_seconds);
   tracer.CompleteSpan(db->node().trace_pid(), kTrackExec, "query",
                       "load TPC-H", load_start, db->node().clock().now());
 
   for (int q = 1; q <= kTpchQueryCount; ++q) {
-    SimTime before = db->node().clock().now();
-    Transaction* txn = db->Begin();
-    QueryContext ctx = db->NewQueryContext(txn);
-    CLOUDIQ_RETURN_IF_ERROR(RunTpchQuery(&ctx, q).status());
-    CLOUDIQ_RETURN_IF_ERROR(db->Commit(txn));
-    result.query_seconds[q - 1] = db->node().clock().now() - before;
-    tracer.CompleteSpan(db->node().trace_pid(), kTrackExec, "query",
-                        "Q" + std::to_string(q), before,
-                        db->node().clock().now());
+    CLOUDIQ_RETURN_IF_ERROR(
+        RunOneTpchQuery(db, q, &result.query_seconds[q - 1]));
   }
   MaybeReportTelemetry(db);
   return result;
@@ -175,18 +276,9 @@ inline Result<PowerRunResult> RunPower(Database* db, TpchGenerator* gen,
 inline Result<std::array<double, kTpchQueryCount>> RunQueriesOnly(
     Database* db) {
   MaybeEnableTracing(db);
-  Tracer& tracer = db->env().telemetry().tracer();
   std::array<double, kTpchQueryCount> times{};
   for (int q = 1; q <= kTpchQueryCount; ++q) {
-    SimTime before = db->node().clock().now();
-    Transaction* txn = db->Begin();
-    QueryContext ctx = db->NewQueryContext(txn);
-    CLOUDIQ_RETURN_IF_ERROR(RunTpchQuery(&ctx, q).status());
-    CLOUDIQ_RETURN_IF_ERROR(db->Commit(txn));
-    times[q - 1] = db->node().clock().now() - before;
-    tracer.CompleteSpan(db->node().trace_pid(), kTrackExec, "query",
-                        "Q" + std::to_string(q), before,
-                        db->node().clock().now());
+    CLOUDIQ_RETURN_IF_ERROR(RunOneTpchQuery(db, q, &times[q - 1]));
   }
   MaybeReportTelemetry(db);
   return times;

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus sanitizer sweeps.
 #
-#   scripts/check.sh            # plain build + ctest, then ASan and UBSan
+#   scripts/check.sh            # build + ctest, report smoke, ASan, UBSan, TSan
 #   scripts/check.sh asan       # just the AddressSanitizer pass
 #   scripts/check.sh ubsan      # just the UndefinedBehaviorSanitizer pass
+#   scripts/check.sh tsan       # just the ThreadSanitizer pass
 #   scripts/check.sh plain      # just the uninstrumented build + tests
+#   scripts/check.sh report     # just the --report JSON smoke check
 #
-# Each pass uses its own build tree (build/, build-asan/, build-ubsan/) so
-# the sweeps never poison the primary build's cache.
+# Each pass uses its own build tree (build/, build-asan/, build-ubsan/,
+# build-tsan/) so the sweeps never poison the primary build's cache.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,19 +27,63 @@ run_pass() {
   echo "=== ${name}: OK ==="
 }
 
+# Runs one bench binary with --report and validates that the emitted JSON
+# parses and carries the expected top-level keys, including the
+# ledger-vs-meter USD agreement the attribution layer guarantees.
+report_smoke() {
+  echo "=== report: --report JSON smoke (build) ==="
+  cmake -B build -S . > build-configure.log 2>&1 || {
+    cat build-configure.log; return 1; }
+  cmake --build build -j "${JOBS}" --target tpch_power_run
+  local out
+  out="$(mktemp /tmp/cloudiq_report.XXXXXX.json)"
+  CLOUDIQ_BENCH_SF=0.002 ./build/examples/tpch_power_run \
+    --report="${out}" > /dev/null
+  python3 - "${out}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+expected = ["schema_version", "bench", "scale_factor", "sim_seconds",
+            "cost", "queries", "nodes", "prefixes", "histograms",
+            "counters", "gauges"]
+missing = [k for k in expected if k not in report]
+assert not missing, f"missing top-level keys: {missing}"
+assert report["schema_version"] == 1, report["schema_version"]
+
+cost = report["cost"]
+assert "meter" in cost and "ledger" in cost, cost.keys()
+meter_usd = cost["meter"]["request_usd"] + cost["meter"]["ec2_usd"]
+ledger_usd = cost["ledger"]["total_usd"]
+assert abs(meter_usd - ledger_usd) < 1e-6, (meter_usd, ledger_usd)
+
+assert report["queries"], "no queries attributed"
+per_query = sum(q["total_usd"] for q in report["queries"])
+assert abs(per_query - ledger_usd) < 1e-6, (per_query, ledger_usd)
+print(f"report OK: {len(report['queries'])} queries, "
+      f"ledger ${ledger_usd:.6f} == meter ${meter_usd:.6f}")
+EOF
+  rm -f "${out}"
+  echo "=== report: OK ==="
+}
+
 what="${1:-all}"
 case "${what}" in
-  plain) run_pass "plain" build "" ;;
-  asan)  run_pass "ASan"  build-asan address ;;
-  ubsan) run_pass "UBSan" build-ubsan undefined ;;
-  tsan)  run_pass "TSan"  build-tsan thread ;;
+  plain)  run_pass "plain" build "" ;;
+  asan)   run_pass "ASan"  build-asan address ;;
+  ubsan)  run_pass "UBSan" build-ubsan undefined ;;
+  tsan)   run_pass "TSan"  build-tsan thread ;;
+  report) report_smoke ;;
   all)
     run_pass "plain" build ""
+    report_smoke
     run_pass "ASan"  build-asan address
     run_pass "UBSan" build-ubsan undefined
+    run_pass "TSan"  build-tsan thread
     ;;
   *)
-    echo "usage: $0 [all|plain|asan|ubsan|tsan]" >&2
+    echo "usage: $0 [all|plain|asan|ubsan|tsan|report]" >&2
     exit 2
     ;;
 esac

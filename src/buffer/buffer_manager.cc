@@ -13,10 +13,12 @@ void BufferManager::set_telemetry(Telemetry* telemetry,
   trace_pid_ = trace_pid;
   if (telemetry == nullptr) {
     miss_fill_latency_ = flush_latency_ = nullptr;
+    ledger_ = nullptr;
     return;
   }
   miss_fill_latency_ = &telemetry->stats().histogram("buffer.miss_fill");
   flush_latency_ = &telemetry->stats().histogram("buffer.flush");
+  ledger_ = &telemetry->ledger();
 }
 
 Result<BufferManager::PageData> BufferManager::Get(
@@ -26,10 +28,12 @@ Result<BufferManager::PageData> BufferManager::Get(
   auto it = clean_.find(key);
   if (it != clean_.end()) {
     ++stats_.hits;
+    if (ledger_ != nullptr) ledger_->RecordBufferHit();
     TouchLru(it->second, key);
     return it->second.data;
   }
   ++stats_.misses;
+  if (ledger_ != nullptr) ledger_->RecordBufferMiss();
   // The loader performs the device I/O and advances the node clock, so
   // bracketing it with clock reads yields the miss-fill latency.
   SimTime miss_start = clock_ != nullptr ? clock_->now() : 0;
@@ -150,6 +154,7 @@ Status BufferManager::EvictDirtyIfNeeded(uint64_t txn_id) {
   }
   if (batch.empty()) return Status::Ok();
   stats_.churn_flushes += batch.size();
+  if (ledger_ != nullptr) ledger_->RecordBufferFlush(batch.size());
   size_t batch_size = batch.size();
   SimTime flush_start = clock_ != nullptr ? clock_->now() : 0;
   Status st = flush_(txn_id, std::move(batch), /*for_commit=*/false);
@@ -191,6 +196,7 @@ Status BufferManager::FlushTxn(uint64_t txn_id) {
   dirty_.erase(txn_it);
   if (batch.empty()) return Status::Ok();
   stats_.commit_flushes += batch.size();
+  if (ledger_ != nullptr) ledger_->RecordBufferFlush(batch.size());
   size_t batch_size = batch.size();
   SimTime flush_start = clock_ != nullptr ? clock_->now() : 0;
   Status st = flush_(txn_id, std::move(batch), /*for_commit=*/true);

@@ -167,6 +167,7 @@ class BufferManager {
 
   Stats stats_;
   Telemetry* telemetry_ = nullptr;
+  CostLedger* ledger_ = nullptr;
   const SimClock* clock_ = nullptr;
   uint32_t trace_pid_ = 0;
   Histogram* miss_fill_latency_ = nullptr;

@@ -100,11 +100,17 @@ class Database {
   // catalog may have moved under us).
   Result<TableMeta> TableMetaFor(uint64_t table_id);
 
-  // A query context wired to this database, with metadata caching.
-  QueryContext NewQueryContext(Transaction* txn) {
+  // A query context wired to this database, with metadata caching and a
+  // cluster-unique query id drawn from the environment's cost ledger.
+  // `tag` labels the query in the ledger / EXPLAIN / run report. Wrap
+  // execution + commit in a ScopedQueryAttribution to actually charge
+  // storage work to the query.
+  QueryContext NewQueryContext(Transaction* txn,
+                               const std::string& tag = std::string()) {
     QueryContext ctx(txn_mgr_.get(), txn, &system_);
     ctx.set_meta_provider(
         [this](uint64_t table_id) { return TableMetaFor(table_id); });
+    ctx.SetAttribution(env_->telemetry().ledger().NextQueryId(), tag);
     return ctx;
   }
 

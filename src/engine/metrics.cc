@@ -9,6 +9,8 @@ MetricsSnapshot CollectMetrics(Database* db) {
   const SimObjectStore::Stats& s3 = db->env().object_store().stats();
   m.s3_puts = s3.puts;
   m.s3_gets = s3.gets;
+  m.s3_deletes = s3.deletes;
+  m.s3_ranged_gets = s3.ranged_gets;
   m.s3_overwrites = s3.overwrites;
   m.s3_stale_reads = s3.stale_reads;
   m.s3_not_found_races = s3.not_found_races;
@@ -51,7 +53,10 @@ MetricsSnapshot CollectMetrics(Database* db) {
   m.snapshots = db->snapshot_mgr()->ListSnapshots().size();
   m.retained_pages = db->snapshot_mgr()->retained_page_count();
 
+  m.s3_requests = db->env().cost_meter().S3Requests();
   m.s3_request_usd = db->env().cost_meter().S3RequestUsd();
+  m.ec2_usd = db->env().cost_meter().Ec2Usd();
+  m.total_compute_usd = db->env().cost_meter().TotalComputeUsd();
   m.s3_monthly_storage_usd =
       db->env().cost_meter().S3MonthlyUsd(m.live_bytes / 1e9);
   m.sim_seconds = db->node().clock().now();
@@ -78,7 +83,8 @@ std::string FormatMetrics(const MetricsSnapshot& m) {
   std::snprintf(
       buf, sizeof(buf),
       "=== CloudIQ metrics (t=%.2f sim s) ===\n"
-      "object store : %llu PUT / %llu GET, %llu live objects (%.2f MB)\n"
+      "object store : %llu PUT / %llu GET / %llu DELETE / %llu ranged GET, "
+      "%llu live objects (%.2f MB)\n"
       "               overwrites=%llu stale_reads=%llu (policy invariants)\n"
       "               consistency races retried=%llu throttle events=%llu\n"
       "storage      : %llu pages written (%.2f MB raw -> %.2f MB encoded), "
@@ -91,9 +97,12 @@ std::string FormatMetrics(const MetricsSnapshot& m) {
       "transactions : %llu commits, %llu rollbacks, GC deleted %llu pages\n"
       "key generator: watermark offset=%llu, range fetches=%llu\n"
       "snapshots    : %llu taken, %llu pages under retention\n"
-      "cost         : $%.4f in requests, $%.4f/month at rest\n",
+      "cost         : %llu requests = $%.4f, EC2 $%.4f, "
+      "compute total $%.4f, $%.4f/month at rest\n",
       m.sim_seconds, static_cast<unsigned long long>(m.s3_puts),
       static_cast<unsigned long long>(m.s3_gets),
+      static_cast<unsigned long long>(m.s3_deletes),
+      static_cast<unsigned long long>(m.s3_ranged_gets),
       static_cast<unsigned long long>(m.live_objects), m.live_bytes / 1e6,
       static_cast<unsigned long long>(m.s3_overwrites),
       static_cast<unsigned long long>(m.s3_stale_reads),
@@ -121,7 +130,8 @@ std::string FormatMetrics(const MetricsSnapshot& m) {
       static_cast<unsigned long long>(m.key_fetches),
       static_cast<unsigned long long>(m.snapshots),
       static_cast<unsigned long long>(m.retained_pages),
-      m.s3_request_usd, m.s3_monthly_storage_usd);
+      static_cast<unsigned long long>(m.s3_requests), m.s3_request_usd,
+      m.ec2_usd, m.total_compute_usd, m.s3_monthly_storage_usd);
   std::string report = buf;
   for (const MetricsSnapshot::LatencySummary& lat : m.latencies) {
     // Milliseconds of simulated time; %-13s keeps the two-column layout

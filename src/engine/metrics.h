@@ -15,6 +15,8 @@ struct MetricsSnapshot {
   // Object store (cluster-wide).
   uint64_t s3_puts = 0;
   uint64_t s3_gets = 0;
+  uint64_t s3_deletes = 0;
+  uint64_t s3_ranged_gets = 0;
   uint64_t s3_overwrites = 0;          // must stay 0 under the policy
   uint64_t s3_stale_reads = 0;         // must stay 0 under the policy
   uint64_t s3_not_found_races = 0;     // consistency races (retried)
@@ -57,8 +59,12 @@ struct MetricsSnapshot {
   uint64_t snapshots = 0;
   uint64_t retained_pages = 0;
 
-  // Money.
+  // Money. Request/EC2 USD come from the global CostMeter; the total is
+  // the run's compute-side bill (storage-at-rest is reported per month).
+  uint64_t s3_requests = 0;
   double s3_request_usd = 0;
+  double ec2_usd = 0;
+  double total_compute_usd = 0;
   double s3_monthly_storage_usd = 0;
 
   // Simulated wall clock of the node.

@@ -18,6 +18,34 @@ void QueryContext::ChargeDecodedBytes(uint64_t bytes) {
 
 namespace {
 
+AttributionContext OperatorAttribution(QueryContext* ctx, int op_id,
+                                       const std::string& name) {
+  AttributionContext attr = ctx->attribution();
+  attr.operator_id = op_id;
+  attr.tag = name;
+  return attr;
+}
+
+}  // namespace
+
+OperatorScope::OperatorScope(QueryContext* ctx, std::string name)
+    : ctx_(ctx),
+      op_id_(ctx->RegisterOperator(name)),
+      start_(ctx->node()->clock().now()),
+      scope_(&ctx->ledger(), OperatorAttribution(ctx, op_id_, name)) {}
+
+OperatorScope::~OperatorScope() {
+  double elapsed = ctx_->node()->clock().now() - start_;
+  QueryContext::OperatorStats& stats = ctx_->operator_stats(op_id_);
+  stats.sim_seconds += elapsed;
+  ++stats.batches;
+  // Recorded while our attribution scope is still installed, so the time
+  // lands on this operator's ledger entry.
+  ctx_->ledger().AddSimSeconds(elapsed);
+}
+
+namespace {
+
 // Partition-level pruning with range-partition bounds.
 bool PartitionMayMatch(const TableSchema& schema, size_t partition,
                        const std::optional<ScanRange>& range,
@@ -136,6 +164,7 @@ Result<Batch> ScanTable(QueryContext* ctx, TableReader* reader,
                   kTrackExec, "exec",
                   tracer.enabled() ? "scan " + reader->schema().name
                                    : std::string());
+  OperatorScope op(ctx, "scan " + reader->schema().name);
   const TableSchema& schema = reader->schema();
   int range_col =
       range.has_value() ? schema.ColumnIndex(range->column) : -1;
@@ -200,6 +229,7 @@ Result<Batch> ScanTable(QueryContext* ctx, TableReader* reader,
       out.columns.pop_back();
     }
   }
+  op.AddRows(out.rows());
   return out;
 }
 
@@ -207,6 +237,7 @@ Result<Batch> ScanRowIds(QueryContext* ctx, TableReader* reader,
                          size_t partition,
                          const std::vector<std::string>& columns,
                          const IntervalSet& row_ids) {
+  OperatorScope op(ctx, "scan row-ids " + reader->schema().name);
   std::vector<int> col_ids;
   Status shape_status;
   Batch out = MakeOutputShape(reader->schema(), columns, &col_ids,
@@ -215,16 +246,19 @@ Result<Batch> ScanRowIds(QueryContext* ctx, TableReader* reader,
   if (row_ids.empty()) return out;
   CLOUDIQ_RETURN_IF_ERROR(
       ReadRowSet(ctx, reader, partition, col_ids, row_ids, &out));
+  op.AddRows(out.rows());
   return out;
 }
 
 Batch FilterBatch(QueryContext* ctx, const Batch& in,
                   const std::function<bool(const Batch&, size_t)>& keep) {
+  OperatorScope op(ctx, "filter");
   Batch out = in.EmptyLike();
   for (size_t r = 0; r < in.rows(); ++r) {
     if (keep(in, r)) in.AppendRowTo(&out, r);
   }
   ctx->ChargeValues(in.rows());
+  op.AddRows(out.rows());
   return out;
 }
 
@@ -234,6 +268,7 @@ Result<Batch> HashJoin(QueryContext* ctx, const Batch& left,
   ScopedSpan span(&ctx->node()->telemetry().tracer(), &ctx->node()->clock(),
                   ctx->node()->trace_pid(), kTrackExec, "exec",
                   "hash join");
+  OperatorScope op(ctx, "hash join");
   int lk = left.Col(left_key);
   int rk = right.Col(right_key);
   if (lk < 0 || rk < 0) return Status::InvalidArgument("bad join key");
@@ -352,6 +387,7 @@ Result<Batch> HashJoin(QueryContext* ctx, const Batch& left,
     }
   }
   ctx->ChargeValues(left.rows() * (1 + out.columns.size()));
+  op.AddRows(out.rows());
   return out;
 }
 
@@ -378,6 +414,7 @@ Result<Batch> HashAggregate(QueryContext* ctx, const Batch& in,
   ScopedSpan span(&ctx->node()->telemetry().tracer(), &ctx->node()->clock(),
                   ctx->node()->trace_pid(), kTrackExec, "exec",
                   "hash aggregate");
+  OperatorScope op(ctx, "hash aggregate");
   std::vector<int> key_cols;
   for (const std::string& k : keys) {
     int c = in.Col(k);
@@ -546,6 +583,7 @@ Result<Batch> HashAggregate(QueryContext* ctx, const Batch& in,
       }
     }
   }
+  op.AddRows(out.rows());
   return out;
 }
 
@@ -553,6 +591,7 @@ Batch SortBatch(QueryContext* ctx, Batch in,
                 const std::vector<SortKey>& sort_keys, size_t limit) {
   ScopedSpan span(&ctx->node()->telemetry().tracer(), &ctx->node()->clock(),
                   ctx->node()->trace_pid(), kTrackExec, "exec", "sort");
+  OperatorScope op(ctx, "sort");
   std::vector<size_t> order(in.rows());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
@@ -590,18 +629,21 @@ Batch SortBatch(QueryContext* ctx, Batch in,
   double n = static_cast<double>(in.rows());
   ctx->ChargeValues(static_cast<uint64_t>(
       n * (n > 1 ? std::log2(n) : 1) * sort_keys.size()));
+  op.AddRows(out.rows());
   return out;
 }
 
 Batch WithComputedColumn(
     QueryContext* ctx, Batch in, const std::string& name, ColumnType type,
     const std::function<void(const Batch&, size_t, ColumnVector*)>& emit) {
+  OperatorScope op(ctx, "computed column " + name);
   ColumnVector vec;
   vec.type = type;
   vec.reserve(in.rows());
   for (size_t r = 0; r < in.rows(); ++r) emit(in, r, &vec);
   ctx->ChargeValues(in.rows());
   in.AddColumn(name, std::move(vec));
+  op.AddRows(in.rows());
   return in;
 }
 

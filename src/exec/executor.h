@@ -55,6 +55,36 @@ class QueryContext {
   void ChargeValues(uint64_t values);
   void ChargeDecodedBytes(uint64_t bytes);
 
+  // --- attribution ---------------------------------------------------------
+  // Stamps this query's identity (Database::NewQueryContext draws the id
+  // from the cluster ledger; the node is implied by the context). The
+  // context does NOT install itself — callers wrap execution in a
+  // ScopedQueryAttribution so commit-time flushes are also covered.
+  void SetAttribution(uint64_t query_id, std::string tag) {
+    attr_.query_id = query_id;
+    attr_.operator_id = -1;
+    attr_.node_id = node()->trace_pid();
+    attr_.tag = std::move(tag);
+  }
+  const AttributionContext& attribution() const { return attr_; }
+  CostLedger& ledger() { return node()->telemetry().ledger(); }
+
+  // Per-operator execution stats backing EXPLAIN ANALYZE. Every operator
+  // call registers itself (ids are dense, in call order) and reports rows
+  // and sim-time through OperatorScope.
+  struct OperatorStats {
+    std::string name;
+    uint64_t rows = 0;
+    uint64_t batches = 0;
+    double sim_seconds = 0;
+  };
+  int RegisterOperator(std::string name) {
+    operators_.push_back(OperatorStats{std::move(name), 0, 0, 0});
+    return static_cast<int>(operators_.size()) - 1;
+  }
+  OperatorStats& operator_stats(int id) { return operators_[id]; }
+  const std::vector<OperatorStats>& operators() const { return operators_; }
+
   TransactionManager* txn_mgr() { return txn_mgr_; }
   Transaction* txn() { return txn_; }
   NodeContext* node() { return txn_mgr_->storage().node(); }
@@ -66,6 +96,40 @@ class QueryContext {
   SystemStore* system_;
   Options options_;
   MetaProvider meta_provider_;
+  AttributionContext attr_;
+  std::vector<OperatorStats> operators_;
+};
+
+// Installs a query's attribution on the cluster ledger for the scope's
+// lifetime. Wrap the whole Begin..Commit window so commit flushes and
+// OCM promotions are charged to the query, not left unattributed.
+class ScopedQueryAttribution {
+ public:
+  explicit ScopedQueryAttribution(QueryContext* ctx)
+      : scope_(&ctx->ledger(), ctx->attribution()) {}
+
+ private:
+  ScopedAttribution scope_;
+};
+
+// One operator invocation: registers itself with the QueryContext,
+// narrows the ledger attribution to its operator id, and on destruction
+// records the operator's sim-time (the clock advances inside via charged
+// CPU work and storage I/O). Operators report output rows via AddRows.
+class OperatorScope {
+ public:
+  OperatorScope(QueryContext* ctx, std::string name);
+  ~OperatorScope();
+  OperatorScope(const OperatorScope&) = delete;
+  OperatorScope& operator=(const OperatorScope&) = delete;
+
+  void AddRows(uint64_t rows) { ctx_->operator_stats(op_id_).rows += rows; }
+
+ private:
+  QueryContext* ctx_;
+  int op_id_;
+  SimTime start_;
+  ScopedAttribution scope_;
 };
 
 // Zone-map-prunable scan predicate: int-family column in [lo, hi].

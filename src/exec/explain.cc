@@ -1,0 +1,83 @@
+#include "exec/explain.h"
+
+#include <cstdio>
+
+namespace cloudiq {
+
+std::string FormatExplainAnalyze(QueryContext* ctx) {
+  const CostLedger& ledger = ctx->ledger();
+  const LedgerPrices& prices = ledger.prices();
+  const AttributionContext& attr = ctx->attribution();
+
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "=== EXPLAIN ANALYZE %s (query %llu, node %u) ===\n",
+                attr.tag.empty() ? "(untagged)" : attr.tag.c_str(),
+                static_cast<unsigned long long>(attr.query_id),
+                attr.node_id);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "%-3s %-28s %10s %7s %11s %8s %8s %10s\n", "op", "name",
+                "rows", "batches", "sim_s", "s3_reqs", "ocm_hit", "usd");
+  out += buf;
+
+  CostLedger::Entry visible_total;
+  const auto& ops = ctx->operators();
+  for (size_t id = 0; id < ops.size(); ++id) {
+    const QueryContext::OperatorStats& stats = ops[id];
+    CostLedger::Entry entry;
+    CostLedger::Key key{attr.query_id, static_cast<int32_t>(id),
+                        attr.node_id};
+    auto it = ledger.entries().find(key);
+    if (it != ledger.entries().end()) entry = it->second;
+    visible_total.Fold(entry);
+    std::snprintf(buf, sizeof(buf),
+                  "%-3zu %-28.28s %10llu %7llu %11.4f %8llu %7.0f%% %10.6f\n",
+                  id, stats.name.c_str(),
+                  static_cast<unsigned long long>(stats.rows),
+                  static_cast<unsigned long long>(stats.batches),
+                  stats.sim_seconds,
+                  static_cast<unsigned long long>(entry.Requests()),
+                  entry.OcmHitRate() * 100, entry.TotalUsd(prices));
+    out += buf;
+  }
+
+  // Query total across operators AND query-level entries (commit-time
+  // flushes, background uploads, compute charged by the harness) on every
+  // node — the number that must sum to the global CostMeter.
+  CostLedger::Entry total = ledger.QueryTotal(attr.query_id);
+  std::snprintf(buf, sizeof(buf),
+                "%-32s %10s %7s %11.4f %8llu %7.0f%% %10.6f\n",
+                "total (incl. query-level work)", "", "",
+                total.sim_seconds,
+                static_cast<unsigned long long>(total.Requests()),
+                total.OcmHitRate() * 100, total.TotalUsd(prices));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "    requests: %llu GET / %llu PUT / %llu DELETE / %llu ranged / "
+      "%llu HEAD; throttle stalls %llu (%.4f s); retries %llu+%llu\n",
+      static_cast<unsigned long long>(total.gets),
+      static_cast<unsigned long long>(total.puts),
+      static_cast<unsigned long long>(total.deletes),
+      static_cast<unsigned long long>(total.ranged_gets),
+      static_cast<unsigned long long>(total.heads),
+      static_cast<unsigned long long>(total.throttle_events),
+      total.throttle_stall_seconds,
+      static_cast<unsigned long long>(total.not_found_retries),
+      static_cast<unsigned long long>(total.transient_retries));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "    cost: $%.6f requests + $%.6f EC2 = $%.6f; buffer %llu/%llu "
+      "hit/miss, %llu pages flushed\n",
+      total.RequestUsd(prices), total.ec2_usd, total.TotalUsd(prices),
+      static_cast<unsigned long long>(total.buffer_hits),
+      static_cast<unsigned long long>(total.buffer_misses),
+      static_cast<unsigned long long>(total.buffer_flush_pages));
+  out += buf;
+  return out;
+}
+
+}  // namespace cloudiq

@@ -1,0 +1,21 @@
+#ifndef CLOUDIQ_EXEC_EXPLAIN_H_
+#define CLOUDIQ_EXEC_EXPLAIN_H_
+
+#include <string>
+
+#include "exec/executor.h"
+
+namespace cloudiq {
+
+// EXPLAIN ANALYZE over an executed QueryContext: one row per operator
+// call (in execution order) with rows, batches, sim-time, object-store
+// requests, OCM hit rate and USD from that operator's ledger entry, plus
+// a query-total footer that folds in query-level work (commit flushes,
+// background uploads, compute charged by the harness). Call after the
+// query — and ideally its commit — has run under the query's attribution
+// scope.
+std::string FormatExplainAnalyze(QueryContext* ctx);
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_EXEC_EXPLAIN_H_

@@ -15,6 +15,7 @@ ObjectCacheManager::ObjectCacheManager(NodeContext* node, ObjectStoreIo* io,
       capacity_bytes_(node->ssd().CapacityBytes() *
                       options.capacity_fraction),
       telemetry_(&node->telemetry()),
+      ledger_(&node->telemetry().ledger()),
       trace_pid_(node->trace_pid()),
       hit_latency_(&telemetry_->stats().histogram("ocm.hit")),
       miss_latency_(&telemetry_->stats().histogram("ocm.miss")),
@@ -27,6 +28,7 @@ Result<std::vector<uint8_t>> ObjectCacheManager::Read(uint64_t key,
   auto it = index_.find(key);
   if (it != index_.end()) {
     ++stats_.hits;
+    ledger_->RecordOcmHit();
     // Touch LRU.
     lru_.erase(it->second.lru_it);
     lru_.push_front(key);
@@ -70,10 +72,12 @@ Result<std::vector<uint8_t>> ObjectCacheManager::Read(uint64_t key,
       if (pw.key == key) {
         *completion = start;  // in-memory
         ++stats_.hits;
+        ledger_->RecordOcmHit();
         return pw.data;
       }
     }
     ++stats_.misses;
+    ledger_->RecordOcmMiss();
   }
 
   // Read-through: fetch from the object store, hand the page to the
@@ -95,12 +99,16 @@ void ObjectCacheManager::ScheduleCacheFill(uint64_t key,
                                            SimTime at) {
   NodeContext* node = node_;
   std::weak_ptr<ObjectCacheManager*> alive = liveness_;
+  AttributionContext attr = ledger_->current();
   node_->executor().Schedule(
       at + options_.background_delay,
-      [alive, node, key, data = std::move(data)](SimTime run_at) mutable {
+      [alive, node, key, attr = std::move(attr),
+       data = std::move(data)](SimTime run_at) mutable {
         auto token = alive.lock();
         if (!token) return;  // the OCM is gone (instance restart)
         ObjectCacheManager* self = *token;
+        ScopedAttribution scope(self->ledger_, std::move(attr));
+        self->ledger_->RecordOcmFill();
         SimTime done = run_at;
         uint64_t bytes = data.size();
         Status st = node->ssd().Write(FormatObjectKey(key), std::move(data),
@@ -151,7 +159,8 @@ Status ObjectCacheManager::Write(uint64_t key, std::vector<uint8_t> data,
                                       start, *completion);
   }
   pending_bytes_ += data.size();
-  write_queue_.push_back(PendingWrite{key, txn_id, std::move(data), on_ssd});
+  write_queue_.push_back(PendingWrite{key, txn_id, std::move(data), on_ssd,
+                                      ledger_->current()});
 
   // Kick the background pump.
   std::weak_ptr<ObjectCacheManager*> alive = liveness_;
@@ -168,6 +177,9 @@ void ObjectCacheManager::PumpOne(SimTime run_at) {
   write_queue_.pop_front();
   pending_bytes_ -= pw.data.size();
 
+  // Bill the upload (and any retries inside it) to the enqueuing query.
+  ScopedAttribution scope(ledger_, pw.attr);
+  ledger_->RecordOcmUpload();
   SimTime done = run_at;
   Status st = io_->Put(pw.key, pw.data, run_at, &done);
   ++stats_.background_uploads;
@@ -213,9 +225,13 @@ Status ObjectCacheManager::FlushForCommit(uint64_t txn_id, SimTime start,
   auto statuses = std::make_shared<std::vector<Status>>(mine.size());
   auto pages = std::make_shared<std::vector<PendingWrite>>(std::move(mine));
   ObjectStoreIo* io = io_;
+  CostLedger* ledger = ledger_;
   for (size_t i = 0; i < pages->size(); ++i) {
     pending_bytes_ -= (*pages)[i].data.size();
-    ops.push_back([io, pages, statuses, i](SimTime t) {
+    ops.push_back([io, ledger, pages, statuses, i](SimTime t) {
+      // Promoted uploads keep the attribution they were enqueued under.
+      ScopedAttribution scope(ledger, (*pages)[i].attr);
+      ledger->RecordOcmUpload();
       SimTime done = t;
       (*statuses)[i] = io->Put((*pages)[i].key, (*pages)[i].data, t, &done);
       return done;

@@ -87,6 +87,10 @@ class ObjectCacheManager : public CloudCache {
     uint64_t txn_id;
     std::vector<uint8_t> data;
     bool on_ssd;  // local copy exists, awaiting upload success to enter LRU
+    // Attribution captured at enqueue time: the background pump charges
+    // the upload to the query that dirtied the page, not to whoever
+    // happens to be running when the pump drains.
+    AttributionContext attr;
   };
 
   // Admits `key` (already on SSD) into the LRU index, evicting as needed.
@@ -103,6 +107,7 @@ class ObjectCacheManager : public CloudCache {
   Options options_;
   double capacity_bytes_;
   Telemetry* telemetry_;
+  CostLedger* ledger_;
   uint32_t trace_pid_;
   Histogram* hit_latency_;   // SSD-served cache hits
   Histogram* miss_latency_;  // read-throughs to the object store

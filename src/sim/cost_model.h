@@ -40,16 +40,25 @@ class CostMeter {
 
   void AddS3Put(uint64_t n = 1) { s3_puts_ += n; }
   void AddS3Get(uint64_t n = 1) { s3_gets_ += n; }
+  // DELETE is billed at the PUT rate, ranged GET parts at the GET rate;
+  // they get their own counters so cost reports can break them out.
+  void AddS3Delete(uint64_t n = 1) { s3_deletes_ += n; }
+  void AddS3RangedGet(uint64_t n = 1) { s3_ranged_gets_ += n; }
   void AddEc2Hours(double hours, double hourly_rate) {
     ec2_usd_ += hours * hourly_rate;
   }
 
   uint64_t s3_puts() const { return s3_puts_; }
   uint64_t s3_gets() const { return s3_gets_; }
+  uint64_t s3_deletes() const { return s3_deletes_; }
+  uint64_t s3_ranged_gets() const { return s3_ranged_gets_; }
+  uint64_t S3Requests() const {
+    return s3_puts_ + s3_gets_ + s3_deletes_ + s3_ranged_gets_;
+  }
 
   double S3RequestUsd() const {
-    return s3_puts_ / 1000.0 * prices_.s3_put_per_1k +
-           s3_gets_ / 1000.0 * prices_.s3_get_per_1k;
+    return (s3_puts_ + s3_deletes_) / 1000.0 * prices_.s3_put_per_1k +
+           (s3_gets_ + s3_ranged_gets_) / 1000.0 * prices_.s3_get_per_1k;
   }
   double Ec2Usd() const { return ec2_usd_; }
   double TotalComputeUsd() const { return Ec2Usd() + S3RequestUsd(); }
@@ -70,6 +79,8 @@ class CostMeter {
   void Reset() {
     s3_puts_ = 0;
     s3_gets_ = 0;
+    s3_deletes_ = 0;
+    s3_ranged_gets_ = 0;
     ec2_usd_ = 0;
   }
 
@@ -77,6 +88,8 @@ class CostMeter {
   CloudPrices prices_;
   uint64_t s3_puts_ = 0;
   uint64_t s3_gets_ = 0;
+  uint64_t s3_deletes_ = 0;
+  uint64_t s3_ranged_gets_ = 0;
   double ec2_usd_ = 0;
 };
 

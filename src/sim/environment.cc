@@ -47,6 +47,13 @@ SimEnvironment::SimEnvironment(ObjectStoreOptions store_options)
     : object_store_(store_options) {
   object_store_.set_cost_meter(&cost_meter_);
   object_store_.set_telemetry(&telemetry_);
+  // Keep the ledger's request pricing in lockstep with the meter's, so
+  // per-query USD sums to the global total (telemetry cannot see
+  // CloudPrices itself; see LedgerPrices).
+  LedgerPrices ledger_prices;
+  ledger_prices.put_per_1k = cost_meter_.prices().s3_put_per_1k;
+  ledger_prices.get_per_1k = cost_meter_.prices().s3_get_per_1k;
+  telemetry_.ledger().set_prices(ledger_prices);
   telemetry_.tracer().SetProcessName(kClusterPid, "cluster");
   telemetry_.tracer().SetTrackName(kClusterPid, kTrackObjectStore,
                                    "object store (S3)");

@@ -11,11 +11,13 @@ void SimObjectStore::set_telemetry(Telemetry* telemetry) {
   telemetry_ = telemetry;
   if (telemetry == nullptr) {
     get_latency_ = put_latency_ = delete_latency_ = nullptr;
+    ledger_ = nullptr;
     return;
   }
   get_latency_ = &telemetry->stats().histogram("s3.get");
   put_latency_ = &telemetry->stats().histogram("s3.put");
   delete_latency_ = &telemetry->stats().histogram("s3.delete");
+  ledger_ = &telemetry->ledger();
 }
 
 std::string SimObjectStore::PrefixOf(const std::string& key) {
@@ -34,12 +36,18 @@ SimTime SimObjectStore::ServiceRequest(const std::string& key, bool is_put,
       is_put ? options_.per_prefix_put_rate : options_.per_prefix_get_rate;
   auto [it, inserted] = pacers.try_emplace(prefix, rate);
   SimTime admitted = it->second.Admit(arrival);
-  if (admitted > arrival + 1e-12) {
+  bool throttled = admitted > arrival + 1e-12;
+  double stall = throttled ? admitted - arrival : 0;
+  if (throttled) {
     ++stats_.throttle_events;
     if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
       telemetry_->tracer().Instant(kClusterPid, kTrackObjectStore, "s3",
                                    "throttle " + prefix, arrival);
     }
+  }
+  if (ledger_ != nullptr) {
+    ledger_->RecordPrefix(prefix, throttled, stall);
+    if (throttled) ledger_->RecordThrottle(stall);
   }
 
   // Bound pacer-map growth: hashed prefixes are effectively unique, so
@@ -67,6 +75,9 @@ Status SimObjectStore::Put(const std::string& key,
   ++stats_.puts;
   stats_.put_bytes += value.size();
   if (cost_meter_ != nullptr) cost_meter_->AddS3Put();
+  if (ledger_ != nullptr) {
+    ledger_->RecordRequest(CostLedger::Request::kPut, value.size());
+  }
   if (put_latency_ != nullptr) put_latency_->Record(*completion - arrival);
   if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
     telemetry_->tracer().CompleteSpan(kClusterPid, kTrackObjectStore, "s3",
@@ -111,6 +122,9 @@ Result<std::vector<uint8_t>> SimObjectStore::Get(const std::string& key,
     // eventual consistency (scenario 3).
     *completion =
         ServiceRequest(key, /*is_put=*/false, /*bytes=*/0, arrival);
+    if (ledger_ != nullptr) {
+      ledger_->RecordRequest(CostLedger::Request::kGet, 0);
+    }
     if (get_latency_ != nullptr) {
       get_latency_->Record(*completion - arrival);
     }
@@ -135,6 +149,10 @@ Result<std::vector<uint8_t>> SimObjectStore::Get(const std::string& key,
   *completion = ServiceRequest(key, /*is_put=*/false,
                                newest_visible->value.size(), arrival);
   stats_.get_bytes += newest_visible->value.size();
+  if (ledger_ != nullptr) {
+    ledger_->RecordRequest(CostLedger::Request::kGet,
+                           newest_visible->value.size());
+  }
   if (get_latency_ != nullptr) get_latency_->Record(*completion - arrival);
   if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
     telemetry_->tracer().CompleteSpan(kClusterPid, kTrackObjectStore, "s3",
@@ -152,6 +170,9 @@ bool SimObjectStore::Exists(const std::string& key, SimTime arrival,
                             SimTime* completion) {
   ++stats_.gets;  // HEAD is billed like GET
   if (cost_meter_ != nullptr) cost_meter_->AddS3Get();
+  if (ledger_ != nullptr) {
+    ledger_->RecordRequest(CostLedger::Request::kHead, 0);
+  }
   *completion = ServiceRequest(key, /*is_put=*/false, /*bytes=*/0, arrival);
   auto it = objects_.find(key);
   if (it == objects_.end()) return false;
@@ -166,7 +187,10 @@ Status SimObjectStore::Delete(const std::string& key, SimTime arrival,
                               SimTime* completion) {
   *completion = ServiceRequest(key, /*is_put=*/true, /*bytes=*/0, arrival);
   ++stats_.deletes;
-  if (cost_meter_ != nullptr) cost_meter_->AddS3Put();  // billed as write
+  if (cost_meter_ != nullptr) cost_meter_->AddS3Delete();  // put-rate billing
+  if (ledger_ != nullptr) {
+    ledger_->RecordRequest(CostLedger::Request::kDelete, 0);
+  }
   if (delete_latency_ != nullptr) {
     delete_latency_->Record(*completion - arrival);
   }
@@ -192,9 +216,12 @@ SimTime SimObjectStore::ExternalRead(uint64_t bytes, SimTime arrival) {
   SimTime done = arrival;
   for (uint64_t i = 0; i < parts; ++i) {
     uint64_t part = std::min(kPartBytes, bytes - i * kPartBytes);
-    ++stats_.gets;
+    ++stats_.ranged_gets;
     stats_.get_bytes += part;
-    if (cost_meter_ != nullptr) cost_meter_->AddS3Get();
+    if (cost_meter_ != nullptr) cost_meter_->AddS3RangedGet();
+    if (ledger_ != nullptr) {
+      ledger_->RecordRequest(CostLedger::Request::kRangedGet, part);
+    }
     double transfer = static_cast<double>(part) / options_.stream_bandwidth;
     SimTime part_done = streams_.Submit(arrival, transfer,
                                         options_.get_base_latency);

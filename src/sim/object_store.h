@@ -99,6 +99,7 @@ class SimObjectStore {
     uint64_t puts = 0;
     uint64_t gets = 0;
     uint64_t deletes = 0;
+    uint64_t ranged_gets = 0;      // ExternalRead parts (billed as GET)
     uint64_t not_found_races = 0;  // GETs that raced visibility (scenario 3)
     uint64_t stale_reads = 0;      // GETs served an old version (scenario 2)
     uint64_t overwrites = 0;       // PUTs to a key that already existed
@@ -115,7 +116,9 @@ class SimObjectStore {
   // Wires telemetry: request latencies land in the "s3.get"/"s3.put"/
   // "s3.delete" histograms; throttle events and visibility races become
   // instant trace events; every request becomes a span when tracing is
-  // enabled.
+  // enabled. Every request, throttle stall and per-prefix hit is also
+  // charged to the telemetry's cost ledger under whatever attribution
+  // context is current.
   void set_telemetry(Telemetry* telemetry);
 
   const ObjectStoreOptions& options() const { return options_; }
@@ -146,6 +149,7 @@ class SimObjectStore {
   Stats stats_;
   CostMeter* cost_meter_ = nullptr;
   Telemetry* telemetry_ = nullptr;
+  CostLedger* ledger_ = nullptr;
   Histogram* get_latency_ = nullptr;
   Histogram* put_latency_ = nullptr;
   Histogram* delete_latency_ = nullptr;

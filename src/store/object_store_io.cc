@@ -12,10 +12,12 @@ void ObjectStoreIo::set_telemetry(Telemetry* telemetry,
   trace_pid_ = trace_pid;
   if (telemetry == nullptr) {
     get_latency_ = put_latency_ = nullptr;
+    ledger_ = nullptr;
     return;
   }
   get_latency_ = &telemetry->stats().histogram("io.get");
   put_latency_ = &telemetry->stats().histogram("io.put");
+  ledger_ = &telemetry->ledger();
 }
 
 std::string ObjectStoreIo::StoreKey(uint64_t key) const {
@@ -45,6 +47,7 @@ Status ObjectStoreIo::Put(uint64_t key, const std::vector<uint8_t>& frame,
       return st;
     }
     ++stats_.transient_retries;
+    if (ledger_ != nullptr) ledger_->RecordRetry(/*not_found=*/false);
     if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
       telemetry_->tracer().Instant(trace_pid_, kTrackStoreIo, "io",
                                    "transient retry " + store_key,
@@ -86,6 +89,7 @@ Result<std::vector<uint8_t>> ObjectStoreIo::Get(uint64_t key, SimTime start,
       // found, up to a configurable number of retries").
       if (++not_found > options_.max_not_found_retries) return r.status();
       ++stats_.not_found_retries;
+      if (ledger_ != nullptr) ledger_->RecordRetry(/*not_found=*/true);
       if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
         telemetry_->tracer().Instant(trace_pid_, kTrackStoreIo, "io",
                                      "NOT_FOUND retry " + store_key,
@@ -97,6 +101,7 @@ Result<std::vector<uint8_t>> ObjectStoreIo::Get(uint64_t key, SimTime start,
     }
     if (++transient > options_.max_transient_retries) return r.status();
     ++stats_.transient_retries;
+    if (ledger_ != nullptr) ledger_->RecordRetry(/*not_found=*/false);
     t = *completion;
   }
 }

@@ -78,6 +78,7 @@ class ObjectStoreIo {
   Options options_;
   Stats stats_;
   Telemetry* telemetry_ = nullptr;
+  CostLedger* ledger_ = nullptr;
   uint32_t trace_pid_ = 0;
   Histogram* get_latency_ = nullptr;
   Histogram* put_latency_ = nullptr;

@@ -1,0 +1,213 @@
+#ifndef CLOUDIQ_TELEMETRY_ATTRIBUTION_H_
+#define CLOUDIQ_TELEMETRY_ATTRIBUTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cloudiq {
+
+// Who caused a storage-layer event. The query layer opens an attribution
+// scope (query id + node), executor operators refine it with an operator
+// id, and every layer below — buffer manager, OCM, ObjectStoreIo, the
+// simulated object store and block devices — charges its work to whatever
+// context is current. Asynchronous work (OCM background uploads, cache
+// fills) captures the context at enqueue time and re-establishes it when
+// the background pump runs, so deferred I/O is still billed to the query
+// that caused it rather than to whoever happens to drain the queue.
+struct AttributionContext {
+  uint64_t query_id = 0;     // 0 = outside any attributed scope
+  int32_t operator_id = -1;  // -1 = query-level work (load, commit, GC)
+  uint32_t node_id = 0;      // NodeContext::trace_pid(); 0 = unknown
+  std::string tag;           // human label ("load", "Q7", ...)
+};
+
+// Request price points the ledger uses to turn attributed requests into
+// USD. Mirrors the request rates of CloudPrices (sim/cost_model.h)
+// without depending on it — telemetry sits below sim in the layering, so
+// SimEnvironment copies its meter's rates in at construction.
+struct LedgerPrices {
+  double put_per_1k = 0.005;   // PUT and DELETE requests
+  double get_per_1k = 0.0004;  // GET (plain, ranged parts, HEAD)
+};
+
+// Per-query cost and causality ledger. Aggregates every attributed event
+// by (query, operator, node) and every object-store request by key
+// prefix, and prices the result through LedgerPrices — the per-query
+// counterpart of the global CostMeter (the two see the same event stream,
+// so their totals must agree; tests assert it).
+//
+// Single-threaded by design, like the rest of the simulator: the
+// "current" context is one slot, swapped by ScopedAttribution.
+class CostLedger {
+ public:
+  enum class Request { kGet, kPut, kDelete, kRangedGet, kHead };
+
+  struct Key {
+    uint64_t query_id = 0;
+    int32_t operator_id = -1;
+    uint32_t node_id = 0;
+
+    bool operator<(const Key& o) const {
+      if (query_id != o.query_id) return query_id < o.query_id;
+      if (operator_id != o.operator_id) return operator_id < o.operator_id;
+      return node_id < o.node_id;
+    }
+    bool operator==(const Key& o) const {
+      return query_id == o.query_id && operator_id == o.operator_id &&
+             node_id == o.node_id;
+    }
+  };
+
+  // Everything charged to one (query, operator, node). Fold() merges
+  // entries, which is how operator rows roll up to query totals and
+  // query totals to the grand total.
+  struct Entry {
+    std::string tag;
+
+    // Object-store requests.
+    uint64_t gets = 0;
+    uint64_t puts = 0;
+    uint64_t deletes = 0;
+    uint64_t ranged_gets = 0;
+    uint64_t heads = 0;
+    uint64_t get_bytes = 0;
+    uint64_t put_bytes = 0;
+
+    // Throttling and retries suffered by this originator.
+    uint64_t throttle_events = 0;
+    double throttle_stall_seconds = 0;
+    uint64_t not_found_retries = 0;
+    uint64_t transient_retries = 0;
+
+    // Cache interactions.
+    uint64_t ocm_hits = 0;
+    uint64_t ocm_misses = 0;
+    uint64_t ocm_fills = 0;
+    uint64_t ocm_uploads = 0;
+    uint64_t buffer_hits = 0;
+    uint64_t buffer_misses = 0;
+    uint64_t buffer_flush_pages = 0;
+
+    // Simulated time spent inside scopes at this key (informational),
+    // and compute cost priced by an explicit ChargeCompute call (the
+    // bench harness charges each phase's wall time once, at query level,
+    // so rolled-up USD does not double-count operator time).
+    double sim_seconds = 0;
+    double ec2_usd = 0;
+
+    uint64_t Requests() const {
+      return gets + puts + deletes + ranged_gets + heads;
+    }
+    double RequestUsd(const LedgerPrices& prices) const {
+      return (puts + deletes) / 1000.0 * prices.put_per_1k +
+             (gets + ranged_gets + heads) / 1000.0 * prices.get_per_1k;
+    }
+    double TotalUsd(const LedgerPrices& prices) const {
+      return RequestUsd(prices) + ec2_usd;
+    }
+    double OcmHitRate() const {
+      uint64_t lookups = ocm_hits + ocm_misses;
+      return lookups == 0 ? 0 : static_cast<double>(ocm_hits) / lookups;
+    }
+    void Fold(const Entry& other);
+  };
+
+  // Per-prefix object-store pressure (the throttle heatmap). Hashed
+  // prefixes are near-unique, so the map is capped: once full, new
+  // prefixes aggregate under kOtherPrefixes.
+  struct PrefixStats {
+    uint64_t requests = 0;
+    uint64_t throttle_events = 0;
+    double stall_seconds = 0;
+  };
+  static constexpr size_t kMaxPrefixes = 4096;
+  static constexpr const char* kOtherPrefixes = "(other)";
+
+  // --- current context ---------------------------------------------------
+  const AttributionContext& current() const { return current_; }
+  // Installs `next`, returning the previous context (ScopedAttribution
+  // restores it).
+  AttributionContext Swap(AttributionContext next);
+
+  // Monotonic query-id source; every Database::NewQueryContext and every
+  // bench phase (load, Qn) draws from here so ids are cluster-unique.
+  uint64_t NextQueryId() { return ++last_query_id_; }
+  // The most recently issued query id (0 = none yet issued).
+  uint64_t last_query_id() const { return last_query_id_; }
+
+  // --- recording (all charge to current()) -------------------------------
+  void RecordRequest(Request kind, uint64_t bytes);
+  void RecordThrottle(double stall_seconds);
+  void RecordRetry(bool not_found);
+  void RecordOcmHit() { ++Mutable()->ocm_hits; }
+  void RecordOcmMiss() { ++Mutable()->ocm_misses; }
+  void RecordOcmFill() { ++Mutable()->ocm_fills; }
+  void RecordOcmUpload() { ++Mutable()->ocm_uploads; }
+  void RecordBufferHit() { ++Mutable()->buffer_hits; }
+  void RecordBufferMiss() { ++Mutable()->buffer_misses; }
+  void RecordBufferFlush(uint64_t pages) {
+    Mutable()->buffer_flush_pages += pages;
+  }
+  void AddSimSeconds(double seconds) { Mutable()->sim_seconds += seconds; }
+  void RecordPrefix(const std::string& prefix, bool throttled,
+                    double stall_seconds);
+
+  // Prices `seconds` of instance time at `hourly_usd` onto `who`
+  // (independent of the current scope: the harness charges a phase after
+  // it finishes, when the scope is already closed). Adds money only —
+  // sim_seconds stays with the scopes that measured it.
+  void ChargeCompute(const AttributionContext& who, double seconds,
+                     double hourly_usd);
+
+  // --- views -------------------------------------------------------------
+  const std::map<Key, Entry>& entries() const { return entries_; }
+  const std::map<std::string, PrefixStats>& prefixes() const {
+    return prefixes_;
+  }
+  // Sum of every entry of `query_id` across operators and nodes.
+  Entry QueryTotal(uint64_t query_id) const;
+  // Sum of every entry, attributed or not.
+  Entry GrandTotal() const;
+  // Distinct query ids seen, ascending, with the first non-empty tag.
+  std::vector<std::pair<uint64_t, std::string>> Queries() const;
+
+  const LedgerPrices& prices() const { return prices_; }
+  void set_prices(const LedgerPrices& prices) { prices_ = prices; }
+
+  void Reset();
+
+ private:
+  // Entry for the current context; one-slot cache keeps the hot path
+  // (one ledger update per simulated request) to a pointer bump.
+  Entry* Mutable();
+
+  AttributionContext current_;
+  LedgerPrices prices_;
+  uint64_t last_query_id_ = 0;
+  std::map<Key, Entry> entries_;
+  std::map<std::string, PrefixStats> prefixes_;
+  Entry* cached_entry_ = nullptr;
+};
+
+// RAII attribution scope: installs `ctx` on construction, restores the
+// previous context on destruction. Safe to nest (operators inside a
+// query, a query inside a workload).
+class ScopedAttribution {
+ public:
+  ScopedAttribution(CostLedger* ledger, AttributionContext ctx)
+      : ledger_(ledger), prev_(ledger->Swap(std::move(ctx))) {}
+  ~ScopedAttribution() { ledger_->Swap(std::move(prev_)); }
+  ScopedAttribution(const ScopedAttribution&) = delete;
+  ScopedAttribution& operator=(const ScopedAttribution&) = delete;
+
+ private:
+  CostLedger* ledger_;
+  AttributionContext prev_;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_TELEMETRY_ATTRIBUTION_H_

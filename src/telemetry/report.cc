@@ -1,0 +1,265 @@
+#include "telemetry/report.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace cloudiq {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("0");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out->append(buf);
+}
+
+void AppendCount(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendField(std::string* out, const char* name, double v, bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  out->append(name);
+  out->append("\":");
+  AppendNumber(out, v);
+}
+
+void AppendField(std::string* out, const char* name, uint64_t v,
+                 bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  out->append(name);
+  out->append("\":");
+  AppendCount(out, v);
+}
+
+// One ledger entry as a JSON object body (no braces), so callers can
+// prepend identity fields.
+void AppendEntryFields(std::string* out, const CostLedger::Entry& e,
+                       const LedgerPrices& prices, bool* first) {
+  AppendField(out, "gets", e.gets, first);
+  AppendField(out, "puts", e.puts, first);
+  AppendField(out, "deletes", e.deletes, first);
+  AppendField(out, "ranged_gets", e.ranged_gets, first);
+  AppendField(out, "heads", e.heads, first);
+  AppendField(out, "get_bytes", e.get_bytes, first);
+  AppendField(out, "put_bytes", e.put_bytes, first);
+  AppendField(out, "throttle_events", e.throttle_events, first);
+  AppendField(out, "throttle_stall_seconds", e.throttle_stall_seconds,
+              first);
+  AppendField(out, "not_found_retries", e.not_found_retries, first);
+  AppendField(out, "transient_retries", e.transient_retries, first);
+  AppendField(out, "ocm_hits", e.ocm_hits, first);
+  AppendField(out, "ocm_misses", e.ocm_misses, first);
+  AppendField(out, "ocm_hit_rate", e.OcmHitRate(), first);
+  AppendField(out, "ocm_fills", e.ocm_fills, first);
+  AppendField(out, "ocm_uploads", e.ocm_uploads, first);
+  AppendField(out, "buffer_hits", e.buffer_hits, first);
+  AppendField(out, "buffer_misses", e.buffer_misses, first);
+  AppendField(out, "buffer_flush_pages", e.buffer_flush_pages, first);
+  AppendField(out, "sim_seconds", e.sim_seconds, first);
+  AppendField(out, "request_usd", e.RequestUsd(prices), first);
+  AppendField(out, "ec2_usd", e.ec2_usd, first);
+  AppendField(out, "total_usd", e.TotalUsd(prices), first);
+}
+
+}  // namespace
+
+std::string BuildRunReportJson(const RunReportInfo& info,
+                               const StatsRegistry& stats,
+                               const CostLedger& ledger) {
+  const LedgerPrices& prices = ledger.prices();
+  std::string out;
+  out.reserve(1 << 16);
+  out.append("{\n\"schema_version\":1,\n\"bench\":");
+  AppendEscaped(&out, info.bench);
+  out.append(",\n\"scale_factor\":");
+  AppendNumber(&out, info.scale_factor);
+  out.append(",\n\"sim_seconds\":");
+  AppendNumber(&out, info.sim_seconds);
+
+  // Global meter view plus the ledger's grand total: the two price the
+  // same request stream, so "requests_usd" and "ledger".request_usd must
+  // agree within rounding (check.sh's smoke step asserts this).
+  CostLedger::Entry grand = ledger.GrandTotal();
+  out.append(",\n\"cost\":{\"meter\":{");
+  {
+    bool first = true;
+    AppendField(&out, "s3_puts", info.s3_puts, &first);
+    AppendField(&out, "s3_gets", info.s3_gets, &first);
+    AppendField(&out, "s3_deletes", info.s3_deletes, &first);
+    AppendField(&out, "s3_ranged_gets", info.s3_ranged_gets, &first);
+    AppendField(&out, "request_usd", info.request_usd, &first);
+    AppendField(&out, "ec2_usd", info.ec2_usd, &first);
+    AppendField(&out, "storage_usd_month", info.storage_usd_month, &first);
+  }
+  out.append("},\"ledger\":{");
+  {
+    bool first = true;
+    AppendEntryFields(&out, grand, prices, &first);
+  }
+  out.append("}}");
+
+  // Per-query rollups, with the per-(operator, node) entries nested so a
+  // consumer can reconstruct EXPLAIN ANALYZE or per-node splits.
+  out.append(",\n\"queries\":[");
+  bool first_query = true;
+  for (const auto& [query_id, tag] : ledger.Queries()) {
+    if (!first_query) out.push_back(',');
+    first_query = false;
+    CostLedger::Entry total = ledger.QueryTotal(query_id);
+    out.append("\n{\"query_id\":");
+    AppendCount(&out, query_id);
+    out.append(",\"tag\":");
+    AppendEscaped(&out, total.tag.empty() ? tag : total.tag);
+    bool first = false;  // false: AppendField prepends the comma
+    AppendEntryFields(&out, total, prices, &first);
+    out.append(",\"entries\":[");
+    bool first_entry = true;
+    for (const auto& [key, entry] : ledger.entries()) {
+      if (key.query_id != query_id) continue;
+      if (!first_entry) out.push_back(',');
+      first_entry = false;
+      out.append("{\"operator_id\":");
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%d", key.operator_id);
+      out.append(buf);
+      out.append(",\"node_id\":");
+      AppendCount(&out, key.node_id);
+      out.append(",\"tag\":");
+      AppendEscaped(&out, entry.tag);
+      bool f = false;
+      AppendEntryFields(&out, entry, prices, &f);
+      out.push_back('}');
+    }
+    out.append("]}");
+  }
+  out.append("]");
+
+  // Per-node rollup across all queries.
+  std::map<uint32_t, CostLedger::Entry> by_node;
+  for (const auto& [key, entry] : ledger.entries()) {
+    by_node[key.node_id].Fold(entry);
+  }
+  out.append(",\n\"nodes\":[");
+  bool first_node = true;
+  for (const auto& [node_id, entry] : by_node) {
+    if (!first_node) out.push_back(',');
+    first_node = false;
+    out.append("\n{\"node_id\":");
+    AppendCount(&out, node_id);
+    bool first = false;
+    AppendEntryFields(&out, entry, prices, &first);
+    out.push_back('}');
+  }
+  out.append("]");
+
+  // The per-prefix throttle heatmap.
+  out.append(",\n\"prefixes\":[");
+  bool first_prefix = true;
+  for (const auto& [prefix, ps] : ledger.prefixes()) {
+    if (!first_prefix) out.push_back(',');
+    first_prefix = false;
+    out.append("\n{\"prefix\":");
+    AppendEscaped(&out, prefix);
+    bool first = false;
+    AppendField(&out, "requests", ps.requests, &first);
+    AppendField(&out, "throttle_events", ps.throttle_events, &first);
+    AppendField(&out, "stall_seconds", ps.stall_seconds, &first);
+    out.push_back('}');
+  }
+  out.append("]");
+
+  out.append(",\n\"histograms\":[");
+  bool first_hist = true;
+  for (const auto& [name, h] : stats.histograms()) {
+    if (!first_hist) out.push_back(',');
+    first_hist = false;
+    out.append("\n{\"name\":");
+    AppendEscaped(&out, name);
+    bool first = false;
+    AppendField(&out, "count", h.count(), &first);
+    AppendField(&out, "sum", h.sum(), &first);
+    AppendField(&out, "min", h.min(), &first);
+    AppendField(&out, "mean", h.mean(), &first);
+    AppendField(&out, "p50", h.p50(), &first);
+    AppendField(&out, "p95", h.p95(), &first);
+    AppendField(&out, "p99", h.p99(), &first);
+    AppendField(&out, "max", h.max(), &first);
+    out.push_back('}');
+  }
+  out.append("]");
+
+  out.append(",\n\"counters\":{");
+  bool first_counter = true;
+  for (const auto& [name, c] : stats.counters()) {
+    if (!first_counter) out.push_back(',');
+    first_counter = false;
+    out.push_back('\n');
+    AppendEscaped(&out, name);
+    out.push_back(':');
+    AppendCount(&out, c.value());
+  }
+  out.append("}");
+
+  out.append(",\n\"gauges\":{");
+  bool first_gauge = true;
+  for (const auto& [name, g] : stats.gauges()) {
+    if (!first_gauge) out.push_back(',');
+    first_gauge = false;
+    out.push_back('\n');
+    AppendEscaped(&out, name);
+    out.push_back(':');
+    AppendNumber(&out, g.value());
+  }
+  out.append("}\n}\n");
+  return out;
+}
+
+Status WriteRunReport(const RunReportInfo& info, const StatsRegistry& stats,
+                      const CostLedger& ledger, const std::string& path) {
+  std::string json = BuildRunReportJson(info, stats, ledger);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open report file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IoError("short write to report file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace cloudiq

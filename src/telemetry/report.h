@@ -1,0 +1,47 @@
+#ifndef CLOUDIQ_TELEMETRY_REPORT_H_
+#define CLOUDIQ_TELEMETRY_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "telemetry/attribution.h"
+#include "telemetry/stats.h"
+
+namespace cloudiq {
+
+// Global totals the harness folds into the run report alongside the
+// ledger. Carried as plain numbers (not a CostMeter) so the report
+// builder stays below sim in the layering; the bench harness copies the
+// meter's totals in.
+struct RunReportInfo {
+  std::string bench;        // binary name, e.g. "tpch_power_run"
+  double scale_factor = 0;  // TPC-H SF the run used (0 = not applicable)
+  double sim_seconds = 0;   // simulated end time of the run
+
+  // Global CostMeter view, for cross-checking against the ledger.
+  uint64_t s3_puts = 0;
+  uint64_t s3_gets = 0;
+  uint64_t s3_deletes = 0;
+  uint64_t s3_ranged_gets = 0;
+  double request_usd = 0;
+  double ec2_usd = 0;
+  double storage_usd_month = 0;
+};
+
+// Builds the structured run report: global cost, the attribution ledger
+// broken down by query / node / key prefix (the throttle heatmap), and
+// every StatsRegistry instrument. Top-level keys:
+//   schema_version, bench, cost, queries, nodes, prefixes,
+//   histograms, counters, gauges
+std::string BuildRunReportJson(const RunReportInfo& info,
+                               const StatsRegistry& stats,
+                               const CostLedger& ledger);
+
+// Convenience: build + write to `path`.
+Status WriteRunReport(const RunReportInfo& info, const StatsRegistry& stats,
+                      const CostLedger& ledger, const std::string& path);
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_TELEMETRY_REPORT_H_

@@ -1,26 +1,31 @@
 #ifndef CLOUDIQ_TELEMETRY_TELEMETRY_H_
 #define CLOUDIQ_TELEMETRY_TELEMETRY_H_
 
+#include "telemetry/attribution.h"
 #include "telemetry/stats.h"
 #include "telemetry/tracer.h"
 
 namespace cloudiq {
 
 // One simulation's observability state: the name-keyed stats registry
-// (always on — histogram/counter updates are a few arithmetic ops) and
-// the event tracer (off by default; see Tracer). Owned by SimEnvironment
-// and shared by every node of the cluster, so multi-node runs land on a
-// single timeline with per-node tracks.
+// (always on — histogram/counter updates are a few arithmetic ops), the
+// event tracer (off by default; see Tracer), and the per-query cost
+// ledger (always on; see CostLedger). Owned by SimEnvironment and shared
+// by every node of the cluster, so multi-node runs land on a single
+// timeline with per-node tracks and one cluster-wide ledger.
 class Telemetry {
  public:
   StatsRegistry& stats() { return stats_; }
   const StatsRegistry& stats() const { return stats_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  CostLedger& ledger() { return ledger_; }
+  const CostLedger& ledger() const { return ledger_; }
 
  private:
   StatsRegistry stats_;
   Tracer tracer_;
+  CostLedger ledger_;
 };
 
 }  // namespace cloudiq

@@ -2,6 +2,7 @@
 
 #include "columnar/table_loader.h"
 #include "exec/executor.h"
+#include "exec/explain.h"
 #include "tests/test_util.h"
 
 namespace cloudiq {
@@ -297,6 +298,108 @@ TEST_F(ExecTest, ScanRowIdsReadsOnlyRequestedRows) {
       ScanRowIds(ctx_.get(), &*sales, 0, {"id", "note"}, rows);
   ASSERT_TRUE(batch.ok()) << batch.status().ToString();
   EXPECT_EQ(batch->rows(), 4u);
+}
+
+TEST_F(ExecTest, OperatorsRegisterDenselyWithStats) {
+  CostLedger& ledger = h_.env.telemetry().ledger();
+  ctx_->SetAttribution(ledger.NextQueryId(), "stats-query");
+  ScopedQueryAttribution scope(ctx_.get());
+
+  Result<TableReader> sales = ctx_->OpenTable(10);
+  ASSERT_TRUE(sales.ok());
+  Result<Batch> s = ScanTable(ctx_.get(), &*sales, {"id", "region_id"});
+  ASSERT_TRUE(s.ok());
+  Batch big = FilterBatch(ctx_.get(), *s, [](const Batch& b, size_t r) {
+    return b.Int("id", r) >= 500;
+  });
+  Result<Batch> agg = HashAggregate(ctx_.get(), big, {"region_id"},
+                                    {{AggOp::kCount, "", "n"}});
+  ASSERT_TRUE(agg.ok());
+
+  const auto& ops = ctx_->operators();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].name, "scan sales");
+  EXPECT_EQ(ops[1].name, "filter");
+  EXPECT_EQ(ops[2].name, "hash aggregate");
+  EXPECT_EQ(ops[0].rows, 1000u);
+  EXPECT_EQ(ops[1].rows, 500u);
+  EXPECT_EQ(ops[2].rows, 4u);
+  for (const auto& op : ops) {
+    EXPECT_EQ(op.batches, 1u);
+    EXPECT_GT(op.sim_seconds, 0) << op.name;
+  }
+}
+
+TEST_F(ExecTest, ExplainAnalyzeOperatorRowsSumToQueryLedger) {
+  CostLedger& ledger = h_.env.telemetry().ledger();
+  uint64_t query_id = ledger.NextQueryId();
+  ctx_->SetAttribution(query_id, "explain-query");
+  {
+    ScopedQueryAttribution scope(ctx_.get());
+    Result<TableReader> sales = ctx_->OpenTable(10);
+    ASSERT_TRUE(sales.ok());
+    Result<Batch> s =
+        ScanTable(ctx_.get(), &*sales, {"id", "day", "amount"});
+    ASSERT_TRUE(s.ok());
+    Result<Batch> agg = HashAggregate(ctx_.get(), *s, {"day"},
+                                      {{AggOp::kSum, "amount", "total"}});
+    ASSERT_TRUE(agg.ok());
+  }
+
+  // Fold every ledger entry of this query: the per-operator rows EXPLAIN
+  // prints, plus the query-level row (operator_id -1, work outside any
+  // operator scope). Their sum must be exactly the query total.
+  CostLedger::Entry folded;
+  uint64_t operator_entries = 0;
+  for (const auto& [key, entry] : ledger.entries()) {
+    if (key.query_id != query_id) continue;
+    EXPECT_EQ(key.node_id, ctx_->attribution().node_id);
+    if (key.operator_id >= 0) {
+      ASSERT_LT(static_cast<size_t>(key.operator_id),
+                ctx_->operators().size());
+      ++operator_entries;
+    }
+    folded.Fold(entry);
+  }
+  EXPECT_GT(operator_entries, 0u);
+
+  CostLedger::Entry total = ledger.QueryTotal(query_id);
+  EXPECT_EQ(folded.Requests(), total.Requests());
+  EXPECT_EQ(folded.buffer_hits + folded.buffer_misses,
+            total.buffer_hits + total.buffer_misses);
+  EXPECT_DOUBLE_EQ(folded.sim_seconds, total.sim_seconds);
+  EXPECT_DOUBLE_EQ(folded.TotalUsd(ledger.prices()),
+                   total.TotalUsd(ledger.prices()));
+  // The scan touched pages, so the buffer manager charged this query.
+  EXPECT_GT(total.buffer_hits + total.buffer_misses, 0u);
+  EXPECT_GT(total.sim_seconds, 0);
+
+  std::string text = FormatExplainAnalyze(ctx_.get());
+  EXPECT_NE(text.find("EXPLAIN ANALYZE explain-query"), std::string::npos);
+  EXPECT_NE(text.find("scan sales"), std::string::npos);
+  EXPECT_NE(text.find("hash aggregate"), std::string::npos);
+  EXPECT_NE(text.find("total (incl. query-level work)"), std::string::npos);
+}
+
+TEST_F(ExecTest, UnattributedWorkStaysOffQueryLedgers) {
+  CostLedger& ledger = h_.env.telemetry().ledger();
+  uint64_t query_id = ledger.NextQueryId();
+  ctx_->SetAttribution(query_id, "scoped");
+  // No ScopedQueryAttribution installed: operator scopes still narrow the
+  // context, but outside them the default (query 0) is current.
+  Result<TableReader> sales = ctx_->OpenTable(10);
+  ASSERT_TRUE(sales.ok());
+  Result<Batch> s = ScanTable(ctx_.get(), &*sales, {"id"});
+  ASSERT_TRUE(s.ok());
+
+  // The scan ran inside an OperatorScope built from the query's
+  // attribution, so its work is still charged to the query...
+  EXPECT_GT(ledger.QueryTotal(query_id).sim_seconds, 0);
+  // ...but nothing leaked onto other query ids.
+  for (const auto& [key, entry] : ledger.entries()) {
+    EXPECT_TRUE(key.query_id == query_id || key.query_id == 0)
+        << "unexpected query " << key.query_id;
+  }
 }
 
 }  // namespace

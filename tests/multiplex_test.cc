@@ -196,5 +196,51 @@ TEST(MultiplexTest, RolledBackRangesRepolledIdempotently) {
   EXPECT_EQ(env.object_store().LiveObjectCount(), 0u);
 }
 
+TEST(MultiplexTest, ReaderQueryChargedToReaderNodeNotCoordinator) {
+  SimEnvironment env;
+  Multiplex mx(&env, 2, TestOptions());
+  CostLedger& ledger = env.telemetry().ledger();
+  TpchGenerator gen(0.002);
+  TpchLoadOptions load;
+  load.partitions = 2;
+  ASSERT_TRUE(LoadTpchTable(&mx.coordinator(), &gen, kLineitem, load).ok());
+  ASSERT_TRUE(mx.SyncCatalogs().ok());
+
+  // Run a scan on secondary 1 under its own query attribution. The
+  // reader's buffer pool is cold, so the scan must fetch pages from the
+  // shared object store — and those requests must land on this query id
+  // with the *reader's* node id, not the coordinator's.
+  Database& reader_db = mx.secondary(1);
+  Transaction* txn = reader_db.Begin();
+  QueryContext ctx = reader_db.NewQueryContext(txn, "reader-scan");
+  uint64_t query_id = ctx.attribution().query_id;
+  {
+    ScopedQueryAttribution scope(&ctx);
+    Result<TableReader> reader = ctx.OpenTable(kLineitem);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    Result<Batch> rows =
+        ScanTable(&ctx, &*reader, {"l_orderkey", "l_quantity"});
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_GT(rows->rows(), 0u);
+    ASSERT_TRUE(reader_db.Commit(txn).ok());
+  }
+
+  EXPECT_EQ(ctx.attribution().node_id, reader_db.node().trace_pid());
+  CostLedger::Entry total = ledger.QueryTotal(query_id);
+  EXPECT_GT(total.gets, 0u);
+  EXPECT_GT(total.buffer_misses, 0u);
+
+  uint32_t reader_node = reader_db.node().trace_pid();
+  uint32_t coordinator_node = mx.coordinator().node().trace_pid();
+  ASSERT_NE(reader_node, coordinator_node);
+  for (const auto& [key, entry] : ledger.entries()) {
+    if (key.query_id != query_id) continue;
+    EXPECT_EQ(key.node_id, reader_node)
+        << "entry for operator " << key.operator_id
+        << " charged to node " << key.node_id;
+    EXPECT_NE(key.node_id, coordinator_node);
+  }
+}
+
 }  // namespace
 }  // namespace cloudiq

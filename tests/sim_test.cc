@@ -175,7 +175,9 @@ TEST(ObjectStoreTest, ExternalReadBillsAndPaces) {
   // store's parallel streams.
   SimTime done = env.object_store().ExternalRead(100 << 20, 0.0);
   EXPECT_GT(done, 0.0);
-  EXPECT_EQ(env.cost_meter().s3_gets(), (100 + 7) / 8);
+  EXPECT_EQ(env.cost_meter().s3_ranged_gets(), (100 + 7) / 8);
+  EXPECT_EQ(env.cost_meter().s3_gets(), 0u);
+  EXPECT_EQ(env.object_store().stats().ranged_gets, (100u + 7) / 8);
   // With thousands of streams the parts run in parallel: ~one part's
   // transfer time, not thirteen.
   EXPECT_LT(done, 0.5);
@@ -197,6 +199,22 @@ TEST(ObjectStoreTest, CostMeterBillsRequests) {
   EXPECT_EQ(env.cost_meter().s3_puts(), 1u);
   EXPECT_EQ(env.cost_meter().s3_gets(), 1u);
   EXPECT_GT(env.cost_meter().S3RequestUsd(), 0.0);
+
+  // DELETE and HEAD are billed too (DELETE at the PUT rate).
+  double before_usd = env.cost_meter().S3RequestUsd();
+  (void)env.object_store().Exists("a/b", done + 10, &done);
+  ASSERT_TRUE(env.object_store().Delete("a/b", done + 10, &done).ok());
+  EXPECT_EQ(env.cost_meter().s3_deletes(), 1u);
+  EXPECT_EQ(env.cost_meter().S3Requests(), 4u);
+  EXPECT_GT(env.cost_meter().S3RequestUsd(), before_usd);
+
+  // Every metered request was also attributed (to the default context
+  // here), so the cluster ledger agrees with the meter request-for-
+  // request and dollar-for-dollar.
+  CostLedger::Entry grand = env.telemetry().ledger().GrandTotal();
+  EXPECT_EQ(grand.Requests(), env.cost_meter().S3Requests());
+  EXPECT_NEAR(grand.RequestUsd(env.telemetry().ledger().prices()),
+              env.cost_meter().S3RequestUsd(), 1e-12);
 }
 
 TEST(BlockVolumeTest, StrongConsistencyReadAfterWrite) {

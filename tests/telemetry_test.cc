@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include "sim/sim_clock.h"
+#include "telemetry/attribution.h"
+#include "telemetry/report.h"
 #include "telemetry/stats.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/tracer.h"
@@ -374,6 +376,272 @@ TEST(TraceExporterTest, PercentileReportListsInstruments) {
   EXPECT_NE(report.find("s3.retries"), std::string::npos);
   EXPECT_NE(report.find("cache.bytes"), std::string::npos);
   EXPECT_EQ(report.find("zero.counter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CostLedger
+// ---------------------------------------------------------------------------
+
+AttributionContext Attr(uint64_t query, int32_t op, uint32_t node,
+                        std::string tag = "") {
+  AttributionContext attr;
+  attr.query_id = query;
+  attr.operator_id = op;
+  attr.node_id = node;
+  attr.tag = std::move(tag);
+  return attr;
+}
+
+TEST(CostLedgerTest, ScopedAttributionChargesAndRestores) {
+  CostLedger ledger;
+  ledger.RecordRequest(CostLedger::Request::kGet, 100);  // unattributed
+  {
+    ScopedAttribution q1(&ledger, Attr(1, -1, 7, "Q1"));
+    ledger.RecordRequest(CostLedger::Request::kPut, 4096);
+    {
+      ScopedAttribution op(&ledger, Attr(1, 0, 7, "scan"));
+      ledger.RecordRequest(CostLedger::Request::kGet, 512);
+      ledger.RecordRequest(CostLedger::Request::kGet, 512);
+    }
+    // Back at query level after the nested scope closes.
+    EXPECT_EQ(ledger.current().operator_id, -1);
+    ledger.RecordRequest(CostLedger::Request::kDelete, 0);
+  }
+  EXPECT_EQ(ledger.current().query_id, 0u);
+
+  CostLedger::Entry q1 = ledger.QueryTotal(1);
+  EXPECT_EQ(q1.gets, 2u);
+  EXPECT_EQ(q1.puts, 1u);
+  EXPECT_EQ(q1.deletes, 1u);
+  EXPECT_EQ(q1.get_bytes, 1024u);
+  EXPECT_EQ(q1.put_bytes, 4096u);
+  EXPECT_EQ(q1.Requests(), 4u);
+
+  // The operator-level entry is separate from the query-level one.
+  auto it = ledger.entries().find(CostLedger::Key{1, 0, 7});
+  ASSERT_NE(it, ledger.entries().end());
+  EXPECT_EQ(it->second.gets, 2u);
+  EXPECT_EQ(it->second.puts, 0u);
+
+  // Unattributed work stays on query 0 and appears only in the grand
+  // total.
+  EXPECT_EQ(ledger.QueryTotal(0).gets, 1u);
+  EXPECT_EQ(ledger.GrandTotal().Requests(), 5u);
+}
+
+TEST(CostLedgerTest, RequestPricingMatchesRates) {
+  CostLedger ledger;
+  LedgerPrices prices;
+  prices.put_per_1k = 0.005;
+  prices.get_per_1k = 0.0004;
+  ledger.set_prices(prices);
+  {
+    ScopedAttribution q(&ledger, Attr(3, -1, 1, "priced"));
+    for (int i = 0; i < 1000; ++i) {
+      ledger.RecordRequest(CostLedger::Request::kPut, 1);
+    }
+    for (int i = 0; i < 500; ++i) {
+      ledger.RecordRequest(CostLedger::Request::kDelete, 0);
+    }
+    for (int i = 0; i < 2000; ++i) {
+      ledger.RecordRequest(CostLedger::Request::kGet, 1);
+    }
+    for (int i = 0; i < 500; ++i) {
+      ledger.RecordRequest(CostLedger::Request::kRangedGet, 1);
+    }
+    for (int i = 0; i < 500; ++i) {
+      ledger.RecordRequest(CostLedger::Request::kHead, 0);
+    }
+  }
+  CostLedger::Entry total = ledger.QueryTotal(3);
+  // 1500 PUT-class requests at $0.005/1k + 3000 GET-class at $0.0004/1k.
+  EXPECT_NEAR(total.RequestUsd(prices), 1.5 * 0.005 + 3.0 * 0.0004, 1e-12);
+  EXPECT_DOUBLE_EQ(total.ec2_usd, 0);
+  EXPECT_DOUBLE_EQ(total.TotalUsd(prices), total.RequestUsd(prices));
+}
+
+TEST(CostLedgerTest, ChargeComputeAddsMoneyNotSimTime) {
+  CostLedger ledger;
+  AttributionContext who = Attr(5, -1, 2, "Q5");
+  {
+    ScopedAttribution q(&ledger, who);
+    ledger.AddSimSeconds(1.25);
+  }
+  ledger.ChargeCompute(who, /*seconds=*/3600, /*hourly_usd=*/4.225);
+  CostLedger::Entry total = ledger.QueryTotal(5);
+  EXPECT_DOUBLE_EQ(total.sim_seconds, 1.25);
+  EXPECT_NEAR(total.ec2_usd, 4.225, 1e-12);
+  EXPECT_NEAR(total.TotalUsd(ledger.prices()), 4.225, 1e-12);
+}
+
+TEST(CostLedgerTest, ThrottleRetryAndCacheCounters) {
+  CostLedger ledger;
+  {
+    ScopedAttribution q(&ledger, Attr(9, -1, 1, "Q9"));
+    ledger.RecordThrottle(0.25);
+    ledger.RecordThrottle(0.75);
+    ledger.RecordRetry(/*not_found=*/true);
+    ledger.RecordRetry(/*not_found=*/false);
+    ledger.RecordOcmHit();
+    ledger.RecordOcmHit();
+    ledger.RecordOcmMiss();
+    ledger.RecordOcmFill();
+    ledger.RecordOcmUpload();
+    ledger.RecordBufferHit();
+    ledger.RecordBufferMiss();
+    ledger.RecordBufferFlush(16);
+  }
+  CostLedger::Entry total = ledger.QueryTotal(9);
+  EXPECT_EQ(total.throttle_events, 2u);
+  EXPECT_DOUBLE_EQ(total.throttle_stall_seconds, 1.0);
+  EXPECT_EQ(total.not_found_retries, 1u);
+  EXPECT_EQ(total.transient_retries, 1u);
+  EXPECT_EQ(total.ocm_hits, 2u);
+  EXPECT_EQ(total.ocm_misses, 1u);
+  EXPECT_EQ(total.ocm_fills, 1u);
+  EXPECT_EQ(total.ocm_uploads, 1u);
+  EXPECT_EQ(total.buffer_hits, 1u);
+  EXPECT_EQ(total.buffer_misses, 1u);
+  EXPECT_EQ(total.buffer_flush_pages, 16u);
+  EXPECT_NEAR(total.OcmHitRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CostLedgerTest, QueriesListsIdsWithTags) {
+  CostLedger ledger;
+  EXPECT_EQ(ledger.NextQueryId(), 1u);
+  EXPECT_EQ(ledger.NextQueryId(), 2u);
+  EXPECT_EQ(ledger.last_query_id(), 2u);
+  {
+    ScopedAttribution a(&ledger, Attr(2, -1, 1, "load"));
+    ledger.RecordRequest(CostLedger::Request::kPut, 1);
+  }
+  {
+    ScopedAttribution b(&ledger, Attr(1, 3, 1, "Q1"));
+    ledger.RecordRequest(CostLedger::Request::kGet, 1);
+  }
+  auto queries = ledger.Queries();
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_EQ(queries[0].first, 1u);
+  EXPECT_EQ(queries[0].second, "Q1");
+  EXPECT_EQ(queries[1].first, 2u);
+  EXPECT_EQ(queries[1].second, "load");
+}
+
+TEST(CostLedgerTest, PrefixHeatmapCapsAtOtherBucket) {
+  CostLedger ledger;
+  for (size_t i = 0; i < CostLedger::kMaxPrefixes; ++i) {
+    ledger.RecordPrefix("p" + std::to_string(i), /*throttled=*/false, 0);
+  }
+  EXPECT_EQ(ledger.prefixes().size(), CostLedger::kMaxPrefixes);
+  ledger.RecordPrefix("one-too-many", /*throttled=*/true, 0.5);
+  ledger.RecordPrefix("and-another", /*throttled=*/true, 0.5);
+  EXPECT_EQ(ledger.prefixes().size(), CostLedger::kMaxPrefixes + 1);
+  auto it = ledger.prefixes().find(CostLedger::kOtherPrefixes);
+  ASSERT_NE(it, ledger.prefixes().end());
+  EXPECT_EQ(it->second.requests, 2u);
+  EXPECT_EQ(it->second.throttle_events, 2u);
+  EXPECT_DOUBLE_EQ(it->second.stall_seconds, 1.0);
+  // Known prefixes keep aggregating even once the map is full.
+  ledger.RecordPrefix("p0", /*throttled=*/false, 0);
+  EXPECT_EQ(ledger.prefixes().at("p0").requests, 2u);
+}
+
+TEST(CostLedgerTest, ResetClearsEverything) {
+  CostLedger ledger;
+  {
+    ScopedAttribution q(&ledger, Attr(1, -1, 1, "Q1"));
+    ledger.RecordRequest(CostLedger::Request::kGet, 1);
+    ledger.RecordPrefix("p", false, 0);
+  }
+  ledger.Reset();
+  EXPECT_TRUE(ledger.entries().empty());
+  EXPECT_TRUE(ledger.prefixes().empty());
+  EXPECT_EQ(ledger.GrandTotal().Requests(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Run report
+// ---------------------------------------------------------------------------
+
+TEST(RunReportTest, EmitsExpectedTopLevelKeys) {
+  StatsRegistry stats;
+  stats.histogram("s3.get.latency").Record(0.012);
+  stats.counter("s3.retries").Add(3);
+  stats.gauge("ocm.bytes").Set(1e6);
+
+  CostLedger ledger;
+  {
+    ScopedAttribution q(&ledger, Attr(1, -1, 4, "Q1"));
+    ledger.RecordRequest(CostLedger::Request::kGet, 2048);
+    ledger.RecordPrefix("ab12", /*throttled=*/true, 0.125);
+  }
+  ledger.ChargeCompute(Attr(1, -1, 4, "Q1"), 60, 0.704);
+
+  RunReportInfo info;
+  info.bench = "unit \"bench\"";  // quote must be escaped
+  info.scale_factor = 0.01;
+  info.sim_seconds = 123.5;
+  info.s3_gets = 1;
+  info.request_usd = 4e-7;
+
+  std::string json = BuildRunReportJson(info, stats, ledger);
+  for (const char* key :
+       {"\"schema_version\"", "\"bench\"", "\"scale_factor\"",
+        "\"sim_seconds\"", "\"cost\"", "\"meter\"", "\"ledger\"",
+        "\"queries\"", "\"nodes\"", "\"prefixes\"", "\"histograms\"",
+        "\"counters\"", "\"gauges\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("unit \\\"bench\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"tag\":\"Q1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ab12\""), std::string::npos);
+  EXPECT_NE(json.find("s3.get.latency"), std::string::npos);
+
+  // No stray separators (the field emitters share comma placement).
+  EXPECT_EQ(json.find(",,"), std::string::npos);
+  EXPECT_EQ(json.find("{,"), std::string::npos);
+  EXPECT_EQ(json.find("[,"), std::string::npos);
+
+  // Structurally sound: quotes aside, braces and brackets balance.
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(RunReportTest, WritesFileToDisk) {
+  StatsRegistry stats;
+  CostLedger ledger;
+  RunReportInfo info;
+  info.bench = "write-test";
+  std::string path = ::testing::TempDir() + "cloudiq_report_test.json";
+  ASSERT_TRUE(WriteRunReport(info, stats, ledger, path).ok());
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[16] = {0};
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(buf[0], '{');
 }
 
 }  // namespace
