@@ -53,6 +53,27 @@ inline TelemetryOptions& Telemetry() {
   return options;
 }
 
+// Shared knobs for the concurrency-aware benches:
+//   --tenants=N      (or CLOUDIQ_TENANTS=N)     tenant count
+//   --arrival=R      (or CLOUDIQ_ARRIVAL=R)     open-loop arrival rate per
+//                                               tenant, queries per
+//                                               simulated second (0 = run
+//                                               the tenants closed-loop)
+//   --concurrency=C  (or CLOUDIQ_CONCURRENCY=C) pool-wide admission
+//                                               concurrency limit
+// Unset values stay negative; each bench applies its own defaults or
+// sweeps. Setting any of them pins that dimension instead of sweeping it.
+struct WorkloadFlags {
+  int tenants = -1;
+  double arrival = -1;
+  int concurrency = -1;
+};
+
+inline WorkloadFlags& Workload() {
+  static WorkloadFlags flags;
+  return flags;
+}
+
 // Parses the toggles above from argv + environment. Call from main()
 // before the bench body; unknown arguments are left alone.
 inline void InitTelemetry(int argc, char** argv) {
@@ -79,6 +100,19 @@ inline void InitTelemetry(int argc, char** argv) {
   if (env_report != nullptr && env_report[0] != '\0') {
     options.report_path = env_report;
   }
+  WorkloadFlags& workload = Workload();
+  const char* env_tenants = std::getenv("CLOUDIQ_TENANTS");
+  if (env_tenants != nullptr && env_tenants[0] != '\0') {
+    workload.tenants = std::atoi(env_tenants);
+  }
+  const char* env_arrival = std::getenv("CLOUDIQ_ARRIVAL");
+  if (env_arrival != nullptr && env_arrival[0] != '\0') {
+    workload.arrival = std::atof(env_arrival);
+  }
+  const char* env_concurrency = std::getenv("CLOUDIQ_CONCURRENCY");
+  if (env_concurrency != nullptr && env_concurrency[0] != '\0') {
+    workload.concurrency = std::atoi(env_concurrency);
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       options.print_metrics = true;
@@ -88,6 +122,12 @@ inline void InitTelemetry(int argc, char** argv) {
       options.trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
       options.report_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--tenants=", 10) == 0) {
+      workload.tenants = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--arrival=", 10) == 0) {
+      workload.arrival = std::atof(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--concurrency=", 14) == 0) {
+      workload.concurrency = std::atoi(argv[i] + 14);
     }
   }
 }

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus sanitizer sweeps.
 #
-#   scripts/check.sh            # build + ctest, report smoke, ASan, UBSan, TSan
+#   scripts/check.sh            # build + ctest, report + stress smoke,
+#                               # ASan, UBSan, TSan
 #   scripts/check.sh asan       # just the AddressSanitizer pass
 #   scripts/check.sh ubsan      # just the UndefinedBehaviorSanitizer pass
 #   scripts/check.sh tsan       # just the ThreadSanitizer pass
 #   scripts/check.sh plain      # just the uninstrumented build + tests
 #   scripts/check.sh report     # just the --report JSON smoke check
+#   scripts/check.sh stress     # concurrency bench smoke under ASan + TSan
 #
 # Each pass uses its own build tree (build/, build-asan/, build-ubsan/,
 # build-tsan/) so the sweeps never poison the primary build's cache.
@@ -46,8 +48,8 @@ with open(sys.argv[1]) as f:
     report = json.load(f)
 
 expected = ["schema_version", "bench", "scale_factor", "sim_seconds",
-            "cost", "queries", "nodes", "prefixes", "histograms",
-            "counters", "gauges"]
+            "cost", "queries", "nodes", "tenants", "prefixes",
+            "histograms", "counters", "gauges"]
 missing = [k for k in expected if k not in report]
 assert not missing, f"missing top-level keys: {missing}"
 assert report["schema_version"] == 1, report["schema_version"]
@@ -68,6 +70,29 @@ EOF
   echo "=== report: OK ==="
 }
 
+# Runs the concurrency bench (one pinned multi-tenant configuration, tiny
+# scale factor) under a sanitizer. The workload engine drives real fibers
+# through a strict handoff protocol — exactly the code ASan and TSan are
+# best placed to vet, and far more schedule pressure than the unit tests.
+stress_one() {
+  local sanitize="$1" dir="$2"
+  echo "--- stress (${sanitize}): build + run bench_concurrency"
+  cmake -B "${dir}" -S . -DCLOUDIQ_SANITIZE="${sanitize}" \
+    > "${dir}-configure.log" 2>&1 || {
+      cat "${dir}-configure.log"; return 1; }
+  cmake --build "${dir}" -j "${JOBS}" --target bench_concurrency
+  CLOUDIQ_BENCH_SF=0.002 "./${dir}/bench/bench_concurrency" \
+    --tenants=2 --arrival=2 --concurrency=2 > /dev/null
+  echo "--- stress (${sanitize}): OK"
+}
+
+stress_smoke() {
+  echo "=== stress: concurrency bench smoke under ASan + TSan ==="
+  stress_one address build-asan
+  stress_one thread build-tsan
+  echo "=== stress: OK ==="
+}
+
 what="${1:-all}"
 case "${what}" in
   plain)  run_pass "plain" build "" ;;
@@ -75,15 +100,17 @@ case "${what}" in
   ubsan)  run_pass "UBSan" build-ubsan undefined ;;
   tsan)   run_pass "TSan"  build-tsan thread ;;
   report) report_smoke ;;
+  stress) stress_smoke ;;
   all)
     run_pass "plain" build ""
     report_smoke
     run_pass "ASan"  build-asan address
     run_pass "UBSan" build-ubsan undefined
     run_pass "TSan"  build-tsan thread
+    stress_smoke
     ;;
   *)
-    echo "usage: $0 [all|plain|asan|ubsan|tsan|report]" >&2
+    echo "usage: $0 [all|plain|asan|ubsan|tsan|report|stress]" >&2
     exit 2
     ;;
 esac

@@ -19,6 +19,8 @@
 
 namespace cloudiq {
 
+class Session;
+
 // Storage backing for the *user* dbspace — the experimental variable of
 // the paper's first evaluation (Table 2/3/4).
 enum class UserStorage {
@@ -113,6 +115,12 @@ class Database {
     ctx.SetAttribution(env_->telemetry().ledger().NextQueryId(), tag);
     return ctx;
   }
+
+  // A tenant-scoped session on this node (defined in engine/session.h):
+  // queries opened through it are registered under `tenant` in the
+  // cluster ledger, feeding the per-tenant rollups of the run report and
+  // the workload engine's budget/fair-share accounting.
+  Session OpenSession(std::string tenant);
 
   // --- snapshots (§5) ---------------------------------------------------------
   // Takes a near-instantaneous snapshot (applies the key-cache barrier).

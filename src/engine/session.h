@@ -1,0 +1,54 @@
+#ifndef CLOUDIQ_ENGINE_SESSION_H_
+#define CLOUDIQ_ENGINE_SESSION_H_
+
+#include <string>
+#include <utility>
+
+#include "engine/database.h"
+
+namespace cloudiq {
+
+// One tenant's connection to a database node. A Database serves many
+// sessions; each session stamps the queries it opens with its tenant so
+// the cost ledger and the run report roll work up per tenant. The
+// workload engine (src/workload/) opens a session per admitted query
+// job, but sessions are equally usable standalone:
+//
+//   Session s = db.OpenSession("acme");
+//   Transaction* txn = db.Begin();
+//   QueryContext ctx = s.NewQuery(txn, "Q6");
+//   ... run, commit ...
+class Session {
+ public:
+  Session(Database* db, std::string tenant)
+      : db_(db), tenant_(std::move(tenant)) {}
+
+  // A query context wired like Database::NewQueryContext, additionally
+  // registered under this session's tenant in the cluster ledger.
+  QueryContext NewQuery(Transaction* txn, const std::string& tag) {
+    QueryContext ctx = db_->NewQueryContext(txn, tag);
+    if (!tenant_.empty()) {
+      db_->env().telemetry().ledger().SetQueryTenant(
+          ctx.attribution().query_id, tenant_);
+    }
+    ++queries_started_;
+    return ctx;
+  }
+
+  Database* db() { return db_; }
+  const std::string& tenant() const { return tenant_; }
+  uint64_t queries_started() const { return queries_started_; }
+
+ private:
+  Database* db_;
+  std::string tenant_;
+  uint64_t queries_started_ = 0;
+};
+
+inline Session Database::OpenSession(std::string tenant) {
+  return Session(this, std::move(tenant));
+}
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_ENGINE_SESSION_H_

@@ -9,11 +9,13 @@ namespace cloudiq {
 void QueryContext::ChargeValues(uint64_t values) {
   node()->io().AddCpuWork(values * options_.cpu_per_value,
                           node()->profile().vcpus);
+  CheckStep("charge_values");
 }
 
 void QueryContext::ChargeDecodedBytes(uint64_t bytes) {
   node()->io().AddCpuWork(bytes * options_.cpu_per_decoded_byte,
                           node()->profile().vcpus);
+  CheckStep("charge_decoded");
 }
 
 namespace {
@@ -32,7 +34,9 @@ OperatorScope::OperatorScope(QueryContext* ctx, std::string name)
     : ctx_(ctx),
       op_id_(ctx->RegisterOperator(name)),
       start_(ctx->node()->clock().now()),
-      scope_(&ctx->ledger(), OperatorAttribution(ctx, op_id_, name)) {}
+      scope_(&ctx->ledger(), OperatorAttribution(ctx, op_id_, name)) {
+  ctx->CheckStep("operator");
+}
 
 OperatorScope::~OperatorScope() {
   double elapsed = ctx_->node()->clock().now() - start_;

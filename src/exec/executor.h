@@ -55,6 +55,18 @@ class QueryContext {
   void ChargeValues(uint64_t values);
   void ChargeDecodedBytes(uint64_t bytes);
 
+  // --- cooperative stepping ------------------------------------------------
+  // When a hook is installed, execution is sliced into resumable steps:
+  // the executor invokes it at operator boundaries and after every CPU
+  // charge, and the hook may suspend the query (the workload engine parks
+  // the query's fiber so other sessions interleave on the sim clock).
+  // Without a hook queries run straight through, as before.
+  using StepHook = std::function<void(const char* where)>;
+  void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
+  void CheckStep(const char* where) {
+    if (step_hook_) step_hook_(where);
+  }
+
   // --- attribution ---------------------------------------------------------
   // Stamps this query's identity (Database::NewQueryContext draws the id
   // from the cluster ledger; the node is implied by the context). The
@@ -96,6 +108,7 @@ class QueryContext {
   SystemStore* system_;
   Options options_;
   MetaProvider meta_provider_;
+  StepHook step_hook_;
   AttributionContext attr_;
   std::vector<OperatorStats> operators_;
 };

@@ -1,5 +1,7 @@
 #include "telemetry/attribution.h"
 
+#include <algorithm>
+
 namespace cloudiq {
 
 void CostLedger::Entry::Fold(const Entry& other) {
@@ -110,6 +112,40 @@ void CostLedger::ChargeCompute(const AttributionContext& who, double seconds,
   cached_entry_ = nullptr;  // entries_ may have moved on insert
 }
 
+void CostLedger::SetQueryTenant(uint64_t query_id,
+                                const std::string& tenant) {
+  if (tenant.empty()) {
+    query_tenants_.erase(query_id);
+  } else {
+    query_tenants_[query_id] = tenant;
+  }
+}
+
+const std::string& CostLedger::QueryTenant(uint64_t query_id) const {
+  static const std::string kNone;
+  auto it = query_tenants_.find(query_id);
+  return it == query_tenants_.end() ? kNone : it->second;
+}
+
+CostLedger::Entry CostLedger::TenantTotal(const std::string& tenant) const {
+  Entry total;
+  for (const auto& [key, entry] : entries_) {
+    if (QueryTenant(key.query_id) == tenant) total.Fold(entry);
+  }
+  return total;
+}
+
+std::vector<std::string> CostLedger::Tenants() const {
+  std::vector<std::string> out;
+  for (const auto& [query_id, tenant] : query_tenants_) {
+    (void)query_id;
+    if (out.empty() || out.back() != tenant) out.push_back(tenant);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 CostLedger::Entry CostLedger::QueryTotal(uint64_t query_id) const {
   Entry total;
   for (const auto& [key, entry] : entries_) {
@@ -141,6 +177,7 @@ void CostLedger::Reset() {
   last_query_id_ = 0;
   entries_.clear();
   prefixes_.clear();
+  query_tenants_.clear();
   cached_entry_ = nullptr;
 }
 

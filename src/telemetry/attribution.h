@@ -138,6 +138,20 @@ class CostLedger {
   // The most recently issued query id (0 = none yet issued).
   uint64_t last_query_id() const { return last_query_id_; }
 
+  // --- tenants -----------------------------------------------------------
+  // Maps a query id to a tenant, so multi-tenant workloads (src/workload/)
+  // roll up per tenant. Queries never mapped — loads, maintenance, anything
+  // outside the workload engine — aggregate under the "" tenant, so
+  // TenantTotal("") plus the mapped tenants always sums to GrandTotal().
+  void SetQueryTenant(uint64_t query_id, const std::string& tenant);
+  // "" when the query was never mapped.
+  const std::string& QueryTenant(uint64_t query_id) const;
+  // Sum of every entry of `tenant`'s queries across operators and nodes
+  // ("" sums the unmapped remainder, including unattributed work).
+  Entry TenantTotal(const std::string& tenant) const;
+  // Distinct mapped tenant names, ascending.
+  std::vector<std::string> Tenants() const;
+
   // --- recording (all charge to current()) -------------------------------
   void RecordRequest(Request kind, uint64_t bytes);
   void RecordThrottle(double stall_seconds);
@@ -189,6 +203,7 @@ class CostLedger {
   uint64_t last_query_id_ = 0;
   std::map<Key, Entry> entries_;
   std::map<std::string, PrefixStats> prefixes_;
+  std::map<uint64_t, std::string> query_tenants_;
   Entry* cached_entry_ = nullptr;
 };
 

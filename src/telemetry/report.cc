@@ -185,6 +185,77 @@ std::string BuildRunReportJson(const RunReportInfo& info,
   }
   out.append("]");
 
+  // Per-tenant workload rollup: admission/SLO counters and latency
+  // quantiles from the workload.<tenant>.* registry instruments, spend
+  // from the ledger's tenant dimension. Empty when no workload engine ran.
+  const auto& counters = stats.counters();
+  const auto& histograms = stats.histograms();
+  auto tenant_count = [&](const std::string& tenant, const char* name) {
+    auto it = counters.find("workload." + tenant + "." + name);
+    return it == counters.end() ? uint64_t{0} : it->second.value();
+  };
+  auto tenant_hist = [&](const std::string& tenant,
+                         const char* name) -> const Histogram* {
+    auto it = histograms.find("workload." + tenant + "." + name);
+    return it == histograms.end() ? nullptr : &it->second;
+  };
+  std::map<std::string, bool> tenant_names;  // name -> has ledger entry
+  for (const std::string& t : ledger.Tenants()) tenant_names[t] = true;
+  const std::string kPrefix = "workload.";
+  const std::string kSuffix = ".submitted";
+  for (const auto& [name, c] : counters) {
+    if (name.size() <= kPrefix.size() + kSuffix.size()) continue;
+    if (name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    if (name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      continue;
+    }
+    tenant_names.emplace(
+        name.substr(kPrefix.size(),
+                    name.size() - kPrefix.size() - kSuffix.size()),
+        false);
+  }
+  out.append(",\n\"tenants\":[");
+  bool first_tenant = true;
+  for (const auto& [tenant, has_ledger] : tenant_names) {
+    if (!first_tenant) out.push_back(',');
+    first_tenant = false;
+    out.append("\n{\"tenant\":");
+    AppendEscaped(&out, tenant);
+    bool first = false;
+    AppendField(&out, "submitted", tenant_count(tenant, "submitted"),
+                &first);
+    AppendField(&out, "completed", tenant_count(tenant, "completed"),
+                &first);
+    AppendField(&out, "failed", tenant_count(tenant, "failed"), &first);
+    const uint64_t shed = tenant_count(tenant, "shed_queue_full") +
+                          tenant_count(tenant, "shed_rate_limited") +
+                          tenant_count(tenant, "shed_budget");
+    AppendField(&out, "shed", shed, &first);
+    AppendField(&out, "shed_queue_full",
+                tenant_count(tenant, "shed_queue_full"), &first);
+    AppendField(&out, "shed_rate_limited",
+                tenant_count(tenant, "shed_rate_limited"), &first);
+    AppendField(&out, "shed_budget", tenant_count(tenant, "shed_budget"),
+                &first);
+    AppendField(&out, "slo_met", tenant_count(tenant, "slo_met"), &first);
+    AppendField(&out, "slo_missed", tenant_count(tenant, "slo_missed"),
+                &first);
+    const Histogram* lat = tenant_hist(tenant, "latency");
+    AppendField(&out, "latency_p50", lat ? lat->p50() : 0, &first);
+    AppendField(&out, "latency_p95", lat ? lat->p95() : 0, &first);
+    const Histogram* wait = tenant_hist(tenant, "queue_wait");
+    AppendField(&out, "queue_wait_p50", wait ? wait->p50() : 0, &first);
+    AppendField(&out, "queue_wait_p95", wait ? wait->p95() : 0, &first);
+    CostLedger::Entry spend =
+        has_ledger ? ledger.TenantTotal(tenant) : CostLedger::Entry{};
+    AppendField(&out, "request_usd", spend.RequestUsd(prices), &first);
+    AppendField(&out, "ec2_usd", spend.ec2_usd, &first);
+    AppendField(&out, "cost_usd", spend.TotalUsd(prices), &first);
+    out.push_back('}');
+  }
+  out.append("]");
+
   // The per-prefix throttle heatmap.
   out.append(",\n\"prefixes\":[");
   bool first_prefix = true;

@@ -1,0 +1,148 @@
+#ifndef CLOUDIQ_WORKLOAD_ADMISSION_H_
+#define CLOUDIQ_WORKLOAD_ADMISSION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/sim_clock.h"
+
+namespace cloudiq {
+
+// Token bucket on the simulated clock: capacity `burst`, refilled at
+// `rate` tokens per simulated second. Deterministic — refill is computed
+// from the timestamps handed in, never from wall time.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  // rate <= 0 means unlimited (TryTake always succeeds).
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  // Refills up to `now`, then takes one token if available.
+  bool TryTake(SimTime now) {
+    if (rate_ <= 0) return true;
+    Refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  // Refilled balance at `now` (test hook; does not consume).
+  double TokensAt(SimTime now) {
+    if (rate_ <= 0) return burst_;
+    Refill(now);
+    return tokens_;
+  }
+
+  bool unlimited() const { return rate_ <= 0; }
+
+ private:
+  void Refill(SimTime now) {
+    if (now > last_refill_) {
+      tokens_ = std::min(burst_, tokens_ + (now - last_refill_) * rate_);
+      last_refill_ = now;
+    }
+  }
+
+  double rate_ = 0;
+  double burst_ = 1;
+  double tokens_ = 1;
+  SimTime last_refill_ = 0;
+};
+
+// Front door of the workload engine: decides, for each arriving query,
+// whether it starts immediately, waits in the bounded admission queue, or
+// is shed (overload protection). Sheds happen for three reasons, checked
+// in order: the tenant exhausted its cost budget, the tenant's token
+// bucket is empty (per-tenant rate limit), or the admission queue is at
+// its depth threshold (global overload). The bounded queue is what keeps
+// tail latency of *admitted* queries finite once arrivals outrun service.
+class AdmissionController {
+ public:
+  struct Options {
+    // Queries executing at once across the node pool. Arrivals beyond it
+    // queue (or shed once the queue is full).
+    int concurrency_limit = 8;
+    // Queued queries beyond which new arrivals are shed.
+    size_t max_queue_depth = 64;
+  };
+
+  enum class Decision {
+    kAdmit,            // dispatch now
+    kQueue,            // wait for a slot
+    kShedQueueFull,    // overload: queue at threshold
+    kShedRateLimited,  // tenant token bucket empty
+    kShedBudget,       // tenant cost budget exhausted
+  };
+
+  explicit AdmissionController(Options options) : options_(options) {}
+
+  // Per-tenant rate limit (rate <= 0 = unlimited).
+  void RegisterTenant(const std::string& tenant, double rate_per_sec,
+                      double burst) {
+    buckets_[tenant] = TokenBucket(rate_per_sec, burst);
+  }
+
+  // Decides for one arrival of `tenant` at `now`. `spent_usd`/`budget_usd`
+  // are the tenant's ledger spend and configured budget (budget <= 0 =
+  // unlimited); `can_dispatch_now` says whether a run slot AND an executor
+  // slot are free this instant. A consumed token is not refunded if the
+  // queue check then sheds — the request did hit the rate limiter.
+  Decision Decide(const std::string& tenant, SimTime now, double spent_usd,
+                  double budget_usd, bool can_dispatch_now) {
+    if (budget_usd > 0 && spent_usd >= budget_usd) {
+      return Decision::kShedBudget;
+    }
+    auto it = buckets_.find(tenant);
+    if (it != buckets_.end() && !it->second.TryTake(now)) {
+      return Decision::kShedRateLimited;
+    }
+    if (can_dispatch_now && queued_ == 0) return Decision::kAdmit;
+    if (queued_ < options_.max_queue_depth) return Decision::kQueue;
+    return Decision::kShedQueueFull;
+  }
+
+  static bool IsShed(Decision d) {
+    return d == Decision::kShedQueueFull ||
+           d == Decision::kShedRateLimited || d == Decision::kShedBudget;
+  }
+  static const char* DecisionName(Decision d) {
+    switch (d) {
+      case Decision::kAdmit: return "admit";
+      case Decision::kQueue: return "queue";
+      case Decision::kShedQueueFull: return "shed_queue_full";
+      case Decision::kShedRateLimited: return "shed_rate_limited";
+      case Decision::kShedBudget: return "shed_budget";
+    }
+    return "?";
+  }
+
+  // Occupancy bookkeeping, driven by the engine.
+  void OnDispatch() { ++running_; }
+  void OnQueue() { ++queued_; }
+  void OnDequeue() { --queued_; }
+  void OnComplete() { --running_; }
+
+  bool HasRunSlot() const { return running_ < options_.concurrency_limit; }
+  int running() const { return running_; }
+  size_t queued() const { return queued_; }
+  const Options& options() const { return options_; }
+
+  // Test hook: the tenant's refilled token balance.
+  double TenantTokens(const std::string& tenant, SimTime now) {
+    auto it = buckets_.find(tenant);
+    return it == buckets_.end() ? 0 : it->second.TokensAt(now);
+  }
+
+ private:
+  Options options_;
+  int running_ = 0;
+  size_t queued_ = 0;
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_WORKLOAD_ADMISSION_H_

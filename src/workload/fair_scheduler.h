@@ -1,0 +1,133 @@
+#ifndef CLOUDIQ_WORKLOAD_FAIR_SCHEDULER_H_
+#define CLOUDIQ_WORKLOAD_FAIR_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/sim_clock.h"
+
+namespace cloudiq {
+
+// Weighted fair-share dispatch across tenants, with priority aging.
+//
+// Each tenant accumulates *virtual service*: executed sim-seconds divided
+// by the tenant's weight. When a run slot frees, the queued tenant with
+// the least virtual service dispatches next, so over time tenants receive
+// service proportional to their weights (classic weighted fair queueing,
+// at whole-query granularity). Two refinements keep it well-behaved:
+//
+//  * Priority aging: a queued job's effective key shrinks by aging_rate
+//    for every simulated second it has waited, so even a tenant that is
+//    far "ahead" on service cannot starve others indefinitely — its
+//    waiting jobs age back into contention.
+//  * Catch-up on wake: a tenant that was idle while others ran would
+//    otherwise return with a huge service deficit and monopolize the
+//    engine; when a tenant's queue goes non-empty its virtual service is
+//    lifted to the minimum among currently-backlogged tenants.
+class FairScheduler {
+ public:
+  struct Options {
+    // Virtual-service seconds of priority credit per simulated second a
+    // job has waited. 0 disables aging (pure WFQ).
+    double aging_rate = 0.05;
+  };
+
+  struct Pick {
+    std::string tenant;
+    uint64_t job_id = 0;
+    SimTime enqueued_at = 0;
+  };
+
+  explicit FairScheduler(Options options) : options_(options) {}
+
+  void RegisterTenant(const std::string& tenant, double weight) {
+    Tenant& t = tenants_[tenant];
+    t.weight = weight > 0 ? weight : 1.0;
+  }
+
+  void Enqueue(const std::string& tenant, uint64_t job_id, SimTime now) {
+    Tenant& t = tenants_[tenant];
+    if (t.queue.empty()) {
+      // Catch-up on wake (see class comment).
+      bool any = false;
+      double min_service = 0;
+      for (const auto& [name, other] : tenants_) {
+        if (name == tenant || other.queue.empty()) continue;
+        if (!any || other.virtual_service < min_service) {
+          min_service = other.virtual_service;
+          any = true;
+        }
+      }
+      if (any && min_service > t.virtual_service) {
+        t.virtual_service = min_service;
+      }
+    }
+    t.queue.push_back(QueuedJob{job_id, now});
+    ++queued_total_;
+  }
+
+  // Pops the job to dispatch at `now`: head of the queue of the tenant
+  // with the least aged virtual service (ties break by tenant name, so
+  // dispatch order is deterministic). Empty when nothing is queued.
+  std::optional<Pick> PickNext(SimTime now) {
+    const std::string* best_name = nullptr;
+    Tenant* best = nullptr;
+    double best_key = 0;
+    for (auto& [name, t] : tenants_) {
+      if (t.queue.empty()) continue;
+      double waited = now - t.queue.front().enqueued_at;
+      double key = t.virtual_service - options_.aging_rate * waited;
+      if (best == nullptr || key < best_key) {
+        best_name = &name;
+        best = &t;
+        best_key = key;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    QueuedJob job = best->queue.front();
+    best->queue.pop_front();
+    --queued_total_;
+    return Pick{*best_name, job.job_id, job.enqueued_at};
+  }
+
+  // Charges `sim_seconds` of executed service to the tenant (called at
+  // every fiber step with that slice's *active* node time, so dispatch
+  // decisions see current service and time-shared nodes don't
+  // double-bill).
+  void AddService(const std::string& tenant, double sim_seconds) {
+    Tenant& t = tenants_[tenant];
+    t.virtual_service += sim_seconds / t.weight;
+  }
+
+  size_t queued() const { return queued_total_; }
+  size_t queued_for(const std::string& tenant) const {
+    auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.queue.size();
+  }
+  double virtual_service(const std::string& tenant) const {
+    auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.virtual_service;
+  }
+
+ private:
+  struct QueuedJob {
+    uint64_t job_id;
+    SimTime enqueued_at;
+  };
+  struct Tenant {
+    double weight = 1.0;
+    double virtual_service = 0;
+    std::deque<QueuedJob> queue;
+  };
+
+  Options options_;
+  std::map<std::string, Tenant> tenants_;
+  size_t queued_total_ = 0;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_WORKLOAD_FAIR_SCHEDULER_H_

@@ -1,0 +1,60 @@
+#include "workload/step_fiber.h"
+
+namespace cloudiq {
+
+StepFiber::StepFiber(Body body)
+    : body_(std::move(body)), thread_([this] { Trampoline(); }) {}
+
+void StepFiber::Trampoline() {
+  bool cancelled;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return fiber_turn_; });
+    cancelled = cancel_;
+  }
+  if (!cancelled) {
+    try {
+      body_();
+    } catch (const CancelTag&) {
+      // Teardown unwound the body; nothing to do.
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_ = true;
+    fiber_turn_ = false;
+  }
+  cv_.notify_all();
+}
+
+bool StepFiber::Resume() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (finished_) return false;
+  fiber_turn_ = true;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return !fiber_turn_; });
+  return !finished_;
+}
+
+void StepFiber::Yield() {
+  std::unique_lock<std::mutex> lock(mu_);
+  fiber_turn_ = false;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return fiber_turn_; });
+  if (cancel_) throw CancelTag{};
+}
+
+StepFiber::~StepFiber() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!finished_) {
+      cancel_ = true;
+      fiber_turn_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return finished_; });
+    }
+  }
+  thread_.join();
+}
+
+}  // namespace cloudiq

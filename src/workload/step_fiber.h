@@ -1,0 +1,66 @@
+#ifndef CLOUDIQ_WORKLOAD_STEP_FIBER_H_
+#define CLOUDIQ_WORKLOAD_STEP_FIBER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace cloudiq {
+
+// Cooperative execution slice for one query job.
+//
+// The simulator is single-threaded by design, but query execution is a
+// deep synchronous call stack (executor → buffer manager → OCM → object
+// store) that cannot return part-way. To interleave many queries on the
+// sim clock, each job's body runs on its own OS thread under a strict
+// handoff: exactly one side — the scheduler (host) or the body (fiber) —
+// runs at any instant, and every switch goes through a mutex/condvar
+// pair. The interleaving is therefore fully decided by the order of
+// Resume() calls, which makes concurrent workloads exactly reproducible
+// (and data-race-free under TSan: the handoff mutex orders every access
+// the two sides make to shared simulator state).
+//
+// The body yields wherever the executor's step hook fires (operator
+// boundaries, CPU charges); the host resumes jobs in virtual-time order.
+class StepFiber {
+ public:
+  using Body = std::function<void()>;
+
+  // Starts the thread; the body does not run until the first Resume().
+  explicit StepFiber(Body body);
+
+  // If the body has not finished, cancels it: the next (forced) Yield
+  // unwinds the body's stack via an internal exception. Joins the thread.
+  ~StepFiber();
+
+  StepFiber(const StepFiber&) = delete;
+  StepFiber& operator=(const StepFiber&) = delete;
+
+  // Host side: runs the body until its next Yield() or until it returns.
+  // Returns true while the body has more work, false once finished.
+  bool Resume();
+
+  // Body side: suspends, handing control back to Resume()'s caller.
+  void Yield();
+
+  // Host side (valid between Resume() calls).
+  bool finished() const { return finished_; }
+
+ private:
+  struct CancelTag {};  // thrown out of Yield() when cancelled
+
+  void Trampoline();
+
+  Body body_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool fiber_turn_ = false;  // guarded by mu_
+  bool finished_ = false;    // guarded by mu_
+  bool cancel_ = false;      // guarded by mu_
+  std::thread thread_;       // last: starts after state is initialized
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_WORKLOAD_STEP_FIBER_H_

@@ -1,0 +1,164 @@
+#include "workload/workload_driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/status.h"
+#include "tpch/queries.h"
+
+namespace cloudiq {
+
+uint64_t WorkloadDriver::Summary::TotalCompleted() const {
+  uint64_t total = 0;
+  for (const TenantOutcome& t : tenants) total += t.counts.completed;
+  return total;
+}
+
+uint64_t WorkloadDriver::Summary::TotalShed() const {
+  uint64_t total = 0;
+  for (const TenantOutcome& t : tenants) total += t.counts.Shed();
+  return total;
+}
+
+WorkloadEngine::QueryBody WorkloadDriver::TpchBody(int query_number) {
+  return [query_number](Session*, QueryContext* ctx) {
+    return RunTpchQuery(ctx, query_number).status();
+  };
+}
+
+int WorkloadDriver::NextQuery(size_t tenant_index) {
+  TenantProgress& p = progress_[tenant_index];
+  if (p.next_in_cycle >= p.order.size()) {
+    p.order = p.load.mix;
+    if (p.load.shuffle_mix) {
+      // Fisher-Yates off the shared seeded Rng.
+      for (size_t i = p.order.size(); i > 1; --i) {
+        std::swap(p.order[i - 1], p.order[rng_.Uniform(i)]);
+      }
+    }
+    p.next_in_cycle = 0;
+  }
+  return p.order[p.next_in_cycle++];
+}
+
+Result<WorkloadDriver::Summary> WorkloadDriver::Run(
+    const std::vector<TenantLoad>& loads) {
+  if (loads.empty()) {
+    return Status::InvalidArgument("workload driver needs >= 1 tenant");
+  }
+  progress_.clear();
+  for (const TenantLoad& load : loads) {
+    if (load.mix.empty() || load.total_queries <= 0) {
+      return Status::InvalidArgument("tenant " + load.config.name +
+                                     ": empty mix or zero queries");
+    }
+    progress_.push_back(TenantProgress{load, {}, 0, 0});
+    engine_->AddTenant(load.config);
+  }
+
+  const SimTime start = engine_->now();
+  // Closed-loop tenants resubmit from the completion hook; remember each
+  // tenant's slot so the hook can find its progress entry.
+  std::map<std::string, size_t> index;
+  for (size_t i = 0; i < progress_.size(); ++i) {
+    index[progress_[i].load.config.name] = i;
+  }
+  // Per-tenant drain tracking for the fairness snapshot (see
+  // TenantOutcome::completed_at_first_drain).
+  std::vector<uint64_t> events(progress_.size(), 0);
+  std::vector<uint64_t> completions(progress_.size(), 0);
+  std::vector<double> drain_at(progress_.size(), 0);
+  std::vector<uint64_t> snapshot(progress_.size(), 0);
+  bool snapshot_taken = false;
+  engine_->set_completion_hook([&, this](
+                                   const WorkloadEngine::Completion& done) {
+    auto it = index.find(done.tenant);
+    if (it == index.end()) return;
+    const size_t i = it->second;
+    TenantProgress& p = progress_[i];
+    ++events[i];
+    if (!done.shed && done.status.ok()) ++completions[i];
+    if (events[i] == static_cast<uint64_t>(p.load.total_queries)) {
+      drain_at[i] = done.finish - start;
+      if (!snapshot_taken) {
+        snapshot_taken = true;
+        snapshot = completions;
+      }
+    }
+    if (p.load.arrival_rate > 0) return;  // open loop: stream is pre-built
+    if (p.submitted >= p.load.total_queries) return;
+    const int q = NextQuery(i);
+    ++p.submitted;
+    engine_->Submit(p.load.config.name, "tpch_q" + std::to_string(q),
+                    done.finish, TpchBody(q));
+  });
+
+  // Seed the streams. Open-loop tenants get their whole Poisson arrival
+  // sequence up front; closed-loop tenants get their initial window. The
+  // tenant order here is the load order, so one seed replays one stream.
+  for (size_t i = 0; i < progress_.size(); ++i) {
+    TenantProgress& p = progress_[i];
+    if (p.load.arrival_rate > 0) {
+      SimTime at = start;
+      for (int n = 0; n < p.load.total_queries; ++n) {
+        at += rng_.Exponential(1.0 / p.load.arrival_rate);
+        const int q = NextQuery(i);
+        ++p.submitted;
+        engine_->Submit(p.load.config.name, "tpch_q" + std::to_string(q),
+                        at, TpchBody(q));
+      }
+    } else {
+      const int window =
+          std::min(p.load.inflight > 0 ? p.load.inflight : 1,
+                   p.load.total_queries);
+      for (int n = 0; n < window; ++n) {
+        const int q = NextQuery(i);
+        ++p.submitted;
+        engine_->Submit(p.load.config.name, "tpch_q" + std::to_string(q),
+                        start, TpchBody(q));
+      }
+    }
+  }
+
+  Status run = engine_->RunUntilIdle();
+  engine_->set_completion_hook(nullptr);
+  if (!run.ok()) return run;
+
+  Summary summary;
+  double sum = 0, sum_sq = 0;
+  for (size_t i = 0; i < progress_.size(); ++i) {
+    const TenantProgress& p = progress_[i];
+    const std::string& name = p.load.config.name;
+    TenantOutcome out;
+    out.tenant = name;
+    out.counts = engine_->Counts(name);
+    out.completed_at_first_drain = snapshot[i];
+    out.drain_seconds = drain_at[i];
+    const Histogram& lat = engine_->LatencyHistogram(name);
+    const Histogram& wait = engine_->QueueWaitHistogram(name);
+    out.latency_p50 = lat.p50();
+    out.latency_p95 = lat.p95();
+    out.queue_wait_p95 = wait.p95();
+    // Fairness over the first-drain snapshot: final counts equalize once
+    // every stream drains, the snapshot captures contention-time shares.
+    const double share = snapshot_taken
+                             ? static_cast<double>(snapshot[i])
+                             : static_cast<double>(out.counts.completed);
+    sum += share;
+    sum_sq += share * share;
+    summary.tenants.push_back(std::move(out));
+  }
+  summary.makespan_seconds = engine_->now() - start;
+  if (summary.makespan_seconds > 0) {
+    summary.throughput_qps =
+        summary.TotalCompleted() / summary.makespan_seconds;
+  }
+  const double n = static_cast<double>(summary.tenants.size());
+  summary.fairness_index =
+      sum_sq > 0 ? (sum * sum) / (n * sum_sq) : 0;
+  return summary;
+}
+
+}  // namespace cloudiq

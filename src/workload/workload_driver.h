@@ -1,0 +1,86 @@
+#ifndef CLOUDIQ_WORKLOAD_WORKLOAD_DRIVER_H_
+#define CLOUDIQ_WORKLOAD_WORKLOAD_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/workload_engine.h"
+
+namespace cloudiq {
+
+// Replays multi-tenant TPC-H query mixes through a WorkloadEngine.
+//
+// Two arrival disciplines, selectable per tenant:
+//  * open loop  (arrival_rate > 0): a seeded Poisson process on the sim
+//    clock — interarrival gaps are Exponential(1/rate) — submits the
+//    tenant's whole stream up front. Load is independent of completions,
+//    so saturation shows up as queueing and shedding.
+//  * closed loop (arrival_rate == 0): the tenant keeps `inflight` queries
+//    outstanding; each completion immediately submits the next. Load
+//    self-limits, so saturation shows up as per-query latency.
+//
+// All randomness (arrival gaps, per-tenant mix shuffles) flows through
+// one seeded Rng, so a (seed, tenant set) pair replays identically.
+class WorkloadDriver {
+ public:
+  struct TenantLoad {
+    WorkloadEngine::TenantConfig config;
+    std::vector<int> mix = {1, 6};  // TPC-H query numbers, cycled
+    bool shuffle_mix = true;        // seeded shuffle of each cycle
+    int total_queries = 16;
+    double arrival_rate = 0;  // queries per sim second; 0 = closed loop
+    int inflight = 1;         // closed-loop window
+  };
+
+  // Per-tenant outcome summary (engine counters, re-read after the run).
+  struct TenantOutcome {
+    std::string tenant;
+    WorkloadEngine::TenantCounts counts;
+    double latency_p50 = 0;
+    double latency_p95 = 0;
+    double queue_wait_p95 = 0;
+    // Completions this tenant had when the *first* tenant drained its
+    // stream. Final counts equalize in closed loop (everyone eventually
+    // finishes); this snapshot is where fair-share ratios are visible.
+    uint64_t completed_at_first_drain = 0;
+    double drain_seconds = 0;  // start until this tenant's last event
+  };
+  struct Summary {
+    std::vector<TenantOutcome> tenants;
+    double makespan_seconds = 0;  // first arrival to last completion
+    double throughput_qps = 0;    // completed / makespan
+    // Jain's fairness index over per-tenant completed counts: 1 = exactly
+    // even, 1/n = one tenant got everything.
+    double fairness_index = 0;
+
+    uint64_t TotalCompleted() const;
+    uint64_t TotalShed() const;
+  };
+
+  WorkloadDriver(WorkloadEngine* engine, uint64_t seed)
+      : engine_(engine), rng_(seed) {}
+
+  // Submits every tenant's stream and runs the engine to idle.
+  Result<Summary> Run(const std::vector<TenantLoad>& loads);
+
+ private:
+  // The engine body for one TPC-H query.
+  static WorkloadEngine::QueryBody TpchBody(int query_number);
+  int NextQuery(size_t tenant_index);
+
+  struct TenantProgress {
+    TenantLoad load;
+    std::vector<int> order;  // current shuffled cycle
+    size_t next_in_cycle = 0;
+    int submitted = 0;
+  };
+
+  WorkloadEngine* engine_;
+  Rng rng_;
+  std::vector<TenantProgress> progress_;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_WORKLOAD_WORKLOAD_DRIVER_H_

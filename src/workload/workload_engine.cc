@@ -1,0 +1,354 @@
+#include "workload/workload_engine.h"
+
+#include <algorithm>
+
+#include "telemetry/tracer.h"
+
+namespace cloudiq {
+
+WorkloadEngine::WorkloadEngine(std::vector<Database*> nodes, Options options,
+                               std::vector<TenantConfig> tenants)
+    : nodes_(std::move(nodes)),
+      options_(options),
+      env_(&nodes_.front()->env()),
+      admission_(options.admission),
+      scheduler_(options.scheduler),
+      node_active_(nodes_.size(), 0) {
+  StatsRegistry& stats = env_->telemetry().stats();
+  steps_ = &stats.counter("workload.steps");
+  latency_all_ = &stats.histogram("workload.latency");
+  queue_wait_all_ = &stats.histogram("workload.queue_wait");
+  queue_depth_ = &stats.gauge("workload.queue_depth");
+  // Start the engine where the pool already is (load phases advance node
+  // clocks before the workload begins).
+  for (Database* db : nodes_) {
+    clock_ = std::max(clock_, db->node().clock().now());
+  }
+  for (const TenantConfig& config : tenants) RegisterTenant(config);
+}
+
+WorkloadEngine::~WorkloadEngine() = default;
+
+WorkloadEngine::TenantState& WorkloadEngine::RegisterTenant(
+    const TenantConfig& config) {
+  TenantState& ts = tenants_[config.name];
+  ts.config = config;
+  StatsRegistry& stats = env_->telemetry().stats();
+  const std::string p = "workload." + config.name + ".";
+  ts.submitted = &stats.counter(p + "submitted");
+  ts.completed = &stats.counter(p + "completed");
+  ts.failed = &stats.counter(p + "failed");
+  ts.shed_queue_full = &stats.counter(p + "shed_queue_full");
+  ts.shed_rate_limited = &stats.counter(p + "shed_rate_limited");
+  ts.shed_budget = &stats.counter(p + "shed_budget");
+  ts.slo_met = &stats.counter(p + "slo_met");
+  ts.slo_missed = &stats.counter(p + "slo_missed");
+  ts.latency = &stats.histogram(p + "latency");
+  ts.queue_wait = &stats.histogram(p + "queue_wait");
+  admission_.RegisterTenant(config.name, config.rate_per_sec, config.burst);
+  scheduler_.RegisterTenant(config.name, config.weight);
+  return ts;
+}
+
+WorkloadEngine::TenantState& WorkloadEngine::TenantFor(
+    const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) return it->second;
+  TenantConfig config;
+  config.name = name;
+  return RegisterTenant(config);
+}
+
+uint64_t WorkloadEngine::Submit(const std::string& tenant, std::string tag,
+                                SimTime arrival, QueryBody body) {
+  TenantFor(tenant);  // ensure instruments and limits exist
+  auto job = std::make_unique<Job>();
+  job->id = ++last_job_id_;
+  job->tenant = tenant;
+  job->tag = std::move(tag);
+  job->body = std::move(body);
+  job->arrival = std::max(arrival, clock_);
+  uint64_t id = job->id;
+  arrivals_.emplace(std::make_pair(job->arrival, id), std::move(job));
+  return id;
+}
+
+Status WorkloadEngine::RunUntilIdle() {
+  for (;;) {
+    SimTime t_arrival = 0;
+    bool have_arrival = !arrivals_.empty();
+    if (have_arrival) t_arrival = arrivals_.begin()->first.first;
+
+    // The runnable job earliest in virtual time. Jobs sharing a node all
+    // sit at that node's clock; ready_time (set when a job last stepped)
+    // breaks the tie in favour of the job that has waited longest, so
+    // co-resident jobs round-robin. Final tie: lowest id (map order).
+    Job* best = nullptr;
+    SimTime best_eff = 0;
+    for (auto& [id, job] : running_) {
+      (void)id;
+      SimTime eff = std::max(job->ready_time,
+                             job->db->node().clock().now());
+      if (best == nullptr || eff < best_eff ||
+          (eff == best_eff && job->ready_time < best->ready_time)) {
+        best = job.get();
+        best_eff = eff;
+      }
+    }
+
+    if (have_arrival && (best == nullptr || t_arrival <= best_eff)) {
+      ProcessNextArrival();
+      continue;
+    }
+    if (best != nullptr) {
+      StepJob(best);
+      continue;
+    }
+    if (scheduler_.queued() > 0) {
+      // No capacity consumer left to free a slot — cannot happen unless
+      // the pool is empty of slots entirely.
+      TryDispatch(clock_);
+      if (running_.empty()) {
+        return Status::FailedPrecondition(
+            "queued jobs but no dispatch capacity");
+      }
+      continue;
+    }
+    return Status::Ok();
+  }
+}
+
+void WorkloadEngine::ProcessNextArrival() {
+  auto node = arrivals_.extract(arrivals_.begin());
+  std::unique_ptr<Job> job = std::move(node.mapped());
+  clock_ = std::max(clock_, job->arrival);
+  if (event_hook_) event_hook_(clock_);
+  TenantState& ts = TenantFor(job->tenant);
+  ts.submitted->Add();
+  bool can_dispatch = admission_.HasRunSlot() && FindFreeNode() >= 0;
+  AdmissionController::Decision decision =
+      admission_.Decide(job->tenant, clock_, ts.spent_usd,
+                        ts.config.cost_budget_usd, can_dispatch);
+  switch (decision) {
+    case AdmissionController::Decision::kAdmit:
+      admission_.OnDispatch();
+      Dispatch(std::move(job), clock_);
+      break;
+    case AdmissionController::Decision::kQueue: {
+      admission_.OnQueue();
+      scheduler_.Enqueue(job->tenant, job->id, clock_);
+      uint64_t id = job->id;
+      queued_jobs_[id] = std::move(job);
+      break;
+    }
+    default:
+      Shed(std::move(job), decision);
+      break;
+  }
+  queue_depth_->Set(static_cast<double>(admission_.queued()));
+}
+
+void WorkloadEngine::Shed(std::unique_ptr<Job> job,
+                          AdmissionController::Decision decision) {
+  TenantState& ts = TenantFor(job->tenant);
+  switch (decision) {
+    case AdmissionController::Decision::kShedQueueFull:
+      ts.shed_queue_full->Add();
+      break;
+    case AdmissionController::Decision::kShedRateLimited:
+      ts.shed_rate_limited->Add();
+      break;
+    case AdmissionController::Decision::kShedBudget:
+      ts.shed_budget->Add();
+      break;
+    default:
+      break;
+  }
+  if (completion_hook_) {
+    Completion c;
+    c.job_id = job->id;
+    c.tenant = job->tenant;
+    c.tag = job->tag;
+    c.status = Status::Busy(AdmissionController::DecisionName(decision));
+    c.shed = true;
+    c.decision = decision;
+    c.arrival = job->arrival;
+    c.finish = clock_;
+    completion_hook_(c);
+  }
+}
+
+int WorkloadEngine::FindFreeNode() const {
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    if (node_active_[i] >= options_.slots_per_node) continue;
+    if (best < 0 || node_active_[i] < node_active_[best] ||
+        (node_active_[i] == node_active_[best] &&
+         nodes_[i]->node().clock().now() <
+             nodes_[best]->node().clock().now())) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void WorkloadEngine::Dispatch(std::unique_ptr<Job> job, SimTime now) {
+  int node_index = FindFreeNode();
+  job->node_index = node_index;
+  job->db = nodes_[node_index];
+  ++node_active_[node_index];
+  job->dispatch = now;
+  job->ready_time = now;
+  // The query cannot start before its dispatch instant; if the node is
+  // mid-way through other work its clock is already later, and the job
+  // simply continues from there (node-busy wait lands in its latency).
+  job->db->node().clock().AdvanceTo(now);
+  job->session = std::make_unique<Session>(job->db, job->tenant);
+  TenantState& ts = TenantFor(job->tenant);
+  double wait = std::max(0.0, now - job->arrival);
+  ts.queue_wait->Record(wait);
+  queue_wait_all_->Record(wait);
+  Job* raw = job.get();
+  raw->fiber = std::make_unique<StepFiber>([this, raw] { RunJobBody(raw); });
+  running_[raw->id] = std::move(job);
+}
+
+void WorkloadEngine::RunJobBody(Job* job) {
+  Database* db = job->db;
+  Transaction* txn = db->Begin();
+  QueryContext ctx = job->session->NewQuery(txn, job->tag);
+  job->query_attr = ctx.attribution();
+  StepFiber* fiber = job->fiber.get();
+  ctx.set_step_hook([fiber](const char*) { fiber->Yield(); });
+  Status st;
+  {
+    // Query-level context for the whole Begin..Commit window; operator
+    // scopes nest within it on this fiber's stack, and the engine swaps
+    // the whole stack top in and out around every step.
+    ScopedAttribution scope(&db->env().telemetry().ledger(),
+                            ctx.attribution());
+    st = job->body ? job->body(job->session.get(), &ctx) : Status::Ok();
+    if (st.ok()) {
+      st = db->Commit(txn);
+    } else {
+      Status rollback = db->Rollback(txn);
+      (void)rollback;  // the query's own error is the one to report
+    }
+  }
+  job->result = st;
+}
+
+void WorkloadEngine::StepJob(Job* job) {
+  NodeContext& node = job->db->node();
+  SimTime before = node.clock().now();
+  CostLedger& ledger = env_->telemetry().ledger();
+  // Restore exactly the attribution the fiber had current when it last
+  // yielded; capture it back after the step. Other jobs' scopes never
+  // leak in, even though all fibers share the one ledger slot.
+  AttributionContext host = ledger.Swap(job->saved_attr);
+  bool more = job->fiber->Resume();
+  job->saved_attr = ledger.Swap(std::move(host));
+  steps_->Add();
+  double delta = node.clock().now() - before;
+  job->active_seconds += delta;
+  // Charge fair-share service as it accrues, not at completion: PickNext
+  // then sees up-to-date virtual service, so weighted shares track even
+  // when queries are long relative to the run.
+  scheduler_.AddService(job->tenant, delta);
+  job->ready_time = node.clock().now();
+  if (!more) Complete(job);
+}
+
+void WorkloadEngine::Complete(Job* job) {
+  uint64_t id = job->id;
+  SimTime finish = job->db->node().clock().now();
+  clock_ = std::max(clock_, finish);
+  TenantState& ts = TenantFor(job->tenant);
+  CostLedger& ledger = env_->telemetry().ledger();
+
+  // Bill the job's *active* node time both globally and to the query —
+  // the same seconds at the same rate, so the ledger's USD keeps summing
+  // to the meter's even though wall spans of co-resident jobs overlap.
+  double hourly = job->db->node().profile().hourly_usd;
+  env_->cost_meter().AddEc2Hours(job->active_seconds / 3600.0, hourly);
+  ledger.ChargeCompute(job->query_attr, job->active_seconds, hourly);
+
+  double latency = finish - job->arrival;
+  ts.latency->Record(latency);
+  latency_all_->Record(latency);
+  if (job->result.ok()) {
+    ts.completed->Add();
+  } else {
+    ts.failed->Add();
+  }
+  if (ts.config.slo_seconds > 0) {
+    (latency <= ts.config.slo_seconds ? ts.slo_met : ts.slo_missed)->Add();
+  }
+  ts.spent_usd += ledger.QueryTotal(job->query_attr.query_id)
+                      .TotalUsd(ledger.prices());
+  admission_.OnComplete();
+  --node_active_[job->node_index];
+  env_->telemetry().tracer().CompleteSpan(
+      job->db->node().trace_pid(), kTrackExec, "workload",
+      job->tenant + "/" + job->tag, job->dispatch, finish);
+
+  Completion c;
+  c.job_id = id;
+  c.tenant = job->tenant;
+  c.tag = job->tag;
+  c.status = job->result;
+  c.arrival = job->arrival;
+  c.dispatch = job->dispatch;
+  c.finish = finish;
+  c.active_seconds = job->active_seconds;
+  running_.erase(id);  // job gone before hooks, so hooks may Submit
+  if (event_hook_) event_hook_(finish);
+  if (completion_hook_) completion_hook_(c);
+  TryDispatch(finish);
+}
+
+void WorkloadEngine::TryDispatch(SimTime now) {
+  while (admission_.HasRunSlot() && FindFreeNode() >= 0) {
+    std::optional<FairScheduler::Pick> pick = scheduler_.PickNext(now);
+    if (!pick.has_value()) break;
+    auto it = queued_jobs_.find(pick->job_id);
+    std::unique_ptr<Job> job = std::move(it->second);
+    queued_jobs_.erase(it);
+    admission_.OnDequeue();
+    admission_.OnDispatch();
+    Dispatch(std::move(job), now);
+  }
+  queue_depth_->Set(static_cast<double>(admission_.queued()));
+}
+
+WorkloadEngine::TenantCounts WorkloadEngine::Counts(
+    const std::string& tenant) const {
+  TenantCounts out;
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return out;
+  const TenantState& ts = it->second;
+  out.submitted = ts.submitted->value();
+  out.completed = ts.completed->value();
+  out.failed = ts.failed->value();
+  out.shed_queue_full = ts.shed_queue_full->value();
+  out.shed_rate_limited = ts.shed_rate_limited->value();
+  out.shed_budget = ts.shed_budget->value();
+  out.slo_met = ts.slo_met->value();
+  out.slo_missed = ts.slo_missed->value();
+  out.spent_usd = ts.spent_usd;
+  return out;
+}
+
+const Histogram& WorkloadEngine::LatencyHistogram(
+    const std::string& tenant) const {
+  return *tenants_.at(tenant).latency;
+}
+
+const Histogram& WorkloadEngine::QueueWaitHistogram(
+    const std::string& tenant) const {
+  return *tenants_.at(tenant).queue_wait;
+}
+
+uint64_t WorkloadEngine::steps() const { return steps_->value(); }
+
+}  // namespace cloudiq

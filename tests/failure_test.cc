@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "engine/database.h"
 #include "exec/executor.h"
+#include "multiplex/multiplex.h"
+#include "workload/workload_engine.h"
 
 namespace cloudiq {
 namespace {
@@ -144,6 +147,134 @@ TEST(FailureInjectionTest, ErrorsDuringRecoveryRetryToo) {
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->rows(), 2000u);
   ASSERT_TRUE(db.Commit(rtxn).ok());
+}
+
+// --- randomized writer kill under concurrent load --------------------------
+
+struct KillRunOutcome {
+  SimTime start = 0;
+  SimTime finish = 0;
+  uint64_t completed = 0;
+  uint64_t not_completed = 0;  // failed or shed
+  uint64_t orphans_collected = 0;
+  SimTime killed_at = -1;
+  uint64_t committed_live = 0;    // live objects after the commit
+  uint64_t live_after_run = 0;    // live objects once everything drains
+  uint64_t keep_rows_after = 0;   // rows readable on the restarted writer
+};
+
+// One run of the kill scenario: a multiplex whose writer holds an
+// in-flight (flushed, uncommitted) load while three tenants run a
+// concurrent scan workload on the reader node. At `kill_offset` sim
+// seconds into the workload the writer crashes and restarts (§3.3
+// recovery). kill_offset < 0 runs the failure-free control that measures
+// the workload span the seeded kill time is drawn from.
+KillRunOutcome RunWriterKillScenario(double kill_offset) {
+  KillRunOutcome out;
+  SimEnvironment env;
+  Multiplex::Options options;
+  options.db.user_storage = UserStorage::kObjectStore;
+  options.db.page_size = 16384;
+  Multiplex mx(&env, /*secondary_count=*/2, options);
+  Database& writer = mx.secondary(0);
+
+  // Committed data the crash must not lose.
+  Transaction* txn = writer.Begin();
+  TableLoader keep = writer.NewTableLoader(txn, KvSchema(60));
+  EXPECT_TRUE(keep.Append(MakeRows(4000).columns).ok());
+  EXPECT_TRUE(keep.Finish(writer.system()).ok());
+  EXPECT_TRUE(writer.Commit(txn).ok());
+  EXPECT_TRUE(mx.SyncCatalogs().ok());
+  out.committed_live = env.object_store().LiveObjectCount();
+
+  // An in-flight load with pages already uploaded: the orphans the crash
+  // strands.
+  Transaction* dtxn = writer.Begin();
+  TableLoader doomed = writer.NewTableLoader(dtxn, KvSchema(61));
+  EXPECT_TRUE(doomed.Append(MakeRows(4000).columns).ok());
+  EXPECT_TRUE(doomed.Finish(writer.system()).ok());
+  EXPECT_TRUE(writer.txn_mgr().buffer().FlushTxn(dtxn->id).ok());
+
+  // Concurrent workload on the reader node: three tenants interleaving
+  // scans of the committed table over the shared object store.
+  WorkloadEngine::Options engine_options;
+  engine_options.admission.concurrency_limit = 4;
+  engine_options.slots_per_node = 2;
+  WorkloadEngine engine({&mx.secondary(1)}, engine_options, {});
+  const SimTime start = engine.now();
+  engine.set_event_hook([&](SimTime now) {
+    if (kill_offset < 0 || out.killed_at >= 0) return;
+    if (now - start < kill_offset) return;
+    out.killed_at = now;
+    Result<uint64_t> collected = mx.RestartSecondary(0);
+    EXPECT_TRUE(collected.ok()) << collected.status().ToString();
+    if (collected.ok()) out.orphans_collected = *collected;
+  });
+  auto scan_body = [](Session*, QueryContext* ctx) -> Status {
+    Result<TableReader> reader = ctx->OpenTable(60);
+    CLOUDIQ_RETURN_IF_ERROR(reader.status());
+    Result<Batch> rows = ScanTable(ctx, &*reader, {"k", "v"});
+    CLOUDIQ_RETURN_IF_ERROR(rows.status());
+    if (rows->rows() != 4000u) {
+      return Status::Corruption("scan during writer failure lost rows");
+    }
+    return Status::Ok();
+  };
+  for (const char* tenant : {"red", "green", "blue"}) {
+    for (int n = 0; n < 4; ++n) {
+      engine.Submit(tenant, "scan", start, scan_body);
+    }
+  }
+  EXPECT_TRUE(engine.RunUntilIdle().ok());
+  out.start = start;
+  out.finish = engine.now();
+  for (const char* tenant : {"red", "green", "blue"}) {
+    WorkloadEngine::TenantCounts counts = engine.Counts(tenant);
+    out.completed += counts.completed;
+    out.not_completed += counts.failed + counts.Shed();
+  }
+  out.live_after_run = env.object_store().LiveObjectCount();
+
+  // Committed data still readable on the (possibly restarted) writer.
+  Transaction* rtxn = writer.Begin();
+  QueryContext ctx = writer.NewQueryContext(rtxn);
+  Result<TableReader> reader = ctx.OpenTable(60);
+  if (reader.ok()) {
+    Result<Batch> rows = ScanTable(&ctx, &*reader, {"k", "v"});
+    if (rows.ok()) out.keep_rows_after = rows->rows();
+  }
+  EXPECT_TRUE(writer.Commit(rtxn).ok());
+  return out;
+}
+
+TEST(FailureInjectionTest, SeededWriterKillDuringConcurrentWorkload) {
+  // Failure-free control pins the (deterministic) workload span; each
+  // seed then draws a kill time strictly inside it, so one seed replays
+  // one exact crash schedule.
+  KillRunOutcome base = RunWriterKillScenario(-1);
+  ASSERT_EQ(base.completed, 12u);
+  ASSERT_EQ(base.not_completed, 0u);
+  const double span = base.finish - base.start;
+  ASSERT_GT(span, 0);
+
+  for (uint64_t seed : {uint64_t{11}, uint64_t{29}, uint64_t{4021}}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    const double kill_offset = (0.1 + 0.8 * rng.NextDouble()) * span;
+    KillRunOutcome out = RunWriterKillScenario(kill_offset);
+
+    // The kill really happened mid-workload.
+    ASSERT_GE(out.killed_at, out.start);
+    EXPECT_LE(out.killed_at, out.finish);
+    // Recovery collected the in-flight upload's orphans and only those:
+    // the store holds exactly the committed objects again.
+    EXPECT_GT(out.orphans_collected, 0u);
+    EXPECT_EQ(out.live_after_run, out.committed_live);
+    EXPECT_EQ(out.keep_rows_after, 4000u);
+    // The concurrent workload rode through the writer crash untouched.
+    EXPECT_EQ(out.completed, 12u);
+    EXPECT_EQ(out.not_completed, 0u);
+  }
 }
 
 }  // namespace
