@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus sanitizer sweeps.
 #
-#   scripts/check.sh            # build + ctest, report + stress smoke,
+#   scripts/check.sh            # lint + determinism + build + ctest,
+#                               # report + stress smoke, tidy,
 #                               # ASan, UBSan, TSan
 #   scripts/check.sh asan       # just the AddressSanitizer pass
 #   scripts/check.sh ubsan      # just the UndefinedBehaviorSanitizer pass
@@ -9,6 +10,11 @@
 #   scripts/check.sh plain      # just the uninstrumented build + tests
 #   scripts/check.sh report     # just the --report JSON smoke check
 #   scripts/check.sh stress     # concurrency bench smoke under ASan + TSan
+#   scripts/check.sh lint       # cloudiq_lint.py rules + its unit tests
+#   scripts/check.sh tidy       # clang-tidy + Clang -Wthread-safety gate
+#                               # (skips with a notice if clang is absent)
+#   scripts/check.sh determinism # run tpch_power_run --report twice with
+#                               # the fixed seed and byte-compare the JSON
 #
 # Each pass uses its own build tree (build/, build-asan/, build-ubsan/,
 # build-tsan/) so the sweeps never poison the primary build's cache.
@@ -93,6 +99,74 @@ stress_smoke() {
   echo "=== stress: OK ==="
 }
 
+# Project linter (determinism + storage-policy rules) and its own tests.
+lint_pass() {
+  echo "=== lint: cloudiq_lint.py over src bench tests examples ==="
+  python3 tools/cloudiq_lint_test.py
+  python3 tools/cloudiq_lint.py src bench tests examples
+  echo "=== lint: OK ==="
+}
+
+# clang-tidy over the library sources plus the Clang thread-safety
+# analysis gate (-Wthread-safety -Werror). Both need LLVM tooling; when
+# the container only ships GCC the pass reports SKIPPED instead of
+# silently passing, so CI logs show exactly what ran.
+tidy_pass() {
+  echo "=== tidy: clang-tidy + -Wthread-safety gate ==="
+  local src_files
+  src_files="$(find src -name '*.cc' | sort)"
+  local ran_anything=0
+  if command -v clang++ > /dev/null 2>&1; then
+    ran_anything=1
+    echo "--- tidy: clang++ -Wthread-safety -Werror (syntax-only)"
+    # shellcheck disable=SC2086
+    clang++ -std=c++20 -Isrc -fsyntax-only \
+      -Wthread-safety -Wthread-safety-beta -Werror ${src_files}
+    echo "--- tidy: thread-safety analysis clean"
+  else
+    echo "--- tidy: SKIPPED thread-safety gate (no clang++ in PATH)"
+  fi
+  if command -v clang-tidy > /dev/null 2>&1; then
+    ran_anything=1
+    echo "--- tidy: clang-tidy (.clang-tidy config)"
+    # shellcheck disable=SC2086
+    clang-tidy --quiet ${src_files} -- -std=c++20 -Isrc
+    echo "--- tidy: clang-tidy clean"
+  else
+    echo "--- tidy: SKIPPED clang-tidy (not in PATH)"
+  fi
+  if [ "${ran_anything}" = 0 ]; then
+    echo "=== tidy: SKIPPED (no LLVM tooling available) ==="
+  else
+    echo "=== tidy: OK ==="
+  fi
+}
+
+# Determinism contract (EXPERIMENTS.md): the same seed must produce a
+# byte-identical --report JSON, twice in a row, fresh process each time.
+determinism_pass() {
+  echo "=== determinism: double-run byte-compare of --report JSON ==="
+  cmake -B build -S . > build-configure.log 2>&1 || {
+    cat build-configure.log; return 1; }
+  cmake --build build -j "${JOBS}" --target tpch_power_run
+  local out1 out2
+  out1="$(mktemp /tmp/cloudiq_det1.XXXXXX.json)"
+  out2="$(mktemp /tmp/cloudiq_det2.XXXXXX.json)"
+  CLOUDIQ_BENCH_SF=0.002 ./build/examples/tpch_power_run \
+    --report="${out1}" > /dev/null
+  CLOUDIQ_BENCH_SF=0.002 ./build/examples/tpch_power_run \
+    --report="${out2}" > /dev/null
+  if ! cmp -s "${out1}" "${out2}"; then
+    echo "determinism FAILED: reports differ" >&2
+    diff "${out1}" "${out2}" | head -40 >&2 || true
+    rm -f "${out1}" "${out2}"
+    return 1
+  fi
+  echo "reports byte-identical ($(wc -c < "${out1}") bytes)"
+  rm -f "${out1}" "${out2}"
+  echo "=== determinism: OK ==="
+}
+
 what="${1:-all}"
 case "${what}" in
   plain)  run_pass "plain" build "" ;;
@@ -101,16 +175,22 @@ case "${what}" in
   tsan)   run_pass "TSan"  build-tsan thread ;;
   report) report_smoke ;;
   stress) stress_smoke ;;
+  lint)   lint_pass ;;
+  tidy)   tidy_pass ;;
+  determinism) determinism_pass ;;
   all)
+    lint_pass
     run_pass "plain" build ""
     report_smoke
+    determinism_pass
+    tidy_pass
     run_pass "ASan"  build-asan address
     run_pass "UBSan" build-ubsan undefined
     run_pass "TSan"  build-tsan thread
     stress_smoke
     ;;
   *)
-    echo "usage: $0 [all|plain|asan|ubsan|tsan|report|stress]" >&2
+    echo "usage: $0 [all|plain|asan|ubsan|tsan|report|stress|lint|tidy|determinism]" >&2
     exit 2
     ;;
 esac

@@ -1,7 +1,9 @@
 #include "buffer/buffer_manager.h"
 
 #include <algorithm>
+#include <optional>
 #include <cassert>
+#include <utility>
 
 namespace cloudiq {
 
@@ -21,9 +23,17 @@ void BufferManager::set_telemetry(Telemetry* telemetry,
   ledger_ = &telemetry->ledger();
 }
 
+void BufferManager::InsertCleanLocked(const CleanKey& key, PageData data) {
+  lru_.push_front(key);
+  clean_bytes_ += data->size();
+  clean_[key] = CleanEntry{std::move(data), lru_.begin()};
+  EvictCleanIfNeeded();
+}
+
 Result<BufferManager::PageData> BufferManager::Get(
     uint32_t dbspace_id, PhysicalLoc loc,
     const std::function<Result<std::vector<uint8_t>>()>& loader) {
+  MutexLock lock(&mu_);
   CleanKey key{dbspace_id, loc.encoded()};
   auto it = clean_.find(key);
   if (it != clean_.end()) {
@@ -35,9 +45,15 @@ Result<BufferManager::PageData> BufferManager::Get(
   ++stats_.misses;
   if (ledger_ != nullptr) ledger_->RecordBufferMiss();
   // The loader performs the device I/O and advances the node clock, so
-  // bracketing it with clock reads yields the miss-fill latency.
+  // bracketing it with clock reads yields the miss-fill latency. The I/O
+  // can reach back into other managers, so mu_ is released around it.
   SimTime miss_start = clock_ != nullptr ? clock_->now() : 0;
-  CLOUDIQ_ASSIGN_OR_RETURN(std::vector<uint8_t> payload, loader());
+  std::optional<Result<std::vector<uint8_t>>> loaded;
+  {
+    MutexUnlock unlock(&mu_);
+    loaded.emplace(loader());
+  }
+  if (!loaded->ok()) return loaded->status();
   if (miss_fill_latency_ != nullptr) {
     miss_fill_latency_->Record(clock_->now() - miss_start);
     if (telemetry_->tracer().enabled()) {
@@ -47,16 +63,21 @@ Result<BufferManager::PageData> BufferManager::Get(
     }
   }
   auto data = std::make_shared<const std::vector<uint8_t>>(
-      std::move(payload));
-  lru_.push_front(key);
-  clean_bytes_ += data->size();
-  clean_[key] = CleanEntry{data, lru_.begin()};
-  EvictCleanIfNeeded();
+      std::move(*loaded).value());
+  // The unlock window may have let another fiber fill the same slot; keep
+  // the resident copy in that case rather than double-counting bytes.
+  auto raced = clean_.find(key);
+  if (raced != clean_.end()) {
+    TouchLru(raced->second, key);
+    return raced->second.data;
+  }
+  InsertCleanLocked(key, data);
   return PageData(data);
 }
 
 void BufferManager::Insert(uint32_t dbspace_id, PhysicalLoc loc,
                            std::vector<uint8_t> payload) {
+  MutexLock lock(&mu_);
   CleanKey key{dbspace_id, loc.encoded()};
   auto it = clean_.find(key);
   if (it != clean_.end()) {
@@ -65,17 +86,16 @@ void BufferManager::Insert(uint32_t dbspace_id, PhysicalLoc loc,
   }
   auto data = std::make_shared<const std::vector<uint8_t>>(
       std::move(payload));
-  lru_.push_front(key);
-  clean_bytes_ += data->size();
-  clean_[key] = CleanEntry{data, lru_.begin()};
-  EvictCleanIfNeeded();
+  InsertCleanLocked(key, std::move(data));
 }
 
 bool BufferManager::Cached(uint32_t dbspace_id, PhysicalLoc loc) const {
+  MutexLock lock(&mu_);
   return clean_.count(CleanKey{dbspace_id, loc.encoded()}) > 0;
 }
 
 void BufferManager::Invalidate(uint32_t dbspace_id, PhysicalLoc loc) {
+  MutexLock lock(&mu_);
   CleanKey key{dbspace_id, loc.encoded()};
   auto it = clean_.find(key);
   if (it == clean_.end()) return;
@@ -106,6 +126,7 @@ void BufferManager::EvictCleanIfNeeded() {
 Status BufferManager::PutDirty(uint64_t txn_id, uint64_t object_id,
                                uint64_t page,
                                std::vector<uint8_t> payload) {
+  MutexLock lock(&mu_);
   TxnDirty& txn = dirty_[txn_id];
   DirtyKey key{object_id, page};
   auto it = txn.pages.find(key);
@@ -157,7 +178,13 @@ Status BufferManager::EvictDirtyIfNeeded(uint64_t txn_id) {
   if (ledger_ != nullptr) ledger_->RecordBufferFlush(batch.size());
   size_t batch_size = batch.size();
   SimTime flush_start = clock_ != nullptr ? clock_->now() : 0;
-  Status st = flush_(txn_id, std::move(batch), /*for_commit=*/false);
+  // The flush callback re-enters TransactionManager (which calls back
+  // into this class); release mu_ for its duration.
+  Status st = Status::Ok();
+  {
+    MutexUnlock unlock(&mu_);
+    st = flush_(txn_id, std::move(batch), /*for_commit=*/false);
+  }
   if (flush_latency_ != nullptr) {
     flush_latency_->Record(clock_->now() - flush_start);
     if (telemetry_->tracer().enabled()) {
@@ -172,6 +199,7 @@ Status BufferManager::EvictDirtyIfNeeded(uint64_t txn_id) {
 
 Result<BufferManager::PageData> BufferManager::GetDirty(
     uint64_t txn_id, uint64_t object_id, uint64_t page) const {
+  MutexLock lock(&mu_);
   auto txn_it = dirty_.find(txn_id);
   if (txn_it == dirty_.end()) return Status::NotFound("no dirty pages");
   auto it = txn_it->second.pages.find(DirtyKey{object_id, page});
@@ -182,6 +210,7 @@ Result<BufferManager::PageData> BufferManager::GetDirty(
 }
 
 Status BufferManager::FlushTxn(uint64_t txn_id) {
+  MutexLock lock(&mu_);
   auto txn_it = dirty_.find(txn_id);
   if (txn_it == dirty_.end()) return Status::Ok();
   std::vector<DirtyPage> batch;
@@ -199,7 +228,11 @@ Status BufferManager::FlushTxn(uint64_t txn_id) {
   if (ledger_ != nullptr) ledger_->RecordBufferFlush(batch.size());
   size_t batch_size = batch.size();
   SimTime flush_start = clock_ != nullptr ? clock_->now() : 0;
-  Status st = flush_(txn_id, std::move(batch), /*for_commit=*/true);
+  Status st = Status::Ok();
+  {
+    MutexUnlock unlock(&mu_);
+    st = flush_(txn_id, std::move(batch), /*for_commit=*/true);
+  }
   if (flush_latency_ != nullptr) {
     flush_latency_->Record(clock_->now() - flush_start);
     if (telemetry_->tracer().enabled()) {
@@ -213,6 +246,7 @@ Status BufferManager::FlushTxn(uint64_t txn_id) {
 }
 
 void BufferManager::DropTxn(uint64_t txn_id) {
+  MutexLock lock(&mu_);
   auto txn_it = dirty_.find(txn_id);
   if (txn_it == dirty_.end()) return;
   for (const auto& [key, payload] : txn_it->second.pages) {

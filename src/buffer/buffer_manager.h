@@ -9,8 +9,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "store/physical_loc.h"
 #include "store/storage.h"
 #include "telemetry/telemetry.h"
@@ -32,6 +34,11 @@ namespace cloudiq {
 //
 // The flush itself (storage write + blockmap update + RF/RB bookkeeping)
 // belongs to the transaction layer and is injected as a callback.
+//
+// Locking: mu_ guards the cache maps and counters only. It is dropped
+// (MutexUnlock) around the loader and flush callbacks — both re-enter
+// other managers (the flush callback re-enters TransactionManager, which
+// calls back into this class) and mu_ is not recursive.
 class BufferManager {
  public:
   using PageData = std::shared_ptr<const std::vector<uint8_t>>;
@@ -58,20 +65,22 @@ class BufferManager {
 
   // --- clean cache -------------------------------------------------------
   // Looks up the page stored at (dbspace, loc); on miss, invokes `loader`
-  // (which performs the simulated I/O) and caches the result.
+  // (which performs the simulated I/O, with mu_ released) and caches the
+  // result.
   Result<PageData> Get(
       uint32_t dbspace_id, PhysicalLoc loc,
-      const std::function<Result<std::vector<uint8_t>>()>& loader);
+      const std::function<Result<std::vector<uint8_t>>()>& loader)
+      EXCLUDES(mu_);
 
   // Inserts an already-available page (prefetch results, pages built
   // during load that later readers will want).
   void Insert(uint32_t dbspace_id, PhysicalLoc loc,
-              std::vector<uint8_t> payload);
+              std::vector<uint8_t> payload) EXCLUDES(mu_);
 
-  bool Cached(uint32_t dbspace_id, PhysicalLoc loc) const;
+  bool Cached(uint32_t dbspace_id, PhysicalLoc loc) const EXCLUDES(mu_);
 
   // Drops a location (its blocks were freed / object deleted).
-  void Invalidate(uint32_t dbspace_id, PhysicalLoc loc);
+  void Invalidate(uint32_t dbspace_id, PhysicalLoc loc) EXCLUDES(mu_);
 
   // --- dirty pages ---------------------------------------------------------
   // Registers (or replaces) a dirty page owned by `txn_id`. May trigger
@@ -79,27 +88,34 @@ class BufferManager {
   // transaction are flushed with write-back semantics until the total
   // footprint fits the capacity.
   Status PutDirty(uint64_t txn_id, uint64_t object_id, uint64_t page,
-                  std::vector<uint8_t> payload);
+                  std::vector<uint8_t> payload) EXCLUDES(mu_);
 
   // Read-your-writes: the dirty copy if present.
   Result<PageData> GetDirty(uint64_t txn_id, uint64_t object_id,
-                            uint64_t page) const;
+                            uint64_t page) const EXCLUDES(mu_);
 
   // True if `txn_id` has any unflushed dirty pages.
-  bool HasDirty(uint64_t txn_id) const {
+  bool HasDirty(uint64_t txn_id) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     auto it = dirty_.find(txn_id);
     return it != dirty_.end() && !it->second.pages.empty();
   }
 
   // Flushes every remaining dirty page of `txn_id` (commit path,
   // write-through).
-  Status FlushTxn(uint64_t txn_id);
+  Status FlushTxn(uint64_t txn_id) EXCLUDES(mu_);
 
   // Discards `txn_id`'s dirty pages (rollback).
-  void DropTxn(uint64_t txn_id);
+  void DropTxn(uint64_t txn_id) EXCLUDES(mu_);
 
-  uint64_t clean_bytes() const { return clean_bytes_; }
-  uint64_t dirty_bytes() const { return dirty_bytes_; }
+  uint64_t clean_bytes() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return clean_bytes_;
+  }
+  uint64_t dirty_bytes() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return dirty_bytes_;
+  }
 
   struct Stats {
     uint64_t hits = 0;
@@ -108,12 +124,17 @@ class BufferManager {
     uint64_t churn_flushes = 0;   // dirty pages flushed under pressure
     uint64_t commit_flushes = 0;  // dirty pages flushed at commit
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
 
   // Wires telemetry. `clock` is the owning node's clock, used to time
   // miss fills and flush batches (the loader / flush callbacks advance
   // it); miss latencies land in "buffer.miss_fill", flush batches in
-  // "buffer.flush".
+  // "buffer.flush". Wiring happens during single-threaded setup, before
+  // any page traffic — the pointers below are read-only afterwards, so
+  // they are deliberately not guarded by mu_.
   void set_telemetry(Telemetry* telemetry, const SimClock* clock,
                      uint32_t trace_pid);
 
@@ -145,16 +166,19 @@ class BufferManager {
     }
   };
 
-  void EvictCleanIfNeeded();
-  Status EvictDirtyIfNeeded(uint64_t txn_id);
-  void TouchLru(CleanEntry& entry, const CleanKey& key);
+  void InsertCleanLocked(const CleanKey& key, PageData data) REQUIRES(mu_);
+  void EvictCleanIfNeeded() REQUIRES(mu_);
+  Status EvictDirtyIfNeeded(uint64_t txn_id) REQUIRES(mu_);
+  void TouchLru(CleanEntry& entry, const CleanKey& key) REQUIRES(mu_);
 
   Options options_;
   FlushBatchFn flush_;
 
-  std::unordered_map<CleanKey, CleanEntry, CleanKeyHash> clean_;
-  std::list<CleanKey> lru_;  // front = most recent
-  uint64_t clean_bytes_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<CleanKey, CleanEntry, CleanKeyHash> clean_
+      GUARDED_BY(mu_);
+  std::list<CleanKey> lru_ GUARDED_BY(mu_);  // front = most recent
+  uint64_t clean_bytes_ GUARDED_BY(mu_) = 0;
 
   // txn -> (object, page) -> payload; flush order = dirty order (std::map
   // inside a map of txns, plus an explicit FIFO per txn).
@@ -162,10 +186,12 @@ class BufferManager {
     std::map<DirtyKey, std::vector<uint8_t>> pages;
     std::list<DirtyKey> order;  // front = oldest
   };
-  std::map<uint64_t, TxnDirty> dirty_;
-  uint64_t dirty_bytes_ = 0;
+  std::map<uint64_t, TxnDirty> dirty_ GUARDED_BY(mu_);
+  uint64_t dirty_bytes_ GUARDED_BY(mu_) = 0;
 
-  Stats stats_;
+  Stats stats_ GUARDED_BY(mu_);
+
+  // Telemetry wiring: written once by set_telemetry() during setup.
   Telemetry* telemetry_ = nullptr;
   CostLedger* ledger_ = nullptr;
   const SimClock* clock_ = nullptr;

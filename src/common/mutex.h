@@ -1,0 +1,109 @@
+#ifndef CLOUDIQ_COMMON_MUTEX_H_
+#define CLOUDIQ_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace cloudiq {
+
+// Annotated mutex: std::mutex wrapped as a Clang thread-safety
+// *capability* so -Wthread-safety can verify lock discipline statically
+// (libstdc++'s std::mutex carries no annotations).
+//
+// Locking rules in CloudIQ, enforced by these types plus the annotations:
+//
+//  1. A class's mutex guards only that class's own containers, counters
+//     and cursors (leaf state). It is NEVER held across a callback, a
+//     simulated I/O, or a call into another manager — those paths can
+//     re-enter the same class on the same thread (BufferManager's flush
+//     callback re-enters TransactionManager; IoScheduler::RunParallel
+//     drains SimExecutor tasks that re-enter the OCM), and Mutex is not
+//     recursive by design.
+//  2. Lock ordering is the layering order: a higher layer's mutex may be
+//     held while taking a lower layer's leaf lock (telemetry: Tracer,
+//     StatsRegistry, CostLedger), never the reverse.
+//  3. Private helpers that expect the caller's lock declare REQUIRES(mu_);
+//     public entry points take the lock themselves and are therefore
+//     implicitly EXCLUDES(mu_).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Static-analysis assertion for paths where the lock is known held but
+  // the analysis cannot see it (e.g. across a std::function boundary).
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock; the annotated replacement for std::lock_guard<std::mutex>.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// Inverse scope: temporarily releases a held mutex for a callback /
+// re-entrant region inside a REQUIRES(mu) function, re-acquiring on exit.
+class SCOPED_CAPABILITY MutexUnlock {
+ public:
+  explicit MutexUnlock(Mutex* mu) RELEASE(mu) : mu_(mu) { mu_->Unlock(); }
+  ~MutexUnlock() ACQUIRE() { mu_->Lock(); }
+
+  MutexUnlock(const MutexUnlock&) = delete;
+  MutexUnlock& operator=(const MutexUnlock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// Condition variable bound to Mutex. condition_variable_any because the
+// capability wrapper is not a std::mutex; the predicate overload is the
+// only form CloudIQ uses (spurious wakeups handled by construction).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  template <typename Predicate>
+  void Wait(Mutex* mu, Predicate pred) REQUIRES(mu) {
+    WaitUnannotated(mu, pred);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // The analysis cannot model a condvar's unlock/relock cycle; the REQUIRES
+  // on Wait() is the contract callers are checked against.
+  template <typename Predicate>
+  void WaitUnannotated(Mutex* mu, Predicate pred) NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu->mu_, pred);
+  }
+
+  // condition_variable_any carries its own internal mutex so it can wait
+  // on any BasicLockable; the capability wrapper satisfies that shape via
+  // the raw std::mutex handle.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_COMMON_MUTEX_H_

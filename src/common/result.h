@@ -15,8 +15,11 @@ namespace cloudiq {
 //   Result<Page> r = store.ReadPage(id);
 //   if (!r.ok()) return r.status();
 //   Use(r.value());
+//
+// [[nodiscard]]: dropping a Result drops both the value and the error —
+// never what the caller meant. Intentional drops spell `(void)op();`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return status;` and `return value;` both work
   // inside functions declared to return Result<T>.

@@ -11,7 +11,12 @@ namespace cloudiq {
 // CloudIQ does not use C++ exceptions on any data path; fallible operations
 // return a Status (or Result<T>, see result.h). Statuses are cheap to copy
 // for the common OK case (empty message, code only).
-class Status {
+//
+// [[nodiscard]] on the class makes every ignored `Status` return a
+// compiler warning: a dropped error on a storage path can silently break
+// the never-write-twice and RF/RB-GC invariants, so intentional drops
+// must be spelled `(void)op();`.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,

@@ -1,0 +1,88 @@
+#ifndef CLOUDIQ_COMMON_THREAD_ANNOTATIONS_H_
+#define CLOUDIQ_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attributes (-Wthread-safety).
+//
+// CloudIQ's concurrency model is narrow by design — StepFiber's strict
+// host/fiber handoff serializes almost everything — but the invariants the
+// paper depends on (never-write-an-object-twice, RF/RB GC safety,
+// deterministic replay) live or die on lock discipline around the shared
+// managers. These macros make that discipline machine-checked: members are
+// declared GUARDED_BY their mutex, internal helpers declare REQUIRES, and
+// `scripts/check.sh annotations` builds src/ under Clang with
+// `-Wthread-safety -Werror`. Under GCC (the default toolchain in CI
+// images without Clang) every macro expands to nothing, so the annotations
+// are free documentation.
+//
+// The vocabulary matches the Clang documentation (and Abseil's
+// thread_annotations.h) so the annotations read like any other modern
+// C++ systems codebase:
+//   GUARDED_BY(mu)    field accessed only with `mu` held
+//   PT_GUARDED_BY(mu) pointee accessed only with `mu` held
+//   REQUIRES(mu)      function must be called with `mu` held
+//   EXCLUDES(mu)      function must be called with `mu` NOT held
+//   ACQUIRE/RELEASE   function acquires / releases `mu`
+//   CAPABILITY        class is a lockable capability (see common/mutex.h)
+//   SCOPED_CAPABILITY RAII class that acquires in ctor, releases in dtor
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CLOUDIQ_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CLOUDIQ_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) CLOUDIQ_THREAD_ANNOTATION_(capability(x))
+
+#define SCOPED_CAPABILITY CLOUDIQ_THREAD_ANNOTATION_(scoped_lockable)
+
+#define GUARDED_BY(x) CLOUDIQ_THREAD_ANNOTATION_(guarded_by(x))
+
+#define PT_GUARDED_BY(x) CLOUDIQ_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  CLOUDIQ_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  CLOUDIQ_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  CLOUDIQ_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  CLOUDIQ_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  CLOUDIQ_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  CLOUDIQ_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  CLOUDIQ_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  CLOUDIQ_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  CLOUDIQ_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  CLOUDIQ_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  CLOUDIQ_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) CLOUDIQ_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  CLOUDIQ_THREAD_ANNOTATION_(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  CLOUDIQ_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) CLOUDIQ_THREAD_ANNOTATION_(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CLOUDIQ_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // CLOUDIQ_COMMON_THREAD_ANNOTATIONS_H_

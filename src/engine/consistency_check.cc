@@ -12,8 +12,8 @@ Result<ConsistencyReport> CheckConsistency(Database* db) {
   //    every blockmap node and data page reads back (checksums verify on
   //    decode).
   std::set<uint64_t> reachable_cloud_keys;
-  for (const auto& [object_id, identity] :
-       db->txn_mgr().catalog().identities()) {
+  const IdentityCatalog catalog = db->txn_mgr().catalog();
+  for (const auto& [object_id, identity] : catalog.identities()) {
     Result<std::unique_ptr<StorageObject>> object =
         db->txn_mgr().OpenForRead(txn, object_id);
     if (!object.ok()) {

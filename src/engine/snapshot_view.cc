@@ -26,6 +26,9 @@ Result<std::unique_ptr<SnapshotView>> SnapshotView::Open(
     return Status::Corruption("snapshot has no system-dbspace image");
   }
 
+  // NOLINT(cloudiq-raw-new): the constructor is private (factory-only
+  // type), so make_unique cannot reach it; ownership transfers to the
+  // unique_ptr in the same expression.
   auto view = std::unique_ptr<SnapshotView>(
       new SnapshotView(db, image.info));
   // Reconstruct the system dbspace as of the snapshot on a scratch

@@ -23,14 +23,15 @@ std::string FormatExplainAnalyze(QueryContext* ctx) {
   out += buf;
 
   CostLedger::Entry visible_total;
+  const auto entries = ledger.entries();
   const auto& ops = ctx->operators();
   for (size_t id = 0; id < ops.size(); ++id) {
     const QueryContext::OperatorStats& stats = ops[id];
     CostLedger::Entry entry;
     CostLedger::Key key{attr.query_id, static_cast<int32_t>(id),
                         attr.node_id};
-    auto it = ledger.entries().find(key);
-    if (it != ledger.entries().end()) entry = it->second;
+    auto it = entries.find(key);
+    if (it != entries.end()) entry = it->second;
     visible_total.Fold(entry);
     std::snprintf(buf, sizeof(buf),
                   "%-3zu %-28.28s %10llu %7llu %11.4f %8llu %7.0f%% %10.6f\n",

@@ -13,7 +13,28 @@ ObjectKeyGenerator::ObjectKeyGenerator(Options options)
          "object keys must live in [2^63, 2^64)");
 }
 
+ObjectKeyGenerator::ObjectKeyGenerator(ObjectKeyGenerator&& other) noexcept
+    : options_(other.options_) {
+  MutexLock theirs(&other.mu_);
+  next_key_ = other.next_key_;
+  active_sets_ = std::move(other.active_sets_);
+  pending_log_ = std::move(other.pending_log_);
+}
+
+ObjectKeyGenerator& ObjectKeyGenerator::operator=(
+    ObjectKeyGenerator&& other) noexcept {
+  if (this == &other) return *this;
+  MutexLock mine(&mu_);
+  MutexLock theirs(&other.mu_);
+  options_ = other.options_;
+  next_key_ = other.next_key_;
+  active_sets_ = std::move(other.active_sets_);
+  pending_log_ = std::move(other.pending_log_);
+  return *this;
+}
+
 KeyRange ObjectKeyGenerator::AllocateRange(NodeId node, uint64_t size) {
+  MutexLock lock(&mu_);
   size = std::clamp(size, options_.min_range_size, options_.max_range_size);
   KeyRange range{next_key_, next_key_ + size};
   next_key_ = range.end;
@@ -30,6 +51,7 @@ KeyRange ObjectKeyGenerator::AllocateRange(NodeId node, uint64_t size) {
 
 void ObjectKeyGenerator::OnTransactionCommitted(NodeId node,
                                                 const IntervalSet& keys) {
+  MutexLock lock(&mu_);
   auto it = active_sets_.find(node);
   if (it != active_sets_.end()) {
     for (const auto& iv : keys.Intervals()) {
@@ -44,6 +66,7 @@ void ObjectKeyGenerator::OnTransactionCommitted(NodeId node,
 }
 
 IntervalSet ObjectKeyGenerator::TakeActiveSetForRecovery(NodeId node) {
+  MutexLock lock(&mu_);
   auto it = active_sets_.find(node);
   if (it == active_sets_.end()) return IntervalSet();
   IntervalSet set = std::move(it->second);
@@ -51,13 +74,14 @@ IntervalSet ObjectKeyGenerator::TakeActiveSetForRecovery(NodeId node) {
   return set;
 }
 
-const IntervalSet& ObjectKeyGenerator::ActiveSet(NodeId node) const {
-  static const IntervalSet kEmpty;
+IntervalSet ObjectKeyGenerator::ActiveSet(NodeId node) const {
+  MutexLock lock(&mu_);
   auto it = active_sets_.find(node);
-  return it == active_sets_.end() ? kEmpty : it->second;
+  return it == active_sets_.end() ? IntervalSet() : it->second;
 }
 
 std::vector<uint8_t> ObjectKeyGenerator::Checkpoint() {
+  MutexLock lock(&mu_);
   std::vector<uint8_t> out;
   PutU64(out, next_key_);
   PutU64(out, active_sets_.size());
@@ -81,6 +105,7 @@ ObjectKeyGenerator ObjectKeyGenerator::Recover(
     const std::vector<uint8_t>& checkpoint,
     const std::vector<KeygenLogRecord>& log, Options options) {
   ObjectKeyGenerator gen(options);
+  MutexLock lock(&gen.mu_);
   if (!checkpoint.empty()) {
     ByteReader reader(checkpoint);
     gen.next_key_ = reader.GetU64();
@@ -120,6 +145,7 @@ NodeKeyCache::NodeKeyCache(RangeFetcher fetcher, Options options)
       next_request_size_(options.initial_range_size) {}
 
 uint64_t NodeKeyCache::NextKey(double now) {
+  MutexLock lock(&mu_);
   if (cursor_ >= range_.end) {
     // Adapt the request size to the observed consumption rate before
     // fetching: a node that burns through ranges quickly asks for bigger
@@ -135,7 +161,14 @@ uint64_t NodeKeyCache::NextKey(double now) {
             std::max(options_.min_range_size, next_request_size_ / 2);
       }
     }
-    range_ = fetcher_(next_request_size_, now);
+    uint64_t request = next_request_size_;
+    KeyRange fetched;
+    {
+      // The fetch is a coordinator RPC; release mu_ for its duration.
+      MutexUnlock unlock(&mu_);
+      fetched = fetcher_(request, now);
+    }
+    range_ = fetched;
     assert(!range_.empty() && "coordinator returned an empty key range");
     cursor_ = range_.begin;
     last_fetch_time_ = now;

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/interval_set.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -68,16 +70,23 @@ class ObjectKeyGenerator {
   ObjectKeyGenerator() : ObjectKeyGenerator(Options()) {}
   explicit ObjectKeyGenerator(Options options);
 
+  // Movable so Database can rebuild the generator on recovery; the moves
+  // lock the source (and, for assignment, the destination) so the
+  // analysis can prove the guarded state transfers cleanly.
+  ObjectKeyGenerator(ObjectKeyGenerator&& other) noexcept;
+  ObjectKeyGenerator& operator=(ObjectKeyGenerator&& other) noexcept;
+
   // Allocates a range of `size` keys to `node` (clamped to
   // [min_range_size, max_range_size]). Appends a kAllocate record to the
   // pending log. This is the body of the "allocate key range" RPC; the RPC
   // transport and its transaction envelope live in src/multiplex.
-  KeyRange AllocateRange(NodeId node, uint64_t size);
+  KeyRange AllocateRange(NodeId node, uint64_t size) EXCLUDES(mu_);
 
   // A transaction on `node` committed having consumed `keys`. The keys
   // leave the node's active set (their lifecycle is now governed by the
   // committed transaction's RF/RB bitmaps). Appends a kCommit record.
-  void OnTransactionCommitted(NodeId node, const IntervalSet& keys);
+  void OnTransactionCommitted(NodeId node, const IntervalSet& keys)
+      EXCLUDES(mu_);
 
   // NOTE: there is deliberately no OnTransactionRolledBack(). The paper
   // does not notify the coordinator on rollback: the rolling-back node
@@ -87,20 +96,25 @@ class ObjectKeyGenerator {
   // A node restarted after a crash: returns the keys that must be polled
   // for garbage collection (its entire active set, including unconsumed
   // tails of outstanding ranges) and clears the set.
-  IntervalSet TakeActiveSetForRecovery(NodeId node);
+  IntervalSet TakeActiveSetForRecovery(NodeId node) EXCLUDES(mu_);
 
-  // Read-only view, for inspection and tests.
-  const IntervalSet& ActiveSet(NodeId node) const;
-  uint64_t max_allocated() const { return next_key_; }
+  // Read-only snapshot, for inspection and tests (by value: a reference
+  // into the guarded map would outlive the lock).
+  IntervalSet ActiveSet(NodeId node) const EXCLUDES(mu_);
+  uint64_t max_allocated() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return next_key_;
+  }
 
   // --- Durability -----------------------------------------------------
   // Serializes current state (max allocated key + active sets) and clears
   // the pending log: the checkpoint at clock 50 of Table 1.
-  std::vector<uint8_t> Checkpoint();
+  std::vector<uint8_t> Checkpoint() EXCLUDES(mu_);
 
   // Log records appended since the last checkpoint (to be written to the
-  // transaction log by the caller).
-  const std::vector<KeygenLogRecord>& pending_log() const {
+  // transaction log by the caller). Snapshot by value, as with ActiveSet.
+  std::vector<KeygenLogRecord> pending_log() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return pending_log_;
   }
 
@@ -115,9 +129,10 @@ class ObjectKeyGenerator {
 
  private:
   Options options_;
-  uint64_t next_key_;
-  std::map<NodeId, IntervalSet> active_sets_;
-  std::vector<KeygenLogRecord> pending_log_;
+  mutable Mutex mu_;
+  uint64_t next_key_ GUARDED_BY(mu_);
+  std::map<NodeId, IntervalSet> active_sets_ GUARDED_BY(mu_);
+  std::vector<KeygenLogRecord> pending_log_ GUARDED_BY(mu_);
 };
 
 // Per-node key cache (§3.2): secondary nodes consume keys from a locally
@@ -144,8 +159,10 @@ class NodeKeyCache {
       : NodeKeyCache(std::move(fetcher), Options()) {}
   NodeKeyCache(RangeFetcher fetcher, Options options);
 
-  // Returns the next unique key, fetching a new range if needed.
-  uint64_t NextKey(double now);
+  // Returns the next unique key, fetching a new range if needed. The
+  // coordinator fetch runs with mu_ released: it is an outbound RPC whose
+  // transport (Multiplex) takes its own locks.
+  uint64_t NextKey(double now) EXCLUDES(mu_);
 
   // Snapshot barrier: discards the cached range so subsequent keys come
   // from ranges allocated strictly after this point. Taking a snapshot
@@ -153,24 +170,35 @@ class NodeKeyCache {
   // collection assumes every key used after the snapshot exceeds that
   // watermark (§5), which only holds if nodes abandon ranges they cached
   // beforehand.
-  void DiscardCachedRange() {
+  void DiscardCachedRange() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     range_ = KeyRange{};
     cursor_ = 0;
   }
 
   // Keys remaining in the cached range.
-  uint64_t Remaining() const { return range_.end - cursor_; }
-  uint64_t current_range_size() const { return next_request_size_; }
-  uint64_t fetch_count() const { return fetch_count_; }
+  uint64_t Remaining() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return range_.end - cursor_;
+  }
+  uint64_t current_range_size() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return next_request_size_;
+  }
+  uint64_t fetch_count() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return fetch_count_;
+  }
 
  private:
   RangeFetcher fetcher_;
   Options options_;
-  KeyRange range_;
-  uint64_t cursor_ = 0;
-  uint64_t next_request_size_;
-  double last_fetch_time_ = -1;
-  uint64_t fetch_count_ = 0;
+  mutable Mutex mu_;
+  KeyRange range_ GUARDED_BY(mu_);
+  uint64_t cursor_ GUARDED_BY(mu_) = 0;
+  uint64_t next_request_size_ GUARDED_BY(mu_);
+  double last_fetch_time_ GUARDED_BY(mu_) = -1;
+  uint64_t fetch_count_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cloudiq

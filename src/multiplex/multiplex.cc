@@ -87,7 +87,10 @@ Multiplex::Multiplex(SimEnvironment* env, int secondary_count,
 }
 
 void Multiplex::RpcHop(NodeContext* from, NodeContext* to) {
-  ++rpc_count_;
+  {
+    MutexLock lock(&mu_);
+    ++rpc_count_;
+  }
   SimTime t = std::max(from->clock().now(), to->clock().now()) +
               options_.rpc_latency;
   from->clock().AdvanceTo(t);

@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/database.h"
 #include "sim/environment.h"
 
@@ -53,18 +55,23 @@ class Multiplex {
   Result<uint64_t> RestartSecondary(int i);
 
   // RPC statistics.
-  uint64_t rpc_count() const { return rpc_count_; }
+  uint64_t rpc_count() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return rpc_count_;
+  }
 
  private:
   // Models one RPC hop: both clocks advance to a common point plus
   // latency.
-  void RpcHop(NodeContext* from, NodeContext* to);
+  void RpcHop(NodeContext* from, NodeContext* to) EXCLUDES(mu_);
 
   SimEnvironment* env_;
   Options options_;
   std::unique_ptr<Database> coordinator_;
   std::vector<std::unique_ptr<Database>> secondaries_;
-  uint64_t rpc_count_ = 0;
+  // Guards the RPC counter only; the Databases serialize themselves.
+  mutable Mutex mu_;
+  uint64_t rpc_count_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cloudiq

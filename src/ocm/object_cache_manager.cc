@@ -25,23 +25,48 @@ Result<std::vector<uint8_t>> ObjectCacheManager::Read(uint64_t key,
                                                       SimTime start,
                                                       SimTime* completion) {
   std::string ssd_key = FormatObjectKey(key);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    ++stats_.hits;
-    ledger_->RecordOcmHit();
-    // Touch LRU.
-    lru_.erase(it->second.lru_it);
-    lru_.push_front(key);
-    it->second.lru_it = lru_.begin();
-    // Cache hit: read from local SSD. Under a flood of asynchronous
-    // background writes the SSD's queues back up and this read can take
-    // longer than the object store would — the Figure 6 brown-out. The
-    // optional mitigation re-routes the read to the object store when
-    // the device backlog exceeds the threshold.
-    if (options_.reroute_on_pressure &&
-        node_->ssd().BacklogSeconds(start) >
-            options_.reroute_backlog_seconds) {
-      ++stats_.rerouted_reads;
+  bool hit = false;
+  bool reroute = false;
+  {
+    MutexLock lock(&mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      hit = true;
+      ++stats_.hits;
+      ledger_->RecordOcmHit();
+      // Touch LRU.
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(key);
+      it->second.lru_it = lru_.begin();
+      // Cache hit: read from local SSD. Under a flood of asynchronous
+      // background writes the SSD's queues back up and this read can take
+      // longer than the object store would — the Figure 6 brown-out. The
+      // optional mitigation re-routes the read to the object store when
+      // the device backlog exceeds the threshold. (BacklogSeconds is a
+      // pure queue-depth query; no I/O runs under mu_.)
+      reroute = options_.reroute_on_pressure &&
+                node_->ssd().BacklogSeconds(start) >
+                    options_.reroute_backlog_seconds;
+      if (reroute) ++stats_.rerouted_reads;
+    } else {
+      // A write-back page still awaiting upload is readable from its queue
+      // entry (the storage subsystem normally serves such reads from the
+      // RAM buffer, but correctness must not depend on that).
+      for (const PendingWrite& pw : write_queue_) {
+        if (pw.key == key) {
+          *completion = start;  // in-memory
+          ++stats_.hits;
+          ledger_->RecordOcmHit();
+          return pw.data;
+        }
+      }
+      ++stats_.misses;
+      ledger_->RecordOcmMiss();
+    }
+  }
+
+  if (hit) {
+    if (reroute) {
       if (telemetry_->tracer().enabled()) {
         telemetry_->tracer().Instant(trace_pid_, kTrackOcm, "ocm",
                                      "reroute (SSD pressure)", start);
@@ -64,20 +89,6 @@ Result<std::vector<uint8_t>> ObjectCacheManager::Read(uint64_t key,
     }
     // Local copy unreadable: fall back to the object store; drop the entry.
     Erase(key);
-  } else {
-    // A write-back page still awaiting upload is readable from its queue
-    // entry (the storage subsystem normally serves such reads from the RAM
-    // buffer, but correctness must not depend on that).
-    for (const PendingWrite& pw : write_queue_) {
-      if (pw.key == key) {
-        *completion = start;  // in-memory
-        ++stats_.hits;
-        ledger_->RecordOcmHit();
-        return pw.data;
-      }
-    }
-    ++stats_.misses;
-    ledger_->RecordOcmMiss();
   }
 
   // Read-through: fetch from the object store, hand the page to the
@@ -115,6 +126,7 @@ void ObjectCacheManager::ScheduleCacheFill(uint64_t key,
                                       run_at, &done);
         if (!st.ok()) {
           // §4: local cache write failures are ignored.
+          MutexLock lock(&self->mu_);
           ++self->stats_.local_write_errors_ignored;
           return;
         }
@@ -125,13 +137,16 @@ void ObjectCacheManager::ScheduleCacheFill(uint64_t key,
 Status ObjectCacheManager::Write(uint64_t key, std::vector<uint8_t> data,
                                  WriteMode mode, uint64_t txn_id,
                                  SimTime start, SimTime* completion) {
-  // A transaction that has signalled FlushForCommit writes through from
-  // then on (§4).
-  if (committing_txns_.count(txn_id) > 0) mode = WriteMode::kWriteThrough;
+  {
+    // A transaction that has signalled FlushForCommit writes through from
+    // then on (§4).
+    MutexLock lock(&mu_);
+    if (committing_txns_.count(txn_id) > 0) mode = WriteMode::kWriteThrough;
+    if (mode == WriteMode::kWriteThrough) ++stats_.write_through;
+  }
 
   if (mode == WriteMode::kWriteThrough) {
     // Synchronous upload; asynchronous local caching.
-    ++stats_.write_through;
     CLOUDIQ_RETURN_IF_ERROR(io_->Put(key, data, start, completion));
     if (telemetry_->tracer().enabled()) {
       telemetry_->tracer().CompleteSpan(
@@ -149,7 +164,6 @@ Status ObjectCacheManager::Write(uint64_t key, std::vector<uint8_t> data,
   Status local = node_->ssd().Write(ssd_key, data, start, completion);
   if (!local.ok()) {
     // Ignore the local error; the upload below is what matters.
-    ++stats_.local_write_errors_ignored;
     on_ssd = false;
     *completion = start;
   }
@@ -158,9 +172,13 @@ Status ObjectCacheManager::Write(uint64_t key, std::vector<uint8_t> data,
                                       "write-back " + FormatObjectKey(key),
                                       start, *completion);
   }
-  pending_bytes_ += data.size();
-  write_queue_.push_back(PendingWrite{key, txn_id, std::move(data), on_ssd,
-                                      ledger_->current()});
+  {
+    MutexLock lock(&mu_);
+    if (!local.ok()) ++stats_.local_write_errors_ignored;
+    pending_bytes_ += data.size();
+    write_queue_.push_back(PendingWrite{key, txn_id, std::move(data),
+                                        on_ssd, ledger_->current()});
+  }
 
   // Kick the background pump.
   std::weak_ptr<ObjectCacheManager*> alive = liveness_;
@@ -172,17 +190,21 @@ Status ObjectCacheManager::Write(uint64_t key, std::vector<uint8_t> data,
 }
 
 void ObjectCacheManager::PumpOne(SimTime run_at) {
-  if (write_queue_.empty()) return;
-  PendingWrite pw = std::move(write_queue_.front());
-  write_queue_.pop_front();
-  pending_bytes_ -= pw.data.size();
+  PendingWrite pw;
+  {
+    MutexLock lock(&mu_);
+    if (write_queue_.empty()) return;
+    pw = std::move(write_queue_.front());
+    write_queue_.pop_front();
+    pending_bytes_ -= pw.data.size();
+    ++stats_.background_uploads;
+  }
 
   // Bill the upload (and any retries inside it) to the enqueuing query.
   ScopedAttribution scope(ledger_, pw.attr);
   ledger_->RecordOcmUpload();
   SimTime done = run_at;
   Status st = io_->Put(pw.key, pw.data, run_at, &done);
-  ++stats_.background_uploads;
   if (telemetry_->tracer().enabled()) {
     telemetry_->tracer().CompleteSpan(
         trace_pid_, kTrackOcm, "ocm",
@@ -203,22 +225,27 @@ void ObjectCacheManager::PumpOne(SimTime run_at) {
 
 Status ObjectCacheManager::FlushForCommit(uint64_t txn_id, SimTime start,
                                           SimTime* completion) {
-  committing_txns_.insert(txn_id);
   *completion = start;
 
   // Pull the committing transaction's queued uploads to the head of the
   // queue, then execute them immediately (prioritizing all previously
   // started background jobs for that transaction).
   std::vector<PendingWrite> mine;
-  std::deque<PendingWrite> rest;
-  for (PendingWrite& pw : write_queue_) {
-    if (pw.txn_id == txn_id) {
-      mine.push_back(std::move(pw));
-    } else {
-      rest.push_back(std::move(pw));
+  {
+    MutexLock lock(&mu_);
+    committing_txns_.insert(txn_id);
+    std::deque<PendingWrite> rest;
+    for (PendingWrite& pw : write_queue_) {
+      if (pw.txn_id == txn_id) {
+        pending_bytes_ -= pw.data.size();
+        mine.push_back(std::move(pw));
+      } else {
+        rest.push_back(std::move(pw));
+      }
     }
+    write_queue_ = std::move(rest);
+    stats_.commit_promotions += mine.size();
   }
-  write_queue_ = std::move(rest);
 
   // Upload in parallel using the node's I/O width.
   std::vector<IoScheduler::Op> ops;
@@ -227,7 +254,6 @@ Status ObjectCacheManager::FlushForCommit(uint64_t txn_id, SimTime start,
   ObjectStoreIo* io = io_;
   CostLedger* ledger = ledger_;
   for (size_t i = 0; i < pages->size(); ++i) {
-    pending_bytes_ -= (*pages)[i].data.size();
     ops.push_back([io, ledger, pages, statuses, i](SimTime t) {
       // Promoted uploads keep the attribution they were enqueued under.
       ScopedAttribution scope(ledger, (*pages)[i].attr);
@@ -237,7 +263,6 @@ Status ObjectCacheManager::FlushForCommit(uint64_t txn_id, SimTime start,
       return done;
     });
   }
-  stats_.commit_promotions += ops.size();
   SimTime before = node_->clock().now();
   node_->clock().AdvanceTo(start);
   node_->io().RunParallel(ops, node_->IoWidth());
@@ -261,6 +286,9 @@ Status ObjectCacheManager::FlushForCommit(uint64_t txn_id, SimTime start,
 }
 
 void ObjectCacheManager::AbortTxn(uint64_t txn_id) {
+  // LocalSsd::Erase is metadata-only (no simulated I/O, no executor
+  // drain), so it is safe under mu_.
+  MutexLock lock(&mu_);
   committing_txns_.erase(txn_id);
   std::deque<PendingWrite> rest;
   for (PendingWrite& pw : write_queue_) {
@@ -275,6 +303,7 @@ void ObjectCacheManager::AbortTxn(uint64_t txn_id) {
 }
 
 void ObjectCacheManager::Erase(uint64_t key) {
+  MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return;
   cached_bytes_ -= it->second.bytes;
@@ -284,6 +313,7 @@ void ObjectCacheManager::Erase(uint64_t key) {
 }
 
 void ObjectCacheManager::AdmitToLru(uint64_t key, uint64_t bytes) {
+  MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.erase(it->second.lru_it);

@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "sim/environment.h"
 #include "store/cloud_cache.h"
 #include "store/object_store_io.h"
@@ -35,6 +37,12 @@ namespace cloudiq {
 //    transaction (via ObjectStoreIo);
 //  * presence or absence never affects correctness — pages are opaque,
 //    already encrypted if encryption is on.
+//
+// Locking: mu_ guards the LRU index, the write queue and the counters —
+// and nothing else. Every simulated I/O (SSD read/write, object-store
+// GET/PUT, RunParallel) drains the node executor, which synchronously
+// re-enters this class (PumpOne, cache fills), so mu_ is never held
+// across one; methods take it in short sections around their own state.
 class ObjectCacheManager : public CloudCache {
  public:
   struct Options {
@@ -57,13 +65,15 @@ class ObjectCacheManager : public CloudCache {
 
   // --- CloudCache ----------------------------------------------------------
   Result<std::vector<uint8_t>> Read(uint64_t key, SimTime start,
-                                    SimTime* completion) override;
+                                    SimTime* completion) override
+      EXCLUDES(mu_);
   Status Write(uint64_t key, std::vector<uint8_t> data, WriteMode mode,
-               uint64_t txn_id, SimTime start, SimTime* completion) override;
-  void Erase(uint64_t key) override;
+               uint64_t txn_id, SimTime start, SimTime* completion) override
+      EXCLUDES(mu_);
+  void Erase(uint64_t key) override EXCLUDES(mu_);
   Status FlushForCommit(uint64_t txn_id, SimTime start,
-                        SimTime* completion) override;
-  void AbortTxn(uint64_t txn_id) override;
+                        SimTime* completion) override EXCLUDES(mu_);
+  void AbortTxn(uint64_t txn_id) override EXCLUDES(mu_);
 
   struct Stats {
     uint64_t hits = 0;
@@ -75,11 +85,23 @@ class ObjectCacheManager : public CloudCache {
     uint64_t local_write_errors_ignored = 0;
     uint64_t rerouted_reads = 0;  // hits served from the store (pressure)
   };
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  Stats stats() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+  void ResetStats() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    stats_ = Stats();
+  }
 
-  uint64_t cached_bytes() const { return cached_bytes_ + pending_bytes_; }
-  size_t write_queue_depth() const { return write_queue_.size(); }
+  uint64_t cached_bytes() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return cached_bytes_ + pending_bytes_;
+  }
+  size_t write_queue_depth() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return write_queue_.size();
+  }
 
  private:
   struct PendingWrite {
@@ -94,13 +116,14 @@ class ObjectCacheManager : public CloudCache {
   };
 
   // Admits `key` (already on SSD) into the LRU index, evicting as needed.
-  void AdmitToLru(uint64_t key, uint64_t bytes);
-  void EvictIfNeeded();
+  // Takes mu_ itself: callers arrive from unlocked I/O completions.
+  void AdmitToLru(uint64_t key, uint64_t bytes) EXCLUDES(mu_);
+  void EvictIfNeeded() REQUIRES(mu_);
   // Executes one queued upload (the background pump).
-  void PumpOne(SimTime run_at);
+  void PumpOne(SimTime run_at) EXCLUDES(mu_);
   // Schedules an asynchronous SSD cache fill for a read-through page.
   void ScheduleCacheFill(uint64_t key, std::vector<uint8_t> data,
-                         SimTime at);
+                         SimTime at) EXCLUDES(mu_);
 
   NodeContext* node_;
   ObjectStoreIo* io_;
@@ -117,22 +140,24 @@ class ObjectCacheManager : public CloudCache {
   // no-ops once the OCM is gone.
   std::shared_ptr<ObjectCacheManager*> liveness_;
 
+  mutable Mutex mu_;
+
   // LRU over admitted keys (front = most recent).
-  std::list<uint64_t> lru_;
+  std::list<uint64_t> lru_ GUARDED_BY(mu_);
   struct Entry {
     uint64_t bytes;
     std::list<uint64_t>::iterator lru_it;
   };
-  std::unordered_map<uint64_t, Entry> index_;
-  uint64_t cached_bytes_ = 0;
+  std::unordered_map<uint64_t, Entry> index_ GUARDED_BY(mu_);
+  uint64_t cached_bytes_ GUARDED_BY(mu_) = 0;
 
   // Background upload queue (FIFO; FlushForCommit promotes and drains a
   // transaction's entries).
-  std::deque<PendingWrite> write_queue_;
-  uint64_t pending_bytes_ = 0;
-  std::set<uint64_t> committing_txns_;
+  std::deque<PendingWrite> write_queue_ GUARDED_BY(mu_);
+  uint64_t pending_bytes_ GUARDED_BY(mu_) = 0;
+  std::set<uint64_t> committing_txns_ GUARDED_BY(mu_);
 
-  Stats stats_;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace cloudiq

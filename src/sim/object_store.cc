@@ -8,6 +8,7 @@ SimObjectStore::SimObjectStore(ObjectStoreOptions options)
     : options_(options), rng_(options.seed), streams_(options.streams) {}
 
 void SimObjectStore::set_telemetry(Telemetry* telemetry) {
+  MutexLock lock(&mu_);
   telemetry_ = telemetry;
   if (telemetry == nullptr) {
     get_latency_ = put_latency_ = delete_latency_ = nullptr;
@@ -71,6 +72,14 @@ SimTime SimObjectStore::ServiceRequest(const std::string& key, bool is_put,
 Status SimObjectStore::Put(const std::string& key,
                            std::vector<uint8_t> value, SimTime arrival,
                            SimTime* completion) {
+  MutexLock lock(&mu_);
+  if (options_.enforce_never_write_twice && objects_.count(key) > 0) {
+    // Tripwire for the paper's core invariant: the engine must never PUT
+    // the same object key twice, even after deleting it (a delete marker
+    // still counts as "ever written" — reusing the key would resurrect
+    // the §3 eventual-consistency scenarios the keygen design rules out).
+    return Status::AlreadyExists("never-write-twice violation: " + key);
+  }
   *completion = ServiceRequest(key, /*is_put=*/true, value.size(), arrival);
   ++stats_.puts;
   stats_.put_bytes += value.size();
@@ -104,6 +113,7 @@ Status SimObjectStore::Put(const std::string& key,
 Result<std::vector<uint8_t>> SimObjectStore::Get(const std::string& key,
                                                  SimTime arrival,
                                                  SimTime* completion) {
+  MutexLock lock(&mu_);
   ++stats_.gets;
   if (cost_meter_ != nullptr) cost_meter_->AddS3Get();
 
@@ -168,6 +178,7 @@ Result<std::vector<uint8_t>> SimObjectStore::Get(const std::string& key,
 
 bool SimObjectStore::Exists(const std::string& key, SimTime arrival,
                             SimTime* completion) {
+  MutexLock lock(&mu_);
   ++stats_.gets;  // HEAD is billed like GET
   if (cost_meter_ != nullptr) cost_meter_->AddS3Get();
   if (ledger_ != nullptr) {
@@ -185,6 +196,7 @@ bool SimObjectStore::Exists(const std::string& key, SimTime arrival,
 
 Status SimObjectStore::Delete(const std::string& key, SimTime arrival,
                               SimTime* completion) {
+  MutexLock lock(&mu_);
   *completion = ServiceRequest(key, /*is_put=*/true, /*bytes=*/0, arrival);
   ++stats_.deletes;
   if (cost_meter_ != nullptr) cost_meter_->AddS3Delete();  // put-rate billing
@@ -210,6 +222,7 @@ Status SimObjectStore::Delete(const std::string& key, SimTime arrival,
 }
 
 SimTime SimObjectStore::ExternalRead(uint64_t bytes, SimTime arrival) {
+  MutexLock lock(&mu_);
   // Streamed as 8 MB ranged GETs over multiple connections.
   constexpr uint64_t kPartBytes = 8 << 20;
   uint64_t parts = (bytes + kPartBytes - 1) / kPartBytes;
@@ -237,6 +250,7 @@ SimTime SimObjectStore::ExternalRead(uint64_t bytes, SimTime arrival) {
 }
 
 uint64_t SimObjectStore::LiveObjectCount() const {
+  MutexLock lock(&mu_);
   uint64_t count = 0;
   for (const auto& [key, obj] : objects_) {
     if (!obj.versions.empty() && !obj.versions.back().is_delete) ++count;
@@ -245,6 +259,7 @@ uint64_t SimObjectStore::LiveObjectCount() const {
 }
 
 uint64_t SimObjectStore::LiveBytes() const {
+  MutexLock lock(&mu_);
   uint64_t bytes = 0;
   for (const auto& [key, obj] : objects_) {
     if (!obj.versions.empty() && !obj.versions.back().is_delete) {
@@ -255,6 +270,7 @@ uint64_t SimObjectStore::LiveBytes() const {
 }
 
 std::vector<std::string> SimObjectStore::LiveKeys() const {
+  MutexLock lock(&mu_);
   std::vector<std::string> keys;
   for (const auto& [key, obj] : objects_) {
     if (!obj.versions.empty() && !obj.versions.back().is_delete) {

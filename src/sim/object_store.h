@@ -6,7 +6,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "sim/cost_model.h"
@@ -40,6 +42,16 @@ struct ObjectStoreOptions {
   // Fault injection: probability that a request fails with a transient
   // IO error (caller retries).
   double transient_error_rate = 0.0;
+
+  // Dynamic never-write-twice enforcement (§3): when set, a PUT to a key
+  // that was *ever* written — even if since deleted — fails with
+  // AlreadyExists instead of creating a new version. CloudIQ's storage
+  // layer never overwrites a key (the Object Key Generator hands every
+  // writer a fresh monotone key), so engine configurations can run with
+  // this on as a tripwire; it stays off by default because the
+  // write-twice *ablation* bench exists precisely to overwrite keys and
+  // measure the stale-read fallout.
+  bool enforce_never_write_twice = false;
 
   uint64_t seed = 42;
 };
@@ -107,11 +119,24 @@ class SimObjectStore {
     uint64_t put_bytes = 0;
     uint64_t get_bytes = 0;
   };
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  // Returned by value: handing out a reference to a guarded field would
+  // let callers read it after the lock drops (Clang's reference-return
+  // check rejects exactly that). The struct is ten integers; the copy is
+  // noise next to a simulated request.
+  Stats stats() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+  void ResetStats() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    stats_ = Stats();
+  }
 
   // Wires a cost meter; when set, every PUT/GET is billed.
-  void set_cost_meter(CostMeter* meter) { cost_meter_ = meter; }
+  void set_cost_meter(CostMeter* meter) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    cost_meter_ = meter;
+  }
 
   // Wires telemetry: request latencies land in the "s3.get"/"s3.put"/
   // "s3.delete" histograms; throttle events and visibility races become
@@ -136,23 +161,29 @@ class SimObjectStore {
   // Applies pacing + bandwidth + latency for one request; returns
   // completion time.
   SimTime ServiceRequest(const std::string& key, bool is_put, uint64_t bytes,
-                         SimTime arrival);
+                         SimTime arrival) REQUIRES(mu_);
 
   static std::string PrefixOf(const std::string& key);
 
-  ObjectStoreOptions options_;
-  Rng rng_;
-  ChannelQueue streams_;
-  std::unordered_map<std::string, RatePacer> put_pacers_;
-  std::unordered_map<std::string, RatePacer> get_pacers_;
-  std::unordered_map<std::string, Object> objects_;
-  Stats stats_;
-  CostMeter* cost_meter_ = nullptr;
-  Telemetry* telemetry_ = nullptr;
-  CostLedger* ledger_ = nullptr;
-  Histogram* get_latency_ = nullptr;
-  Histogram* put_latency_ = nullptr;
-  Histogram* delete_latency_ = nullptr;
+  ObjectStoreOptions options_;  // set at construction, read-only after
+
+  // The store is shared cluster-wide: every node's fibers reach it
+  // through ObjectStoreIo. mu_ is a leaf lock — held across whole
+  // requests (nothing below re-enters the store) but never while calling
+  // out to anything that could.
+  mutable Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
+  ChannelQueue streams_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, RatePacer> put_pacers_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, RatePacer> get_pacers_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, Object> objects_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
+  CostMeter* cost_meter_ GUARDED_BY(mu_) = nullptr;
+  Telemetry* telemetry_ GUARDED_BY(mu_) = nullptr;
+  CostLedger* ledger_ GUARDED_BY(mu_) = nullptr;
+  Histogram* get_latency_ GUARDED_BY(mu_) = nullptr;
+  Histogram* put_latency_ GUARDED_BY(mu_) = nullptr;
+  Histogram* delete_latency_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace cloudiq

@@ -12,6 +12,7 @@ SnapshotManager::SnapshotManager(NodeContext* node, ObjectStoreIo* io,
     : node_(node), io_(io), store_(store), options_(options) {}
 
 bool SnapshotManager::OnPageDropped(uint64_t key) {
+  MutexLock lock(&mu_);
   fifo_.push_back(
       Retained{key, node_->clock().now() + options_.retention_seconds});
   return true;
@@ -25,6 +26,9 @@ Status SnapshotManager::PersistMetadata() {
     PutDouble(bytes, r.expires_at);
   }
   SimTime done = node_->clock().now();
+  // NOLINT(cloudiq-direct-put): snapshot metadata lives under a reserved
+  // string prefix that cannot collide with keygen's numeric keyspace, and
+  // it is legitimately rewritten in place on every change.
   Status st = store_->Put(kMetadataKey, std::move(bytes),
                           node_->clock().now(), &done);
   node_->clock().AdvanceTo(done);
@@ -32,6 +36,7 @@ Status SnapshotManager::PersistMetadata() {
 }
 
 Status SnapshotManager::CollectExpired() {
+  MutexLock lock(&mu_);
   SimTime now = node_->clock().now();
   bool changed = false;
   while (!fifo_.empty() && fifo_.front().expires_at <= now) {
@@ -49,6 +54,7 @@ Status SnapshotManager::CollectExpired() {
 Result<SnapshotManager::SnapshotInfo> SnapshotManager::TakeSnapshot(
     uint64_t max_allocated_key,
     const std::vector<SimBlockVolume*>& non_cloud_volumes) {
+  MutexLock lock(&mu_);
   SimTime start = node_->clock().now();
   CLOUDIQ_RETURN_IF_ERROR(PersistMetadata());
 
@@ -63,6 +69,9 @@ Result<SnapshotManager::SnapshotInfo> SnapshotManager::TakeSnapshot(
   // logical PUT stream — the volumes are small by design).
   SimTime done = node_->clock().now();
   std::vector<uint8_t> marker(64, 0);  // backup manifest object
+  // NOLINT(cloudiq-direct-put): backup manifests use the reserved
+  // "backup/" string prefix, disjoint from keygen's numeric keys; each
+  // snapshot id is written exactly once.
   CLOUDIQ_RETURN_IF_ERROR(store_->Put(
       "backup/" + std::to_string(next_snapshot_id_), std::move(marker),
       node_->clock().now(), &done));
@@ -85,6 +94,7 @@ Result<SnapshotManager::SnapshotInfo> SnapshotManager::TakeSnapshot(
 Result<uint64_t> SnapshotManager::Restore(
     uint64_t snapshot_id, uint64_t current_max_allocated_key,
     const std::vector<SimBlockVolume*>& non_cloud_volumes) {
+  MutexLock lock(&mu_);
   auto it = snapshots_.find(snapshot_id);
   if (it == snapshots_.end()) {
     return Status::NotFound("snapshot " + std::to_string(snapshot_id));
@@ -133,6 +143,7 @@ Result<uint64_t> SnapshotManager::Restore(
 
 Result<SnapshotManager::SnapshotImage> SnapshotManager::GetImage(
     uint64_t snapshot_id) const {
+  MutexLock lock(&mu_);
   auto it = snapshots_.find(snapshot_id);
   if (it == snapshots_.end()) {
     return Status::NotFound("snapshot " + std::to_string(snapshot_id));
@@ -148,12 +159,14 @@ Result<SnapshotManager::SnapshotImage> SnapshotManager::GetImage(
 
 std::vector<SnapshotManager::SnapshotInfo> SnapshotManager::ListSnapshots()
     const {
+  MutexLock lock(&mu_);
   std::vector<SnapshotInfo> infos;
   for (const auto& [id, stored] : snapshots_) infos.push_back(stored.info);
   return infos;
 }
 
 Status SnapshotManager::ExpireSnapshots() {
+  MutexLock lock(&mu_);
   SimTime now = node_->clock().now();
   for (auto it = snapshots_.begin(); it != snapshots_.end();) {
     if (it->second.info.expires_at <= now) {

@@ -8,7 +8,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "sim/block_volume.h"
 #include "sim/environment.h"
@@ -56,18 +58,18 @@ class SnapshotManager {
   // Delete-interceptor hook: the transaction manager dropped `key`.
   // Returns true (ownership taken) — the page is queued for deferred
   // deletion at now + retention.
-  bool OnPageDropped(uint64_t key);
+  bool OnPageDropped(uint64_t key) EXCLUDES(mu_);
 
   // Background sweep: permanently deletes pages whose retention expired;
   // prunes the FIFO and re-persists the metadata.
-  Status CollectExpired();
+  Status CollectExpired() EXCLUDES(mu_);
 
   // Takes a snapshot: persists the FIFO metadata and a full backup of the
   // system volume (and any other non-cloud volumes passed in).
   // `max_allocated_key` is the keygen watermark recorded for restore GC.
   Result<SnapshotInfo> TakeSnapshot(
       uint64_t max_allocated_key,
-      const std::vector<SimBlockVolume*>& non_cloud_volumes);
+      const std::vector<SimBlockVolume*>& non_cloud_volumes) EXCLUDES(mu_);
 
   // Restores the given snapshot: non-cloud volumes are restored from the
   // backup, the retained-page FIFO is rolled back to its snapshot image,
@@ -78,10 +80,10 @@ class SnapshotManager {
   Result<uint64_t> Restore(uint64_t snapshot_id,
                            uint64_t current_max_allocated_key,
                            const std::vector<SimBlockVolume*>&
-                               non_cloud_volumes);
+                               non_cloud_volumes) EXCLUDES(mu_);
 
   // Snapshot registry.
-  std::vector<SnapshotInfo> ListSnapshots() const;
+  std::vector<SnapshotInfo> ListSnapshots() const EXCLUDES(mu_);
 
   // A copy of the snapshot's backup image (per-volume run maps), for
   // constructing read-only views over the past without restoring (§8
@@ -91,22 +93,27 @@ class SnapshotManager {
     SnapshotInfo info;
     std::vector<std::unordered_map<uint64_t, std::vector<uint8_t>>> volumes;
   };
-  Result<SnapshotImage> GetImage(uint64_t snapshot_id) const;
+  Result<SnapshotImage> GetImage(uint64_t snapshot_id) const EXCLUDES(mu_);
 
   // Deletes snapshots whose retention expired (their backups go too).
-  Status ExpireSnapshots();
+  Status ExpireSnapshots() EXCLUDES(mu_);
 
-  size_t retained_page_count() const { return fifo_.size(); }
+  size_t retained_page_count() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return fifo_.size();
+  }
 
   // Keys currently owned by the snapshot manager (retained, awaiting
   // expiry). Used by consistency audits.
-  std::vector<uint64_t> RetainedKeys() const {
+  std::vector<uint64_t> RetainedKeys() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     std::vector<uint64_t> keys;
     keys.reserve(fifo_.size());
     for (const Retained& r : fifo_) keys.push_back(r.key);
     return keys;
   }
-  uint64_t pages_permanently_deleted() const {
+  uint64_t pages_permanently_deleted() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return pages_permanently_deleted_;
   }
 
@@ -124,17 +131,23 @@ class SnapshotManager {
 
   // Persists the FIFO metadata to the object store ("just like the user
   // data, this list of metadata is also stored on object stores").
-  Status PersistMetadata();
+  Status PersistMetadata() REQUIRES(mu_);
 
   NodeContext* node_;
   ObjectStoreIo* io_;
   SimObjectStore* store_;
   Options options_;
 
-  std::deque<Retained> fifo_;  // ascending expiry (FIFO by drop time)
-  std::map<uint64_t, StoredSnapshot> snapshots_;
-  uint64_t next_snapshot_id_ = 1;
-  uint64_t pages_permanently_deleted_ = 0;
+  // mu_ is held across the manager's own store/NIC I/O: nothing below the
+  // snapshot layer calls back into it, so the re-entrancy hazard that
+  // forbids lock-across-I/O elsewhere does not exist here, and holding it
+  // keeps the FIFO/registry mutations atomic per operation.
+  mutable Mutex mu_;
+  std::deque<Retained> fifo_
+      GUARDED_BY(mu_);  // ascending expiry (FIFO by drop time)
+  std::map<uint64_t, StoredSnapshot> snapshots_ GUARDED_BY(mu_);
+  uint64_t next_snapshot_id_ GUARDED_BY(mu_) = 1;
+  uint64_t pages_permanently_deleted_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cloudiq

@@ -29,13 +29,14 @@ void CostLedger::Entry::Fold(const Entry& other) {
 }
 
 AttributionContext CostLedger::Swap(AttributionContext next) {
+  MutexLock lock(&mu_);
   AttributionContext prev = std::move(current_);
   current_ = std::move(next);
   cached_entry_ = nullptr;
   return prev;
 }
 
-CostLedger::Entry* CostLedger::Mutable() {
+CostLedger::Entry* CostLedger::MutableLocked() {
   if (cached_entry_ != nullptr) return cached_entry_;
   Key key{current_.query_id, current_.operator_id, current_.node_id};
   Entry& entry = entries_[key];
@@ -45,7 +46,8 @@ CostLedger::Entry* CostLedger::Mutable() {
 }
 
 void CostLedger::RecordRequest(Request kind, uint64_t bytes) {
-  Entry* e = Mutable();
+  MutexLock lock(&mu_);
+  Entry* e = MutableLocked();
   switch (kind) {
     case Request::kGet:
       ++e->gets;
@@ -69,13 +71,15 @@ void CostLedger::RecordRequest(Request kind, uint64_t bytes) {
 }
 
 void CostLedger::RecordThrottle(double stall_seconds) {
-  Entry* e = Mutable();
+  MutexLock lock(&mu_);
+  Entry* e = MutableLocked();
   ++e->throttle_events;
   e->throttle_stall_seconds += stall_seconds;
 }
 
 void CostLedger::RecordRetry(bool not_found) {
-  Entry* e = Mutable();
+  MutexLock lock(&mu_);
+  Entry* e = MutableLocked();
   if (not_found) {
     ++e->not_found_retries;
   } else {
@@ -85,6 +89,7 @@ void CostLedger::RecordRetry(bool not_found) {
 
 void CostLedger::RecordPrefix(const std::string& prefix, bool throttled,
                               double stall_seconds) {
+  MutexLock lock(&mu_);
   PrefixStats* stats;
   auto it = prefixes_.find(prefix);
   if (it != prefixes_.end()) {
@@ -103,6 +108,7 @@ void CostLedger::RecordPrefix(const std::string& prefix, bool throttled,
 
 void CostLedger::ChargeCompute(const AttributionContext& who, double seconds,
                                double hourly_usd) {
+  MutexLock lock(&mu_);
   Key key{who.query_id, who.operator_id, who.node_id};
   Entry& entry = entries_[key];
   if (entry.tag.empty()) entry.tag = who.tag;
@@ -114,6 +120,7 @@ void CostLedger::ChargeCompute(const AttributionContext& who, double seconds,
 
 void CostLedger::SetQueryTenant(uint64_t query_id,
                                 const std::string& tenant) {
+  MutexLock lock(&mu_);
   if (tenant.empty()) {
     query_tenants_.erase(query_id);
   } else {
@@ -121,21 +128,27 @@ void CostLedger::SetQueryTenant(uint64_t query_id,
   }
 }
 
-const std::string& CostLedger::QueryTenant(uint64_t query_id) const {
-  static const std::string kNone;
+std::string CostLedger::QueryTenantLocked(uint64_t query_id) const {
   auto it = query_tenants_.find(query_id);
-  return it == query_tenants_.end() ? kNone : it->second;
+  return it == query_tenants_.end() ? std::string() : it->second;
+}
+
+std::string CostLedger::QueryTenant(uint64_t query_id) const {
+  MutexLock lock(&mu_);
+  return QueryTenantLocked(query_id);
 }
 
 CostLedger::Entry CostLedger::TenantTotal(const std::string& tenant) const {
+  MutexLock lock(&mu_);
   Entry total;
   for (const auto& [key, entry] : entries_) {
-    if (QueryTenant(key.query_id) == tenant) total.Fold(entry);
+    if (QueryTenantLocked(key.query_id) == tenant) total.Fold(entry);
   }
   return total;
 }
 
 std::vector<std::string> CostLedger::Tenants() const {
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (const auto& [query_id, tenant] : query_tenants_) {
     (void)query_id;
@@ -147,6 +160,7 @@ std::vector<std::string> CostLedger::Tenants() const {
 }
 
 CostLedger::Entry CostLedger::QueryTotal(uint64_t query_id) const {
+  MutexLock lock(&mu_);
   Entry total;
   for (const auto& [key, entry] : entries_) {
     if (key.query_id == query_id) total.Fold(entry);
@@ -155,12 +169,14 @@ CostLedger::Entry CostLedger::QueryTotal(uint64_t query_id) const {
 }
 
 CostLedger::Entry CostLedger::GrandTotal() const {
+  MutexLock lock(&mu_);
   Entry total;
   for (const auto& [key, entry] : entries_) total.Fold(entry);
   return total;
 }
 
 std::vector<std::pair<uint64_t, std::string>> CostLedger::Queries() const {
+  MutexLock lock(&mu_);
   std::vector<std::pair<uint64_t, std::string>> out;
   for (const auto& [key, entry] : entries_) {
     if (out.empty() || out.back().first != key.query_id) {
@@ -173,6 +189,7 @@ std::vector<std::pair<uint64_t, std::string>> CostLedger::Queries() const {
 }
 
 void CostLedger::Reset() {
+  MutexLock lock(&mu_);
   current_ = AttributionContext();
   last_query_id_ = 0;
   entries_.clear();

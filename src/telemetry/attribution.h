@@ -7,6 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace cloudiq {
 
 // Who caused a storage-layer event. The query layer opens an attribution
@@ -39,8 +42,11 @@ struct LedgerPrices {
 // counterpart of the global CostMeter (the two see the same event stream,
 // so their totals must agree; tests assert it).
 //
-// Single-threaded by design, like the rest of the simulator: the
-// "current" context is one slot, swapped by ScopedAttribution.
+// The "current" context is one slot, swapped by ScopedAttribution; the
+// fiber handoff serializes the swappers. mu_ guards the slot, the
+// aggregation maps and the one-entry pointer cache. Like the other
+// telemetry locks this is a leaf: recording calls arrive from inside
+// every other manager's critical sections.
 class CostLedger {
  public:
   enum class Request { kGet, kPut, kDelete, kRangedGet, kHead };
@@ -127,84 +133,125 @@ class CostLedger {
   static constexpr const char* kOtherPrefixes = "(other)";
 
   // --- current context ---------------------------------------------------
-  const AttributionContext& current() const { return current_; }
+  AttributionContext current() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return current_;
+  }
   // Installs `next`, returning the previous context (ScopedAttribution
   // restores it).
-  AttributionContext Swap(AttributionContext next);
+  AttributionContext Swap(AttributionContext next) EXCLUDES(mu_);
 
   // Monotonic query-id source; every Database::NewQueryContext and every
   // bench phase (load, Qn) draws from here so ids are cluster-unique.
-  uint64_t NextQueryId() { return ++last_query_id_; }
+  uint64_t NextQueryId() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return ++last_query_id_;
+  }
   // The most recently issued query id (0 = none yet issued).
-  uint64_t last_query_id() const { return last_query_id_; }
+  uint64_t last_query_id() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return last_query_id_;
+  }
 
   // --- tenants -----------------------------------------------------------
   // Maps a query id to a tenant, so multi-tenant workloads (src/workload/)
   // roll up per tenant. Queries never mapped — loads, maintenance, anything
   // outside the workload engine — aggregate under the "" tenant, so
   // TenantTotal("") plus the mapped tenants always sums to GrandTotal().
-  void SetQueryTenant(uint64_t query_id, const std::string& tenant);
+  void SetQueryTenant(uint64_t query_id, const std::string& tenant)
+      EXCLUDES(mu_);
   // "" when the query was never mapped.
-  const std::string& QueryTenant(uint64_t query_id) const;
+  std::string QueryTenant(uint64_t query_id) const EXCLUDES(mu_);
   // Sum of every entry of `tenant`'s queries across operators and nodes
   // ("" sums the unmapped remainder, including unattributed work).
-  Entry TenantTotal(const std::string& tenant) const;
+  Entry TenantTotal(const std::string& tenant) const EXCLUDES(mu_);
   // Distinct mapped tenant names, ascending.
-  std::vector<std::string> Tenants() const;
+  std::vector<std::string> Tenants() const EXCLUDES(mu_);
 
   // --- recording (all charge to current()) -------------------------------
-  void RecordRequest(Request kind, uint64_t bytes);
-  void RecordThrottle(double stall_seconds);
-  void RecordRetry(bool not_found);
-  void RecordOcmHit() { ++Mutable()->ocm_hits; }
-  void RecordOcmMiss() { ++Mutable()->ocm_misses; }
-  void RecordOcmFill() { ++Mutable()->ocm_fills; }
-  void RecordOcmUpload() { ++Mutable()->ocm_uploads; }
-  void RecordBufferHit() { ++Mutable()->buffer_hits; }
-  void RecordBufferMiss() { ++Mutable()->buffer_misses; }
-  void RecordBufferFlush(uint64_t pages) {
-    Mutable()->buffer_flush_pages += pages;
+  void RecordRequest(Request kind, uint64_t bytes) EXCLUDES(mu_);
+  void RecordThrottle(double stall_seconds) EXCLUDES(mu_);
+  void RecordRetry(bool not_found) EXCLUDES(mu_);
+  void RecordOcmHit() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++MutableLocked()->ocm_hits;
   }
-  void AddSimSeconds(double seconds) { Mutable()->sim_seconds += seconds; }
+  void RecordOcmMiss() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++MutableLocked()->ocm_misses;
+  }
+  void RecordOcmFill() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++MutableLocked()->ocm_fills;
+  }
+  void RecordOcmUpload() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++MutableLocked()->ocm_uploads;
+  }
+  void RecordBufferHit() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++MutableLocked()->buffer_hits;
+  }
+  void RecordBufferMiss() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++MutableLocked()->buffer_misses;
+  }
+  void RecordBufferFlush(uint64_t pages) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    MutableLocked()->buffer_flush_pages += pages;
+  }
+  void AddSimSeconds(double seconds) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    MutableLocked()->sim_seconds += seconds;
+  }
   void RecordPrefix(const std::string& prefix, bool throttled,
-                    double stall_seconds);
+                    double stall_seconds) EXCLUDES(mu_);
 
   // Prices `seconds` of instance time at `hourly_usd` onto `who`
   // (independent of the current scope: the harness charges a phase after
   // it finishes, when the scope is already closed). Adds money only —
   // sim_seconds stays with the scopes that measured it.
   void ChargeCompute(const AttributionContext& who, double seconds,
-                     double hourly_usd);
+                     double hourly_usd) EXCLUDES(mu_);
 
   // --- views -------------------------------------------------------------
-  const std::map<Key, Entry>& entries() const { return entries_; }
-  const std::map<std::string, PrefixStats>& prefixes() const {
+  // Report-time snapshots, by value (references would escape the lock).
+  std::map<Key, Entry> entries() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return entries_;
+  }
+  std::map<std::string, PrefixStats> prefixes() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return prefixes_;
   }
   // Sum of every entry of `query_id` across operators and nodes.
-  Entry QueryTotal(uint64_t query_id) const;
+  Entry QueryTotal(uint64_t query_id) const EXCLUDES(mu_);
   // Sum of every entry, attributed or not.
-  Entry GrandTotal() const;
+  Entry GrandTotal() const EXCLUDES(mu_);
   // Distinct query ids seen, ascending, with the first non-empty tag.
   std::vector<std::pair<uint64_t, std::string>> Queries() const;
 
+  // Prices are wired once at environment construction (setup time) and
+  // read-only afterwards, so they are deliberately unguarded.
   const LedgerPrices& prices() const { return prices_; }
   void set_prices(const LedgerPrices& prices) { prices_ = prices; }
 
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
  private:
   // Entry for the current context; one-slot cache keeps the hot path
   // (one ledger update per simulated request) to a pointer bump.
-  Entry* Mutable();
+  Entry* MutableLocked() REQUIRES(mu_);
+  std::string QueryTenantLocked(uint64_t query_id) const REQUIRES(mu_);
 
-  AttributionContext current_;
+  mutable Mutex mu_;
+  AttributionContext current_ GUARDED_BY(mu_);
   LedgerPrices prices_;
-  uint64_t last_query_id_ = 0;
-  std::map<Key, Entry> entries_;
-  std::map<std::string, PrefixStats> prefixes_;
-  std::map<uint64_t, std::string> query_tenants_;
-  Entry* cached_entry_ = nullptr;
+  uint64_t last_query_id_ GUARDED_BY(mu_) = 0;
+  std::map<Key, Entry> entries_ GUARDED_BY(mu_);
+  std::map<std::string, PrefixStats> prefixes_ GUARDED_BY(mu_);
+  std::map<uint64_t, std::string> query_tenants_ GUARDED_BY(mu_);
+  Entry* cached_entry_ GUARDED_BY(mu_) = nullptr;
 };
 
 // RAII attribution scope: installs `ctx` on construction, restores the

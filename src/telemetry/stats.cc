@@ -88,6 +88,7 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 void StatsRegistry::Reset() {
+  MutexLock lock(&mu_);
   for (auto& [name, c] : counters_) c.Reset();
   for (auto& [name, g] : gauges_) g.Reset();
   for (auto& [name, h] : histograms_) h.Reset();

@@ -7,6 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace cloudiq {
 
 // Log-bucketed latency histogram over positive doubles (seconds).
@@ -88,28 +91,52 @@ class Gauge {
 
 // Name-keyed registry so layers can publish stats without adding fields
 // to MetricsSnapshot. Returned references are stable for the registry's
-// lifetime; hot paths resolve their instruments once and keep the
-// pointer.
+// lifetime (std::map never relocates elements); hot paths resolve their
+// instruments once and keep the pointer.
+//
+// Locking: mu_ guards the *maps* — lookup/insert in counter()/gauge()/
+// histogram() and the snapshot accessors. Mutating an instrument through
+// a cached reference is serialized by the fiber handoff protocol, the
+// same contract that makes the cached-pointer pattern sound at all. This
+// is a leaf lock: it is taken while other managers hold their own locks,
+// and never the reverse.
 class StatsRegistry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  Counter& counter(const std::string& name) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return counters_[name];
+  }
+  Gauge& gauge(const std::string& name) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return gauges_[name];
+  }
+  Histogram& histogram(const std::string& name) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return histograms_[name];
+  }
 
-  const std::map<std::string, Counter>& counters() const {
+  // Report-time snapshots, by value: a reference to a guarded map would
+  // escape the lock.
+  std::map<std::string, Counter> counters() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return counters_;
   }
-  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
-  const std::map<std::string, Histogram>& histograms() const {
+  std::map<std::string, Gauge> gauges() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return gauges_;
+  }
+  std::map<std::string, Histogram> histograms() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return histograms_;
   }
 
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
  private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, Counter> counters_ GUARDED_BY(mu_);
+  std::map<std::string, Gauge> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace cloudiq

@@ -7,7 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "sim/sim_clock.h"
 #include "telemetry/stats.h"
 
@@ -44,6 +46,12 @@ struct TraceEvent {
 // tracer costs one predictable branch per call site when off. Call sites
 // that would build a dynamic name must guard with enabled() themselves
 // so the allocation is also skipped.
+//
+// Locking: mu_ guards the event buffer and name maps. It is a leaf lock —
+// recording calls arrive from inside every other manager's critical
+// sections. enabled_ is deliberately *not* guarded: it is a set-up-time
+// switch read on every hot path; the handoff protocol orders the one
+// writer against the readers.
 class Tracer {
  public:
   bool enabled() const { return enabled_; }
@@ -52,16 +60,19 @@ class Tracer {
   // A span known to cover [start, end] on the given track. `end < start`
   // is recorded as a zero-length span at `start`.
   void CompleteSpan(uint32_t pid, uint32_t tid, const char* category,
-                    std::string name, SimTime start, SimTime end) {
+                    std::string name, SimTime start, SimTime end)
+      EXCLUDES(mu_) {
     if (!enabled_) return;
+    MutexLock lock(&mu_);
     events_.push_back(TraceEvent{category, std::move(name), 'X', start,
                                  end > start ? end - start : 0, pid, tid});
   }
 
   // A point event (throttle, eviction, retry, ...).
   void Instant(uint32_t pid, uint32_t tid, const char* category,
-               std::string name, SimTime t) {
+               std::string name, SimTime t) EXCLUDES(mu_) {
     if (!enabled_) return;
+    MutexLock lock(&mu_);
     events_.push_back(
         TraceEvent{category, std::move(name), 'i', t, 0, pid, tid});
   }
@@ -69,29 +80,43 @@ class Tracer {
   // Track naming, surfaced as Chrome trace metadata. Cheap and recorded
   // regardless of enabled() so a tracer switched on mid-run still labels
   // its tracks.
-  void SetProcessName(uint32_t pid, std::string name) {
+  void SetProcessName(uint32_t pid, std::string name) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     process_names_[pid] = std::move(name);
   }
-  void SetTrackName(uint32_t pid, uint32_t tid, std::string name) {
+  void SetTrackName(uint32_t pid, uint32_t tid, std::string name)
+      EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     track_names_[{pid, tid}] = std::move(name);
   }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  const std::map<uint32_t, std::string>& process_names() const {
+  // Export-time snapshots, by value (references would escape the lock).
+  std::vector<TraceEvent> events() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return events_;
+  }
+  std::map<uint32_t, std::string> process_names() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return process_names_;
   }
-  const std::map<std::pair<uint32_t, uint32_t>, std::string>& track_names()
-      const {
+  std::map<std::pair<uint32_t, uint32_t>, std::string> track_names() const
+      EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return track_names_;
   }
 
-  void Clear() { events_.clear(); }
+  void Clear() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    events_.clear();
+  }
 
  private:
   bool enabled_ = false;
-  std::vector<TraceEvent> events_;
-  std::map<uint32_t, std::string> process_names_;
-  std::map<std::pair<uint32_t, uint32_t>, std::string> track_names_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
+  std::map<uint32_t, std::string> process_names_ GUARDED_BY(mu_);
+  std::map<std::pair<uint32_t, uint32_t>, std::string> track_names_
+      GUARDED_BY(mu_);
 };
 
 // RAII span: stamps `start` from the clock at construction and records

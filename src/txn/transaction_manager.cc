@@ -145,11 +145,12 @@ TransactionManager::TransactionManager(StorageSubsystem* storage,
 
 Transaction* TransactionManager::Begin() {
   auto txn = std::make_unique<Transaction>();
+  Transaction* ptr = txn.get();
+  MutexLock lock(&mu_);
   txn->id = (uint64_t{options_.node_id} << 40) | next_txn_local_++;
   txn->node = options_.node_id;
   txn->begin_seq = commit_seq_;
   txn->snapshot = catalog_;
-  Transaction* ptr = txn.get();
   active_[txn->id] = std::move(txn);
   return ptr;
 }
@@ -239,7 +240,11 @@ Status TransactionManager::DropObject(Transaction* txn, uint64_t object_id) {
 Status TransactionManager::FlushBatch(
     uint64_t txn_id, std::vector<BufferManager::DirtyPage>&& pages,
     bool for_commit) {
-  Transaction* txn = FindTxn(txn_id);
+  Transaction* txn;
+  {
+    MutexLock lock(&mu_);
+    txn = FindTxn(txn_id);
+  }
   if (txn == nullptr) return Status::FailedPrecondition("unknown txn");
   CloudCache::WriteMode mode = for_commit
                                    ? CloudCache::WriteMode::kWriteThrough
@@ -303,8 +308,11 @@ Status TransactionManager::Commit(Transaction* txn) {
   }
   if (!wrote_something && !buffer_->HasDirty(txn->id)) {
     txn->state = Transaction::State::kCommitted;
-    ++stats_.commits;
-    active_.erase(txn->id);
+    {
+      MutexLock lock(&mu_);
+      ++stats_.commits;
+      active_.erase(txn->id);
+    }
     return RunGarbageCollection();
   }
 
@@ -359,13 +367,18 @@ Status TransactionManager::Commit(Transaction* txn) {
   for (const auto& status : node_statuses) {
     if (!status->ok()) return *status;
   }
+  uint64_t next_commit_seq;
+  {
+    MutexLock lock(&mu_);
+    next_commit_seq = commit_seq_ + 1;
+  }
   for (auto& [object_id, object] : txn->write_objects) {
     IdentityObject identity;
     identity.object_id = object_id;
     identity.dbspace_id = object->space()->id;
     identity.root = object->blockmap().root_loc();
     identity.page_count = object->blockmap().page_count();
-    identity.version = commit_seq_ + 1;
+    identity.version = next_commit_seq;
     identity_updates.push_back(identity.Serialize());
   }
 
@@ -381,7 +394,10 @@ Status TransactionManager::Commit(Transaction* txn) {
   clock.AdvanceTo(done);
 
   // (5) Write the commit record.
-  txn->commit_seq = ++commit_seq_;
+  {
+    MutexLock lock(&mu_);
+    txn->commit_seq = ++commit_seq_;
+  }
   TxnLogRecord rec;
   rec.type = TxnLogRecord::Type::kCommit;
   rec.node = txn->node;
@@ -395,13 +411,19 @@ Status TransactionManager::Commit(Transaction* txn) {
   clock.AdvanceTo(done);
 
   // (6) Publish the new table versions (identity objects live on the
-  // system dbspace and are updated in place).
-  for (const auto& update : rec.identity_updates) {
-    catalog_.Put(IdentityObject::Deserialize(update));
+  // system dbspace and are updated in place). The durable image is
+  // persisted from a snapshot so mu_ is not held across the system I/O.
+  IdentityCatalog catalog_snapshot;
+  {
+    MutexLock lock(&mu_);
+    for (const auto& update : rec.identity_updates) {
+      catalog_.Put(IdentityObject::Deserialize(update));
+    }
+    for (uint64_t dropped : rec.dropped_objects) catalog_.Remove(dropped);
+    catalog_snapshot = catalog_;
   }
-  for (uint64_t dropped : rec.dropped_objects) catalog_.Remove(dropped);
   CLOUDIQ_RETURN_IF_ERROR(
-      catalog_.Persist(system_, kCatalogName, clock.now(), &done));
+      catalog_snapshot.Persist(system_, kCatalogName, clock.now(), &done));
   clock.AdvanceTo(done);
 
   // (7) Tell the coordinator which keys left this node's active set.
@@ -410,13 +432,20 @@ Status TransactionManager::Commit(Transaction* txn) {
   }
 
   // (8) Hand garbage collection to the committed-transaction chain.
-  chain_.push_back(CommittedTxn{txn->id, txn->commit_seq, txn->rf,
-                                RfName(options_.name_prefix, txn->id), RbName(options_.name_prefix, txn->id)});
+  {
+    MutexLock lock(&mu_);
+    chain_.push_back(CommittedTxn{txn->id, txn->commit_seq, txn->rf,
+                                  RfName(options_.name_prefix, txn->id),
+                                  RbName(options_.name_prefix, txn->id)});
+  }
   CLOUDIQ_RETURN_IF_ERROR(PersistChain());
 
   txn->state = Transaction::State::kCommitted;
-  ++stats_.commits;
-  active_.erase(txn->id);
+  {
+    MutexLock lock(&mu_);
+    ++stats_.commits;
+    active_.erase(txn->id);
+  }
   return RunGarbageCollection();
 }
 
@@ -460,16 +489,22 @@ Status TransactionManager::Rollback(Transaction* txn) {
   }
 
   txn->state = Transaction::State::kRolledBack;
-  ++stats_.rollbacks;
-  active_.erase(txn->id);
+  {
+    MutexLock lock(&mu_);
+    ++stats_.rollbacks;
+    active_.erase(txn->id);
+  }
   return Status::Ok();
 }
 
 void TransactionManager::SimulateCrash() {
-  active_.clear();
-  chain_.clear();
-  catalog_ = IdentityCatalog();
-  commit_seq_ = 0;
+  {
+    MutexLock lock(&mu_);
+    active_.clear();
+    chain_.clear();
+    catalog_ = IdentityCatalog();
+    commit_seq_ = 0;
+  }
   log_.clear_memory();
   BufferManager::Options buffer_options;
   buffer_options.capacity_bytes = options_.buffer_capacity_bytes;
@@ -503,17 +538,34 @@ Status TransactionManager::DeleteLoc(uint32_t dbspace_id, PhysicalLoc loc) {
     }
   }
   buffer_->Invalidate(dbspace_id, loc);
-  ++stats_.gc_pages_deleted;
+  {
+    MutexLock lock(&mu_);
+    ++stats_.gc_pages_deleted;
+  }
   return storage_->DeletePage(space, loc);
 }
 
 Status TransactionManager::RunGarbageCollection() {
-  ++stats_.gc_runs;
-  uint64_t watermark = OldestActiveBeginSeq();
   SimClock& clock = storage_->node()->clock();
   bool changed = false;
-  while (!chain_.empty() && chain_.front().commit_seq <= watermark) {
-    CommittedTxn& oldest = chain_.front();
+  {
+    MutexLock lock(&mu_);
+    ++stats_.gc_runs;
+  }
+  for (;;) {
+    // Copy the chain head out under the lock; the deletions below are
+    // storage I/O and run unlocked. The entry is popped only after they
+    // all succeed, so an error leaves it for the next GC run — same
+    // recovery behaviour as before the lock was introduced.
+    CommittedTxn oldest;
+    {
+      MutexLock lock(&mu_);
+      if (chain_.empty() ||
+          chain_.front().commit_seq > OldestActiveBeginSeq()) {
+        break;
+      }
+      oldest = chain_.front();
+    }
     for (const auto& [dbspace_id, loc] : oldest.rf.block_locs()) {
       CLOUDIQ_RETURN_IF_ERROR(DeleteLoc(dbspace_id, loc));
     }
@@ -527,7 +579,10 @@ Status TransactionManager::RunGarbageCollection() {
     CLOUDIQ_RETURN_IF_ERROR(system_->Delete(oldest.rb_name, clock.now(),
                                             &done));
     clock.AdvanceTo(done);
-    chain_.pop_front();
+    {
+      MutexLock lock(&mu_);
+      chain_.pop_front();
+    }
     changed = true;
   }
   if (changed) CLOUDIQ_RETURN_IF_ERROR(PersistChain());
@@ -536,15 +591,18 @@ Status TransactionManager::RunGarbageCollection() {
 
 Status TransactionManager::PersistChain() {
   std::vector<uint8_t> bytes;
-  PutU64(bytes, chain_.size());
-  for (const CommittedTxn& entry : chain_) {
-    PutU64(bytes, entry.txn_id);
-    PutU64(bytes, entry.commit_seq);
-    PutString(bytes, entry.rf_name);
-    PutString(bytes, entry.rb_name);
-    std::vector<uint8_t> rf = entry.rf.Serialize();
-    PutU64(bytes, rf.size());
-    PutBytes(bytes, rf.data(), rf.size());
+  {
+    MutexLock lock(&mu_);
+    PutU64(bytes, chain_.size());
+    for (const CommittedTxn& entry : chain_) {
+      PutU64(bytes, entry.txn_id);
+      PutU64(bytes, entry.commit_seq);
+      PutString(bytes, entry.rf_name);
+      PutString(bytes, entry.rb_name);
+      std::vector<uint8_t> rf = entry.rf.Serialize();
+      PutU64(bytes, rf.size());
+      PutBytes(bytes, rf.data(), rf.size());
+    }
   }
   SimClock& clock = storage_->node()->clock();
   SimTime done = clock.now();
@@ -556,8 +614,15 @@ Status TransactionManager::PersistChain() {
 Status TransactionManager::Checkpoint() {
   SimClock& clock = storage_->node()->clock();
   SimTime done = clock.now();
+  IdentityCatalog catalog_snapshot;
+  uint64_t checkpoint_seq;
+  {
+    MutexLock lock(&mu_);
+    catalog_snapshot = catalog_;
+    checkpoint_seq = commit_seq_;
+  }
   CLOUDIQ_RETURN_IF_ERROR(
-      catalog_.Persist(system_, kCatalogName, clock.now(), &done));
+      catalog_snapshot.Persist(system_, kCatalogName, clock.now(), &done));
   clock.AdvanceTo(done);
   for (DbSpace* space : storage_->AllDbSpaces()) {
     if (space->is_cloud()) continue;  // no freelist on cloud dbspaces
@@ -569,7 +634,7 @@ Status TransactionManager::Checkpoint() {
   CLOUDIQ_RETURN_IF_ERROR(PersistChain());
   TxnLogRecord marker;
   marker.type = TxnLogRecord::Type::kCheckpoint;
-  marker.commit_seq = commit_seq_;
+  marker.commit_seq = checkpoint_seq;
   CLOUDIQ_RETURN_IF_ERROR(log_.Append(marker, clock.now(), &done));
   clock.AdvanceTo(done);
   CLOUDIQ_RETURN_IF_ERROR(log_.TruncateAtCheckpoint(clock.now(), &done));
@@ -578,6 +643,10 @@ Status TransactionManager::Checkpoint() {
 }
 
 Status TransactionManager::RecoverAfterCrash() {
+  // Recovery holds mu_ across the whole rebuild, including its system-store
+  // reads: the node serves no traffic until it returns and nothing below
+  // the transaction layer calls back into it on this path.
+  MutexLock lock(&mu_);
   SimClock& clock = storage_->node()->clock();
   SimTime done = clock.now();
   CLOUDIQ_RETURN_IF_ERROR(system_->Open(clock.now(), &done));

@@ -11,8 +11,10 @@
 #include "blockmap/blockmap.h"
 #include "blockmap/identity.h"
 #include "buffer/buffer_manager.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "keygen/object_key_generator.h"
 #include "store/storage.h"
 #include "store/system_store.h"
@@ -96,6 +98,16 @@ class StorageObject {
 // transaction chain with RF/RB-driven garbage collection, checkpoints and
 // crash recovery. Owns the node's buffer manager (its flush callback needs
 // the per-transaction RF/RB bookkeeping).
+//
+// Locking: mu_ guards only the manager's own leaf state (the active map,
+// the committed chain, sequence counters, the catalog and stats). It is
+// never held across buffer_/storage_/system_/log_ calls or the commit
+// listener — the buffer manager's flush callback re-enters this class
+// (FlushBatch), so any lock held across a flush would self-deadlock.
+// The contents of a Transaction (write_objects, rf/rb, snapshot) belong to
+// the fiber that began it and are not guarded; active_ only guards the
+// id -> Transaction map itself. A Transaction* stays valid outside the
+// lock because only the owning fiber's Commit/Rollback erases it.
 class TransactionManager {
  public:
   struct Options {
@@ -126,16 +138,16 @@ class TransactionManager {
   }
 
   // --- transaction lifecycle ---------------------------------------------
-  Transaction* Begin();
-  Status Commit(Transaction* txn);
+  Transaction* Begin() EXCLUDES(mu_);
+  Status Commit(Transaction* txn) EXCLUDES(mu_);
   // Rollback deletes the transaction's RB pages immediately and, per the
   // paper's optimization, does NOT notify the coordinator.
-  Status Rollback(Transaction* txn);
+  Status Rollback(Transaction* txn) EXCLUDES(mu_);
 
   // Simulates this node dying with `txn` in flight: all volatile state is
   // dropped without deleting any storage. Cleanup must then happen through
   // the crash-recovery path (keygen active-set polling). Test-only.
-  void SimulateCrash();
+  void SimulateCrash() EXCLUDES(mu_);
 
   // --- storage objects ------------------------------------------------------
   // Creates a new (empty) object on `space` owned by `txn`.
@@ -153,22 +165,33 @@ class TransactionManager {
   // --- garbage collection ---------------------------------------------------
   // Deletes the pages of committed transactions that are no longer
   // referenced by any active transaction; prunes the chain.
-  Status RunGarbageCollection();
-  size_t committed_chain_length() const { return chain_.size(); }
+  Status RunGarbageCollection() EXCLUDES(mu_);
+  size_t committed_chain_length() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return chain_.size();
+  }
 
   // --- durability -----------------------------------------------------------
   // Persists catalog + freelists + a checkpoint marker; truncates the log.
-  Status Checkpoint();
+  Status Checkpoint() EXCLUDES(mu_);
   // Rebuilds state from the system store after a crash: checkpointed
   // catalog/freelists, then log replay (commits re-applied, chain and
   // freelist brought forward).
-  Status RecoverAfterCrash();
+  Status RecoverAfterCrash() EXCLUDES(mu_);
 
-  const IdentityCatalog& catalog() const { return catalog_; }
+  // Snapshot of the committed catalog (MVCC makes catalog copies the cheap,
+  // idiomatic unit — every Begin() takes one anyway).
+  IdentityCatalog catalog() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return catalog_;
+  }
   BufferManager& buffer() { return *buffer_; }
   StorageSubsystem& storage() { return *storage_; }
   TxnLog& log() { return log_; }
-  uint64_t commit_seq() const { return commit_seq_; }
+  uint64_t commit_seq() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return commit_seq_;
+  }
   NodeId node_id() const { return options_.node_id; }
 
   struct Stats {
@@ -177,7 +200,10 @@ class TransactionManager {
     uint64_t gc_pages_deleted = 0;
     uint64_t gc_runs = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
 
  private:
   friend class StorageObject;
@@ -191,29 +217,33 @@ class TransactionManager {
   };
 
   // BufferManager flush callback: writes dirty pages, updates blockmaps,
-  // records RF/RB.
+  // records RF/RB. Re-entered while Commit/PutDirty run with mu_ released.
   Status FlushBatch(uint64_t txn_id, std::vector<BufferManager::DirtyPage>&&
                                           pages,
-                    bool for_commit);
+                    bool for_commit) EXCLUDES(mu_);
 
-  Status DeleteLoc(uint32_t dbspace_id, PhysicalLoc loc);
-  Status PersistChain();
-  uint64_t OldestActiveBeginSeq() const;
-  Transaction* FindTxn(uint64_t txn_id);
+  Status DeleteLoc(uint32_t dbspace_id, PhysicalLoc loc) EXCLUDES(mu_);
+  Status PersistChain() EXCLUDES(mu_);
+  uint64_t OldestActiveBeginSeq() const REQUIRES(mu_);
+  Transaction* FindTxn(uint64_t txn_id) REQUIRES(mu_);
 
+  // Wiring set at construction and never re-pointed while serving traffic
+  // (buffer_ is also rebuilt by the test-only SimulateCrash), so none of
+  // it is guarded by mu_. log_ and buffer_ serialize their own state.
   StorageSubsystem* storage_;
   SystemStore* system_;
   Options options_;
   std::unique_ptr<BufferManager> buffer_;
   TxnLog log_;
-  IdentityCatalog catalog_;
   CommitListener commit_listener_;
 
-  std::map<uint64_t, std::unique_ptr<Transaction>> active_;
-  std::list<CommittedTxn> chain_;
-  uint64_t next_txn_local_ = 1;
-  uint64_t commit_seq_ = 0;
-  Stats stats_;
+  mutable Mutex mu_;
+  IdentityCatalog catalog_ GUARDED_BY(mu_);
+  std::map<uint64_t, std::unique_ptr<Transaction>> active_ GUARDED_BY(mu_);
+  std::list<CommittedTxn> chain_ GUARDED_BY(mu_);
+  uint64_t next_txn_local_ GUARDED_BY(mu_) = 1;
+  uint64_t commit_seq_ GUARDED_BY(mu_) = 0;
+  Stats stats_ GUARDED_BY(mu_);
   Histogram* commit_latency_ = nullptr;    // "txn.commit"
   Histogram* rollback_latency_ = nullptr;  // "txn.rollback"
 };

@@ -6,6 +6,8 @@
 #include <map>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "sim/sim_clock.h"
 
 namespace cloudiq {
@@ -81,7 +83,8 @@ class AdmissionController {
 
   // Per-tenant rate limit (rate <= 0 = unlimited).
   void RegisterTenant(const std::string& tenant, double rate_per_sec,
-                      double burst) {
+                      double burst) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     buckets_[tenant] = TokenBucket(rate_per_sec, burst);
   }
 
@@ -91,7 +94,8 @@ class AdmissionController {
   // slot are free this instant. A consumed token is not refunded if the
   // queue check then sheds — the request did hit the rate limiter.
   Decision Decide(const std::string& tenant, SimTime now, double spent_usd,
-                  double budget_usd, bool can_dispatch_now) {
+                  double budget_usd, bool can_dispatch_now) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (budget_usd > 0 && spent_usd >= budget_usd) {
       return Decision::kShedBudget;
     }
@@ -120,27 +124,53 @@ class AdmissionController {
   }
 
   // Occupancy bookkeeping, driven by the engine.
-  void OnDispatch() { ++running_; }
-  void OnQueue() { ++queued_; }
-  void OnDequeue() { --queued_; }
-  void OnComplete() { --running_; }
+  void OnDispatch() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++running_;
+  }
+  void OnQueue() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++queued_;
+  }
+  void OnDequeue() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    --queued_;
+  }
+  void OnComplete() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    --running_;
+  }
 
-  bool HasRunSlot() const { return running_ < options_.concurrency_limit; }
-  int running() const { return running_; }
-  size_t queued() const { return queued_; }
+  bool HasRunSlot() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return running_ < options_.concurrency_limit;
+  }
+  int running() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return running_;
+  }
+  size_t queued() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return queued_;
+  }
   const Options& options() const { return options_; }
 
   // Test hook: the tenant's refilled token balance.
-  double TenantTokens(const std::string& tenant, SimTime now) {
+  double TenantTokens(const std::string& tenant, SimTime now)
+      EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     auto it = buckets_.find(tenant);
     return it == buckets_.end() ? 0 : it->second.TokensAt(now);
   }
 
  private:
-  Options options_;
-  int running_ = 0;
-  size_t queued_ = 0;
-  std::map<std::string, TokenBucket> buckets_;
+  // mu_ guards the occupancy counters and the bucket map; TokenBucket is a
+  // plain value type whose instances are only touched under this lock.
+  Options options_;  // set at construction, read-only after
+  mutable Mutex mu_;
+  int running_ GUARDED_BY(mu_) = 0;
+  size_t queued_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, TokenBucket> buckets_ GUARDED_BY(mu_);
 };
 
 }  // namespace cloudiq

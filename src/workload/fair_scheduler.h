@@ -7,6 +7,8 @@
 #include <optional>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "sim/sim_clock.h"
 
 namespace cloudiq {
@@ -43,12 +45,16 @@ class FairScheduler {
 
   explicit FairScheduler(Options options) : options_(options) {}
 
-  void RegisterTenant(const std::string& tenant, double weight) {
+  void RegisterTenant(const std::string& tenant, double weight)
+      EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     Tenant& t = tenants_[tenant];
     t.weight = weight > 0 ? weight : 1.0;
   }
 
-  void Enqueue(const std::string& tenant, uint64_t job_id, SimTime now) {
+  void Enqueue(const std::string& tenant, uint64_t job_id, SimTime now)
+      EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     Tenant& t = tenants_[tenant];
     if (t.queue.empty()) {
       // Catch-up on wake (see class comment).
@@ -72,7 +78,8 @@ class FairScheduler {
   // Pops the job to dispatch at `now`: head of the queue of the tenant
   // with the least aged virtual service (ties break by tenant name, so
   // dispatch order is deterministic). Empty when nothing is queued.
-  std::optional<Pick> PickNext(SimTime now) {
+  std::optional<Pick> PickNext(SimTime now) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     const std::string* best_name = nullptr;
     Tenant* best = nullptr;
     double best_key = 0;
@@ -97,17 +104,24 @@ class FairScheduler {
   // every fiber step with that slice's *active* node time, so dispatch
   // decisions see current service and time-shared nodes don't
   // double-bill).
-  void AddService(const std::string& tenant, double sim_seconds) {
+  void AddService(const std::string& tenant, double sim_seconds)
+      EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     Tenant& t = tenants_[tenant];
     t.virtual_service += sim_seconds / t.weight;
   }
 
-  size_t queued() const { return queued_total_; }
-  size_t queued_for(const std::string& tenant) const {
+  size_t queued() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return queued_total_;
+  }
+  size_t queued_for(const std::string& tenant) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     auto it = tenants_.find(tenant);
     return it == tenants_.end() ? 0 : it->second.queue.size();
   }
-  double virtual_service(const std::string& tenant) const {
+  double virtual_service(const std::string& tenant) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     auto it = tenants_.find(tenant);
     return it == tenants_.end() ? 0 : it->second.virtual_service;
   }
@@ -123,9 +137,10 @@ class FairScheduler {
     std::deque<QueuedJob> queue;
   };
 
-  Options options_;
-  std::map<std::string, Tenant> tenants_;
-  size_t queued_total_ = 0;
+  Options options_;  // set at construction, read-only after
+  mutable Mutex mu_;
+  std::map<std::string, Tenant> tenants_ GUARDED_BY(mu_);
+  size_t queued_total_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cloudiq

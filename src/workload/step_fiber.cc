@@ -8,8 +8,8 @@ StepFiber::StepFiber(Body body)
 void StepFiber::Trampoline() {
   bool cancelled;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return fiber_turn_; });
+    MutexLock lock(&mu_);
+    cv_.Wait(&mu_, [this]() REQUIRES(mu_) { return fiber_turn_; });
     cancelled = cancel_;
   }
   if (!cancelled) {
@@ -20,38 +20,38 @@ void StepFiber::Trampoline() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     finished_ = true;
     fiber_turn_ = false;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool StepFiber::Resume() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (finished_) return false;
   fiber_turn_ = true;
-  cv_.notify_all();
-  cv_.wait(lock, [this] { return !fiber_turn_; });
+  cv_.NotifyAll();
+  cv_.Wait(&mu_, [this]() REQUIRES(mu_) { return !fiber_turn_; });
   return !finished_;
 }
 
 void StepFiber::Yield() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fiber_turn_ = false;
-  cv_.notify_all();
-  cv_.wait(lock, [this] { return fiber_turn_; });
+  cv_.NotifyAll();
+  cv_.Wait(&mu_, [this]() REQUIRES(mu_) { return fiber_turn_; });
   if (cancel_) throw CancelTag{};
 }
 
 StepFiber::~StepFiber() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!finished_) {
       cancel_ = true;
       fiber_turn_ = true;
-      cv_.notify_all();
-      cv_.wait(lock, [this] { return finished_; });
+      cv_.NotifyAll();
+      cv_.Wait(&mu_, [this]() REQUIRES(mu_) { return finished_; });
     }
   }
   thread_.join();

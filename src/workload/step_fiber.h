@@ -1,10 +1,11 @@
 #ifndef CLOUDIQ_WORKLOAD_STEP_FIBER_H_
 #define CLOUDIQ_WORKLOAD_STEP_FIBER_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cloudiq {
 
@@ -39,26 +40,30 @@ class StepFiber {
 
   // Host side: runs the body until its next Yield() or until it returns.
   // Returns true while the body has more work, false once finished.
-  bool Resume();
+  bool Resume() EXCLUDES(mu_);
 
   // Body side: suspends, handing control back to Resume()'s caller.
-  void Yield();
+  void Yield() EXCLUDES(mu_);
 
-  // Host side (valid between Resume() calls).
-  bool finished() const { return finished_; }
+  // Host side (valid between Resume() calls: the handoff guarantees the
+  // fiber is parked, so the host's read cannot race a fiber write).
+  bool finished() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return finished_;
+  }
 
  private:
   struct CancelTag {};  // thrown out of Yield() when cancelled
 
-  void Trampoline();
+  void Trampoline() EXCLUDES(mu_);
 
   Body body_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool fiber_turn_ = false;  // guarded by mu_
-  bool finished_ = false;    // guarded by mu_
-  bool cancel_ = false;      // guarded by mu_
-  std::thread thread_;       // last: starts after state is initialized
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool fiber_turn_ GUARDED_BY(mu_) = false;
+  bool finished_ GUARDED_BY(mu_) = false;
+  bool cancel_ GUARDED_BY(mu_) = false;
+  std::thread thread_;  // last: starts after state is initialized
 };
 
 }  // namespace cloudiq

@@ -21,6 +21,7 @@ WorkloadEngine::WorkloadEngine(std::vector<Database*> nodes, Options options,
   queue_depth_ = &stats.gauge("workload.queue_depth");
   // Start the engine where the pool already is (load phases advance node
   // clocks before the workload begins).
+  MutexLock lock(&mu_);
   for (Database* db : nodes_) {
     clock_ = std::max(clock_, db->node().clock().now());
   }
@@ -61,6 +62,7 @@ WorkloadEngine::TenantState& WorkloadEngine::TenantFor(
 
 uint64_t WorkloadEngine::Submit(const std::string& tenant, std::string tag,
                                 SimTime arrival, QueryBody body) {
+  MutexLock lock(&mu_);
   TenantFor(tenant);  // ensure instruments and limits exist
   auto job = std::make_unique<Job>();
   job->id = ++last_job_id_;
@@ -75,6 +77,9 @@ uint64_t WorkloadEngine::Submit(const std::string& tenant, std::string tag,
 
 Status WorkloadEngine::RunUntilIdle() {
   for (;;) {
+    // One lock acquisition per event; the helpers below open MutexUnlock
+    // windows around fiber resumes and user hooks.
+    MutexLock lock(&mu_);
     SimTime t_arrival = 0;
     bool have_arrival = !arrivals_.empty();
     if (have_arrival) t_arrival = arrivals_.begin()->first.first;
@@ -122,7 +127,11 @@ void WorkloadEngine::ProcessNextArrival() {
   auto node = arrivals_.extract(arrivals_.begin());
   std::unique_ptr<Job> job = std::move(node.mapped());
   clock_ = std::max(clock_, job->arrival);
-  if (event_hook_) event_hook_(clock_);
+  if (event_hook_) {
+    SimTime now = clock_;
+    MutexUnlock unlock(&mu_);
+    event_hook_(now);
+  }
   TenantState& ts = TenantFor(job->tenant);
   ts.submitted->Add();
   bool can_dispatch = admission_.HasRunSlot() && FindFreeNode() >= 0;
@@ -174,6 +183,7 @@ void WorkloadEngine::Shed(std::unique_ptr<Job> job,
     c.decision = decision;
     c.arrival = job->arrival;
     c.finish = clock_;
+    MutexUnlock unlock(&mu_);
     completion_hook_(c);
   }
 }
@@ -246,7 +256,13 @@ void WorkloadEngine::StepJob(Job* job) {
   // yielded; capture it back after the step. Other jobs' scopes never
   // leak in, even though all fibers share the one ledger slot.
   AttributionContext host = ledger.Swap(job->saved_attr);
-  bool more = job->fiber->Resume();
+  bool more;
+  {
+    // The resumed fiber runs a whole query slice — buffer pools, OCM,
+    // transactions. None of that may see the engine lock held.
+    MutexUnlock unlock(&mu_);
+    more = job->fiber->Resume();
+  }
   job->saved_attr = ledger.Swap(std::move(host));
   steps_->Add();
   double delta = node.clock().now() - before;
@@ -302,8 +318,11 @@ void WorkloadEngine::Complete(Job* job) {
   c.finish = finish;
   c.active_seconds = job->active_seconds;
   running_.erase(id);  // job gone before hooks, so hooks may Submit
-  if (event_hook_) event_hook_(finish);
-  if (completion_hook_) completion_hook_(c);
+  if (event_hook_ || completion_hook_) {
+    MutexUnlock unlock(&mu_);
+    if (event_hook_) event_hook_(finish);
+    if (completion_hook_) completion_hook_(c);
+  }
   TryDispatch(finish);
 }
 
@@ -324,6 +343,7 @@ void WorkloadEngine::TryDispatch(SimTime now) {
 WorkloadEngine::TenantCounts WorkloadEngine::Counts(
     const std::string& tenant) const {
   TenantCounts out;
+  MutexLock lock(&mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return out;
   const TenantState& ts = it->second;
@@ -341,11 +361,15 @@ WorkloadEngine::TenantCounts WorkloadEngine::Counts(
 
 const Histogram& WorkloadEngine::LatencyHistogram(
     const std::string& tenant) const {
+  // Registry instruments outlive the engine; only the map lookup needs
+  // the lock.
+  MutexLock lock(&mu_);
   return *tenants_.at(tenant).latency;
 }
 
 const Histogram& WorkloadEngine::QueueWaitHistogram(
     const std::string& tenant) const {
+  MutexLock lock(&mu_);
   return *tenants_.at(tenant).queue_wait;
 }
 

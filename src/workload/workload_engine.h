@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/database.h"
 #include "engine/session.h"
 #include "workload/admission.h"
@@ -38,6 +40,14 @@ namespace cloudiq {
 //    counters into the StatsRegistry (workload.<tenant>.*), per-tenant
 //    cost into the CostLedger rollups, and each job's *active* node time
 //    into the CostMeter — ledger and meter stay equal by construction.
+//
+// Locking: mu_ guards the engine's own leaf state (job maps, engine clock,
+// node occupancy, tenant table). The admission controller, scheduler and
+// telemetry instruments serialize themselves and sit below the engine in
+// the lock order. mu_ is released (MutexUnlock) around fiber resumes and
+// the completion/event hooks — both re-enter the engine: hooks call
+// Submit(), and a resumed fiber runs an entire query. A Job* stays valid
+// across those windows because only its own Complete() erases it.
 class WorkloadEngine {
  public:
   struct TenantConfig {
@@ -74,13 +84,16 @@ class WorkloadEngine {
   // Registers (or reconfigures) a tenant: weight, rate limit, budget and
   // SLO take effect for subsequent admissions. Equivalent to listing the
   // tenant in the constructor.
-  void AddTenant(const TenantConfig& config) { RegisterTenant(config); }
+  void AddTenant(const TenantConfig& config) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    RegisterTenant(config);
+  }
 
   // Registers an arrival of `tenant` at simulated time `arrival` (clamped
   // forward to the engine's current time if already past). Returns the
   // job id. Unknown tenants are auto-registered with default limits.
   uint64_t Submit(const std::string& tenant, std::string tag,
-                  SimTime arrival, QueryBody body);
+                  SimTime arrival, QueryBody body) EXCLUDES(mu_);
 
   // Everything known about one finished (or shed) job.
   struct Completion {
@@ -111,7 +124,7 @@ class WorkloadEngine {
   // Processes events — arrivals, fiber steps, dispatches — in virtual
   // time order until no work remains. Individual query failures land in
   // the per-tenant failed counters and Completion::status, not here.
-  Status RunUntilIdle();
+  Status RunUntilIdle() EXCLUDES(mu_);
 
   // --- observability -------------------------------------------------------
   struct TenantCounts {
@@ -129,11 +142,16 @@ class WorkloadEngine {
       return shed_queue_full + shed_rate_limited + shed_budget;
     }
   };
-  TenantCounts Counts(const std::string& tenant) const;
-  const Histogram& LatencyHistogram(const std::string& tenant) const;
-  const Histogram& QueueWaitHistogram(const std::string& tenant) const;
+  TenantCounts Counts(const std::string& tenant) const EXCLUDES(mu_);
+  const Histogram& LatencyHistogram(const std::string& tenant) const
+      EXCLUDES(mu_);
+  const Histogram& QueueWaitHistogram(const std::string& tenant) const
+      EXCLUDES(mu_);
 
-  SimTime now() const { return clock_; }
+  SimTime now() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return clock_;
+  }
   const AdmissionController& admission() const { return admission_; }
   const FairScheduler& scheduler() const { return scheduler_; }
   SimEnvironment* env() { return env_; }
@@ -180,34 +198,39 @@ class WorkloadEngine {
     Histogram* queue_wait = nullptr;
   };
 
-  TenantState& RegisterTenant(const TenantConfig& config);
-  TenantState& TenantFor(const std::string& name);
-  void ProcessNextArrival();
-  void StepJob(Job* job);
-  void RunJobBody(Job* job);  // fiber side
-  void Dispatch(std::unique_ptr<Job> job, SimTime now);
-  void Complete(Job* job);
+  TenantState& RegisterTenant(const TenantConfig& config) REQUIRES(mu_);
+  TenantState& TenantFor(const std::string& name) REQUIRES(mu_);
+  void ProcessNextArrival() REQUIRES(mu_);
+  void StepJob(Job* job) REQUIRES(mu_);
+  void RunJobBody(Job* job);  // fiber side; touches only the job itself
+  void Dispatch(std::unique_ptr<Job> job, SimTime now) REQUIRES(mu_);
+  void Complete(Job* job) REQUIRES(mu_);
   void Shed(std::unique_ptr<Job> job,
-            AdmissionController::Decision decision);
-  void TryDispatch(SimTime now);
-  int FindFreeNode() const;
+            AdmissionController::Decision decision) REQUIRES(mu_);
+  void TryDispatch(SimTime now) REQUIRES(mu_);
+  int FindFreeNode() const REQUIRES(mu_);
 
+  // Wiring set at construction (nodes, env, hooks, instrument pointers) is
+  // not guarded; admission_/scheduler_ carry their own locks.
   std::vector<Database*> nodes_;
   Options options_;
   SimEnvironment* env_;
   AdmissionController admission_;
   FairScheduler scheduler_;
-  std::map<std::string, TenantState> tenants_;
 
-  uint64_t last_job_id_ = 0;
-  SimTime clock_ = 0;  // engine time: max event time processed so far
+  mutable Mutex mu_;
+  std::map<std::string, TenantState> tenants_ GUARDED_BY(mu_);
+  uint64_t last_job_id_ GUARDED_BY(mu_) = 0;
+  // Engine time: max event time processed so far.
+  SimTime clock_ GUARDED_BY(mu_) = 0;
   // Arrivals not yet admitted, by (arrival time, job id).
-  std::map<std::pair<SimTime, uint64_t>, std::unique_ptr<Job>> arrivals_;
+  std::map<std::pair<SimTime, uint64_t>, std::unique_ptr<Job>> arrivals_
+      GUARDED_BY(mu_);
   // Admission-queued jobs by id (dispatch order lives in the scheduler).
-  std::map<uint64_t, std::unique_ptr<Job>> queued_jobs_;
+  std::map<uint64_t, std::unique_ptr<Job>> queued_jobs_ GUARDED_BY(mu_);
   // Dispatched jobs by id.
-  std::map<uint64_t, std::unique_ptr<Job>> running_;
-  std::vector<int> node_active_;
+  std::map<uint64_t, std::unique_ptr<Job>> running_ GUARDED_BY(mu_);
+  std::vector<int> node_active_ GUARDED_BY(mu_);
 
   CompletionHook completion_hook_;
   EventHook event_hook_;

@@ -128,6 +128,24 @@ TEST(ObjectStoreTest, DeleteEventuallyHides) {
   EXPECT_FALSE(store.Exists("p/d", del_done + 100.0, &get_done));
 }
 
+TEST(ObjectStoreTest, NeverWriteTwiceTripwireRejectsSecondPut) {
+  // The dynamic assertion in Put: with the flag on, a second PUT to the
+  // same key fails — even after the key was deleted, since a reused key
+  // would resurrect the §3 stale-read scenarios.
+  ObjectStoreOptions opts;
+  opts.enforce_never_write_twice = true;
+  SimObjectStore store(opts);
+  SimTime done = 0;
+  ASSERT_TRUE(store.Put("obj/1", Bytes(3), 0.0, &done).ok());
+  Status again = store.Put("obj/1", Bytes(6), done + 1, &done);
+  EXPECT_TRUE(again.IsAlreadyExists()) << again.ToString();
+  ASSERT_TRUE(store.Delete("obj/1", done + 2, &done).ok());
+  Status after_delete = store.Put("obj/1", Bytes(1), done + 3, &done);
+  EXPECT_TRUE(after_delete.IsAlreadyExists()) << after_delete.ToString();
+  // A fresh key is of course fine.
+  EXPECT_TRUE(store.Put("obj/2", Bytes(8), done + 4, &done).ok());
+}
+
 TEST(ObjectStoreTest, PerPrefixThrottlingDelaysSharedPrefix) {
   ObjectStoreOptions opts;
   opts.lag_probability = 0.0;
@@ -195,7 +213,7 @@ TEST(ObjectStoreTest, CostMeterBillsRequests) {
   SimEnvironment env;
   SimTime done = 0;
   ASSERT_TRUE(env.object_store().Put("a/b", Bytes(10), 0.0, &done).ok());
-  env.object_store().Get("a/b", done + 10, &done);
+  (void)env.object_store().Get("a/b", done + 10, &done);  // billing only
   EXPECT_EQ(env.cost_meter().s3_puts(), 1u);
   EXPECT_EQ(env.cost_meter().s3_gets(), 1u);
   EXPECT_GT(env.cost_meter().S3RequestUsd(), 0.0);

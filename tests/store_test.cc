@@ -191,6 +191,40 @@ TEST(StorageSubsystemTest, EveryCloudWriteGetsAFreshKey) {
   EXPECT_EQ(h.env.object_store().stats().overwrites, 0u);
 }
 
+TEST(StorageSubsystemTest, KeygenPathNeverTripsTheTripwire) {
+  // Regression: the ObjectKeyGenerator write path must run clean with the
+  // tripwire armed — every write, rewrite and delete-then-write cycle
+  // lands on a fresh monotone key, so no PUT ever repeats.
+  ObjectStoreOptions store_opts;
+  store_opts.enforce_never_write_twice = true;
+  SingleNodeHarness h(4096, store_opts);
+
+  std::vector<PhysicalLoc> locs;
+  for (int i = 0; i < 64; ++i) {
+    Result<PhysicalLoc> loc = h.storage->WritePage(
+        h.cloud_space, h.MakePayload(300 + i, static_cast<uint8_t>(i)),
+        i % 2 == 0 ? CloudCache::WriteMode::kWriteThrough
+                   : CloudCache::WriteMode::kWriteBack,
+        1);
+    ASSERT_TRUE(loc.ok()) << loc.status().ToString();
+    locs.push_back(*loc);
+  }
+  ASSERT_TRUE(h.storage->FlushForCommit(1).ok());
+  // Delete half the pages, then keep writing: freed keys are never reused.
+  for (size_t i = 0; i < locs.size(); i += 2) {
+    ASSERT_TRUE(h.storage->DeletePage(h.cloud_space, locs[i],
+                                      /*defer_allowed=*/false)
+                    .ok());
+  }
+  for (int i = 0; i < 32; ++i) {
+    Result<PhysicalLoc> loc = h.storage->WritePage(
+        h.cloud_space, h.MakePayload(200, static_cast<uint8_t>(i)),
+        CloudCache::WriteMode::kWriteThrough, 2);
+    ASSERT_TRUE(loc.ok()) << loc.status().ToString();
+  }
+  EXPECT_EQ(h.env.object_store().stats().overwrites, 0u);
+}
+
 TEST(StorageSubsystemTest, OverwriteForbiddenUnderPolicy) {
   SingleNodeHarness h;
   std::vector<uint8_t> payload = h.MakePayload(100, 1);

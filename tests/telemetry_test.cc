@@ -191,9 +191,10 @@ TEST(TracerTest, ScopedSpanNestingAndOrdering) {
     }
     clock.Advance(0.5);
   }
-  ASSERT_EQ(tracer.events().size(), 2u);
-  const TraceEvent& inner = tracer.events()[0];
-  const TraceEvent& outer = tracer.events()[1];
+  std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
   EXPECT_EQ(inner.name, "flush");
   EXPECT_EQ(outer.name, "commit");
   EXPECT_EQ(inner.phase, 'X');
@@ -210,9 +211,10 @@ TEST(TracerTest, BackwardsSpanClampedToZeroLength) {
   Tracer tracer;
   tracer.set_enabled(true);
   tracer.CompleteSpan(1, 1, "x", "oops", 5.0, 4.0);
-  ASSERT_EQ(tracer.events().size(), 1u);
-  EXPECT_DOUBLE_EQ(tracer.events()[0].ts, 5.0);
-  EXPECT_DOUBLE_EQ(tracer.events()[0].dur, 0.0);
+  std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].ts, 5.0);
+  EXPECT_DOUBLE_EQ(events[0].dur, 0.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -418,8 +420,9 @@ TEST(CostLedgerTest, ScopedAttributionChargesAndRestores) {
   EXPECT_EQ(q1.Requests(), 4u);
 
   // The operator-level entry is separate from the query-level one.
-  auto it = ledger.entries().find(CostLedger::Key{1, 0, 7});
-  ASSERT_NE(it, ledger.entries().end());
+  auto entries = ledger.entries();
+  auto it = entries.find(CostLedger::Key{1, 0, 7});
+  ASSERT_NE(it, entries.end());
   EXPECT_EQ(it->second.gets, 2u);
   EXPECT_EQ(it->second.puts, 0u);
 
@@ -535,9 +538,10 @@ TEST(CostLedgerTest, PrefixHeatmapCapsAtOtherBucket) {
   EXPECT_EQ(ledger.prefixes().size(), CostLedger::kMaxPrefixes);
   ledger.RecordPrefix("one-too-many", /*throttled=*/true, 0.5);
   ledger.RecordPrefix("and-another", /*throttled=*/true, 0.5);
-  EXPECT_EQ(ledger.prefixes().size(), CostLedger::kMaxPrefixes + 1);
-  auto it = ledger.prefixes().find(CostLedger::kOtherPrefixes);
-  ASSERT_NE(it, ledger.prefixes().end());
+  auto prefixes = ledger.prefixes();
+  EXPECT_EQ(prefixes.size(), CostLedger::kMaxPrefixes + 1);
+  auto it = prefixes.find(CostLedger::kOtherPrefixes);
+  ASSERT_NE(it, prefixes.end());
   EXPECT_EQ(it->second.requests, 2u);
   EXPECT_EQ(it->second.throttle_events, 2u);
   EXPECT_DOUBLE_EQ(it->second.stall_seconds, 1.0);

@@ -1,0 +1,367 @@
+#!/usr/bin/env python3
+"""cloudiq-lint: project-specific determinism and storage-policy checks.
+
+CloudIQ's experiment harness promises byte-identical --report JSON for a
+fixed seed (EXPERIMENTS.md) and never-write-twice object storage (§3).
+Those are source-level disciplines, so they are checked at the source
+level. Rules:
+
+  cloudiq-wall-clock      No wall-clock or entropy source (system_clock,
+                          steady_clock, time(), rand(), srand(),
+                          std::random_device) outside src/common/random.*
+                          and the sim/ layer. Everything else must take
+                          time from SimClock and randomness from the
+                          seeded engine RNG.
+  cloudiq-unordered-iter  No iteration over std::unordered_map/set in
+                          serialization / report / trace-emit code (file
+                          name matches report|serial|trace|export|json|
+                          explain). Hash-order iteration depends on
+                          pointer values and libc++ vs libstdc++, which
+                          breaks byte-identical reports.
+  cloudiq-raw-new         No raw `new` / `delete` in engine code (src/).
+                          Ownership goes through unique_ptr/make_unique;
+                          `= delete` declarations are of course fine.
+  cloudiq-direct-put      No direct SimObjectStore::Put outside the
+                          store's own layer (src/sim/), its unit test,
+                          and the sanctioned ObjectStoreIo wrapper that
+                          derives keys from the ObjectKeyGenerator.
+                          Ad-hoc Puts can collide with keygen-issued
+                          keys and silently violate never-write-twice.
+
+Escape hatch: `// NOLINT(cloudiq-<rule>): <justification>` on the
+offending line (or the line above) suppresses that rule there. The
+justification after the colon is mandatory; a bare NOLINT is itself a
+violation (cloudiq-nolint-justification).
+
+Usage: cloudiq_lint.py [--root DIR] [paths...]   (default paths:
+src bench tests examples). Exits 1 if any violation is found.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+DEFAULT_PATHS = ["src", "bench", "tests", "examples"]
+SOURCE_EXTENSIONS = (".h", ".cc")
+
+NOLINT_RE = re.compile(r"//\s*NOLINT\(cloudiq-([a-z0-9-]+)\)(.*)")
+
+WALLCLOCK_PATTERNS = [
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bsteady_clock\b"), "std::chrono::steady_clock"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\btime\s*\("), "time()"),
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+]
+
+RAW_NEW_RE = re.compile(r"(?<![\w.])new\s+[\w:<(]")
+RAW_DELETE_RE = re.compile(r"(?<![\w.])delete\s*(\[\s*\])?\s+[\w(*]")
+
+EMIT_FILE_RE = re.compile(r"report|serial|trace|export|json|explain", re.I)
+
+UNORDERED_OPEN_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
+
+STORE_DECL_RE = re.compile(r"\bSimObjectStore\b\s*[*&]?\s*(\w+)")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line  # 1-based
+        self.rule = rule
+        self.message = message
+
+    def __repr__(self):
+        return f"{self.path}:{self.line}: [cloudiq-{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Returns `text` with comment and string/char literal contents
+    blanked (newlines preserved), so rule regexes never fire on prose."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def norm(path):
+    return path.replace(os.sep, "/")
+
+
+def wallclock_exempt(path):
+    p = norm(path)
+    base = os.path.basename(p)
+    if base.startswith("random.") and "/common/" in p:
+        return True
+    return "/sim/" in p or p.startswith("sim/")
+
+
+def raw_new_applies(path):
+    p = norm(path)
+    return p.startswith("src/") or "/src/" in p
+
+
+def emit_file(path):
+    return bool(EMIT_FILE_RE.search(os.path.basename(path)))
+
+
+def direct_put_exempt(path):
+    p = norm(path)
+    if "/sim/" in p or p.startswith("sim/"):
+        return True
+    if os.path.basename(p).startswith("object_store_io."):
+        return True  # the sanctioned keygen-keyed wrapper
+    if os.path.basename(p) == "sim_test.cc":
+        return True  # the store's own unit test
+    return False
+
+
+def unordered_names(stripped_text):
+    """Names (variables or functions) declared with an unordered_map/set
+    type: `unordered_map<...> name`. Angle brackets are balanced so
+    nested template arguments don't truncate the match."""
+    names = set()
+    for m in UNORDERED_OPEN_RE.finditer(stripped_text):
+        depth = 1
+        i = m.end()
+        n = len(stripped_text)
+        while i < n and depth > 0:
+            if stripped_text[i] == "<":
+                depth += 1
+            elif stripped_text[i] == ">":
+                depth -= 1
+            i += 1
+        if depth != 0:
+            continue
+        rest = stripped_text[i:]
+        name_match = re.match(r"\s*&?\s*(\w+)", rest)
+        if name_match:
+            names.add(name_match.group(1))
+    return names
+
+
+def sibling_path(path):
+    root, ext = os.path.splitext(path)
+    if ext == ".cc":
+        return root + ".h"
+    if ext == ".h":
+        return root + ".cc"
+    return None
+
+
+def store_var_names(stripped_text):
+    names = set()
+    for m in STORE_DECL_RE.finditer(stripped_text):
+        names.add(m.group(1))
+    return names
+
+
+def read_file(path):
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        return f.read()
+
+
+def lint_file(path, text=None):
+    """Lints one file; returns a list of Violations."""
+    if text is None:
+        text = read_file(path)
+    original_lines = text.split("\n")
+    stripped_text = strip_comments_and_strings(text)
+    stripped_lines = stripped_text.split("\n")
+
+    # NOLINT directives: rule name -> set of line indexes it covers (the
+    # directive's own line and the one below, so a comment line can
+    # shield the statement under it).
+    suppressed = {}
+    violations = []
+    for idx, line in enumerate(original_lines):
+        m = NOLINT_RE.search(line)
+        if not m:
+            continue
+        rule, tail = m.group(1), m.group(2)
+        if not re.match(r"^\s*:\s*\S", tail):
+            violations.append(Violation(
+                path, idx + 1, "nolint-justification",
+                f"NOLINT(cloudiq-{rule}) needs a justification: "
+                "write `// NOLINT(cloudiq-" + rule + "): <why>`"))
+            continue
+        # The directive shields its own line, the rest of its (possibly
+        # multi-line) comment, and the whole next statement — scanning
+        # forward to the first stripped line that closes one (`;`/`{`/`}`)
+        # within a small window.
+        covered = {idx}
+        j = idx + 1
+        while j < len(original_lines) and j <= idx + 8:
+            covered.add(j)
+            stripped = stripped_lines[j].strip()
+            if stripped and re.search(r"[;{}]\s*$", stripped):
+                break
+            j += 1
+        suppressed.setdefault(rule, set()).update(covered)
+
+    def report(idx, rule, message):
+        if idx in suppressed.get(rule, ()):
+            return
+        violations.append(Violation(path, idx + 1, rule, message))
+
+    # --- cloudiq-wall-clock ------------------------------------------------
+    if not wallclock_exempt(path):
+        for idx, line in enumerate(stripped_lines):
+            for pattern, what in WALLCLOCK_PATTERNS:
+                if pattern.search(line):
+                    report(idx, "wall-clock",
+                           f"{what} breaks deterministic replay; use "
+                           "SimClock / the seeded engine RNG "
+                           "(src/common/random.h)")
+
+    # --- cloudiq-raw-new ---------------------------------------------------
+    if raw_new_applies(path):
+        for idx, line in enumerate(stripped_lines):
+            if RAW_NEW_RE.search(line):
+                report(idx, "raw-new",
+                       "raw `new` in engine code; use std::make_unique "
+                       "or a container")
+            if RAW_DELETE_RE.search(line):
+                report(idx, "raw-new",
+                       "raw `delete` in engine code; ownership belongs "
+                       "in unique_ptr")
+
+    # --- cloudiq-unordered-iter --------------------------------------------
+    if emit_file(path):
+        names = unordered_names(stripped_text)
+        sib = sibling_path(path)
+        if sib and os.path.exists(sib):
+            names |= unordered_names(
+                strip_comments_and_strings(read_file(sib)))
+        for name in sorted(names):
+            for_re = re.compile(
+                r"for\s*\([^;)]*:\s*[^)]*\b" + re.escape(name) + r"\b")
+            begin_re = re.compile(
+                r"\b" + re.escape(name) +
+                r"\s*(\(\s*\))?\s*\.\s*c?begin\s*\(")
+            for idx, line in enumerate(stripped_lines):
+                if for_re.search(line) or begin_re.search(line):
+                    report(idx, "unordered-iter",
+                           f"iterating unordered container `{name}` in "
+                           "emit code; hash order is nondeterministic — "
+                           "copy into a std::map/sorted vector first")
+
+    # --- cloudiq-direct-put ------------------------------------------------
+    if not direct_put_exempt(path):
+        names = store_var_names(stripped_text)
+        sib = sibling_path(path)
+        if sib and os.path.exists(sib):
+            names |= store_var_names(
+                strip_comments_and_strings(read_file(sib)))
+        put_res = [re.compile(r"\bobject_store\s*\(\s*\)\s*\.\s*Put\s*\(")]
+        for name in sorted(names):
+            put_res.append(re.compile(
+                r"\b" + re.escape(name) + r"\s*(\.|->)\s*Put\s*\("))
+        for idx, line in enumerate(stripped_lines):
+            for put_re in put_res:
+                if put_re.search(line):
+                    report(idx, "direct-put",
+                           "direct SimObjectStore::Put bypasses the "
+                           "ObjectKeyGenerator path; go through "
+                           "ObjectStoreIo (or justify with NOLINT)")
+                    break
+
+    return violations
+
+
+def collect_files(paths, root):
+    files = []
+    for p in paths:
+        full = os.path.join(root, p) if root else p
+        if os.path.isfile(full):
+            files.append(full)
+        elif os.path.isdir(full):
+            for dirpath, _dirnames, filenames in os.walk(full):
+                for name in sorted(filenames):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.join(dirpath, name))
+    return sorted(set(files))
+
+
+def lint_paths(paths, root=""):
+    violations = []
+    for path in collect_files(paths, root):
+        violations.extend(lint_file(path))
+    return violations
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="CloudIQ determinism & storage-policy linter")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories (default: %s)"
+                             % " ".join(DEFAULT_PATHS))
+    parser.add_argument("--root", default="",
+                        help="prefix for all paths (repo root)")
+    args = parser.parse_args(argv)
+    paths = args.paths or DEFAULT_PATHS
+
+    violations = lint_paths(paths, args.root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"cloudiq-lint: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Unit tests for cloudiq_lint.py: every rule's positive and negative
+fixtures plus the NOLINT escape hatch, run against real files in a temp
+tree (the rules are path-sensitive)."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cloudiq_lint  # noqa: E402
+
+
+class LintFixtureTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, rel_path, content):
+        path = os.path.join(self.tmp.name, rel_path)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+        return path
+
+    def lint(self, rel_path, content):
+        return cloudiq_lint.lint_file(self.write(rel_path, content))
+
+    def rules(self, violations):
+        return sorted(v.rule for v in violations)
+
+    # --- cloudiq-wall-clock -------------------------------------------------
+
+    def test_wall_clock_flags_every_source(self):
+        code = (
+            "#include <chrono>\n"
+            "auto a = std::chrono::system_clock::now();\n"
+            "auto b = std::chrono::steady_clock::now();\n"
+            "std::random_device rd;\n"
+            "long c = time(nullptr);\n"
+            "int d = rand();\n"
+            "void f() { srand(42); }\n"
+        )
+        violations = self.lint("src/engine/clocky.cc", code)
+        self.assertEqual(self.rules(violations), ["wall-clock"] * 6)
+
+    def test_wall_clock_allows_sim_and_random(self):
+        code = "auto a = std::chrono::steady_clock::now();\n"
+        self.assertEqual(self.lint("src/sim/sim_clock.cc", code), [])
+        self.assertEqual(self.lint("src/common/random.cc", code), [])
+
+    def test_wall_clock_ignores_comments_strings_and_substrings(self):
+        code = (
+            "// uses system_clock for nothing\n"
+            "const char* s = \"steady_clock\";\n"
+            "double fetch_time(int x);\n"   # _time( is not time(
+            "SimTime t = SimTime(3);\n"
+        )
+        self.assertEqual(self.lint("src/engine/clean.cc", code), [])
+
+    # --- cloudiq-raw-new ----------------------------------------------------
+
+    def test_raw_new_and_delete_flagged_in_src(self):
+        code = (
+            "void f() {\n"
+            "  int* p = new int(3);\n"
+            "  delete p;\n"
+            "}\n"
+        )
+        violations = self.lint("src/engine/owner.cc", code)
+        self.assertEqual(self.rules(violations), ["raw-new", "raw-new"])
+
+    def test_deleted_functions_and_tests_are_fine(self):
+        code = "Foo(const Foo&) = delete;\nFoo& operator=(Foo&&) = delete;\n"
+        self.assertEqual(self.lint("src/engine/rule5.h", code), [])
+        raw = "void f() { int* p = new int; delete p; }\n"
+        # Rule scope is engine code: tests/bench are out of scope.
+        self.assertEqual(self.lint("tests/foo_test.cc", raw), [])
+
+    def test_new_in_identifier_not_flagged(self):
+        code = "int new_string = 3; int renew = new_string;\n"
+        self.assertEqual(self.lint("src/engine/names.cc", code), [])
+
+    # --- cloudiq-unordered-iter ---------------------------------------------
+
+    def test_unordered_iteration_flagged_in_emit_files(self):
+        code = (
+            "#include <unordered_map>\n"
+            "std::unordered_map<uint64_t, std::vector<uint8_t>> runs_;\n"
+            "void Emit() {\n"
+            "  for (const auto& [k, v] : runs_) { Write(k); }\n"
+            "}\n"
+        )
+        violations = self.lint("src/telemetry/report.cc", code)
+        self.assertEqual(self.rules(violations), ["unordered-iter"])
+
+    def test_unordered_begin_flagged_in_emit_files(self):
+        code = (
+            "std::unordered_set<int> keys_;\n"
+            "auto it = keys_.begin();\n"
+        )
+        violations = self.lint("src/exec/explain.cc", code)
+        self.assertEqual(self.rules(violations), ["unordered-iter"])
+
+    def test_unordered_iteration_ok_outside_emit_files(self):
+        code = (
+            "std::unordered_map<int, int> build_;\n"
+            "void f() { for (auto& [k, v] : build_) { v++; } }\n"
+        )
+        self.assertEqual(self.lint("src/exec/executor.cc", code), [])
+
+    def test_ordered_map_ok_in_emit_files(self):
+        code = (
+            "std::map<int, int> rows_;\n"
+            "void Emit() { for (auto& [k, v] : rows_) { Write(k); } }\n"
+        )
+        self.assertEqual(self.lint("src/telemetry/report.cc", code), [])
+
+    def test_unordered_decl_in_sibling_header_is_seen(self):
+        self.write("src/telemetry/trace_sink.h",
+                   "std::unordered_map<int, int> events_;\n")
+        code = "void Emit() { for (auto& [k, v] : events_) {} }\n"
+        violations = self.lint("src/telemetry/trace_sink.cc", code)
+        self.assertEqual(self.rules(violations), ["unordered-iter"])
+
+    # --- cloudiq-direct-put -------------------------------------------------
+
+    def test_direct_put_flagged(self):
+        code = (
+            "SimObjectStore* store_;\n"
+            "void f() { (void)store_->Put(\"k\", {}, 0.0, &done); }\n"
+        )
+        violations = self.lint("src/engine/writer.cc", code)
+        self.assertEqual(self.rules(violations), ["direct-put"])
+
+    def test_env_object_store_put_flagged(self):
+        code = "void f() { (void)env.object_store().Put(k, b, 0.0, &d); }\n"
+        violations = self.lint("bench/bench_thing.cc", code)
+        self.assertEqual(self.rules(violations), ["direct-put"])
+
+    def test_sanctioned_paths_exempt(self):
+        code = (
+            "SimObjectStore* store_;\n"
+            "void f() { (void)store_->Put(\"k\", {}, 0.0, &done); }\n"
+        )
+        self.assertEqual(self.lint("src/sim/object_store.cc", code), [])
+        self.assertEqual(self.lint("src/store/object_store_io.cc", code), [])
+        self.assertEqual(self.lint("tests/sim_test.cc", code), [])
+
+    def test_other_put_methods_not_flagged(self):
+        code = (
+            "SystemStore* system_;\n"
+            "IdentityCatalog catalog_;\n"
+            "void f() { (void)system_->Put(\"n\", {}, 0.0, &d);\n"
+            "           catalog_.Put(obj); }\n"
+        )
+        self.assertEqual(self.lint("src/engine/meta.cc", code), [])
+
+    # --- NOLINT escape hatch ------------------------------------------------
+
+    def test_nolint_with_justification_suppresses(self):
+        code = (
+            "void f() {\n"
+            "  // NOLINT(cloudiq-raw-new): arena handoff, freed by pool.\n"
+            "  int* p = new int(3);\n"
+            "}\n"
+        )
+        self.assertEqual(self.lint("src/engine/escape.cc", code), [])
+
+    def test_nolint_covers_multiline_statement(self):
+        code = (
+            "SimObjectStore* store_;\n"
+            "// NOLINT(cloudiq-direct-put): reserved metadata prefix,\n"
+            "// disjoint from keygen keys.\n"
+            "Status st = store_->Put(kKey, std::move(bytes),\n"
+            "                        now, &done);\n"
+        )
+        self.assertEqual(self.lint("src/engine/meta2.cc", code), [])
+
+    def test_nolint_without_justification_is_a_violation(self):
+        code = (
+            "void f() {\n"
+            "  int* p = new int(3);  // NOLINT(cloudiq-raw-new)\n"
+            "}\n"
+        )
+        violations = self.lint("src/engine/lazy.cc", code)
+        # The invalid suppression is reported AND the underlying rule
+        # still fires — a bare NOLINT buys nothing.
+        self.assertEqual(self.rules(violations),
+                         ["nolint-justification", "raw-new"])
+
+    def test_nolint_only_suppresses_named_rule(self):
+        code = (
+            "// NOLINT(cloudiq-raw-new): wrong rule name on purpose.\n"
+            "int x = rand();\n"
+        )
+        violations = self.lint("src/engine/mismatch.cc", code)
+        self.assertEqual(self.rules(violations), ["wall-clock"])
+
+    # --- driver -------------------------------------------------------------
+
+    def test_lint_paths_walks_directories_and_exit_codes(self):
+        self.write("src/engine/a.cc", "int x = rand();\n")
+        self.write("src/engine/b.cc", "int y = 0;\n")
+        violations = cloudiq_lint.lint_paths(["src"], root=self.tmp.name)
+        self.assertEqual(self.rules(violations), ["wall-clock"])
+        self.assertEqual(
+            cloudiq_lint.main(["--root", self.tmp.name, "src"]), 1)
+        self.write("src/engine/a.cc", "int x = 0;\n")
+        self.assertEqual(
+            cloudiq_lint.main(["--root", self.tmp.name, "src"]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
