@@ -41,7 +41,7 @@ int Main() {
     options.key_cache.initial_range_size = config.initial;
     options.key_cache.min_range_size = config.min_size;
     options.key_cache.max_range_size = config.max_size;
-    Database db(&env, InstanceProfile::M5ad24xlarge(), options);
+    Database db(&env, InstanceProfile::M5ad24xlarge(), WithNdp(options));
     MaybeEnableTracing(&db);
     TpchGenerator gen(scale);
     Result<TpchLoadResult> load = LoadTpch(&db, &gen, {});

@@ -26,7 +26,7 @@ Result<ModeResult> RunLoad(bool enable_ocm, double scale) {
   // A deliberately tiny buffer so the churn phase dominates, as in a
   // long-running OLAP transaction.
   options.buffer_ram_fraction = 0.0002;  // ~13 MB on the 64 GB instance
-  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  Database db(&env, InstanceProfile::M5ad4xlarge(), WithNdp(options));
   MaybeEnableTracing(&db);
   TpchGenerator gen(scale);
   CLOUDIQ_ASSIGN_OR_RETURN(TpchLoadResult load, LoadTpch(&db, &gen, {}));

@@ -27,7 +27,7 @@ int Main() {
     Database::Options options;
     options.user_storage = UserStorage::kObjectStore;
     options.page_size = page_size;
-    Database db(&env, InstanceProfile::M5ad24xlarge(), options);
+    Database db(&env, InstanceProfile::M5ad24xlarge(), WithNdp(options));
     MaybeEnableTracing(&db);
     TpchGenerator gen(scale);
     Result<TpchLoadResult> load = LoadTpch(&db, &gen, {});

@@ -27,7 +27,7 @@ Result<AblationResult> RunLoad(bool hashed, double scale) {
   Database::Options options;
   options.user_storage = UserStorage::kObjectStore;
   options.storage.object_io.hashed_prefixes = hashed;
-  Database db(&env, InstanceProfile::M5ad24xlarge(), options);
+  Database db(&env, InstanceProfile::M5ad24xlarge(), WithNdp(options));
   MaybeEnableTracing(&db);
   TpchGenerator gen(scale);
   CLOUDIQ_ASSIGN_OR_RETURN(TpchLoadResult load, LoadTpch(&db, &gen, {}));

@@ -58,6 +58,7 @@ Result<RunResult> RunWorkload(const RunConfig& config, double scale,
   SimEnvironment env;
   Multiplex::Options options;
   options.db.user_storage = UserStorage::kObjectStore;
+  options.db = WithNdp(options.db);
   options.db.buffer_capacity_override =
       static_cast<uint64_t>(scale * 0.8e9 * 0.15);
   const int nodes = std::clamp((config.concurrency + 1) / 2, 1, 4);

@@ -33,7 +33,7 @@ Result<ConfigResult> RunConfig(
   double data_bytes = scale * 0.8e9;  // ~compressed TPC-H footprint
   options.buffer_capacity_override = static_cast<uint64_t>(
       data_bytes * (profile.ram_gb / 384.0) * 0.15);
-  Database db(&env, profile, options);
+  Database db(&env, profile, WithNdp(options));
   TpchGenerator gen(scale);
   CLOUDIQ_RETURN_IF_ERROR(LoadTpch(&db, &gen, {}).status());
   // The paper's OCM experiment starts with a *cold* disk cache (reads

@@ -28,7 +28,7 @@ int Main() {
     SimEnvironment env;
     Database::Options options;
     options.user_storage = UserStorage::kObjectStore;
-    Database db(&env, profiles[i], options);
+    Database db(&env, profiles[i], WithNdp(options));
     TpchGenerator gen(scale);
     Result<PowerRunResult> run = RunPower(&db, &gen);
     if (!run.ok()) {

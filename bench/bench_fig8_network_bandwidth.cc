@@ -21,7 +21,7 @@ int Main() {
   SimEnvironment env;
   Database::Options options;
   options.user_storage = UserStorage::kObjectStore;
-  Database db(&env, InstanceProfile::M5ad24xlarge(), options);
+  Database db(&env, InstanceProfile::M5ad24xlarge(), WithNdp(options));
   MaybeEnableTracing(&db);
   TpchGenerator gen(scale);
   // Bench-scale loads finish in simulated seconds, so the trace samples

@@ -21,6 +21,7 @@ Result<double> RunStreams(int secondaries, double scale) {
   SimEnvironment env;
   Multiplex::Options options;
   options.db.user_storage = UserStorage::kObjectStore;
+  options.db = WithNdp(options.db);
   // The paper's regime: the working set exceeds the buffer cache, so
   // every stream keeps reading from the object store (or the node's OCM)
   // for the whole run — at bench scale that needs an explicit cap.

@@ -22,7 +22,7 @@ Result<SnapResult> SnapshotAfterLoad(UserStorage storage, double scale) {
   SimEnvironment env;
   Database::Options options;
   options.user_storage = storage;
-  Database db(&env, InstanceProfile::M5ad4xlarge(), options);
+  Database db(&env, InstanceProfile::M5ad4xlarge(), WithNdp(options));
   MaybeEnableTracing(&db);
   TpchGenerator gen(scale);
   CLOUDIQ_ASSIGN_OR_RETURN(TpchLoadResult load, LoadTpch(&db, &gen, {}));

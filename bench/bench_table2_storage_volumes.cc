@@ -36,7 +36,7 @@ int Main() {
     options.buffer_capacity_override =
         static_cast<uint64_t>(scale * 0.8e9 * 0.15);
     options.user_storage = backends[b];
-    Database db(&env, InstanceProfile::M5ad24xlarge(), options);
+    Database db(&env, InstanceProfile::M5ad24xlarge(), WithNdp(options));
     TpchGenerator gen(scale);
     Result<PowerRunResult> run = RunPower(&db, &gen);
     if (!run.ok()) {

@@ -36,7 +36,7 @@ int Main() {
     options.buffer_capacity_override =
         static_cast<uint64_t>(scale * 0.8e9 * 0.15);
     options.user_storage = backend;
-    Database db(&env, InstanceProfile::M5ad24xlarge(), options);
+    Database db(&env, InstanceProfile::M5ad24xlarge(), WithNdp(options));
     TpchGenerator gen(scale);
 
     CostMeter& meter = env.cost_meter();

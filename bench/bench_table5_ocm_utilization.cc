@@ -24,7 +24,7 @@ int Main() {
   // 192 GB buffer at SF1000). Scale the buffer accordingly.
   options.buffer_capacity_override =
       static_cast<uint64_t>(scale * 0.8e9 * 0.15);
-  Database db(&env, InstanceProfile::M5ad24xlarge(), options);
+  Database db(&env, InstanceProfile::M5ad24xlarge(), WithNdp(options));
   TpchGenerator gen(scale);
   if (!LoadTpch(&db, &gen, {}).ok()) return 1;
 

@@ -12,6 +12,7 @@
 #include "engine/database.h"
 #include "engine/metrics.h"
 #include "exec/explain.h"
+#include "ndp/ndp_protocol.h"
 #include "telemetry/report.h"
 #include "telemetry/tracer.h"
 #include "tpch/queries.h"
@@ -36,6 +37,12 @@ namespace bench {
 //   --explain        (or CLOUDIQ_EXPLAIN=1)    print EXPLAIN ANALYZE after
 //                                              each TPC-H query run by the
 //                                              shared harness
+//   --ndp=MODE       (or CLOUDIQ_NDP=MODE)     near-data processing mode
+//                                              (off|on|auto) applied to
+//                                              every Database the bench
+//                                              builds through WithNdp —
+//                                              any figure/table can be
+//                                              re-run with pushdown
 // Benches that execute several configurations write the trace/report
 // after each run, so the exported file holds the most recent
 // configuration.
@@ -72,6 +79,21 @@ struct WorkloadFlags {
 inline WorkloadFlags& Workload() {
   static WorkloadFlags flags;
   return flags;
+}
+
+// Shared near-data-processing mode (--ndp / CLOUDIQ_NDP). Defaults to
+// off so every bench reproduces the seed numbers unless pushdown is
+// asked for explicitly.
+inline ndp::NdpMode& NdpFlag() {
+  static ndp::NdpMode mode = ndp::NdpMode::kOff;
+  return mode;
+}
+
+// Stamps the shared NDP mode into a database's options; benches route
+// their Database::Options (or Multiplex::Options::db) through this.
+inline Database::Options WithNdp(Database::Options options) {
+  options.ndp_mode = NdpFlag();
+  return options;
 }
 
 // Parses the toggles above from argv + environment. Call from main()
@@ -113,6 +135,16 @@ inline void InitTelemetry(int argc, char** argv) {
   if (env_concurrency != nullptr && env_concurrency[0] != '\0') {
     workload.concurrency = std::atoi(env_concurrency);
   }
+  const char* env_ndp = std::getenv("CLOUDIQ_NDP");
+  if (env_ndp != nullptr && env_ndp[0] != '\0') {
+    Result<ndp::NdpMode> mode = ndp::ParseNdpMode(env_ndp);
+    if (mode.ok()) {
+      NdpFlag() = mode.value();
+    } else {
+      std::fprintf(stderr, "ignoring CLOUDIQ_NDP=%s (want off|on|auto)\n",
+                   env_ndp);
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       options.print_metrics = true;
@@ -128,6 +160,14 @@ inline void InitTelemetry(int argc, char** argv) {
       workload.arrival = std::atof(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--concurrency=", 14) == 0) {
       workload.concurrency = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--ndp=", 6) == 0) {
+      Result<ndp::NdpMode> mode = ndp::ParseNdpMode(argv[i] + 6);
+      if (mode.ok()) {
+        NdpFlag() = mode.value();
+      } else {
+        std::fprintf(stderr, "ignoring %s (want --ndp=off|on|auto)\n",
+                     argv[i]);
+      }
     }
   }
 }

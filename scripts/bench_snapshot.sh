@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Bench snapshot: seeds the performance trajectory with the near-data
+# processing numbers. Runs the CPU micro-benchmarks (codec / keygen hot
+# loops NDP leans on) and the bench_ndp crossover sweep, then distills
+# both into BENCH_ndp.json at the repo root:
+#
+#   - per case x mode (off/on/auto): NIC bytes moved, server-side bytes
+#     scanned/returned, simulated seconds, $ per query, store-side
+#     SELECT latency p50/p95, pushed or not;
+#   - the micro-benchmark table (name + ns/op) for the decode paths.
+#
+# Usage: scripts/bench_snapshot.sh            (SF 0.01 by default)
+#        CLOUDIQ_BENCH_SF=0.02 scripts/bench_snapshot.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "=== bench_snapshot: build bench_micro + bench_ndp ==="
+cmake -B build -S . > build-configure.log 2>&1 || {
+  cat build-configure.log; exit 1; }
+cmake --build build -j "${JOBS}" --target bench_micro bench_ndp
+
+micro_json="$(mktemp /tmp/cloudiq_micro.XXXXXX.json)"
+ndp_report="$(mktemp /tmp/cloudiq_ndp_report.XXXXXX.json)"
+trap 'rm -f "${micro_json}" "${ndp_report}"' EXIT
+
+echo "=== bench_snapshot: bench_micro ==="
+./build/bench/bench_micro --benchmark_format=json \
+  --benchmark_out="${micro_json}" --benchmark_out_format=json > /dev/null
+
+echo "=== bench_snapshot: bench_ndp (crossover sweep) ==="
+./build/bench/bench_ndp --report="${ndp_report}"
+
+echo "=== bench_snapshot: distill -> BENCH_ndp.json ==="
+python3 - "${ndp_report}" "${micro_json}" BENCH_ndp.json <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+with open(sys.argv[2]) as f:
+    micro = json.load(f)
+
+gauges = report["gauges"]  # {name: value}
+
+# ndp.bench.<case>.<mode>.<metric> gauges -> nested snapshot table.
+cases = {}
+peak = {}
+for name, value in gauges.items():
+    parts = name.split(".")
+    if parts[:2] != ["ndp", "bench"]:
+        continue
+    if parts[2] == "nic_peak_gbps":
+        peak[parts[3]] = value
+        continue
+    case, mode, metric = parts[2], parts[3], ".".join(parts[4:])
+    cases.setdefault(case, {}).setdefault(mode, {})[metric] = value
+
+snapshot = {
+    "bench": "bench_ndp",
+    "scale_factor": report["scale_factor"],
+    "cases": cases,
+    "nic_peak_gbps": peak,
+    "micro": [
+        {"name": b["name"], "ns_per_op": b["cpu_time"]}
+        for b in micro.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    ],
+}
+
+with open(sys.argv[3], "w") as f:
+    json.dump(snapshot, f, indent=1, sort_keys=True)
+    f.write("\n")
+
+q6 = cases.get("q6_month", {})
+if "off" in q6 and "on" in q6 and q6["on"].get("nic_bytes"):
+    ratio = q6["off"]["nic_bytes"] / q6["on"]["nic_bytes"]
+    print(f"q6_month NIC bytes off/on: {ratio:.1f}x")
+print(f"wrote {sys.argv[3]}: {len(cases)} cases x "
+      f"{len(next(iter(cases.values()), {}))} modes, "
+      f"{len(snapshot['micro'])} micro benchmarks")
+EOF
+echo "=== bench_snapshot: OK ==="

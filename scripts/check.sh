@@ -15,6 +15,9 @@
 #                               # (skips with a notice if clang is absent)
 #   scripts/check.sh determinism # run tpch_power_run --report twice with
 #                               # the fixed seed and byte-compare the JSON
+#   scripts/check.sh ndp        # bench_ndp smoke: crossover checks pass,
+#                               # double-run --report byte-identical, and
+#                               # a run under ASan
 #
 # Each pass uses its own build tree (build/, build-asan/, build-ubsan/,
 # build-tsan/) so the sweeps never poison the primary build's cache.
@@ -167,6 +170,40 @@ determinism_pass() {
   echo "=== determinism: OK ==="
 }
 
+# Near-data processing smoke: bench_ndp's own exit status enforces the
+# crossover claims (>= 5x NIC-byte reduction on the Q6-style scan, auto
+# pushes selective scans and pulls the join-heavy one, identical results
+# across modes); on top of that the --report JSON must be byte-identical
+# across double runs, and the whole sweep must be clean under ASan.
+ndp_pass() {
+  echo "=== ndp: bench_ndp crossover + determinism + ASan ==="
+  cmake -B build -S . > build-configure.log 2>&1 || {
+    cat build-configure.log; return 1; }
+  cmake --build build -j "${JOBS}" --target bench_ndp
+  local out1 out2
+  out1="$(mktemp /tmp/cloudiq_ndp1.XXXXXX.json)"
+  out2="$(mktemp /tmp/cloudiq_ndp2.XXXXXX.json)"
+  CLOUDIQ_BENCH_SF=0.005 ./build/bench/bench_ndp --report="${out1}" \
+    > /dev/null
+  CLOUDIQ_BENCH_SF=0.005 ./build/bench/bench_ndp --report="${out2}" \
+    > /dev/null
+  if ! cmp -s "${out1}" "${out2}"; then
+    echo "ndp determinism FAILED: reports differ" >&2
+    diff "${out1}" "${out2}" | head -40 >&2 || true
+    rm -f "${out1}" "${out2}"
+    return 1
+  fi
+  echo "--- ndp: reports byte-identical ($(wc -c < "${out1}") bytes)"
+  rm -f "${out1}" "${out2}"
+  echo "--- ndp: ASan run"
+  cmake -B build-asan -S . -DCLOUDIQ_SANITIZE=address \
+    > build-asan-configure.log 2>&1 || {
+      cat build-asan-configure.log; return 1; }
+  cmake --build build-asan -j "${JOBS}" --target bench_ndp
+  CLOUDIQ_BENCH_SF=0.005 ./build-asan/bench/bench_ndp > /dev/null
+  echo "=== ndp: OK ==="
+}
+
 what="${1:-all}"
 case "${what}" in
   plain)  run_pass "plain" build "" ;;
@@ -178,11 +215,13 @@ case "${what}" in
   lint)   lint_pass ;;
   tidy)   tidy_pass ;;
   determinism) determinism_pass ;;
+  ndp) ndp_pass ;;
   all)
     lint_pass
     run_pass "plain" build ""
     report_smoke
     determinism_pass
+    ndp_pass
     tidy_pass
     run_pass "ASan"  build-asan address
     run_pass "UBSan" build-ubsan undefined
@@ -190,7 +229,7 @@ case "${what}" in
     stress_smoke
     ;;
   *)
-    echo "usage: $0 [all|plain|asan|ubsan|tsan|report|stress|lint|tidy|determinism]" >&2
+    echo "usage: $0 [all|plain|asan|ubsan|tsan|report|stress|lint|tidy|determinism|ndp]" >&2
     exit 2
     ;;
 esac

@@ -66,6 +66,47 @@ std::vector<uint64_t> TableReader::PrunePagesInt(size_t partition,
   return pages;
 }
 
+bool TableReader::PushdownEligible() const {
+  if (txn_mgr_->storage().options().encrypt_pages) return false;
+  if (txn_ != nullptr && txn_mgr_->buffer().HasDirty(txn_->id)) {
+    return false;
+  }
+  return true;
+}
+
+Result<std::vector<TableReader::CloudPageRef>> TableReader::CloudPageRefs(
+    size_t partition, int column, const std::vector<uint64_t>& pages) {
+  const SegmentMeta& seg = meta_.partitions[partition].columns[column];
+  CLOUDIQ_ASSIGN_OR_RETURN(StorageObject * object,
+                           ObjectFor(seg.object_id));
+  if (!object->space()->is_cloud()) {
+    return Status::FailedPrecondition("segment not on a cloud dbspace");
+  }
+  // Prefix-sum of page_rows once; pages arrive ascending from the zone
+  // pruner.
+  std::vector<uint64_t> first_rows(seg.page_rows.size() + 1, 0);
+  for (size_t p = 0; p < seg.page_rows.size(); ++p) {
+    first_rows[p + 1] = first_rows[p] + seg.page_rows[p];
+  }
+  ObjectStoreIo& io = txn_mgr_->storage().object_io();
+  std::vector<CloudPageRef> refs;
+  refs.reserve(pages.size());
+  for (uint64_t page : pages) {
+    if (page >= seg.page_rows.size()) {
+      return Status::InvalidArgument("page out of range");
+    }
+    CLOUDIQ_ASSIGN_OR_RETURN(PhysicalLoc loc,
+                             object->blockmap().Lookup(page));
+    if (!loc.is_cloud()) {
+      return Status::FailedPrecondition("page not cloud-resident");
+    }
+    refs.push_back(CloudPageRef{io.StoreKey(loc.cloud_key()),
+                                first_rows[page],
+                                static_cast<uint32_t>(seg.page_rows[page])});
+  }
+  return refs;
+}
+
 uint64_t TableReader::PageFirstRow(size_t partition, int column,
                                    size_t page) const {
   const SegmentMeta& seg = meta_.partitions[partition].columns[column];

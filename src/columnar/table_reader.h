@@ -68,6 +68,29 @@ class TableReader {
   // offsets to row ids.
   uint64_t PageFirstRow(size_t partition, int column, size_t page) const;
 
+  // --- near-data-processing support --------------------------------------
+  // One committed cloud page of a column segment addressed by its full
+  // object-store key — the unit an NDP request references. Deliberately
+  // protocol-agnostic: the reader resolves keys, the exec layer builds
+  // NdpRequests from them, so columnar stays independent of src/ndp/.
+  struct CloudPageRef {
+    std::string store_key;
+    uint64_t first_row = 0;   // partition-local row of the page's first value
+    uint32_t row_count = 0;
+  };
+
+  // Whether server-side pushdown can read this table's pages at all:
+  // the storage subsystem must not encrypt pages (the store has no key)
+  // and this transaction must have no unflushed dirty pages (the store
+  // would serve stale committed versions).
+  bool PushdownEligible() const;
+
+  // Resolves `pages` of (partition, column) to object-store keys.
+  // FailedPrecondition if any page is not cloud-resident (non-cloud
+  // dbspace, or a dirty/unflushed page with no physical location yet).
+  Result<std::vector<CloudPageRef>> CloudPageRefs(
+      size_t partition, int column, const std::vector<uint64_t>& pages);
+
   // Bytes decoded since construction (the executor charges decode CPU
   // from this).
   uint64_t decoded_bytes() const { return decoded_bytes_; }

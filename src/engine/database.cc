@@ -1,5 +1,7 @@
 #include "engine/database.h"
 
+#include "ndp/ndp_engine.h"
+
 namespace cloudiq {
 namespace {
 constexpr char kKeygenCheckpointName[] = "keygen";
@@ -19,6 +21,15 @@ Database::Database(SimEnvironment* env, const InstanceProfile& profile,
                                    BlockVolumeOptions::EfsStandard(
                                        /*utilized_gb=*/50))),
       system_(system_volume_) {
+  // Near-data processing: give the (shared) store its server-side
+  // engine. The engine is stateless and const, so one static instance
+  // serves every database in the process; re-installing it from a second
+  // node of a multiplex is a no-op.
+  if (options_.ndp_mode != ndp::NdpMode::kOff) {
+    static const ndp::NdpEngine kNdpEngine;
+    env->object_store().set_ndp_engine(&kNdpEngine);
+  }
+
   // User dbspace backing.
   StorageSubsystem::Options storage_options = options_.storage;
   storage_options.encrypt_pages = options_.encrypt_pages;

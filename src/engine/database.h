@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "exec/executor.h"
 #include "keygen/object_key_generator.h"
+#include "ndp/ndp_protocol.h"
 #include "ocm/object_cache_manager.h"
 #include "sim/environment.h"
 #include "snapshot/snapshot_manager.h"
@@ -72,6 +73,11 @@ class Database {
     NodeKeyCache::Options key_cache;
     // OCM tuning (capacity fraction, brown-out re-routing).
     ObjectCacheManager::Options ocm;
+    // Near-data processing: installs an NDP engine on the environment's
+    // object store (idempotent across nodes sharing the environment) and
+    // stamps query contexts with the mode, so eligible range scans can be
+    // evaluated server-side (kAuto: per-scan bytes-moved heuristic).
+    ndp::NdpMode ndp_mode = ndp::NdpMode::kOff;
     // Reader node of a multiplex: modifications are rejected (§2).
     bool read_only = false;
     // Multiplex: name of the shared system-dbspace volume ("" = private
@@ -109,7 +115,9 @@ class Database {
   // storage work to the query.
   QueryContext NewQueryContext(Transaction* txn,
                                const std::string& tag = std::string()) {
-    QueryContext ctx(txn_mgr_.get(), txn, &system_);
+    QueryContext::Options qopts;
+    qopts.ndp_mode = options_.ndp_mode;
+    QueryContext ctx(txn_mgr_.get(), txn, &system_, qopts);
     ctx.set_meta_provider(
         [this](uint64_t table_id) { return TableMetaFor(table_id); });
     ctx.SetAttribution(env_->telemetry().ledger().NextQueryId(), tag);

@@ -158,17 +158,115 @@ Batch MakeOutputShape(const TableSchema& schema,
   return out;
 }
 
+// --- near-data processing --------------------------------------------------
+
+// Per-type encoded-width guess for the bytes-moved heuristic. Precision
+// is secondary: the pull and push estimates use the same weights, so
+// only the ratio (driven by selectivity and projection width) matters.
+double EncodedWidth(ColumnType type) {
+  switch (type) {
+    case ColumnType::kDouble: return 8.0;
+    case ColumnType::kString: return 16.0;
+    default: return 4.0;
+  }
+}
+
+struct NdpScanPlan {
+  bool use = false;        // pushdown chosen for this scan
+  bool considered = false; // planning ran (mode on/auto and scan eligible)
+  std::vector<size_t> partitions;              // partitions with candidates
+  std::vector<std::vector<uint8_t>> requests;  // parallel to partitions
+  double est_pull_bytes = 0;  // encoded bytes a pull would move
+  double est_push_bytes = 0;  // requests + estimated result bytes
+};
+
+// Builds one NdpRequest per candidate partition of a range scan and
+// estimates bytes moved either way. Selectivity is estimated per zone-map
+// survivor page assuming a uniform distribution between the page's
+// min/max. Any page that is not cloud-resident (local dbspace, or not
+// yet flushed) disables pushdown for the whole scan — mixed residency
+// falls back to the pull path rather than splitting a scan across both.
+NdpScanPlan PlanNdpScan(QueryContext* ctx, TableReader* reader,
+                        const std::vector<std::string>& read_columns,
+                        const std::vector<int>& col_ids,
+                        size_t projected_count, int range_col,
+                        size_t range_pos, const ScanRange& range) {
+  NdpScanPlan plan;
+  ndp::NdpMode mode = ctx->options().ndp_mode;
+  if (mode == ndp::NdpMode::kOff) return plan;
+  if (!reader->PushdownEligible()) return plan;
+  if (!ctx->txn_mgr()->storage().object_io().SelectSupported()) return plan;
+  plan.considered = true;
+  const TableSchema& schema = reader->schema();
+  for (size_t p = 0; p < reader->meta().partitions.size(); ++p) {
+    const PartitionMeta& pm = reader->meta().partitions[p];
+    if (pm.row_count == 0) continue;
+    if (!PartitionMayMatch(schema, p, range, range_col)) continue;
+    const SegmentMeta& range_seg = pm.columns[range_col];
+    std::vector<uint64_t> range_pages =
+        reader->PrunePagesInt(p, range_col, range.lo, range.hi);
+    if (range_pages.empty()) continue;
+    IntervalSet rows;
+    double est_rows = 0;  // rows expected to pass the exact range filter
+    for (uint64_t page : range_pages) {
+      uint64_t first = reader->PageFirstRow(p, range_col, page);
+      rows.InsertRange(first, first + range_seg.page_rows[page]);
+      const ZoneMapEntry& z = range_seg.zones[page];
+      double span = static_cast<double>(z.max_int - z.min_int) + 1;
+      double overlap = static_cast<double>(std::min(range.hi, z.max_int) -
+                                           std::max(range.lo, z.min_int)) +
+                       1;
+      est_rows += range_seg.page_rows[page] *
+                  std::clamp(overlap / span, 0.0, 1.0);
+    }
+    ndp::NdpRequest req;
+    for (size_t i = 0; i < read_columns.size(); ++i) {
+      int c = col_ids[i];
+      const SegmentMeta& seg = pm.columns[c];
+      std::vector<uint64_t> pages =
+          c == range_col ? range_pages : PagesForRows(seg, rows);
+      Result<std::vector<TableReader::CloudPageRef>> refs =
+          reader->CloudPageRefs(p, c, pages);
+      if (!refs.ok()) return NdpScanPlan{};  // fall back to the pull path
+      ndp::NdpColumn col;
+      col.name = read_columns[i];
+      col.type = schema.columns[c].type;
+      col.projected = i < projected_count;
+      col.pages.reserve(refs.value().size());
+      uint64_t pull_rows = 0;
+      for (const TableReader::CloudPageRef& ref : refs.value()) {
+        col.pages.push_back(
+            ndp::NdpPageRef{ref.store_key, ref.first_row, ref.row_count});
+        pull_rows += ref.row_count;
+      }
+      plan.est_pull_bytes += pull_rows * EncodedWidth(col.type);
+      if (col.projected) plan.est_push_bytes += est_rows * EncodedWidth(col.type);
+      req.columns.push_back(std::move(col));
+    }
+    uint32_t rp = static_cast<uint32_t>(range_pos);
+    req.filter = ndp::NdpExpr::And(
+        {ndp::NdpExpr::CmpInt(rp, ndp::CmpOp::kGe, range.lo),
+         ndp::NdpExpr::CmpInt(rp, ndp::CmpOp::kLe, range.hi)});
+    std::vector<uint8_t> bytes = req.Serialize();
+    plan.est_push_bytes += static_cast<double>(bytes.size());
+    plan.partitions.push_back(p);
+    plan.requests.push_back(std::move(bytes));
+  }
+  if (plan.partitions.empty()) {
+    plan.considered = false;  // nothing to push (or to pull)
+    return plan;
+  }
+  plan.use = mode == ndp::NdpMode::kOn ||
+             plan.est_push_bytes <
+                 ctx->options().ndp_auto_threshold * plan.est_pull_bytes;
+  return plan;
+}
+
 }  // namespace
 
 Result<Batch> ScanTable(QueryContext* ctx, TableReader* reader,
                         const std::vector<std::string>& columns,
                         const std::optional<ScanRange>& range) {
-  Tracer& tracer = ctx->node()->telemetry().tracer();
-  ScopedSpan span(&tracer, &ctx->node()->clock(), ctx->node()->trace_pid(),
-                  kTrackExec, "exec",
-                  tracer.enabled() ? "scan " + reader->schema().name
-                                   : std::string());
-  OperatorScope op(ctx, "scan " + reader->schema().name);
   const TableSchema& schema = reader->schema();
   int range_col =
       range.has_value() ? schema.ColumnIndex(range->column) : -1;
@@ -179,17 +277,96 @@ Result<Batch> ScanTable(QueryContext* ctx, TableReader* reader,
   // the end if the caller did not ask for it.
   std::vector<std::string> read_columns = columns;
   bool extra_range_col = false;
-  if (range.has_value() &&
-      std::find(columns.begin(), columns.end(), range->column) ==
-          columns.end()) {
-    read_columns.push_back(range->column);
-    extra_range_col = true;
+  size_t range_pos = 0;  // position of the range column in read_columns
+  if (range.has_value()) {
+    auto it = std::find(columns.begin(), columns.end(), range->column);
+    if (it == columns.end()) {
+      range_pos = read_columns.size();
+      read_columns.push_back(range->column);
+      extra_range_col = true;
+    } else {
+      range_pos = static_cast<size_t>(it - columns.begin());
+    }
   }
   std::vector<int> col_ids;
   Status shape_status;
   Batch out = MakeOutputShape(schema, read_columns, &col_ids,
                               &shape_status);
   CLOUDIQ_RETURN_IF_ERROR(shape_status);
+
+  // Near-data processing: with a range predicate, consider evaluating the
+  // scan inside the object store instead of pulling pages. Planned before
+  // the operator registers so EXPLAIN shows the decision in the name.
+  NdpScanPlan plan;
+  if (range.has_value()) {
+    plan = PlanNdpScan(ctx, reader, read_columns, col_ids, columns.size(),
+                       range_col, range_pos, *range);
+  }
+
+  std::string op_name = "scan " + schema.name + (plan.use ? " [ndp]" : "");
+  Tracer& tracer = ctx->node()->telemetry().tracer();
+  ScopedSpan span(&tracer, &ctx->node()->clock(), ctx->node()->trace_pid(),
+                  kTrackExec, "exec",
+                  tracer.enabled() ? op_name : std::string());
+  OperatorScope op(ctx, op_name);
+  auto& stats = ctx->node()->telemetry().stats();
+
+  if (plan.use) {
+    // Server-side path: the store decodes, filters, and projects; only
+    // the matching values cross the NIC. The server applies the exact
+    // range filter, so there is no client post-filter, and the result
+    // carries exactly the caller's columns (filter-only columns are not
+    // projected). Row order matches the pull path: ascending within each
+    // partition, partitions in order.
+    std::vector<int> proj_ids;
+    Status proj_status;
+    Batch pushed = MakeOutputShape(schema, columns, &proj_ids,
+                                   &proj_status);
+    CLOUDIQ_RETURN_IF_ERROR(proj_status);
+    ObjectStoreIo& io = ctx->txn_mgr()->storage().object_io();
+    SimClock& clock = ctx->node()->clock();
+    for (size_t i = 0; i < plan.partitions.size(); ++i) {
+      SimTime done = clock.now();
+      uint64_t scanned = 0;
+      CLOUDIQ_ASSIGN_OR_RETURN(
+          std::vector<uint8_t> result_bytes,
+          io.Select(plan.requests[i], clock.now(), &done, &scanned));
+      clock.AdvanceTo(done);
+      CLOUDIQ_ASSIGN_OR_RETURN(ndp::NdpResult result,
+                               ndp::NdpResult::Deserialize(result_bytes));
+      if (result.is_aggregate ||
+          result.columns.size() != pushed.columns.size()) {
+        return Status::Corruption("NDP result shape mismatch");
+      }
+      for (size_t c = 0; c < result.columns.size(); ++c) {
+        ColumnVector& dst = pushed.columns[c];
+        ColumnVector& src = result.columns[c];
+        if (src.type != dst.type) {
+          return Status::Corruption("NDP result type mismatch");
+        }
+        dst.ints.insert(dst.ints.end(), src.ints.begin(), src.ints.end());
+        dst.doubles.insert(dst.doubles.end(), src.doubles.begin(),
+                           src.doubles.end());
+        dst.strings.insert(dst.strings.end(),
+                           std::make_move_iterator(src.strings.begin()),
+                           std::make_move_iterator(src.strings.end()));
+      }
+      // Client work: decode the (compressed) result and materialize it.
+      ctx->ChargeDecodedBytes(result_bytes.size());
+      ctx->ChargeValues(result.rows_matched * pushed.columns.size());
+      uint64_t returned = result_bytes.size();
+      stats.counter("ndp.requests").Add(1);
+      stats.counter("ndp.bytes_scanned").Add(scanned);
+      stats.counter("ndp.bytes_returned").Add(returned);
+      if (scanned > returned) {
+        stats.counter("ndp.bytes_saved").Add(scanned - returned);
+      }
+    }
+    stats.counter("ndp.pushdown_scans").Add(1);
+    op.AddRows(pushed.rows());
+    return pushed;
+  }
+  if (plan.considered) stats.counter("ndp.pull_scans").Add(1);
 
   uint64_t decoded_before = reader->decoded_bytes();
   for (size_t p = 0; p < reader->meta().partitions.size(); ++p) {

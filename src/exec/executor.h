@@ -9,6 +9,7 @@
 #include "columnar/table_reader.h"
 #include "common/result.h"
 #include "exec/batch.h"
+#include "ndp/ndp_protocol.h"
 #include "sim/environment.h"
 #include "txn/transaction_manager.h"
 
@@ -23,6 +24,14 @@ class QueryContext {
   struct Options {
     double cpu_per_value = 1.2e-9;       // seconds per value touched
     double cpu_per_decoded_byte = 2e-9;  // decode/decompress cost
+    // Near-data processing: whether range scans may be evaluated inside
+    // the object store (kAuto picks per scan with a bytes-moved
+    // estimate; see PlanNdpScan in executor.cc).
+    ndp::NdpMode ndp_mode = ndp::NdpMode::kOff;
+    // kAuto pushes down when the estimated bytes returned by the store
+    // are below this fraction of the bytes a pull would move — the
+    // margin covers the per-request surcharge and estimate error.
+    double ndp_auto_threshold = 0.5;
   };
 
   QueryContext(TransactionManager* txn_mgr, Transaction* txn,

@@ -69,6 +69,17 @@ std::string FormatExplainAnalyze(QueryContext* ctx) {
       static_cast<unsigned long long>(total.not_found_retries),
       static_cast<unsigned long long>(total.transient_retries));
   out += buf;
+  if (total.selects > 0) {
+    // Near-data processing: scans evaluated inside the store ("[ndp]"
+    // operators above) and the byte asymmetry that justified pushing.
+    std::snprintf(
+        buf, sizeof(buf),
+        "    ndp: %llu SELECT, %llu B scanned in-store -> %llu B returned\n",
+        static_cast<unsigned long long>(total.selects),
+        static_cast<unsigned long long>(total.select_scanned_bytes),
+        static_cast<unsigned long long>(total.select_returned_bytes));
+    out += buf;
+  }
   std::snprintf(
       buf, sizeof(buf),
       "    cost: $%.6f requests + $%.6f EC2 = $%.6f; buffer %llu/%llu "

@@ -20,6 +20,14 @@ struct CloudPrices {
   double s3_get_per_1k = 0.0004;       // USD per 1,000 GET requests
   double s3_storage_gb_month = 0.023;  // USD per GB-month
 
+  // Near-data processing (S3 Select-like pricing): each SELECT pays the
+  // GET request rate plus per-byte rates for data scanned server-side and
+  // data returned over the wire. Scanning is cheap, returning is cheaper
+  // than a full GET only because far fewer bytes come back.
+  double s3_select_per_1k = 0.0004;        // USD per 1,000 SELECT requests
+  double s3_select_scanned_per_gb = 0.002; // USD per GB scanned server-side
+  double s3_select_returned_per_gb = 0.0007;  // USD per GB returned
+
   // Block volumes.
   double ebs_gp2_gb_month = 0.10;  // USD per GB-month (provisioned)
   double efs_std_gb_month = 0.30;  // USD per GB-month (utilized)
@@ -44,6 +52,13 @@ class CostMeter {
   // they get their own counters so cost reports can break them out.
   void AddS3Delete(uint64_t n = 1) { s3_deletes_ += n; }
   void AddS3RangedGet(uint64_t n = 1) { s3_ranged_gets_ += n; }
+  // One NDP SELECT request that scanned `scanned_bytes` inside the store
+  // and shipped `returned_bytes` back to the compute node.
+  void AddS3Select(uint64_t scanned_bytes, uint64_t returned_bytes) {
+    ++s3_selects_;
+    select_scanned_bytes_ += scanned_bytes;
+    select_returned_bytes_ += returned_bytes;
+  }
   void AddEc2Hours(double hours, double hourly_rate) {
     ec2_usd_ += hours * hourly_rate;
   }
@@ -52,13 +67,19 @@ class CostMeter {
   uint64_t s3_gets() const { return s3_gets_; }
   uint64_t s3_deletes() const { return s3_deletes_; }
   uint64_t s3_ranged_gets() const { return s3_ranged_gets_; }
+  uint64_t s3_selects() const { return s3_selects_; }
+  uint64_t select_scanned_bytes() const { return select_scanned_bytes_; }
+  uint64_t select_returned_bytes() const { return select_returned_bytes_; }
   uint64_t S3Requests() const {
-    return s3_puts_ + s3_gets_ + s3_deletes_ + s3_ranged_gets_;
+    return s3_puts_ + s3_gets_ + s3_deletes_ + s3_ranged_gets_ + s3_selects_;
   }
 
   double S3RequestUsd() const {
     return (s3_puts_ + s3_deletes_) / 1000.0 * prices_.s3_put_per_1k +
-           (s3_gets_ + s3_ranged_gets_) / 1000.0 * prices_.s3_get_per_1k;
+           (s3_gets_ + s3_ranged_gets_) / 1000.0 * prices_.s3_get_per_1k +
+           s3_selects_ / 1000.0 * prices_.s3_select_per_1k +
+           select_scanned_bytes_ / 1e9 * prices_.s3_select_scanned_per_gb +
+           select_returned_bytes_ / 1e9 * prices_.s3_select_returned_per_gb;
   }
   double Ec2Usd() const { return ec2_usd_; }
   double TotalComputeUsd() const { return Ec2Usd() + S3RequestUsd(); }
@@ -81,6 +102,9 @@ class CostMeter {
     s3_gets_ = 0;
     s3_deletes_ = 0;
     s3_ranged_gets_ = 0;
+    s3_selects_ = 0;
+    select_scanned_bytes_ = 0;
+    select_returned_bytes_ = 0;
     ec2_usd_ = 0;
   }
 
@@ -90,6 +114,9 @@ class CostMeter {
   uint64_t s3_gets_ = 0;
   uint64_t s3_deletes_ = 0;
   uint64_t s3_ranged_gets_ = 0;
+  uint64_t s3_selects_ = 0;
+  uint64_t select_scanned_bytes_ = 0;
+  uint64_t select_returned_bytes_ = 0;
   double ec2_usd_ = 0;
 };
 

@@ -12,12 +12,14 @@ void SimObjectStore::set_telemetry(Telemetry* telemetry) {
   telemetry_ = telemetry;
   if (telemetry == nullptr) {
     get_latency_ = put_latency_ = delete_latency_ = nullptr;
+    select_latency_ = nullptr;
     ledger_ = nullptr;
     return;
   }
   get_latency_ = &telemetry->stats().histogram("s3.get");
   put_latency_ = &telemetry->stats().histogram("s3.put");
   delete_latency_ = &telemetry->stats().histogram("s3.delete");
+  select_latency_ = &telemetry->stats().histogram("s3.select");
   ledger_ = &telemetry->ledger();
 }
 
@@ -219,6 +221,124 @@ Status SimObjectStore::Delete(const std::string& key, SimTime arrival,
   }
   it->second.versions.push_back({visible_at, /*is_delete=*/true, {}});
   return Status::Ok();
+}
+
+// Every SELECT is billed — even one that loses the §3 visibility race
+// or fails server-side (the server still parsed and dispatched it).
+void SimObjectStore::BillSelectLocked(uint64_t scanned, uint64_t returned) {
+  ++stats_.selects;
+  stats_.select_scanned_bytes += scanned;
+  stats_.select_returned_bytes += returned;
+  if (cost_meter_ != nullptr) cost_meter_->AddS3Select(scanned, returned);
+  if (ledger_ != nullptr) ledger_->RecordSelect(scanned, returned);
+}
+
+Result<std::vector<uint8_t>> SimObjectStore::Select(
+    const std::vector<uint8_t>& request, SimTime arrival,
+    SimTime* completion, uint64_t* bytes_scanned, uint64_t* bytes_returned) {
+  MutexLock lock(&mu_);
+  if (bytes_scanned != nullptr) *bytes_scanned = 0;
+  if (bytes_returned != nullptr) *bytes_returned = 0;
+  if (ndp_engine_ == nullptr) {
+    return Status::NotSupported("object store has no NDP engine");
+  }
+
+  Result<std::vector<std::string>> keys = ndp_engine_->KeysOf(request);
+  if (!keys.ok()) return keys.status();
+  if (keys.value().empty()) {
+    return Status::InvalidArgument("NDP request references no pages");
+  }
+
+  // Resolve every referenced page to its newest visible version. A
+  // single invisible page fails the whole request: the consumer retries
+  // with backoff exactly like a NOT_FOUND Get.
+  std::vector<const std::vector<uint8_t>*> pages;
+  pages.reserve(keys.value().size());
+  uint64_t scanned = 0;
+  for (const std::string& key : keys.value()) {
+    auto it = objects_.find(key);
+    const Version* newest = nullptr;
+    const Version* newest_visible = nullptr;
+    if (it != objects_.end()) {
+      for (const Version& v : it->second.versions) {
+        newest = &v;
+        if (v.visible_at <= arrival) newest_visible = &v;
+      }
+    }
+    if (newest_visible == nullptr || newest_visible->is_delete) {
+      *completion = ServiceRequest(keys.value().front(), /*is_put=*/false,
+                                   /*bytes=*/0, arrival);
+      BillSelectLocked(/*scanned=*/0, /*returned=*/0);
+      bool raced = newest != nullptr && !newest->is_delete;
+      if (raced) ++stats_.not_found_races;
+      if (select_latency_ != nullptr) {
+        select_latency_->Record(*completion - arrival);
+      }
+      if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+        telemetry_->tracer().CompleteSpan(
+            kClusterPid, kTrackObjectStore, "s3",
+            "SELECT " + key + " -> NOT_FOUND", arrival, *completion);
+        if (raced) {
+          telemetry_->tracer().Instant(kClusterPid, kTrackObjectStore, "s3",
+                                       "visibility race " + key, arrival);
+        }
+      }
+      return Status::NotFound(key);
+    }
+    scanned += newest_visible->value.size();
+    pages.push_back(&newest_visible->value);
+  }
+
+  Result<std::vector<uint8_t>> result = ndp_engine_->Execute(request, pages);
+  if (!result.ok()) {
+    *completion = ServiceRequest(keys.value().front(), /*is_put=*/false,
+                                 /*bytes=*/0, arrival);
+    BillSelectLocked(/*scanned=*/0, /*returned=*/0);
+    return result.status();
+  }
+  uint64_t returned = result.value().size();
+
+  // Latency: per-prefix GET pacing on the first page's prefix, a SELECT
+  // time-to-first-byte, the server-side scan at select_scan_bandwidth,
+  // then only the result bytes transferred through a connection stream.
+  std::string prefix = PrefixOf(keys.value().front());
+  auto [pit, inserted] =
+      get_pacers_.try_emplace(prefix, options_.per_prefix_get_rate);
+  SimTime admitted = pit->second.Admit(arrival);
+  bool throttled = admitted > arrival + 1e-12;
+  double stall = throttled ? admitted - arrival : 0;
+  if (throttled) ++stats_.throttle_events;
+  if (ledger_ != nullptr) {
+    ledger_->RecordPrefix(prefix, throttled, stall);
+    if (throttled) ledger_->RecordThrottle(stall);
+  }
+  double scan_time =
+      static_cast<double>(scanned) / options_.select_scan_bandwidth;
+  double transfer =
+      static_cast<double>(returned) / options_.stream_bandwidth;
+  double jitter = rng_.Exponential(options_.select_base_latency * 0.15);
+  *completion = streams_.Submit(
+      admitted, transfer, options_.select_base_latency + scan_time + jitter);
+
+  BillSelectLocked(scanned, returned);
+  if (bytes_scanned != nullptr) *bytes_scanned = scanned;
+  if (bytes_returned != nullptr) *bytes_returned = returned;
+  if (select_latency_ != nullptr) {
+    select_latency_->Record(*completion - arrival);
+  }
+  if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+    telemetry_->tracer().CompleteSpan(
+        kClusterPid, kTrackObjectStore, "s3",
+        "SELECT (" + std::to_string(pages.size()) + " pages, " +
+            std::to_string(scanned) + " -> " + std::to_string(returned) +
+            " B)",
+        arrival, *completion);
+  }
+  if (options_.transient_error_rate > 0 &&
+      rng_.Bernoulli(options_.transient_error_rate)) {
+    return Status::IoError("simulated transient SELECT failure");
+  }
+  return result;
 }
 
 SimTime SimObjectStore::ExternalRead(uint64_t bytes, SimTime arrival) {

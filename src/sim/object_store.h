@@ -18,6 +18,30 @@
 
 namespace cloudiq {
 
+// Server-side compute plugged into the object store (Taurus-style
+// near-data processing). The store stays agnostic of the request wire
+// format: the engine first lists the object keys a serialized NdpRequest
+// references (a pure parse), the store resolves those keys to visible
+// page payloads under its own lock, and the engine then evaluates the
+// request against them. Implemented by ndp::NdpEngine (src/ndp/); the
+// split keeps sim free of any dependency on the NDP protocol and keeps
+// all guarded-state access inside the store's annotated methods.
+class NdpServerEngine {
+ public:
+  virtual ~NdpServerEngine() = default;
+
+  // Object keys the serialized request references, in the order Execute
+  // expects their payloads. InvalidArgument on a malformed request.
+  virtual Result<std::vector<std::string>> KeysOf(
+      const std::vector<uint8_t>& request) const = 0;
+
+  // Evaluates the request against the resolved page payloads (parallel
+  // to KeysOf's order). Returns the serialized NdpResult.
+  virtual Result<std::vector<uint8_t>> Execute(
+      const std::vector<uint8_t>& request,
+      const std::vector<const std::vector<uint8_t>*>& pages) const = 0;
+};
+
 // Tuning knobs for the simulated object store. Defaults approximate S3
 // circa the paper's evaluation: double-digit-millisecond request latencies,
 // ~90 MB/s per connection stream, enormous aggregate throughput, documented
@@ -42,6 +66,14 @@ struct ObjectStoreOptions {
   // Fault injection: probability that a request fails with a transient
   // IO error (caller retries).
   double transient_error_rate = 0.0;
+
+  // Near-data processing (SELECT). A SELECT pays a higher time-to-first-
+  // byte than a GET (the server sets up a scan pipeline), scans pages at
+  // the server-side rate below (far above a single connection's download
+  // bandwidth — the whole point), and streams only the result bytes back
+  // through a connection stream.
+  double select_base_latency = 0.030;   // seconds to first byte
+  double select_scan_bandwidth = 400e6; // bytes/sec server-side scan rate
 
   // Dynamic never-write-twice enforcement (§3): when set, a PUT to a key
   // that was *ever* written — even if since deleted — fails with
@@ -93,6 +125,30 @@ class SimObjectStore {
   Status Delete(const std::string& key, SimTime arrival,
                 SimTime* completion);
 
+  // Near-data processing: evaluates a serialized NdpRequest against the
+  // newest visible versions of the pages it references and returns the
+  // serialized NdpResult. Requires an engine (set_ndp_engine);
+  // NotSupported otherwise. NotFound if any referenced page has no
+  // visible version at `arrival` (the §3 eventual-consistency race —
+  // callers retry exactly like a Get). `*bytes_scanned` /
+  // `*bytes_returned` (optional) report the server-side scan volume vs.
+  // the bytes shipped back; the gap is the NDP win.
+  Result<std::vector<uint8_t>> Select(const std::vector<uint8_t>& request,
+                                      SimTime arrival, SimTime* completion,
+                                      uint64_t* bytes_scanned = nullptr,
+                                      uint64_t* bytes_returned = nullptr);
+
+  // Installs the server-side NDP engine (not owned; typically installed
+  // once by Database construction). nullptr disables Select.
+  void set_ndp_engine(const NdpServerEngine* engine) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ndp_engine_ = engine;
+  }
+  bool has_ndp_engine() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return ndp_engine_ != nullptr;
+  }
+
   // Models streaming `bytes` of *external input data* (e.g. TPC-H load
   // files staged in an input bucket) without materializing the objects:
   // bills one GET per part, occupies download streams, and returns the
@@ -118,6 +174,9 @@ class SimObjectStore {
     uint64_t throttle_events = 0;  // requests delayed by per-prefix pacing
     uint64_t put_bytes = 0;
     uint64_t get_bytes = 0;
+    uint64_t selects = 0;                // NDP SELECT requests served
+    uint64_t select_scanned_bytes = 0;   // pages decoded server-side
+    uint64_t select_returned_bytes = 0;  // result bytes shipped back
   };
   // Returned by value: handing out a reference to a guarded field would
   // let callers read it after the lock drops (Clang's reference-return
@@ -163,6 +222,9 @@ class SimObjectStore {
   SimTime ServiceRequest(const std::string& key, bool is_put, uint64_t bytes,
                          SimTime arrival) REQUIRES(mu_);
 
+  // Bills one SELECT to stats, meter and ledger.
+  void BillSelectLocked(uint64_t scanned, uint64_t returned) REQUIRES(mu_);
+
   static std::string PrefixOf(const std::string& key);
 
   ObjectStoreOptions options_;  // set at construction, read-only after
@@ -181,9 +243,11 @@ class SimObjectStore {
   CostMeter* cost_meter_ GUARDED_BY(mu_) = nullptr;
   Telemetry* telemetry_ GUARDED_BY(mu_) = nullptr;
   CostLedger* ledger_ GUARDED_BY(mu_) = nullptr;
+  const NdpServerEngine* ndp_engine_ GUARDED_BY(mu_) = nullptr;
   Histogram* get_latency_ GUARDED_BY(mu_) = nullptr;
   Histogram* put_latency_ GUARDED_BY(mu_) = nullptr;
   Histogram* delete_latency_ GUARDED_BY(mu_) = nullptr;
+  Histogram* select_latency_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace cloudiq

@@ -11,12 +11,13 @@ void ObjectStoreIo::set_telemetry(Telemetry* telemetry,
   telemetry_ = telemetry;
   trace_pid_ = trace_pid;
   if (telemetry == nullptr) {
-    get_latency_ = put_latency_ = nullptr;
+    get_latency_ = put_latency_ = select_latency_ = nullptr;
     ledger_ = nullptr;
     return;
   }
   get_latency_ = &telemetry->stats().histogram("io.get");
   put_latency_ = &telemetry->stats().histogram("io.put");
+  select_latency_ = &telemetry->stats().histogram("io.select");
   ledger_ = &telemetry->ledger();
 }
 
@@ -98,6 +99,64 @@ Result<std::vector<uint8_t>> ObjectStoreIo::Get(uint64_t key, SimTime start,
       t = *completion + backoff;
       backoff *= 2;
       continue;
+    }
+    if (++transient > options_.max_transient_retries) return r.status();
+    ++stats_.transient_retries;
+    if (ledger_ != nullptr) ledger_->RecordRetry(/*not_found=*/false);
+    t = *completion;
+  }
+}
+
+Result<std::vector<uint8_t>> ObjectStoreIo::Select(
+    const std::vector<uint8_t>& request, SimTime start, SimTime* completion,
+    uint64_t* bytes_scanned) {
+  if (bytes_scanned != nullptr) *bytes_scanned = 0;
+  SimTime t = start;
+  double backoff = options_.not_found_backoff;
+  int not_found = 0;
+  int transient = 0;
+  for (;;) {
+    // The request itself crosses the NIC (it is tiny next to the pages
+    // it spares).
+    SimTime nic_done = nic_->Transfer(request.size(), t);
+    uint64_t scanned = 0;
+    Result<std::vector<uint8_t>> r =
+        store_->Select(request, nic_done, completion, &scanned);
+    if (r.ok()) {
+      *completion = nic_->Transfer(r.value().size(), *completion);
+      ++stats_.selects;
+      stats_.select_request_bytes += request.size();
+      stats_.select_returned_bytes += r.value().size();
+      if (bytes_scanned != nullptr) *bytes_scanned = scanned;
+      if (select_latency_ != nullptr) {
+        select_latency_->Record(*completion - start);
+      }
+      if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+        telemetry_->tracer().CompleteSpan(trace_pid_, kTrackStoreIo, "io",
+                                          "select", start, *completion);
+      }
+      return r;
+    }
+    if (r.status().IsNotFound()) {
+      // A referenced page lost the §3 visibility race; back off and let
+      // it become visible, exactly like a Get.
+      if (++not_found > options_.max_not_found_retries) return r.status();
+      ++stats_.not_found_retries;
+      if (ledger_ != nullptr) ledger_->RecordRetry(/*not_found=*/true);
+      if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+        telemetry_->tracer().Instant(trace_pid_, kTrackStoreIo, "io",
+                                     "NOT_FOUND retry (select)",
+                                     *completion);
+      }
+      t = *completion + backoff;
+      backoff *= 2;
+      continue;
+    }
+    if (r.status().IsNotSupported() || r.status().IsInvalidArgument()) {
+      // No engine installed or the server cannot evaluate the request
+      // (e.g. encrypted pages): not retryable — the caller falls back to
+      // pulling pages.
+      return r.status();
     }
     if (++transient > options_.max_transient_retries) return r.status();
     ++stats_.transient_retries;

@@ -49,6 +49,21 @@ class ObjectStoreIo {
   Result<std::vector<uint8_t>> Get(uint64_t key, SimTime start,
                                    SimTime* completion);
 
+  // Near-data processing: ships a serialized NdpRequest to the store,
+  // lets the server evaluate it, and downloads only the result. The
+  // request travels over the NIC like an upload and the result like a
+  // download — the whole point is that the result is a fraction of the
+  // pages a pull would have moved. Retries NOT_FOUND (a referenced page
+  // losing the visibility race) and transient failures exactly like Get.
+  // `*bytes_scanned` (optional) reports the server-side scan volume.
+  Result<std::vector<uint8_t>> Select(const std::vector<uint8_t>& request,
+                                      SimTime start, SimTime* completion,
+                                      uint64_t* bytes_scanned = nullptr);
+
+  // Whether the store can evaluate Select at all (an NDP engine is
+  // installed). Planners check this before building a request.
+  bool SelectSupported() const { return store_->has_ndp_engine(); }
+
   // HEAD: true if the object currently exists (no retries — GC polling
   // treats "not visible" as "nothing to collect *now*"; idempotent
   // re-polls are the safety net).
@@ -62,6 +77,9 @@ class ObjectStoreIo {
   struct Stats {
     uint64_t not_found_retries = 0;
     uint64_t transient_retries = 0;
+    uint64_t selects = 0;
+    uint64_t select_request_bytes = 0;   // NIC bytes up (requests)
+    uint64_t select_returned_bytes = 0;  // NIC bytes down (results)
   };
   const Stats& stats() const { return stats_; }
 
@@ -82,6 +100,7 @@ class ObjectStoreIo {
   uint32_t trace_pid_ = 0;
   Histogram* get_latency_ = nullptr;
   Histogram* put_latency_ = nullptr;
+  Histogram* select_latency_ = nullptr;
 };
 
 }  // namespace cloudiq

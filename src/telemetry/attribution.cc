@@ -13,6 +13,9 @@ void CostLedger::Entry::Fold(const Entry& other) {
   heads += other.heads;
   get_bytes += other.get_bytes;
   put_bytes += other.put_bytes;
+  selects += other.selects;
+  select_scanned_bytes += other.select_scanned_bytes;
+  select_returned_bytes += other.select_returned_bytes;
   throttle_events += other.throttle_events;
   throttle_stall_seconds += other.throttle_stall_seconds;
   not_found_retries += other.not_found_retries;
@@ -67,7 +70,21 @@ void CostLedger::RecordRequest(Request kind, uint64_t bytes) {
     case Request::kHead:
       ++e->heads;
       break;
+    case Request::kSelect:
+      // SELECTs carry two byte dimensions; use RecordSelect instead.
+      ++e->selects;
+      e->select_returned_bytes += bytes;
+      break;
   }
+}
+
+void CostLedger::RecordSelect(uint64_t scanned_bytes,
+                              uint64_t returned_bytes) {
+  MutexLock lock(&mu_);
+  Entry* e = MutableLocked();
+  ++e->selects;
+  e->select_scanned_bytes += scanned_bytes;
+  e->select_returned_bytes += returned_bytes;
 }
 
 void CostLedger::RecordThrottle(double stall_seconds) {

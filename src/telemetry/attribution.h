@@ -34,6 +34,11 @@ struct AttributionContext {
 struct LedgerPrices {
   double put_per_1k = 0.005;   // PUT and DELETE requests
   double get_per_1k = 0.0004;  // GET (plain, ranged parts, HEAD)
+  // NDP SELECT: per-request rate plus per-byte scanned/returned rates
+  // (mirrors CloudPrices::s3_select_*).
+  double select_per_1k = 0.0004;
+  double select_scanned_per_gb = 0.002;
+  double select_returned_per_gb = 0.0007;
 };
 
 // Per-query cost and causality ledger. Aggregates every attributed event
@@ -49,7 +54,7 @@ struct LedgerPrices {
 // every other manager's critical sections.
 class CostLedger {
  public:
-  enum class Request { kGet, kPut, kDelete, kRangedGet, kHead };
+  enum class Request { kGet, kPut, kDelete, kRangedGet, kHead, kSelect };
 
   struct Key {
     uint64_t query_id = 0;
@@ -82,6 +87,13 @@ class CostLedger {
     uint64_t get_bytes = 0;
     uint64_t put_bytes = 0;
 
+    // NDP SELECT requests: count, bytes scanned inside the store and
+    // bytes actually returned over the wire (the pushdown win is the
+    // gap between the two).
+    uint64_t selects = 0;
+    uint64_t select_scanned_bytes = 0;
+    uint64_t select_returned_bytes = 0;
+
     // Throttling and retries suffered by this originator.
     uint64_t throttle_events = 0;
     double throttle_stall_seconds = 0;
@@ -105,11 +117,14 @@ class CostLedger {
     double ec2_usd = 0;
 
     uint64_t Requests() const {
-      return gets + puts + deletes + ranged_gets + heads;
+      return gets + puts + deletes + ranged_gets + heads + selects;
     }
     double RequestUsd(const LedgerPrices& prices) const {
       return (puts + deletes) / 1000.0 * prices.put_per_1k +
-             (gets + ranged_gets + heads) / 1000.0 * prices.get_per_1k;
+             (gets + ranged_gets + heads) / 1000.0 * prices.get_per_1k +
+             selects / 1000.0 * prices.select_per_1k +
+             select_scanned_bytes / 1e9 * prices.select_scanned_per_gb +
+             select_returned_bytes / 1e9 * prices.select_returned_per_gb;
     }
     double TotalUsd(const LedgerPrices& prices) const {
       return RequestUsd(prices) + ec2_usd;
@@ -170,6 +185,9 @@ class CostLedger {
 
   // --- recording (all charge to current()) -------------------------------
   void RecordRequest(Request kind, uint64_t bytes) EXCLUDES(mu_);
+  // One NDP SELECT: bytes scanned server-side vs. bytes returned.
+  void RecordSelect(uint64_t scanned_bytes, uint64_t returned_bytes)
+      EXCLUDES(mu_);
   void RecordThrottle(double stall_seconds) EXCLUDES(mu_);
   void RecordRetry(bool not_found) EXCLUDES(mu_);
   void RecordOcmHit() EXCLUDES(mu_) {

@@ -75,6 +75,9 @@ void AppendEntryFields(std::string* out, const CostLedger::Entry& e,
   AppendField(out, "heads", e.heads, first);
   AppendField(out, "get_bytes", e.get_bytes, first);
   AppendField(out, "put_bytes", e.put_bytes, first);
+  AppendField(out, "selects", e.selects, first);
+  AppendField(out, "select_scanned_bytes", e.select_scanned_bytes, first);
+  AppendField(out, "select_returned_bytes", e.select_returned_bytes, first);
   AppendField(out, "throttle_events", e.throttle_events, first);
   AppendField(out, "throttle_stall_seconds", e.throttle_stall_seconds,
               first);
@@ -120,6 +123,11 @@ std::string BuildRunReportJson(const RunReportInfo& info,
     AppendField(&out, "s3_gets", info.s3_gets, &first);
     AppendField(&out, "s3_deletes", info.s3_deletes, &first);
     AppendField(&out, "s3_ranged_gets", info.s3_ranged_gets, &first);
+    AppendField(&out, "s3_selects", info.s3_selects, &first);
+    AppendField(&out, "select_scanned_bytes", info.select_scanned_bytes,
+                &first);
+    AppendField(&out, "select_returned_bytes", info.select_returned_bytes,
+                &first);
     AppendField(&out, "request_usd", info.request_usd, &first);
     AppendField(&out, "ec2_usd", info.ec2_usd, &first);
     AppendField(&out, "storage_usd_month", info.storage_usd_month, &first);

@@ -24,6 +24,9 @@ struct RunReportInfo {
   uint64_t s3_gets = 0;
   uint64_t s3_deletes = 0;
   uint64_t s3_ranged_gets = 0;
+  uint64_t s3_selects = 0;
+  uint64_t select_scanned_bytes = 0;
+  uint64_t select_returned_bytes = 0;
   double request_usd = 0;
   double ec2_usd = 0;
   double storage_usd_month = 0;

@@ -463,6 +463,41 @@ TEST(CostLedgerTest, RequestPricingMatchesRates) {
   EXPECT_DOUBLE_EQ(total.TotalUsd(prices), total.RequestUsd(prices));
 }
 
+TEST(CostLedgerTest, SelectPricingAndFold) {
+  CostLedger ledger;
+  LedgerPrices prices;  // defaults mirror CloudPrices::s3_select_*
+  {
+    ScopedAttribution q(&ledger, Attr(4, -1, 1, "ndp"));
+    for (int i = 0; i < 1000; ++i) {
+      ledger.RecordSelect(/*scanned_bytes=*/1000000,
+                          /*returned_bytes=*/50000);
+    }
+  }
+  // Unattributed selects still land in the grand total.
+  ledger.RecordSelect(1000000, 50000);
+
+  CostLedger::Entry query = ledger.QueryTotal(4);
+  EXPECT_EQ(query.selects, 1000u);
+  EXPECT_EQ(query.select_scanned_bytes, uint64_t{1000000} * 1000);
+  EXPECT_EQ(query.select_returned_bytes, uint64_t{50000} * 1000);
+  EXPECT_EQ(query.Requests(), 1000u);
+  // 1k requests at $0.0004/1k + 1 GB scanned at $0.002/GB + 0.05 GB
+  // returned at $0.0007/GB.
+  EXPECT_NEAR(query.RequestUsd(prices),
+              1.0 * 0.0004 + 1.0 * 0.002 + 0.05 * 0.0007, 1e-12);
+
+  CostLedger::Entry total = ledger.GrandTotal();
+  EXPECT_EQ(total.selects, 1001u);
+
+  // Fold carries the select dimensions.
+  CostLedger::Entry sum;
+  sum.Fold(query);
+  sum.Fold(query);
+  EXPECT_EQ(sum.selects, 2000u);
+  EXPECT_EQ(sum.select_scanned_bytes, uint64_t{1000000} * 2000);
+  EXPECT_NEAR(sum.RequestUsd(prices), 2 * query.RequestUsd(prices), 1e-12);
+}
+
 TEST(CostLedgerTest, ChargeComputeAddsMoneyNotSimTime) {
   CostLedger ledger;
   AttributionContext who = Attr(5, -1, 2, "Q5");

@@ -556,6 +556,75 @@ TEST(WorkloadCostTest, LedgerMatchesMeterWithInterleavedTenants) {
   }
 }
 
+// With NDP on, concurrent tenants issue SELECTs instead of page GETs for
+// their range scans; the ledger must mirror the meter on the new request
+// class and its two byte dimensions, and the USD invariant must keep
+// holding with the select terms in play.
+TEST(WorkloadCostTest, LedgerMatchesMeterWithNdpSelects) {
+  SimEnvironment env;
+  Database::Options db_options = SmallDbOptions();
+  db_options.enable_ocm = false;  // keep range scans on the object store
+  db_options.ndp_mode = ndp::NdpMode::kOn;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), db_options);
+  {
+    Transaction* txn = db.Begin();
+    TableLoader loader = db.NewTableLoader(txn, ScanSchema());
+    Batch batch;
+    batch.AddColumn("k", {ColumnType::kInt64, {}, {}, {}});
+    for (int64_t i = 0; i < 5000; ++i) {
+      batch.columns[0].ints.push_back(i);
+    }
+    ASSERT_TRUE(loader.Append(batch.columns).ok());
+    ASSERT_TRUE(loader.Finish(db.system()).ok());
+    ASSERT_TRUE(db.Commit(txn).ok());
+  }
+
+  WorkloadEngine::Options options;
+  options.admission.concurrency_limit = 3;
+  options.slots_per_node = 3;
+  WorkloadEngine engine({&db}, options, {});
+  // Range scans with different windows per submission, so several NDP
+  // SELECT requests of different sizes interleave on the sim clock.
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& name : {"red", "green", "blue"}) {
+      int64_t lo = 500 * (round + 1);
+      int64_t hi = lo + 999;
+      engine.Submit(name, "ndp-scan", 0,
+                    [lo, hi](Session*, QueryContext* ctx) {
+                      CLOUDIQ_ASSIGN_OR_RETURN(TableReader reader,
+                                               ctx->OpenTable(7));
+                      return ScanTable(ctx, &reader, {"k"},
+                                       ScanRange{"k", lo, hi})
+                          .status();
+                    });
+    }
+  }
+  ASSERT_TRUE(engine.RunUntilIdle().ok());
+
+  const CostMeter& meter = env.cost_meter();
+  ASSERT_GT(meter.s3_selects(), 0u);  // pushdown actually happened
+  CostLedger& ledger = env.telemetry().ledger();
+  CostLedger::Entry total = ledger.GrandTotal();
+  EXPECT_EQ(total.selects, meter.s3_selects());
+  EXPECT_EQ(total.select_scanned_bytes, meter.select_scanned_bytes());
+  EXPECT_EQ(total.select_returned_bytes, meter.select_returned_bytes());
+  EXPECT_EQ(total.gets, meter.s3_gets());
+  EXPECT_EQ(total.puts, meter.s3_puts());
+  EXPECT_NEAR(total.TotalUsd(ledger.prices()),
+              meter.S3RequestUsd() + meter.Ec2Usd(), 1e-9);
+
+  // Tenant rollups still reconstruct the grand total, selects included.
+  CostLedger::Entry sum;
+  for (const std::string& name : ledger.Tenants()) {
+    sum.Fold(ledger.TenantTotal(name));
+  }
+  sum.Fold(ledger.TenantTotal(""));
+  EXPECT_EQ(sum.selects, total.selects);
+  EXPECT_EQ(sum.select_scanned_bytes, total.select_scanned_bytes);
+  EXPECT_NEAR(sum.TotalUsd(ledger.prices()),
+              total.TotalUsd(ledger.prices()), 1e-12);
+}
+
 // --- driver --------------------------------------------------------------
 
 TEST(WorkloadDriverTest, RejectsEmptyLoads) {

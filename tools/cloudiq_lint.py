@@ -27,6 +27,14 @@ level. Rules:
                           derives keys from the ObjectKeyGenerator.
                           Ad-hoc Puts can collide with keygen-issued
                           keys and silently violate never-write-twice.
+  cloudiq-ndp-layering    src/ndp/ (the server-side pushdown evaluator)
+                          must not include ocm/, buffer/ or txn/
+                          headers. The NDP engine models code running
+                          *inside the object store*: it sees encoded
+                          pages and nothing of the compute node's
+                          caches or transactions. An include from those
+                          layers would let server code depend on client
+                          state that a real storage service cannot see.
 
 Escape hatch: `// NOLINT(cloudiq-<rule>): <justification>` on the
 offending line (or the line above) suppresses that rule there. The
@@ -65,6 +73,9 @@ UNORDERED_OPEN_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
 
 STORE_DECL_RE = re.compile(r"\bSimObjectStore\b\s*[*&]?\s*(\w+)")
 
+NDP_FORBIDDEN_INCLUDE_RE = re.compile(
+    r'#\s*include\s*"((?:ocm|buffer|txn)/[^"]*)"')
+
 
 class Violation:
     def __init__(self, path, line, rule, message):
@@ -77,9 +88,11 @@ class Violation:
         return f"{self.path}:{self.line}: [cloudiq-{self.rule}] {self.message}"
 
 
-def strip_comments_and_strings(text):
+def strip_comments_and_strings(text, keep_strings=False):
     """Returns `text` with comment and string/char literal contents
-    blanked (newlines preserved), so rule regexes never fire on prose."""
+    blanked (newlines preserved), so rule regexes never fire on prose.
+    With `keep_strings`, literals survive (for rules like ndp-layering
+    that inspect #include paths, which live inside string tokens)."""
     out = []
     i, n = 0, len(text)
     state = "code"
@@ -97,11 +110,11 @@ def strip_comments_and_strings(text):
                 i += 2
             elif c == '"':
                 state = "string"
-                out.append(" ")
+                out.append('"' if keep_strings else " ")
                 i += 1
             elif c == "'":
                 state = "char"
-                out.append(" ")
+                out.append("'" if keep_strings else " ")
                 i += 1
             else:
                 out.append(c)
@@ -124,14 +137,17 @@ def strip_comments_and_strings(text):
         elif state in ("string", "char"):
             quote = '"' if state == "string" else "'"
             if c == "\\":
-                out.append("  ")
+                out.append(text[i:i + 2] if keep_strings else "  ")
                 i += 2
             elif c == quote:
                 state = "code"
-                out.append(" ")
+                out.append(quote if keep_strings else " ")
                 i += 1
             else:
-                out.append(c if c == "\n" else " ")
+                if keep_strings:
+                    out.append(c)
+                else:
+                    out.append(c if c == "\n" else " ")
                 i += 1
     return "".join(out)
 
@@ -166,6 +182,11 @@ def direct_put_exempt(path):
     if os.path.basename(p) == "sim_test.cc":
         return True  # the store's own unit test
     return False
+
+
+def ndp_layer_file(path):
+    p = norm(path)
+    return p.startswith("src/ndp/") or "/src/ndp/" in p
 
 
 def unordered_names(stripped_text):
@@ -297,6 +318,21 @@ def lint_file(path, text=None):
                            f"iterating unordered container `{name}` in "
                            "emit code; hash order is nondeterministic — "
                            "copy into a std::map/sorted vector first")
+
+    # --- cloudiq-ndp-layering ----------------------------------------------
+    # Include paths live inside string tokens, so this rule uses a strip
+    # pass that removes comments but keeps literals.
+    if ndp_layer_file(path):
+        include_lines = strip_comments_and_strings(
+            text, keep_strings=True).split("\n")
+        for idx, line in enumerate(include_lines):
+            m = NDP_FORBIDDEN_INCLUDE_RE.search(line)
+            if m:
+                report(idx, "ndp-layering",
+                       f'src/ndp/ must not include "{m.group(1)}": the '
+                       "NDP engine runs inside the object store and "
+                       "cannot see the compute node's OCM, buffer pool "
+                       "or transactions")
 
     # --- cloudiq-direct-put ------------------------------------------------
     if not direct_put_exempt(path):

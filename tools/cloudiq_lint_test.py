@@ -160,6 +160,40 @@ class LintFixtureTest(unittest.TestCase):
         )
         self.assertEqual(self.lint("src/engine/meta.cc", code), [])
 
+    # --- cloudiq-ndp-layering -----------------------------------------------
+
+    def test_ndp_forbidden_includes_flagged(self):
+        code = (
+            '#include "ocm/object_cache_manager.h"\n'
+            '#include "buffer/buffer_manager.h"\n'
+            '#include "txn/transaction_manager.h"\n'
+        )
+        violations = self.lint("src/ndp/ndp_engine.cc", code)
+        self.assertEqual(self.rules(violations), ["ndp-layering"] * 3)
+
+    def test_ndp_allowed_includes_ok(self):
+        code = (
+            '#include "columnar/encoding.h"\n'
+            '#include "common/result.h"\n'
+            '#include "ndp/ndp_protocol.h"\n'
+            '#include "sim/object_store.h"\n'
+            '#include "store/page_codec.h"\n'
+        )
+        self.assertEqual(self.lint("src/ndp/ndp_engine.h", code), [])
+
+    def test_ndp_rule_scoped_to_ndp_dir(self):
+        # Consumer-side code may of course see the buffer pool and txns.
+        code = '#include "txn/transaction_manager.h"\n'
+        self.assertEqual(self.lint("src/exec/executor.cc", code), [])
+
+    def test_ndp_mention_in_comment_not_flagged(self):
+        code = (
+            "// Never #include \"ocm/object_cache_manager.h\" here: the\n"
+            "// engine runs inside the store.\n"
+            "int x = 0;\n"
+        )
+        self.assertEqual(self.lint("src/ndp/notes.h", code), [])
+
     # --- NOLINT escape hatch ------------------------------------------------
 
     def test_nolint_with_justification_suppresses(self):
