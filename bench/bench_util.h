@@ -1,6 +1,7 @@
 #ifndef CLOUDIQ_BENCH_BENCH_UTIL_H_
 #define CLOUDIQ_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdio>
@@ -8,7 +9,10 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/mutex.h"
 #include "engine/database.h"
 #include "engine/metrics.h"
 #include "exec/explain.h"
@@ -43,12 +47,18 @@ namespace bench {
 //                                              builds through WithNdp —
 //                                              any figure/table can be
 //                                              re-run with pushdown
+//   --profile        (or CLOUDIQ_PROFILE=1)    print the wait-state stall
+//                                              profile ("stall top") after
+//                                              each run: per-class totals
+//                                              and the top queries by wait
+//                                              time, from the StallProfiler
 // Benches that execute several configurations write the trace/report
 // after each run, so the exported file holds the most recent
 // configuration.
 struct TelemetryOptions {
   bool print_metrics = false;
   bool print_explain = false;
+  bool profile = false;     // print the stall breakdown after each run
   std::string trace_path;   // empty = tracing off
   std::string report_path;  // empty = no JSON report
   std::string bench_name;   // argv[0] basename, stamped into the report
@@ -114,6 +124,11 @@ inline void InitTelemetry(int argc, char** argv) {
       std::strcmp(env_explain, "0") != 0) {
     options.print_explain = true;
   }
+  const char* env_profile = std::getenv("CLOUDIQ_PROFILE");
+  if (env_profile != nullptr && env_profile[0] != '\0' &&
+      std::strcmp(env_profile, "0") != 0) {
+    options.profile = true;
+  }
   const char* env_trace = std::getenv("CLOUDIQ_TRACE");
   if (env_trace != nullptr && env_trace[0] != '\0') {
     options.trace_path = env_trace;
@@ -150,6 +165,8 @@ inline void InitTelemetry(int argc, char** argv) {
       options.print_metrics = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       options.print_explain = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      options.profile = true;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       options.trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
@@ -218,12 +235,90 @@ inline void MaybeWriteReport(SimEnvironment* env, double sim_seconds) {
       meter.S3MonthlyUsd(env->object_store().LiveBytes() / 1e9);
   Status st = WriteRunReport(info, env->telemetry().stats(),
                              env->telemetry().ledger(),
+                             env->telemetry().profiler(),
                              options.report_path);
   if (st.ok()) {
     std::printf("report written to %s\n", options.report_path.c_str());
   } else {
     std::printf("report export failed: %s\n", st.ToString().c_str());
   }
+}
+
+// Prints the wait-state stall profile when --profile is on: per-class
+// totals over the whole run, then the queries with the most wait time.
+// The mutex-contention line is real wall-clock scheduling (OS-dependent)
+// and is deliberately stdout-only — it never enters the deterministic
+// JSON report.
+inline void MaybePrintStallTop(SimEnvironment* env) {
+  if (!Telemetry().profile) return;
+  const StallProfiler& profiler = env->telemetry().profiler();
+  const CostLedger& ledger = env->telemetry().ledger();
+  StallProfiler::Entry total = profiler.GrandTotal();
+  double fg = (total.TotalNanos() - total.background) / 1e9;
+  double bg = total.background / 1e9;
+  std::printf("wait-state profile (foreground %.6fs, background %.6fs)\n",
+              fg, bg);
+  std::vector<int> order(kNumWaitClasses);
+  for (int i = 0; i < kNumWaitClasses; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&total](int a, int b) {
+    if (total.ns[a] != total.ns[b]) return total.ns[a] > total.ns[b];
+    return a < b;
+  });
+  int64_t grand = total.TotalNanos();
+  for (int cls : order) {
+    if (total.ns[cls] == 0) continue;
+    std::printf("  %-18s %12.6fs  %5.1f%%\n",
+                WaitClassName(static_cast<WaitClass>(cls)),
+                total.ns[cls] / 1e9,
+                grand > 0 ? 100.0 * total.ns[cls] / grand : 0.0);
+  }
+  // Queries ranked by time spent not executing (everything but kCpuExec).
+  struct QueryRow {
+    uint64_t id;
+    std::string tag;
+    StallProfiler::Entry entry;
+    int64_t WaitNanos() const {
+      return entry.TotalNanos() - entry.ns[0];  // minus kCpuExec
+    }
+  };
+  std::vector<QueryRow> rows;
+  for (const auto& [id, tag] : ledger.Queries()) {
+    QueryRow row{id, tag, profiler.QueryTotal(id)};
+    if (row.entry.TotalNanos() > 0) rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const QueryRow& a,
+                                         const QueryRow& b) {
+    if (a.WaitNanos() != b.WaitNanos()) return a.WaitNanos() > b.WaitNanos();
+    return a.id < b.id;
+  });
+  size_t shown = std::min<size_t>(rows.size(), 10);
+  if (shown > 0) std::printf("top queries by wait time:\n");
+  for (size_t i = 0; i < shown; ++i) {
+    const QueryRow& row = rows[i];
+    std::printf("  q%-5llu %-12s total %10.6fs  wait %10.6fs",
+                static_cast<unsigned long long>(row.id), row.tag.c_str(),
+                row.entry.TotalNanos() / 1e9, row.WaitNanos() / 1e9);
+    // The two heaviest wait classes, as "class share%".
+    std::vector<int> top(kNumWaitClasses);
+    for (int c = 0; c < kNumWaitClasses; ++c) top[c] = c;
+    std::sort(top.begin(), top.end(), [&row](int a, int b) {
+      if (row.entry.ns[a] != row.entry.ns[b]) {
+        return row.entry.ns[a] > row.entry.ns[b];
+      }
+      return a < b;
+    });
+    int64_t qtotal = row.entry.TotalNanos();
+    for (int c = 0; c < 2 && row.entry.ns[top[c]] > 0; ++c) {
+      std::printf("  %s %.1f%%", WaitClassName(static_cast<WaitClass>(top[c])),
+                  100.0 * row.entry.ns[top[c]] / qtotal);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "mutex contention (wall-clock, nondeterministic): %llu contended "
+      "acquires\n",
+      static_cast<unsigned long long>(
+          MutexContentionCounter().load(std::memory_order_relaxed)));
 }
 
 // Prints the metrics report and/or exports the Chrome trace and JSON run
@@ -234,6 +329,7 @@ inline void MaybeReportTelemetry(Database* db) {
   if (Telemetry().print_metrics) {
     std::printf("%s", FormatMetrics(CollectMetrics(db)).c_str());
   }
+  MaybePrintStallTop(&db->env());
   MaybeWriteTrace(&db->env());
   MaybeWriteReport(&db->env(), db->node().clock().now());
 }
@@ -244,6 +340,7 @@ inline void MaybeReportTelemetry(SimEnvironment* env) {
                 TraceExporter::PercentileReport(env->telemetry().stats())
                     .c_str());
   }
+  MaybePrintStallTop(env);
   MaybeWriteTrace(env);
   MaybeWriteReport(env, /*sim_seconds=*/0);
 }
@@ -302,6 +399,12 @@ inline Status RunOneTpchQuery(Database* db, int q, double* seconds) {
   QueryContext ctx = db->NewQueryContext(txn, "Q" + std::to_string(q));
   {
     ScopedQueryAttribution scope(&ctx);
+    // Query-level stall scope, like the workload engine opens around a
+    // job body: operator scopes nest inside, and the query's wait-class
+    // sum equals its sim duration exactly.
+    StallProfiler& profiler = db->env().telemetry().profiler();
+    ScopedStall stall(&profiler, &db->node().clock(), WaitClass::kCpuExec);
+    profiler.PinScopeAttribution();
     CLOUDIQ_RETURN_IF_ERROR(RunTpchQuery(&ctx, q).status());
     CLOUDIQ_RETURN_IF_ERROR(db->Commit(txn));
   }
@@ -334,6 +437,9 @@ inline Result<PowerRunResult> RunPower(Database* db, TpchGenerator* gen,
   load_attr.tag = "load";
   {
     ScopedAttribution scope(&ledger, load_attr);
+    StallProfiler& profiler = db->env().telemetry().profiler();
+    ScopedStall stall(&profiler, &db->node().clock(), WaitClass::kCpuExec);
+    profiler.PinScopeAttribution();
     CLOUDIQ_ASSIGN_OR_RETURN(TpchLoadResult load,
                              LoadTpch(db, gen, load_options));
     result.load_seconds = load.seconds;

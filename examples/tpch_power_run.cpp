@@ -105,6 +105,7 @@ int main(int argc, char** argv) {
               ledger_usd, ledger.Queries().size(), meter_usd,
               std::fabs(ledger_usd - meter_usd) < 1e-6 ? "match"
                                                        : "MISMATCH");
+  bench::MaybePrintStallTop(&cloud);
   bench::MaybeWriteTrace(&cloud);
   bench::MaybeWriteReport(&cloud, db.node().clock().now());
   return 0;

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""bench_compare: diff two bench snapshots and flag regressions.
+
+Compares the numeric leaves of two snapshot JSONs produced by
+scripts/bench_snapshot.sh (BENCH_profile.json, BENCH_ndp.json — any
+nested dict/list-of-{name,...} structure works) and reports every metric
+that moved by more than the threshold. All snapshot metrics are
+lower-is-better (seconds stalled, ns/op, bytes moved, dollars), so an
+increase past the threshold is a regression and fails the exit status;
+a matching decrease is printed as an improvement but never fails.
+
+Usage:
+  scripts/bench_compare.py OLD.json NEW.json [--threshold 0.10]
+  scripts/bench_compare.py --allow-regressions OLD.json NEW.json
+
+Exit status: 0 when no regression exceeds the threshold, 1 otherwise
+(unless --allow-regressions). New or vanished metrics are reported but
+do not fail — adding an instrument is not a slowdown.
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten(node, prefix, out):
+    """Numeric leaves of nested dicts/lists as {dotted.path: value}.
+    Lists of objects with a `name` key (the micro table) are keyed by
+    name, so reordered benchmarks still line up."""
+    if isinstance(node, dict):
+        for key in sorted(node):
+            flatten(node[key], f"{prefix}.{key}" if prefix else str(key), out)
+    elif isinstance(node, list):
+        for i, item in enumerate(node):
+            if isinstance(item, dict) and "name" in item:
+                key = str(item["name"])
+            else:
+                key = str(i)
+            flatten(item, f"{prefix}[{key}]", out)
+    elif isinstance(node, bool):
+        pass  # bools are not magnitudes
+    elif isinstance(node, (int, float)):
+        out[prefix] = float(node)
+    # strings (names already used as keys) carry no magnitude
+
+
+def load_flat(path):
+    with open(path, "r", encoding="utf-8") as f:
+        snapshot = json.load(f)
+    flat = {}
+    flatten(snapshot, "", flat)
+    # The name keys themselves double as labels; drop self-referential
+    # leaves like "...[foo].name".
+    return {k: v for k, v in flat.items() if not k.endswith(".name")}
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="diff two bench snapshots, flag >threshold regressions"
+    )
+    parser.add_argument("old", help="baseline snapshot JSON")
+    parser.add_argument("new", help="candidate snapshot JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative change that counts as a regression (default 0.10)",
+    )
+    parser.add_argument(
+        "--allow-regressions",
+        action="store_true",
+        help="report regressions but exit 0 anyway",
+    )
+    args = parser.parse_args(argv)
+
+    old = load_flat(args.old)
+    new = load_flat(args.new)
+
+    regressions = []
+    improvements = []
+    for key in sorted(set(old) & set(new)):
+        before, after = old[key], new[key]
+        if before == after:
+            continue
+        if before == 0:
+            # Zero baseline: any appearance of time/cost is reported as a
+            # regression candidate, but tiny absolutes are noise.
+            if after > 1e-9:
+                regressions.append((key, before, after, float("inf")))
+            continue
+        rel = (after - before) / abs(before)
+        if rel > args.threshold:
+            regressions.append((key, before, after, rel))
+        elif rel < -args.threshold:
+            improvements.append((key, before, after, rel))
+
+    for key, before, after, rel in improvements:
+        print(f"improved   {key}: {before:g} -> {after:g} ({rel:+.1%})")
+    for key in sorted(set(new) - set(old)):
+        print(f"new metric {key}: {new[key]:g}")
+    for key in sorted(set(old) - set(new)):
+        print(f"gone       {key} (was {old[key]:g})")
+    for key, before, after, rel in regressions:
+        pct = "new" if rel == float("inf") else f"{rel:+.1%}"
+        print(f"REGRESSED  {key}: {before:g} -> {after:g} ({pct})")
+
+    compared = len(set(old) & set(new))
+    print(
+        f"compared {compared} metrics: {len(regressions)} regressed, "
+        f"{len(improvements)} improved "
+        f"(threshold {args.threshold:.0%})"
+    )
+    if regressions and not args.allow_regressions:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

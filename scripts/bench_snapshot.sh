@@ -9,6 +9,12 @@
 #     SELECT latency p50/p95, pushed or not;
 #   - the micro-benchmark table (name + ns/op) for the decode paths.
 #
+# Also snapshots the wait-state stall profile into BENCH_profile.json:
+# the per-class stall breakdown of the sequential power run and the
+# multi-tenant concurrency bench (per-tenant gauges included), plus the
+# micro table again so one file carries both CPU and wait trajectories.
+# Compare two snapshots with scripts/bench_compare.py.
+#
 # Usage: scripts/bench_snapshot.sh            (SF 0.01 by default)
 #        CLOUDIQ_BENCH_SF=0.02 scripts/bench_snapshot.sh
 
@@ -17,14 +23,17 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "=== bench_snapshot: build bench_micro + bench_ndp ==="
+echo "=== bench_snapshot: build bench_micro + bench_ndp + bench_concurrency + tpch_power_run ==="
 cmake -B build -S . > build-configure.log 2>&1 || {
   cat build-configure.log; exit 1; }
-cmake --build build -j "${JOBS}" --target bench_micro bench_ndp
+cmake --build build -j "${JOBS}" \
+  --target bench_micro bench_ndp bench_concurrency tpch_power_run
 
 micro_json="$(mktemp /tmp/cloudiq_micro.XXXXXX.json)"
 ndp_report="$(mktemp /tmp/cloudiq_ndp_report.XXXXXX.json)"
-trap 'rm -f "${micro_json}" "${ndp_report}"' EXIT
+power_report="$(mktemp /tmp/cloudiq_power_report.XXXXXX.json)"
+conc_report="$(mktemp /tmp/cloudiq_conc_report.XXXXXX.json)"
+trap 'rm -f "${micro_json}" "${ndp_report}" "${power_report}" "${conc_report}"' EXIT
 
 echo "=== bench_snapshot: bench_micro ==="
 ./build/bench/bench_micro --benchmark_format=json \
@@ -81,5 +90,79 @@ if "off" in q6 and "on" in q6 and q6["on"].get("nic_bytes"):
 print(f"wrote {sys.argv[3]}: {len(cases)} cases x "
       f"{len(next(iter(cases.values()), {}))} modes, "
       f"{len(snapshot['micro'])} micro benchmarks")
+EOF
+
+echo "=== bench_snapshot: tpch_power_run (stall profile, sequential) ==="
+./build/examples/tpch_power_run --report="${power_report}" > /dev/null
+
+echo "=== bench_snapshot: bench_concurrency (stall profile, multi-tenant) ==="
+./build/bench/bench_concurrency --tenants=2 --arrival=2 --concurrency=2 \
+  --report="${conc_report}" > /dev/null
+
+echo "=== bench_snapshot: distill -> BENCH_profile.json ==="
+python3 - "${power_report}" "${conc_report}" "${micro_json}" \
+  BENCH_profile.json <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    power = json.load(f)
+with open(sys.argv[2]) as f:
+    conc = json.load(f)
+with open(sys.argv[3]) as f:
+    micro = json.load(f)
+
+
+def stall_summary(report):
+    """Per-class seconds of one report's stalls section (ns -> s so the
+    snapshot diffs in the same unit the SLOs use)."""
+    stalls = report["stalls"]
+    total = stalls["total"]
+    out = {
+        "window_seconds": stalls["window_nanos"] / 1e9,
+        "background_seconds": stalls["background_nanos"] / 1e9,
+        "classes": {
+            cls: ns / 1e9
+            for cls, ns in total.items()
+            if cls not in ("total_nanos", "background_nanos") and ns > 0
+        },
+    }
+    return out
+
+
+def tenant_stalls(report):
+    out = {}
+    for tenant in report.get("tenants", []):
+        name = tenant.get("tenant", "")
+        row = {
+            k: v
+            for k, v in tenant.items()
+            if k.startswith("stall_") or k.startswith("slo_burn_")
+        }
+        if row:
+            out[name] = row
+    return out
+
+
+snapshot = {
+    "power": stall_summary(power),
+    "concurrency": stall_summary(conc),
+    "concurrency_tenants": tenant_stalls(conc),
+    "scale_factor": power["scale_factor"],
+    "micro": [
+        {"name": b["name"], "ns_per_op": b["cpu_time"]}
+        for b in micro.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    ],
+}
+
+with open(sys.argv[4], "w") as f:
+    json.dump(snapshot, f, indent=1, sort_keys=True)
+    f.write("\n")
+
+print(f"wrote {sys.argv[4]}: "
+      f"{len(snapshot['power']['classes'])} power stall classes, "
+      f"{len(snapshot['concurrency']['classes'])} concurrency stall classes, "
+      f"{len(snapshot['concurrency_tenants'])} tenants")
 EOF
 echo "=== bench_snapshot: OK ==="

@@ -18,6 +18,11 @@
 #   scripts/check.sh ndp        # bench_ndp smoke: crossover checks pass,
 #                               # double-run --report byte-identical, and
 #                               # a run under ASan
+#   scripts/check.sh profile    # stall-profiler gate: conservation
+#                               # invariant on the report JSON (single-
+#                               # node and multi-tenant), double-run
+#                               # byte-compare with stalls included, and
+#                               # a --profile run under ASan
 #
 # Each pass uses its own build tree (build/, build-asan/, build-ubsan/,
 # build-tsan/) so the sweeps never poison the primary build's cache.
@@ -204,6 +209,55 @@ ndp_pass() {
   echo "=== ndp: OK ==="
 }
 
+# Stall-profiler gate. Three legs:
+#   1. conservation — tools/stall_top.py --check recomputes, from the
+#      JSON alone, that every entry's classes sum to its total and the
+#      totals sum to window + background nanos; run against both the
+#      sequential power run and the multi-tenant concurrency bench
+#      (interleaved fibers are where mis-bracketed scopes would show);
+#   2. determinism — the report (stalls section included) must stay
+#      byte-identical across double runs at the fixed seed, with
+#      --profile on so the stall-top printer path is exercised too;
+#   3. ASan — the concurrency bench under --profile, since frame swaps
+#      and scope stacks are fresh pointer-juggling code.
+profile_pass() {
+  echo "=== profile: stall conservation + determinism + ASan ==="
+  cmake -B build -S . > build-configure.log 2>&1 || {
+    cat build-configure.log; return 1; }
+  cmake --build build -j "${JOBS}" --target tpch_power_run bench_concurrency
+  local out1 out2 conc
+  out1="$(mktemp /tmp/cloudiq_prof1.XXXXXX.json)"
+  out2="$(mktemp /tmp/cloudiq_prof2.XXXXXX.json)"
+  conc="$(mktemp /tmp/cloudiq_prof_conc.XXXXXX.json)"
+  CLOUDIQ_BENCH_SF=0.002 ./build/examples/tpch_power_run \
+    --profile --report="${out1}" > /dev/null
+  CLOUDIQ_BENCH_SF=0.002 ./build/examples/tpch_power_run \
+    --profile --report="${out2}" > /dev/null
+  echo "--- profile: conservation (tpch_power_run)"
+  python3 tools/stall_top.py --check "${out1}"
+  if ! cmp -s "${out1}" "${out2}"; then
+    echo "profile determinism FAILED: reports differ" >&2
+    diff "${out1}" "${out2}" | head -40 >&2 || true
+    rm -f "${out1}" "${out2}" "${conc}"
+    return 1
+  fi
+  echo "--- profile: reports byte-identical ($(wc -c < "${out1}") bytes)"
+  echo "--- profile: conservation (bench_concurrency, multi-tenant)"
+  CLOUDIQ_BENCH_SF=0.002 ./build/bench/bench_concurrency \
+    --tenants=2 --arrival=2 --concurrency=2 --profile \
+    --report="${conc}" > /dev/null
+  python3 tools/stall_top.py --check "${conc}"
+  rm -f "${out1}" "${out2}" "${conc}"
+  echo "--- profile: ASan run"
+  cmake -B build-asan -S . -DCLOUDIQ_SANITIZE=address \
+    > build-asan-configure.log 2>&1 || {
+      cat build-asan-configure.log; return 1; }
+  cmake --build build-asan -j "${JOBS}" --target bench_concurrency
+  CLOUDIQ_BENCH_SF=0.002 ./build-asan/bench/bench_concurrency \
+    --tenants=2 --arrival=2 --concurrency=2 --profile > /dev/null
+  echo "=== profile: OK ==="
+}
+
 what="${1:-all}"
 case "${what}" in
   plain)  run_pass "plain" build "" ;;
@@ -216,12 +270,14 @@ case "${what}" in
   tidy)   tidy_pass ;;
   determinism) determinism_pass ;;
   ndp) ndp_pass ;;
+  profile) profile_pass ;;
   all)
     lint_pass
     run_pass "plain" build ""
     report_smoke
     determinism_pass
     ndp_pass
+    profile_pass
     tidy_pass
     run_pass "ASan"  build-asan address
     run_pass "UBSan" build-ubsan undefined
@@ -229,7 +285,7 @@ case "${what}" in
     stress_smoke
     ;;
   *)
-    echo "usage: $0 [all|plain|asan|ubsan|tsan|report|stress|lint|tidy|determinism|ndp]" >&2
+    echo "usage: $0 [all|plain|asan|ubsan|tsan|report|stress|lint|tidy|determinism|ndp|profile]" >&2
     exit 2
     ;;
 esac

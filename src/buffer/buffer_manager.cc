@@ -16,11 +16,13 @@ void BufferManager::set_telemetry(Telemetry* telemetry,
   if (telemetry == nullptr) {
     miss_fill_latency_ = flush_latency_ = nullptr;
     ledger_ = nullptr;
+    profiler_ = nullptr;
     return;
   }
   miss_fill_latency_ = &telemetry->stats().histogram("buffer.miss_fill");
   flush_latency_ = &telemetry->stats().histogram("buffer.flush");
   ledger_ = &telemetry->ledger();
+  profiler_ = &telemetry->profiler();
 }
 
 void BufferManager::InsertCleanLocked(const CleanKey& key, PageData data) {
@@ -51,7 +53,14 @@ Result<BufferManager::PageData> BufferManager::Get(
   std::optional<Result<std::vector<uint8_t>>> loaded;
   {
     MutexUnlock unlock(&mu_);
-    loaded.emplace(loader());
+    if (profiler_ != nullptr && clock_ != nullptr) {
+      // Whatever the loader does not claim for a finer class (OCM fetch,
+      // network, throttle) books as buffer-fill wait.
+      ScopedStall stall(profiler_, clock_, WaitClass::kBufferFill);
+      loaded.emplace(loader());
+    } else {
+      loaded.emplace(loader());
+    }
   }
   if (!loaded->ok()) return loaded->status();
   if (miss_fill_latency_ != nullptr) {
@@ -183,7 +192,12 @@ Status BufferManager::EvictDirtyIfNeeded(uint64_t txn_id) {
   Status st = Status::Ok();
   {
     MutexUnlock unlock(&mu_);
-    st = flush_(txn_id, std::move(batch), /*for_commit=*/false);
+    if (profiler_ != nullptr && clock_ != nullptr) {
+      ScopedStall stall(profiler_, clock_, WaitClass::kBufferFill);
+      st = flush_(txn_id, std::move(batch), /*for_commit=*/false);
+    } else {
+      st = flush_(txn_id, std::move(batch), /*for_commit=*/false);
+    }
   }
   if (flush_latency_ != nullptr) {
     flush_latency_->Record(clock_->now() - flush_start);
@@ -231,7 +245,12 @@ Status BufferManager::FlushTxn(uint64_t txn_id) {
   Status st = Status::Ok();
   {
     MutexUnlock unlock(&mu_);
-    st = flush_(txn_id, std::move(batch), /*for_commit=*/true);
+    if (profiler_ != nullptr && clock_ != nullptr) {
+      ScopedStall stall(profiler_, clock_, WaitClass::kBufferFill);
+      st = flush_(txn_id, std::move(batch), /*for_commit=*/true);
+    } else {
+      st = flush_(txn_id, std::move(batch), /*for_commit=*/true);
+    }
   }
   if (flush_latency_ != nullptr) {
     flush_latency_->Record(clock_->now() - flush_start);

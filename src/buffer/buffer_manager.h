@@ -194,6 +194,7 @@ class BufferManager {
   // Telemetry wiring: written once by set_telemetry() during setup.
   Telemetry* telemetry_ = nullptr;
   CostLedger* ledger_ = nullptr;
+  StallProfiler* profiler_ = nullptr;
   const SimClock* clock_ = nullptr;
   uint32_t trace_pid_ = 0;
   Histogram* miss_fill_latency_ = nullptr;

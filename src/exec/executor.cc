@@ -34,7 +34,13 @@ OperatorScope::OperatorScope(QueryContext* ctx, std::string name)
     : ctx_(ctx),
       op_id_(ctx->RegisterOperator(name)),
       start_(ctx->node()->clock().now()),
-      scope_(&ctx->ledger(), OperatorAttribution(ctx, op_id_, name)) {
+      scope_(&ctx->ledger(), OperatorAttribution(ctx, op_id_, name)),
+      stall_(&ctx->node()->telemetry().profiler(), &ctx->node()->clock(),
+             WaitClass::kCpuExec) {
+  // Pin the stall residual to this operator: the fiber may be suspended
+  // and resumed under a different installed attribution, but the scope's
+  // unclaimed time must stay the operator's.
+  ctx->node()->telemetry().profiler().PinScopeAttribution();
   ctx->CheckStep("operator");
 }
 

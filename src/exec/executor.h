@@ -138,6 +138,10 @@ class ScopedQueryAttribution {
 // narrows the ledger attribution to its operator id, and on destruction
 // records the operator's sim-time (the clock advances inside via charged
 // CPU work and storage I/O). Operators report output rows via AddRows.
+// Also opens a stall-profiler scope pinned to the operator's attribution:
+// I/O and wait charges inside land on the operator's stall entry under
+// their own wait classes, and the unclaimed remainder (charged CPU work)
+// books as kCpuExec.
 class OperatorScope {
  public:
   OperatorScope(QueryContext* ctx, std::string name);
@@ -152,6 +156,10 @@ class OperatorScope {
   int op_id_;
   SimTime start_;
   ScopedAttribution scope_;
+  // Declared after scope_: opens after the operator attribution is
+  // installed (so the residual pins to this operator) and closes before
+  // it is restored.
+  ScopedStall stall_;
 };
 
 // Zone-map-prunable scan predicate: int-family column in [lo, hi].

@@ -2,12 +2,29 @@
 
 #include <cstdio>
 
+#include "telemetry/stall_profiler.h"
+
 namespace cloudiq {
+
+namespace {
+
+// The operator's heaviest wait class other than kCpuExec ("-" when the
+// operator never waited).
+const char* TopWaitName(const StallProfiler::Entry& e) {
+  int best = -1;
+  for (int i = 1; i < kNumWaitClasses; ++i) {
+    if (e.ns[i] > 0 && (best < 0 || e.ns[i] > e.ns[best])) best = i;
+  }
+  return best < 0 ? "-" : WaitClassName(static_cast<WaitClass>(best));
+}
+
+}  // namespace
 
 std::string FormatExplainAnalyze(QueryContext* ctx) {
   const CostLedger& ledger = ctx->ledger();
   const LedgerPrices& prices = ledger.prices();
   const AttributionContext& attr = ctx->attribution();
+  const StallProfiler& profiler = ctx->node()->telemetry().profiler();
 
   char buf[256];
   std::string out;
@@ -18,12 +35,14 @@ std::string FormatExplainAnalyze(QueryContext* ctx) {
                 attr.node_id);
   out += buf;
   std::snprintf(buf, sizeof(buf),
-                "%-3s %-28s %10s %7s %11s %8s %8s %10s\n", "op", "name",
-                "rows", "batches", "sim_s", "s3_reqs", "ocm_hit", "usd");
+                "%-3s %-28s %10s %7s %11s %8s %8s %10s %9s %-16s\n", "op",
+                "name", "rows", "batches", "sim_s", "s3_reqs", "ocm_hit",
+                "usd", "wait_s", "top_wait");
   out += buf;
 
   CostLedger::Entry visible_total;
   const auto entries = ledger.entries();
+  const auto stall_entries = profiler.entries();
   const auto& ops = ctx->operators();
   for (size_t id = 0; id < ops.size(); ++id) {
     const QueryContext::OperatorStats& stats = ops[id];
@@ -33,14 +52,22 @@ std::string FormatExplainAnalyze(QueryContext* ctx) {
     auto it = entries.find(key);
     if (it != entries.end()) entry = it->second;
     visible_total.Fold(entry);
+    StallProfiler::Entry stall;
+    auto sit = stall_entries.find(key);
+    if (sit != stall_entries.end()) stall = sit->second;
+    double wait_s =
+        (stall.TotalNanos() - stall.ns[static_cast<int>(WaitClass::kCpuExec)]) /
+        1e9;
     std::snprintf(buf, sizeof(buf),
-                  "%-3zu %-28.28s %10llu %7llu %11.4f %8llu %7.0f%% %10.6f\n",
+                  "%-3zu %-28.28s %10llu %7llu %11.4f %8llu %7.0f%% %10.6f "
+                  "%9.4f %-16s\n",
                   id, stats.name.c_str(),
                   static_cast<unsigned long long>(stats.rows),
                   static_cast<unsigned long long>(stats.batches),
                   stats.sim_seconds,
                   static_cast<unsigned long long>(entry.Requests()),
-                  entry.OcmHitRate() * 100, entry.TotalUsd(prices));
+                  entry.OcmHitRate() * 100, entry.TotalUsd(prices), wait_s,
+                  TopWaitName(stall));
     out += buf;
   }
 
@@ -89,6 +116,27 @@ std::string FormatExplainAnalyze(QueryContext* ctx) {
       static_cast<unsigned long long>(total.buffer_misses),
       static_cast<unsigned long long>(total.buffer_flush_pages));
   out += buf;
+
+  // Where the query's sim-time went, by wait class (stall profiler).
+  // Classes with no time are omitted; the background tail is deferred
+  // OCM work the query enqueued but never waited for.
+  StallProfiler::Entry stall_total = profiler.QueryTotal(attr.query_id);
+  if (stall_total.TotalNanos() > 0) {
+    out += "    stalls:";
+    for (int i = 0; i < kNumWaitClasses; ++i) {
+      if (stall_total.ns[i] == 0) continue;
+      std::snprintf(buf, sizeof(buf), " %s %.4fs",
+                    WaitClassName(static_cast<WaitClass>(i)),
+                    stall_total.ns[i] / 1e9);
+      out += buf;
+    }
+    if (stall_total.background > 0) {
+      std::snprintf(buf, sizeof(buf), " (background %.4fs)",
+                    stall_total.background / 1e9);
+      out += buf;
+    }
+    out += "\n";
+  }
   return out;
 }
 

@@ -16,6 +16,7 @@ ObjectCacheManager::ObjectCacheManager(NodeContext* node, ObjectStoreIo* io,
                       options.capacity_fraction),
       telemetry_(&node->telemetry()),
       ledger_(&node->telemetry().ledger()),
+      profiler_(&node->telemetry().profiler()),
       trace_pid_(node->trace_pid()),
       hit_latency_(&telemetry_->stats().histogram("ocm.hit")),
       miss_latency_(&telemetry_->stats().histogram("ocm.miss")),
@@ -79,6 +80,7 @@ Result<std::vector<uint8_t>> ObjectCacheManager::Read(uint64_t key,
     Result<std::vector<uint8_t>> r =
         node_->ssd().Read(ssd_key, start, completion);
     if (r.ok()) {
+      profiler_->Charge(WaitClass::kOcmFetch, start, *completion);
       hit_latency_->Record(*completion - start);
       if (telemetry_->tracer().enabled()) {
         telemetry_->tracer().CompleteSpan(trace_pid_, kTrackOcm, "ocm",
@@ -113,17 +115,24 @@ void ObjectCacheManager::ScheduleCacheFill(uint64_t key,
   AttributionContext attr = ledger_->current();
   node_->executor().Schedule(
       at + options_.background_delay,
-      [alive, node, key, attr = std::move(attr),
+      [alive, node, key, at, attr = std::move(attr),
        data = std::move(data)](SimTime run_at) mutable {
         auto token = alive.lock();
         if (!token) return;  // the OCM is gone (instance restart)
         ObjectCacheManager* self = *token;
         ScopedAttribution scope(self->ledger_, std::move(attr));
+        // Deferred work consumes no foreground wall time: its queue wait
+        // and SSD write book as background (shadow) nanos under the
+        // enqueuing query, so cache-fill stalls don't vanish from the
+        // breakdown.
+        ScopedBackgroundStall bg(self->profiler_);
+        self->profiler_->Charge(WaitClass::kOcmFetch, at, run_at);
         self->ledger_->RecordOcmFill();
         SimTime done = run_at;
         uint64_t bytes = data.size();
         Status st = node->ssd().Write(FormatObjectKey(key), std::move(data),
                                       run_at, &done);
+        self->profiler_->Charge(WaitClass::kOcmFetch, run_at, done);
         if (!st.ok()) {
           // §4: local cache write failures are ignored.
           MutexLock lock(&self->mu_);
@@ -166,6 +175,8 @@ Status ObjectCacheManager::Write(uint64_t key, std::vector<uint8_t> data,
     // Ignore the local error; the upload below is what matters.
     on_ssd = false;
     *completion = start;
+  } else {
+    profiler_->Charge(WaitClass::kOcmUpload, start, *completion);
   }
   if (telemetry_->tracer().enabled()) {
     telemetry_->tracer().CompleteSpan(trace_pid_, kTrackOcm, "ocm",
@@ -177,7 +188,8 @@ Status ObjectCacheManager::Write(uint64_t key, std::vector<uint8_t> data,
     if (!local.ok()) ++stats_.local_write_errors_ignored;
     pending_bytes_ += data.size();
     write_queue_.push_back(PendingWrite{key, txn_id, std::move(data),
-                                        on_ssd, ledger_->current()});
+                                        on_ssd, ledger_->current(),
+                                        /*enqueued_at=*/*completion});
   }
 
   // Kick the background pump.
@@ -202,6 +214,10 @@ void ObjectCacheManager::PumpOne(SimTime run_at) {
 
   // Bill the upload (and any retries inside it) to the enqueuing query.
   ScopedAttribution scope(ledger_, pw.attr);
+  // The whole drain — queue wait since enqueue plus the upload itself —
+  // books as background (shadow) time under the enqueuing query.
+  ScopedBackgroundStall bg(profiler_);
+  profiler_->Charge(WaitClass::kOcmUpload, pw.enqueued_at, run_at);
   ledger_->RecordOcmUpload();
   SimTime done = run_at;
   Status st = io_->Put(pw.key, pw.data, run_at, &done);
@@ -245,6 +261,16 @@ Status ObjectCacheManager::FlushForCommit(uint64_t txn_id, SimTime start,
     }
     write_queue_ = std::move(rest);
     stats_.commit_promotions += mine.size();
+  }
+
+  // The promoted writes waited in the background queue since enqueue;
+  // book that wait as background time under each write's own attribution
+  // before the foreground uploads start (the uploads themselves advance
+  // the node clock and charge inside the parallel section below).
+  for (const PendingWrite& pw : mine) {
+    ScopedAttribution attr_scope(ledger_, pw.attr);
+    ScopedBackgroundStall bg(profiler_);
+    profiler_->Charge(WaitClass::kOcmUpload, pw.enqueued_at, start);
   }
 
   // Upload in parallel using the node's I/O width.

@@ -113,6 +113,10 @@ class ObjectCacheManager : public CloudCache {
     // the upload to the query that dirtied the page, not to whoever
     // happens to be running when the pump drains.
     AttributionContext attr;
+    // Enqueue time, so the drain can charge the queue-wait window
+    // [enqueued_at, drain start] to kOcmUpload — background stalls must
+    // not vanish from the stall breakdown.
+    SimTime enqueued_at = 0;
   };
 
   // Admits `key` (already on SSD) into the LRU index, evicting as needed.
@@ -131,6 +135,7 @@ class ObjectCacheManager : public CloudCache {
   double capacity_bytes_;
   Telemetry* telemetry_;
   CostLedger* ledger_;
+  StallProfiler* profiler_;
   uint32_t trace_pid_;
   Histogram* hit_latency_;   // SSD-served cache hits
   Histogram* miss_latency_;  // read-throughs to the object store

@@ -26,6 +26,7 @@ NodeContext::NodeContext(const InstanceProfile& profile, SimEnvironment* env)
       nic_(profile.nic_gbps),
       ssd_(SsdOptionsFor(profile)),
       io_(&clock_, &executor_) {
+  io_.set_profiler(&env->telemetry().profiler());
   Tracer& tracer = env->telemetry().tracer();
   std::string node = "node" + std::to_string(trace_pid_ - 1);
   tracer.SetProcessName(trace_pid_, node + " (" + profile.name + ")");
@@ -35,6 +36,7 @@ NodeContext::NodeContext(const InstanceProfile& profile, SimEnvironment* env)
   tracer.SetTrackName(trace_pid_, kTrackOcm, "OCM (SSD cache)");
   tracer.SetTrackName(trace_pid_, kTrackStoreIo, "object-store I/O");
   tracer.SetTrackName(trace_pid_, kTrackKeygen, "key generator");
+  tracer.SetTrackName(trace_pid_, kTrackStall, "wait-state stalls");
 }
 
 int NodeContext::IoWidth() const {

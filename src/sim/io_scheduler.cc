@@ -8,6 +8,7 @@ namespace cloudiq {
 void IoScheduler::RunParallel(const std::vector<Op>& ops, int width) {
   if (ops.empty()) return;
   width = std::max(1, width);
+  if (profiler_ != nullptr) profiler_->BeginParallel(clock_->now());
   std::vector<SimTime> workers(
       static_cast<size_t>(std::min<size_t>(width, ops.size())),
       clock_->now());
@@ -26,6 +27,7 @@ void IoScheduler::RunParallel(const std::vector<Op>& ops, int width) {
   }
   SimTime done = *std::max_element(workers.begin(), workers.end());
   clock_->AdvanceTo(done);
+  if (profiler_ != nullptr) profiler_->EndParallel(done);
   executor_->RunDue(done);
 }
 

@@ -6,6 +6,7 @@
 
 #include "sim/sim_clock.h"
 #include "sim/sim_executor.h"
+#include "telemetry/stall_profiler.h"
 
 namespace cloudiq {
 
@@ -40,9 +41,16 @@ class IoScheduler {
   SimClock* clock() { return clock_; }
   SimExecutor* executor() { return executor_; }
 
+  // Wires the stall profiler so RunParallel can bracket its lanes in a
+  // parallel section: the lanes' device windows overlap in wall sim-time,
+  // and the section scales their raw charges to the batch's actual
+  // elapsed time (see StallProfiler).
+  void set_profiler(StallProfiler* profiler) { profiler_ = profiler; }
+
  private:
   SimClock* clock_;
   SimExecutor* executor_;
+  StallProfiler* profiler_ = nullptr;
 };
 
 }  // namespace cloudiq

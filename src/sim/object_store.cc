@@ -14,6 +14,7 @@ void SimObjectStore::set_telemetry(Telemetry* telemetry) {
     get_latency_ = put_latency_ = delete_latency_ = nullptr;
     select_latency_ = nullptr;
     ledger_ = nullptr;
+    profiler_ = nullptr;
     return;
   }
   get_latency_ = &telemetry->stats().histogram("s3.get");
@@ -21,6 +22,7 @@ void SimObjectStore::set_telemetry(Telemetry* telemetry) {
   delete_latency_ = &telemetry->stats().histogram("s3.delete");
   select_latency_ = &telemetry->stats().histogram("s3.select");
   ledger_ = &telemetry->ledger();
+  profiler_ = &telemetry->profiler();
 }
 
 std::string SimObjectStore::PrefixOf(const std::string& key) {
@@ -68,7 +70,15 @@ SimTime SimObjectStore::ServiceRequest(const std::string& key, bool is_put,
   double transfer = static_cast<double>(bytes) / options_.stream_bandwidth;
   // Mild deterministic-seeded jitter so request times are not lockstep.
   double jitter = rng_.Exponential(base * 0.15);
-  return streams_.Submit(admitted, transfer, base + jitter);
+  SimTime completion = streams_.Submit(admitted, transfer, base + jitter);
+  // Tile the request's window into the stall ledger: pacer stall first,
+  // the rest (queueing behind other streams + base + transfer) is the
+  // network transfer.
+  if (profiler_ != nullptr) {
+    profiler_->Charge(WaitClass::kThrottleBackoff, arrival, admitted);
+    profiler_->Charge(WaitClass::kNetworkTransfer, admitted, completion);
+  }
+  return completion;
 }
 
 Status SimObjectStore::Put(const std::string& key,
@@ -319,6 +329,14 @@ Result<std::vector<uint8_t>> SimObjectStore::Select(
   double jitter = rng_.Exponential(options_.select_base_latency * 0.15);
   *completion = streams_.Submit(
       admitted, transfer, options_.select_base_latency + scan_time + jitter);
+  // A pushed-down SELECT's post-pacer window is server-side scan plus the
+  // (much smaller) result transfer; the whole of it is the price of
+  // choosing pushdown, so it books as kNdpSelect rather than splitting
+  // hairs between scan and result bytes.
+  if (profiler_ != nullptr) {
+    profiler_->Charge(WaitClass::kThrottleBackoff, arrival, admitted);
+    profiler_->Charge(WaitClass::kNdpSelect, admitted, *completion);
+  }
 
   BillSelectLocked(scanned, returned);
   if (bytes_scanned != nullptr) *bytes_scanned = scanned;
@@ -365,6 +383,10 @@ SimTime SimObjectStore::ExternalRead(uint64_t bytes, SimTime arrival) {
           "ranged GET (" + std::to_string(part) + " B)", arrival, part_done);
     }
     done = std::max(done, part_done);
+  }
+  // The parts stream concurrently; charge the covering window once.
+  if (profiler_ != nullptr) {
+    profiler_->Charge(WaitClass::kNetworkTransfer, arrival, done);
   }
   return done;
 }

@@ -243,6 +243,7 @@ class SimObjectStore {
   CostMeter* cost_meter_ GUARDED_BY(mu_) = nullptr;
   Telemetry* telemetry_ GUARDED_BY(mu_) = nullptr;
   CostLedger* ledger_ GUARDED_BY(mu_) = nullptr;
+  StallProfiler* profiler_ GUARDED_BY(mu_) = nullptr;
   const NdpServerEngine* ndp_engine_ GUARDED_BY(mu_) = nullptr;
   Histogram* get_latency_ GUARDED_BY(mu_) = nullptr;
   Histogram* put_latency_ GUARDED_BY(mu_) = nullptr;

@@ -13,12 +13,14 @@ void ObjectStoreIo::set_telemetry(Telemetry* telemetry,
   if (telemetry == nullptr) {
     get_latency_ = put_latency_ = select_latency_ = nullptr;
     ledger_ = nullptr;
+    profiler_ = nullptr;
     return;
   }
   get_latency_ = &telemetry->stats().histogram("io.get");
   put_latency_ = &telemetry->stats().histogram("io.put");
   select_latency_ = &telemetry->stats().histogram("io.select");
   ledger_ = &telemetry->ledger();
+  profiler_ = &telemetry->profiler();
 }
 
 std::string ObjectStoreIo::StoreKey(uint64_t key) const {
@@ -37,6 +39,9 @@ Status ObjectStoreIo::Put(uint64_t key, const std::vector<uint8_t>& frame,
   SimTime t = start;
   for (int attempt = 0;; ++attempt) {
     SimTime nic_done = nic_->Transfer(frame.size(), t);
+    if (profiler_ != nullptr) {
+      profiler_->Charge(WaitClass::kNetworkTransfer, t, nic_done);
+    }
     Status st = store_->Put(store_key, frame, nic_done, completion);
     if (st.ok()) {
       if (put_latency_ != nullptr) put_latency_->Record(*completion - start);
@@ -74,7 +79,12 @@ Result<std::vector<uint8_t>> ObjectStoreIo::Get(uint64_t key, SimTime start,
     Result<std::vector<uint8_t>> r = store_->Get(store_key, t, completion);
     if (r.ok()) {
       // NIC transfer of the downloaded bytes.
-      *completion = nic_->Transfer(r.value().size(), *completion);
+      SimTime store_done = *completion;
+      *completion = nic_->Transfer(r.value().size(), store_done);
+      if (profiler_ != nullptr) {
+        profiler_->Charge(WaitClass::kNetworkTransfer, store_done,
+                          *completion);
+      }
       if (get_latency_ != nullptr) get_latency_->Record(*completion - start);
       if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
         telemetry_->tracer().CompleteSpan(trace_pid_, kTrackStoreIo, "io",
@@ -97,6 +107,9 @@ Result<std::vector<uint8_t>> ObjectStoreIo::Get(uint64_t key, SimTime start,
                                      *completion);
       }
       t = *completion + backoff;
+      if (profiler_ != nullptr) {
+        profiler_->Charge(WaitClass::kThrottleBackoff, *completion, t);
+      }
       backoff *= 2;
       continue;
     }
@@ -119,11 +132,19 @@ Result<std::vector<uint8_t>> ObjectStoreIo::Select(
     // The request itself crosses the NIC (it is tiny next to the pages
     // it spares).
     SimTime nic_done = nic_->Transfer(request.size(), t);
+    if (profiler_ != nullptr) {
+      profiler_->Charge(WaitClass::kNetworkTransfer, t, nic_done);
+    }
     uint64_t scanned = 0;
     Result<std::vector<uint8_t>> r =
         store_->Select(request, nic_done, completion, &scanned);
     if (r.ok()) {
-      *completion = nic_->Transfer(r.value().size(), *completion);
+      SimTime store_done = *completion;
+      *completion = nic_->Transfer(r.value().size(), store_done);
+      if (profiler_ != nullptr) {
+        profiler_->Charge(WaitClass::kNetworkTransfer, store_done,
+                          *completion);
+      }
       ++stats_.selects;
       stats_.select_request_bytes += request.size();
       stats_.select_returned_bytes += r.value().size();
@@ -149,6 +170,9 @@ Result<std::vector<uint8_t>> ObjectStoreIo::Select(
                                      *completion);
       }
       t = *completion + backoff;
+      if (profiler_ != nullptr) {
+        profiler_->Charge(WaitClass::kThrottleBackoff, *completion, t);
+      }
       backoff *= 2;
       continue;
     }

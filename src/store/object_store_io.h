@@ -97,6 +97,7 @@ class ObjectStoreIo {
   Stats stats_;
   Telemetry* telemetry_ = nullptr;
   CostLedger* ledger_ = nullptr;
+  StallProfiler* profiler_ = nullptr;
   uint32_t trace_pid_ = 0;
   Histogram* get_latency_ = nullptr;
   Histogram* put_latency_ = nullptr;

@@ -97,11 +97,28 @@ void AppendEntryFields(std::string* out, const CostLedger::Entry& e,
   AppendField(out, "total_usd", e.TotalUsd(prices), first);
 }
 
+// One stall entry's per-class nanosecond tallies plus the exact total.
+// Integer fields keep the conservation invariant checkable on the JSON
+// itself (sum of classes == total_nanos, sums across entries == window +
+// background).
+void AppendStallFields(std::string* out, const StallProfiler::Entry& e,
+                       bool* first) {
+  for (int i = 0; i < kNumWaitClasses; ++i) {
+    AppendField(out, WaitClassName(static_cast<WaitClass>(i)),
+                static_cast<uint64_t>(e.ns[i]), first);
+  }
+  AppendField(out, "total_nanos", static_cast<uint64_t>(e.TotalNanos()),
+              first);
+  AppendField(out, "background_nanos", static_cast<uint64_t>(e.background),
+              first);
+}
+
 }  // namespace
 
 std::string BuildRunReportJson(const RunReportInfo& info,
                                const StatsRegistry& stats,
-                               const CostLedger& ledger) {
+                               const CostLedger& ledger,
+                               const StallProfiler& profiler) {
   const LedgerPrices& prices = ledger.prices();
   std::string out;
   out.reserve(1 << 16);
@@ -260,9 +277,99 @@ std::string BuildRunReportJson(const RunReportInfo& info,
     AppendField(&out, "request_usd", spend.RequestUsd(prices), &first);
     AppendField(&out, "ec2_usd", spend.ec2_usd, &first);
     AppendField(&out, "cost_usd", spend.TotalUsd(prices), &first);
+    // Wait-class breakdown for the tenant's queries plus the SLO-burn
+    // fractions: the average per-completed-query seconds spent in each
+    // class as a fraction of the tenant's p95 latency budget — "tenant A
+    // burns 32% of its SLO on network transfer" is the
+    // decide-what-to-fix-next number.
+    StallProfiler::Entry stall = profiler.TenantTotal(tenant);
+    const uint64_t completed = tenant_count(tenant, "completed");
+    double slo_seconds = 0;
+    {
+      const auto& gauges = stats.gauges();
+      auto it = gauges.find("workload." + tenant + ".slo_seconds");
+      if (it != gauges.end()) slo_seconds = it->second.value();
+    }
+    AppendField(&out, "stall_total_seconds", stall.TotalNanos() / 1e9,
+                &first);
+    for (int i = 0; i < kNumWaitClasses; ++i) {
+      std::string field = "stall_";
+      field += WaitClassName(static_cast<WaitClass>(i));
+      field += "_seconds";
+      AppendField(&out, field.c_str(), stall.ns[i] / 1e9, &first);
+    }
+    for (int i = 0; i < kNumWaitClasses; ++i) {
+      std::string field = "slo_burn_";
+      field += WaitClassName(static_cast<WaitClass>(i));
+      double burn = 0;
+      if (completed > 0 && slo_seconds > 0) {
+        burn = (stall.ns[i] / 1e9) /
+               (static_cast<double>(completed) * slo_seconds);
+      }
+      AppendField(&out, field.c_str(), burn, &first);
+    }
     out.push_back('}');
   }
   out.append("]");
+
+  // The stall profiler's wait-state ledger: where every simulated
+  // nanosecond went, globally and per query / operator / node. All
+  // integer nanos; sum over queries' entries of all classes equals
+  // window_nanos + background_nanos exactly (check.sh profile asserts
+  // this on the emitted JSON).
+  out.append(",\n\"stalls\":{\"window_nanos\":");
+  AppendCount(&out, static_cast<uint64_t>(profiler.window_nanos()));
+  out.append(",\"background_nanos\":");
+  AppendCount(&out, static_cast<uint64_t>(profiler.background_nanos()));
+  out.append(",\"total\":{");
+  {
+    bool first = true;
+    AppendStallFields(&out, profiler.GrandTotal(), &first);
+  }
+  out.append("},\"queries\":[");
+  {
+    std::map<CostLedger::Key, StallProfiler::Entry> stall_entries =
+        profiler.entries();
+    std::map<uint64_t, std::string> query_tags;
+    for (const auto& [query_id, tag] : ledger.Queries()) {
+      query_tags[query_id] = tag;
+    }
+    std::map<uint64_t, StallProfiler::Entry> by_query;
+    for (const auto& [key, entry] : stall_entries) {
+      by_query[key.query_id].Fold(entry);
+    }
+    bool first_query = true;
+    for (const auto& [query_id, total] : by_query) {
+      if (!first_query) out.push_back(',');
+      first_query = false;
+      out.append("\n{\"query_id\":");
+      AppendCount(&out, query_id);
+      out.append(",\"tag\":");
+      auto tag_it = query_tags.find(query_id);
+      AppendEscaped(&out,
+                    tag_it != query_tags.end() ? tag_it->second : "");
+      bool first = false;
+      AppendStallFields(&out, total, &first);
+      out.append(",\"entries\":[");
+      bool first_entry = true;
+      for (const auto& [key, entry] : stall_entries) {
+        if (key.query_id != query_id) continue;
+        if (!first_entry) out.push_back(',');
+        first_entry = false;
+        out.append("{\"operator_id\":");
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%d", key.operator_id);
+        out.append(buf);
+        out.append(",\"node_id\":");
+        AppendCount(&out, key.node_id);
+        bool f = false;
+        AppendStallFields(&out, entry, &f);
+        out.push_back('}');
+      }
+      out.append("]}");
+    }
+  }
+  out.append("]}");
 
   // The per-prefix throttle heatmap.
   out.append(",\n\"prefixes\":[");
@@ -327,8 +434,10 @@ std::string BuildRunReportJson(const RunReportInfo& info,
 }
 
 Status WriteRunReport(const RunReportInfo& info, const StatsRegistry& stats,
-                      const CostLedger& ledger, const std::string& path) {
-  std::string json = BuildRunReportJson(info, stats, ledger);
+                      const CostLedger& ledger,
+                      const StallProfiler& profiler,
+                      const std::string& path) {
+  std::string json = BuildRunReportJson(info, stats, ledger, profiler);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::IoError("cannot open report file: " + path);

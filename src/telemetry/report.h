@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "telemetry/attribution.h"
+#include "telemetry/stall_profiler.h"
 #include "telemetry/stats.h"
 
 namespace cloudiq {
@@ -33,17 +34,21 @@ struct RunReportInfo {
 };
 
 // Builds the structured run report: global cost, the attribution ledger
-// broken down by query / node / key prefix (the throttle heatmap), and
-// every StatsRegistry instrument. Top-level keys:
-//   schema_version, bench, cost, queries, nodes, prefixes,
-//   histograms, counters, gauges
+// broken down by query / node / key prefix (the throttle heatmap), the
+// stall profiler's wait-class breakdown (integer nanoseconds, so the
+// conservation invariant survives serialization exactly), and every
+// StatsRegistry instrument. Top-level keys:
+//   schema_version, bench, cost, queries, nodes, tenants, stalls,
+//   prefixes, histograms, counters, gauges
 std::string BuildRunReportJson(const RunReportInfo& info,
                                const StatsRegistry& stats,
-                               const CostLedger& ledger);
+                               const CostLedger& ledger,
+                               const StallProfiler& profiler);
 
 // Convenience: build + write to `path`.
 Status WriteRunReport(const RunReportInfo& info, const StatsRegistry& stats,
-                      const CostLedger& ledger, const std::string& path);
+                      const CostLedger& ledger,
+                      const StallProfiler& profiler, const std::string& path);
 
 }  // namespace cloudiq
 

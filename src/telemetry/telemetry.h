@@ -2,6 +2,7 @@
 #define CLOUDIQ_TELEMETRY_TELEMETRY_H_
 
 #include "telemetry/attribution.h"
+#include "telemetry/stall_profiler.h"
 #include "telemetry/stats.h"
 #include "telemetry/tracer.h"
 
@@ -10,9 +11,11 @@ namespace cloudiq {
 // One simulation's observability state: the name-keyed stats registry
 // (always on — histogram/counter updates are a few arithmetic ops), the
 // event tracer (off by default; see Tracer), and the per-query cost
-// ledger (always on; see CostLedger). Owned by SimEnvironment and shared
-// by every node of the cluster, so multi-node runs land on a single
-// timeline with per-node tracks and one cluster-wide ledger.
+// ledger (always on; see CostLedger), and the wait-state stall profiler
+// (always on; see StallProfiler — its per-charge cost is an integer add
+// under a leaf lock). Owned by SimEnvironment and shared by every node
+// of the cluster, so multi-node runs land on a single timeline with
+// per-node tracks, one cluster-wide ledger, and one stall ledger.
 class Telemetry {
  public:
   StatsRegistry& stats() { return stats_; }
@@ -21,11 +24,14 @@ class Telemetry {
   const Tracer& tracer() const { return tracer_; }
   CostLedger& ledger() { return ledger_; }
   const CostLedger& ledger() const { return ledger_; }
+  StallProfiler& profiler() { return profiler_; }
+  const StallProfiler& profiler() const { return profiler_; }
 
  private:
   StatsRegistry stats_;
   Tracer tracer_;
   CostLedger ledger_;
+  StallProfiler profiler_{&ledger_, &tracer_};
 };
 
 }  // namespace cloudiq

@@ -26,6 +26,7 @@ enum TraceTrack : uint32_t {
   kTrackOcm = 4,
   kTrackStoreIo = 5,
   kTrackKeygen = 6,
+  kTrackStall = 7,
 };
 
 constexpr uint32_t kClusterPid = 0;

@@ -9,6 +9,8 @@ void StepFiber::Trampoline() {
   bool cancelled;
   {
     MutexLock lock(&mu_);
+    // NOLINT(cloudiq-stall-report): real-thread handoff awaiting the
+    // first Resume; the sim clock does not run while parked here.
     cv_.Wait(&mu_, [this]() REQUIRES(mu_) { return fiber_turn_; });
     cancelled = cancel_;
   }
@@ -32,6 +34,8 @@ bool StepFiber::Resume() {
   if (finished_) return false;
   fiber_turn_ = true;
   cv_.NotifyAll();
+  // NOLINT(cloudiq-stall-report): real-thread handoff to the fiber; any
+  // sim-time the step consumes is charged by the fiber body itself.
   cv_.Wait(&mu_, [this]() REQUIRES(mu_) { return !fiber_turn_; });
   return !finished_;
 }
@@ -40,6 +44,8 @@ void StepFiber::Yield() {
   MutexLock lock(&mu_);
   fiber_turn_ = false;
   cv_.NotifyAll();
+  // NOLINT(cloudiq-stall-report): real-thread handoff back to the engine;
+  // the engine charges the suspension gap (kLockWait) at the next resume.
   cv_.Wait(&mu_, [this]() REQUIRES(mu_) { return fiber_turn_; });
   if (cancel_) throw CancelTag{};
 }
@@ -51,6 +57,8 @@ StepFiber::~StepFiber() {
       cancel_ = true;
       fiber_turn_ = true;
       cv_.NotifyAll();
+      // NOLINT(cloudiq-stall-report): teardown unwind of a cancelled
+      // fiber; no simulated time passes during destruction.
       cv_.Wait(&mu_, [this]() REQUIRES(mu_) { return finished_; });
     }
   }

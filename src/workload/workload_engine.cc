@@ -46,6 +46,13 @@ WorkloadEngine::TenantState& WorkloadEngine::RegisterTenant(
   ts.slo_missed = &stats.counter(p + "slo_missed");
   ts.latency = &stats.histogram(p + "latency");
   ts.queue_wait = &stats.histogram(p + "queue_wait");
+  for (int i = 0; i < kNumWaitClasses; ++i) {
+    ts.stall[i] = &stats.gauge(
+        p + "stall." + WaitClassName(static_cast<WaitClass>(i)));
+  }
+  // The report's per-tenant SLO-burn lines read the target back from here
+  // (the report walks the ledger and registry; it never sees the engine).
+  stats.gauge(p + "slo_seconds").Set(config.slo_seconds);
   admission_.RegisterTenant(config.name, config.rate_per_sec, config.burst);
   scheduler_.RegisterTenant(config.name, config.weight);
   return ts;
@@ -219,6 +226,7 @@ void WorkloadEngine::Dispatch(std::unique_ptr<Job> job, SimTime now) {
   ts.queue_wait->Record(wait);
   queue_wait_all_->Record(wait);
   Job* raw = job.get();
+  raw->frame = env_->telemetry().profiler().NewFrame();
   raw->fiber = std::make_unique<StepFiber>([this, raw] { RunJobBody(raw); });
   running_[raw->id] = std::move(job);
 }
@@ -237,6 +245,23 @@ void WorkloadEngine::RunJobBody(Job* job) {
     // the whole stack top in and out around every step.
     ScopedAttribution scope(&db->env().telemetry().ledger(),
                             ctx.attribution());
+    // Account the job's pre-execution life under its own identity:
+    // admission/scheduler queueing, then waiting for the node clock to
+    // reach this fiber's first resume (dispatch metadata advances
+    // nothing, so the node clock has not moved since). Together with the
+    // query scope below, the tiles telescope: the job's wait-class sum
+    // equals finish - arrival exactly.
+    StallProfiler& profiler = db->env().telemetry().profiler();
+    const SimClock& clock = db->node().clock();
+    profiler.Charge(WaitClass::kAdmissionQueue, job->arrival, job->dispatch);
+    profiler.Charge(WaitClass::kLockWait, job->dispatch, clock.now());
+    // The rest of the job's life — body, commit/rollback — is one stall
+    // scope: instrumented waits inside book their own classes, and the
+    // unclaimed remainder (charged CPU work) lands on kCpuExec. Pinned so
+    // the residual keeps the query key even though operator scopes swap
+    // the ledger's current context underneath.
+    ScopedStall stall(&profiler, &clock, WaitClass::kCpuExec);
+    profiler.PinScopeAttribution();
     st = job->body ? job->body(job->session.get(), &ctx) : Status::Ok();
     if (st.ok()) {
       st = db->Commit(txn);
@@ -252,10 +277,19 @@ void WorkloadEngine::StepJob(Job* job) {
   NodeContext& node = job->db->node();
   SimTime before = node.clock().now();
   CostLedger& ledger = env_->telemetry().ledger();
+  StallProfiler& profiler = env_->telemetry().profiler();
   // Restore exactly the attribution the fiber had current when it last
   // yielded; capture it back after the step. Other jobs' scopes never
-  // leak in, even though all fibers share the one ledger slot.
+  // leak in, even though all fibers share the one ledger slot. The stall
+  // frame (the fiber's open scope stack) swaps in lockstep.
   AttributionContext host = ledger.Swap(job->saved_attr);
+  StallProfiler::Frame* host_frame = profiler.SwapFrame(job->frame.get());
+  if (job->stepped) {
+    // While this fiber was parked, co-resident jobs advanced the node
+    // clock past where it last yielded: time the query spent serialized
+    // behind its neighbours, charged under the yield-point attribution.
+    profiler.Charge(WaitClass::kLockWait, job->ready_time, before);
+  }
   bool more;
   {
     // The resumed fiber runs a whole query slice — buffer pools, OCM,
@@ -263,7 +297,9 @@ void WorkloadEngine::StepJob(Job* job) {
     MutexUnlock unlock(&mu_);
     more = job->fiber->Resume();
   }
+  job->stepped = true;
   job->saved_attr = ledger.Swap(std::move(host));
+  profiler.SwapFrame(host_frame);
   steps_->Add();
   double delta = node.clock().now() - before;
   job->active_seconds += delta;
@@ -302,6 +338,13 @@ void WorkloadEngine::Complete(Job* job) {
   }
   ts.spent_usd += ledger.QueryTotal(job->query_attr.query_id)
                       .TotalUsd(ledger.prices());
+  // Refresh the tenant's wait-class gauges (cumulative seconds, including
+  // background shadow time its queries enqueued).
+  StallProfiler::Entry stall =
+      env_->telemetry().profiler().TenantTotal(job->tenant);
+  for (int i = 0; i < kNumWaitClasses; ++i) {
+    ts.stall[i]->Set(static_cast<double>(stall.ns[i]) * 1e-9);
+  }
   admission_.OnComplete();
   --node_active_[job->node_index];
   env_->telemetry().tracer().CompleteSpan(

@@ -1,6 +1,7 @@
 #ifndef CLOUDIQ_WORKLOAD_WORKLOAD_ENGINE_H_
 #define CLOUDIQ_WORKLOAD_WORKLOAD_ENGINE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -13,6 +14,7 @@
 #include "common/thread_annotations.h"
 #include "engine/database.h"
 #include "engine/session.h"
+#include "telemetry/stall_profiler.h"
 #include "workload/admission.h"
 #include "workload/fair_scheduler.h"
 #include "workload/step_fiber.h"
@@ -178,6 +180,12 @@ class WorkloadEngine {
     // fiber had current when it last yielded (query- or operator-level).
     AttributionContext saved_attr;
     AttributionContext query_attr;  // query-level identity, for billing
+    // Stall-profiler scope stack, swapped alongside saved_attr: the open
+    // query/operator stall scopes belong to this fiber, not the thread.
+    std::unique_ptr<StallProfiler::Frame> frame;
+    // False until the first fiber resume returns; suspension gaps are
+    // charged from ready_time, which is only meaningful after a step.
+    bool stepped = false;
     Status result;
     double active_seconds = 0;
   };
@@ -196,6 +204,9 @@ class WorkloadEngine {
     Counter* slo_missed = nullptr;
     Histogram* latency = nullptr;
     Histogram* queue_wait = nullptr;
+    // workload.<tenant>.stall.<class> — cumulative seconds the tenant's
+    // queries spent in each wait class, refreshed on every completion.
+    std::array<Gauge*, kNumWaitClasses> stall = {};
   };
 
   TenantState& RegisterTenant(const TenantConfig& config) REQUIRES(mu_);

@@ -1,0 +1,298 @@
+// Tests for the wait-state stall profiler: integer-nanosecond charges,
+// scope residuals, parallel-lane scaling, background shadow time, frame
+// isolation, and above all the conservation invariant — the sum of every
+// entry's classes equals window_nanos + background_nanos exactly.
+
+#include "telemetry/stall_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/attribution.h"
+
+namespace cloudiq {
+namespace {
+
+constexpr int64_t kSecond = 1000000000;
+
+AttributionContext Attr(uint64_t query, int32_t op, uint32_t node,
+                        std::string tag = "") {
+  AttributionContext attr;
+  attr.query_id = query;
+  attr.operator_id = op;
+  attr.node_id = node;
+  attr.tag = std::move(tag);
+  return attr;
+}
+
+int64_t EntrySum(const StallProfiler& profiler) {
+  int64_t sum = 0;
+  for (const auto& [key, entry] : profiler.entries()) {
+    sum += entry.TotalNanos();
+  }
+  return sum;
+}
+
+void ExpectConserved(const StallProfiler& profiler) {
+  EXPECT_EQ(EntrySum(profiler),
+            profiler.window_nanos() + profiler.background_nanos());
+}
+
+TEST(StallProfilerTest, DirectChargeBooksEntryAndWindow) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, /*tracer=*/nullptr);
+  {
+    ScopedAttribution scope(&ledger, Attr(7, -1, 1, "q"));
+    profiler.Charge(WaitClass::kNetworkTransfer, 1.0, 1.25);
+  }
+  StallProfiler::Entry entry = profiler.QueryTotal(7);
+  EXPECT_EQ(entry.ns[static_cast<int>(WaitClass::kNetworkTransfer)],
+            kSecond / 4);
+  EXPECT_EQ(entry.TotalNanos(), kSecond / 4);
+  EXPECT_EQ(entry.background, 0);
+  EXPECT_EQ(profiler.window_nanos(), kSecond / 4);
+  EXPECT_EQ(profiler.background_nanos(), 0);
+  ExpectConserved(profiler);
+}
+
+TEST(StallProfilerTest, EmptyAndBackwardWindowsChargeNothing) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, nullptr);
+  profiler.Charge(WaitClass::kLockWait, 2.0, 2.0);
+  profiler.Charge(WaitClass::kLockWait, 3.0, 2.5);
+  EXPECT_TRUE(profiler.entries().empty());
+  EXPECT_EQ(profiler.window_nanos(), 0);
+}
+
+TEST(StallProfilerTest, ScopeResidualTakesScopeClass) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, nullptr);
+  ScopedAttribution scope(&ledger, Attr(3, -1, 1));
+  profiler.BeginScope(WaitClass::kCpuExec, 0.0);
+  profiler.Charge(WaitClass::kNetworkTransfer, 0.2, 0.45);
+  profiler.EndScope(1.0);
+
+  StallProfiler::Entry entry = profiler.QueryTotal(3);
+  EXPECT_EQ(entry.ns[static_cast<int>(WaitClass::kNetworkTransfer)],
+            kSecond / 4);
+  // Unclaimed remainder of the 1s scope: 0.75s of kCpuExec.
+  EXPECT_EQ(entry.ns[static_cast<int>(WaitClass::kCpuExec)],
+            3 * kSecond / 4);
+  EXPECT_EQ(profiler.window_nanos(), kSecond);
+  ExpectConserved(profiler);
+}
+
+TEST(StallProfilerTest, NestedScopesPropagateElapsedNotResidual) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, nullptr);
+  ScopedAttribution scope(&ledger, Attr(5, 2, 1));
+  profiler.BeginScope(WaitClass::kCpuExec, 0.0);     // outer: the operator
+  profiler.BeginScope(WaitClass::kBufferFill, 0.1);  // inner: a miss fill
+  profiler.Charge(WaitClass::kNetworkTransfer, 0.1, 0.3);
+  profiler.EndScope(0.5);  // fill residual 0.2s -> kBufferFill
+  profiler.EndScope(1.0);  // operator residual 0.5s -> kCpuExec
+
+  StallProfiler::Entry entry = profiler.QueryTotal(5);
+  EXPECT_EQ(entry.ns[static_cast<int>(WaitClass::kNetworkTransfer)],
+            kSecond / 5);
+  EXPECT_EQ(entry.ns[static_cast<int>(WaitClass::kBufferFill)],
+            kSecond / 5);
+  // Outer scope: 1.0s elapsed minus the inner scope's 0.4s elapsed (the
+  // whole inner window counts as claimed, not just its charges).
+  EXPECT_EQ(entry.ns[static_cast<int>(WaitClass::kCpuExec)],
+            6 * kSecond / 10);
+  EXPECT_EQ(entry.TotalNanos(), kSecond);
+  EXPECT_EQ(profiler.window_nanos(), kSecond);
+  ExpectConserved(profiler);
+}
+
+TEST(StallProfilerTest, PinnedResidualSurvivesAttributionChange) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, nullptr);
+  {
+    ScopedAttribution query(&ledger, Attr(9, -1, 2));
+    profiler.BeginScope(WaitClass::kCpuExec, 0.0);
+    profiler.PinScopeAttribution();
+  }
+  // Attribution has been restored to default; the residual must still
+  // land on query 9 because the scope pinned it.
+  profiler.EndScope(2.0);
+  StallProfiler::Entry entry = profiler.QueryTotal(9);
+  EXPECT_EQ(entry.ns[static_cast<int>(WaitClass::kCpuExec)], 2 * kSecond);
+  ExpectConserved(profiler);
+}
+
+TEST(StallProfilerTest, ParallelLanesScaleToElapsedExactly) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, nullptr);
+  profiler.BeginParallel(0.0);
+  {
+    ScopedAttribution a(&ledger, Attr(1, -1, 1));
+    profiler.Charge(WaitClass::kNetworkTransfer, 0.0, 0.6);
+  }
+  {
+    ScopedAttribution b(&ledger, Attr(2, -1, 1));
+    profiler.Charge(WaitClass::kNetworkTransfer, 0.0, 0.6);
+  }
+  // Two lanes of 0.6s overlapped inside a section that took 0.6s of
+  // wall sim-time: each is scaled to half the section.
+  profiler.EndParallel(0.6);
+  EXPECT_EQ(profiler.QueryTotal(1).TotalNanos(), 3 * kSecond / 10);
+  EXPECT_EQ(profiler.QueryTotal(2).TotalNanos(), 3 * kSecond / 10);
+  EXPECT_EQ(profiler.window_nanos(), 6 * kSecond / 10);
+  ExpectConserved(profiler);
+}
+
+TEST(StallProfilerTest, ParallelScalingIsExactUnderRemainders) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, nullptr);
+  profiler.BeginParallel(0.0);
+  // Three lanes whose scaled shares cannot all round down (1/3 ns each
+  // of remainder); largest-remainder assignment must still sum exactly.
+  for (uint64_t q = 1; q <= 3; ++q) {
+    ScopedAttribution a(&ledger, Attr(q, -1, 1));
+    profiler.Charge(WaitClass::kOcmFetch, 0.0, 1.0);
+  }
+  profiler.EndParallel(1.0 / 3.0);
+  int64_t elapsed = StallProfiler::ToNanos(1.0 / 3.0);
+  EXPECT_EQ(EntrySum(profiler), elapsed);
+  EXPECT_EQ(profiler.window_nanos(), elapsed);
+  ExpectConserved(profiler);
+}
+
+TEST(StallProfilerTest, ParallelUnderfillRegistersRawCharges) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, nullptr);
+  ScopedAttribution scope(&ledger, Attr(4, -1, 1));
+  profiler.BeginScope(WaitClass::kCpuExec, 0.0);
+  profiler.BeginParallel(0.0);
+  profiler.Charge(WaitClass::kNetworkTransfer, 0.0, 0.25);
+  // Section elapsed 1s > 0.25s of lane weight: charges register raw and
+  // the idle tail stays with the enclosing scope's residual.
+  profiler.EndParallel(1.0);
+  profiler.EndScope(1.0);
+  StallProfiler::Entry entry = profiler.QueryTotal(4);
+  EXPECT_EQ(entry.ns[static_cast<int>(WaitClass::kNetworkTransfer)],
+            kSecond / 4);
+  EXPECT_EQ(entry.ns[static_cast<int>(WaitClass::kCpuExec)],
+            3 * kSecond / 4);
+  ExpectConserved(profiler);
+}
+
+TEST(StallProfilerTest, BackgroundChargesAreShadowTime) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, nullptr);
+  {
+    ScopedAttribution scope(&ledger, Attr(6, -1, 1));
+    profiler.BeginBackground();
+    profiler.Charge(WaitClass::kOcmUpload, 10.0, 10.5);
+    profiler.EndBackground();
+  }
+  StallProfiler::Entry entry = profiler.QueryTotal(6);
+  EXPECT_EQ(entry.ns[static_cast<int>(WaitClass::kOcmUpload)], kSecond / 2);
+  EXPECT_EQ(entry.background, kSecond / 2);
+  EXPECT_EQ(profiler.window_nanos(), 0);
+  EXPECT_EQ(profiler.background_nanos(), kSecond / 2);
+  ExpectConserved(profiler);
+}
+
+TEST(StallProfilerTest, BackgroundInsideScopeLeavesForegroundExact) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, nullptr);
+  ScopedAttribution scope(&ledger, Attr(8, -1, 1));
+  profiler.BeginScope(WaitClass::kCpuExec, 0.0);
+  {
+    // Deferred work drains while query 8's scope is open, attributed to
+    // the enqueuing query 11; the open scope's inner time must not move.
+    ScopedAttribution enqueuer(&ledger, Attr(11, -1, 1));
+    profiler.BeginBackground();
+    profiler.Charge(WaitClass::kOcmUpload, 0.0, 5.0);
+    profiler.EndBackground();
+  }
+  profiler.EndScope(1.0);
+  EXPECT_EQ(profiler.QueryTotal(8).TotalNanos(), kSecond);
+  EXPECT_EQ(profiler.QueryTotal(8).background, 0);
+  EXPECT_EQ(profiler.QueryTotal(11).background, 5 * kSecond);
+  EXPECT_EQ(profiler.window_nanos(), kSecond);
+  EXPECT_EQ(profiler.background_nanos(), 5 * kSecond);
+  ExpectConserved(profiler);
+}
+
+TEST(StallProfilerTest, FramesIsolateScopeStacks) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, nullptr);
+  ScopedAttribution scope(&ledger, Attr(1, -1, 1));
+  profiler.BeginScope(WaitClass::kCpuExec, 0.0);
+
+  // A different fiber's frame swaps in: its charges must not credit the
+  // default frame's open scope.
+  auto frame = profiler.NewFrame();
+  StallProfiler::Frame* host = profiler.SwapFrame(frame.get());
+  {
+    ScopedAttribution other(&ledger, Attr(2, -1, 1));
+    profiler.Charge(WaitClass::kLockWait, 0.0, 0.5);
+  }
+  profiler.SwapFrame(host);
+
+  profiler.EndScope(1.0);
+  // Query 1's scope keeps its full residual; query 2's charge was
+  // top-level in its own frame, so both credited the window.
+  EXPECT_EQ(profiler.QueryTotal(1).ns[static_cast<int>(WaitClass::kCpuExec)],
+            kSecond);
+  EXPECT_EQ(profiler.QueryTotal(2).ns[static_cast<int>(WaitClass::kLockWait)],
+            kSecond / 2);
+  EXPECT_EQ(profiler.window_nanos(), kSecond + kSecond / 2);
+  ExpectConserved(profiler);
+}
+
+TEST(StallProfilerTest, TenantTotalJoinsLedgerMapping) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, nullptr);
+  ledger.SetQueryTenant(21, "red");
+  ledger.SetQueryTenant(22, "blue");
+  {
+    ScopedAttribution a(&ledger, Attr(21, -1, 1));
+    profiler.Charge(WaitClass::kNetworkTransfer, 0.0, 1.0);
+  }
+  {
+    ScopedAttribution b(&ledger, Attr(22, -1, 1));
+    profiler.Charge(WaitClass::kNetworkTransfer, 0.0, 2.0);
+  }
+  EXPECT_EQ(profiler.TenantTotal("red").TotalNanos(), kSecond);
+  EXPECT_EQ(profiler.TenantTotal("blue").TotalNanos(), 2 * kSecond);
+  EXPECT_EQ(profiler.TenantTotal("").TotalNanos(), 0);
+  EXPECT_EQ(profiler.GrandTotal().TotalNanos(), 3 * kSecond);
+}
+
+TEST(StallProfilerTest, ResetClearsEverything) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, nullptr);
+  profiler.Charge(WaitClass::kLockWait, 0.0, 1.0);
+  profiler.BeginBackground();
+  profiler.Charge(WaitClass::kOcmUpload, 0.0, 1.0);
+  profiler.EndBackground();
+  profiler.Reset();
+  EXPECT_TRUE(profiler.entries().empty());
+  EXPECT_EQ(profiler.window_nanos(), 0);
+  EXPECT_EQ(profiler.background_nanos(), 0);
+}
+
+TEST(StallProfilerTest, WaitClassNamesAreStable) {
+  EXPECT_STREQ(WaitClassName(WaitClass::kCpuExec), "cpu_exec");
+  EXPECT_STREQ(WaitClassName(WaitClass::kLockWait), "lock_wait");
+  EXPECT_STREQ(WaitClassName(WaitClass::kAdmissionQueue),
+               "admission_queue");
+  EXPECT_STREQ(WaitClassName(WaitClass::kBufferFill), "buffer_fill");
+  EXPECT_STREQ(WaitClassName(WaitClass::kOcmFetch), "ocm_fetch");
+  EXPECT_STREQ(WaitClassName(WaitClass::kOcmUpload), "ocm_upload");
+  EXPECT_STREQ(WaitClassName(WaitClass::kNetworkTransfer),
+               "network_transfer");
+  EXPECT_STREQ(WaitClassName(WaitClass::kThrottleBackoff),
+               "throttle_backoff");
+  EXPECT_STREQ(WaitClassName(WaitClass::kNdpSelect), "ndp_select");
+}
+
+}  // namespace
+}  // namespace cloudiq

@@ -623,11 +623,17 @@ TEST(RunReportTest, EmitsExpectedTopLevelKeys) {
   info.s3_gets = 1;
   info.request_usd = 4e-7;
 
-  std::string json = BuildRunReportJson(info, stats, ledger);
+  StallProfiler profiler(&ledger, /*tracer=*/nullptr);
+  {
+    ScopedAttribution q(&ledger, Attr(1, -1, 4, "Q1"));
+    profiler.Charge(WaitClass::kNetworkTransfer, 1.0, 1.5);
+  }
+  std::string json = BuildRunReportJson(info, stats, ledger, profiler);
   for (const char* key :
        {"\"schema_version\"", "\"bench\"", "\"scale_factor\"",
         "\"sim_seconds\"", "\"cost\"", "\"meter\"", "\"ledger\"",
-        "\"queries\"", "\"nodes\"", "\"prefixes\"", "\"histograms\"",
+        "\"queries\"", "\"nodes\"", "\"stalls\"", "\"window_nanos\"",
+        "\"network_transfer\"", "\"prefixes\"", "\"histograms\"",
         "\"counters\"", "\"gauges\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
@@ -669,10 +675,11 @@ TEST(RunReportTest, EmitsExpectedTopLevelKeys) {
 TEST(RunReportTest, WritesFileToDisk) {
   StatsRegistry stats;
   CostLedger ledger;
+  StallProfiler profiler(&ledger, /*tracer=*/nullptr);
   RunReportInfo info;
   info.bench = "write-test";
   std::string path = ::testing::TempDir() + "cloudiq_report_test.json";
-  ASSERT_TRUE(WriteRunReport(info, stats, ledger, path).ok());
+  ASSERT_TRUE(WriteRunReport(info, stats, ledger, profiler, path).ok());
   FILE* f = std::fopen(path.c_str(), "rb");
   ASSERT_NE(f, nullptr);
   char buf[16] = {0};

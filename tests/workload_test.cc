@@ -13,6 +13,8 @@
 
 #include "engine/database.h"
 #include "engine/session.h"
+#include "telemetry/report.h"
+#include "telemetry/stall_profiler.h"
 #include "workload/admission.h"
 #include "workload/fair_scheduler.h"
 #include "workload/step_fiber.h"
@@ -623,6 +625,184 @@ TEST(WorkloadCostTest, LedgerMatchesMeterWithNdpSelects) {
   EXPECT_EQ(sum.select_scanned_bytes, total.select_scanned_bytes);
   EXPECT_NEAR(sum.TotalUsd(ledger.prices()),
               total.TotalUsd(ledger.prices()), 1e-12);
+}
+
+// --- wait-state stall conservation ---------------------------------------
+
+// The tentpole invariant, end to end: for every job the engine completed,
+// the stall profiler's per-query wait classes minus the background shadow
+// time equal finish - arrival exactly, in integer nanoseconds. Jobs are
+// matched to query ids through their (unique) tags via the ledger.
+void ExpectStallsConserve(
+    SimEnvironment* env,
+    const std::vector<WorkloadEngine::Completion>& done) {
+  StallProfiler& profiler = env->telemetry().profiler();
+  CostLedger& ledger = env->telemetry().ledger();
+  std::map<std::string, uint64_t> query_by_tag;
+  for (const auto& [query_id, tag] : ledger.Queries()) {
+    query_by_tag[tag] = query_id;
+  }
+  size_t checked = 0;
+  for (const WorkloadEngine::Completion& c : done) {
+    if (c.shed) continue;
+    auto it = query_by_tag.find(c.tag);
+    ASSERT_NE(it, query_by_tag.end()) << c.tag;
+    StallProfiler::Entry entry = profiler.QueryTotal(it->second);
+    EXPECT_EQ(entry.TotalNanos() - entry.background,
+              StallProfiler::ToNanos(c.finish) -
+                  StallProfiler::ToNanos(c.arrival))
+        << c.tag << " arrival=" << c.arrival << " finish=" << c.finish;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+
+  // Global conservation: every nanosecond booked anywhere is covered by
+  // exactly one of the two pools (foreground window, background shadow).
+  int64_t sum = 0;
+  for (const auto& [key, entry] : profiler.entries()) {
+    sum += entry.TotalNanos();
+  }
+  EXPECT_EQ(sum, profiler.window_nanos() + profiler.background_nanos());
+}
+
+TEST(WorkloadStallTest, OpenLoopWaitsSumToLifetime) {
+  // Open loop: 12 arrivals from 3 tenants burst against 2 run slots, so
+  // admission queueing and fiber time-slicing both happen.
+  WorkloadEngine::Options options;
+  options.admission.concurrency_limit = 2;
+  options.slots_per_node = 2;
+  EngineHarness h(options);
+  std::vector<WorkloadEngine::Completion> done;
+  h.engine->set_completion_hook(
+      [&](const WorkloadEngine::Completion& c) { done.push_back(c); });
+  const std::vector<std::string> tenants = {"red", "green", "blue"};
+  for (int i = 0; i < 12; ++i) {
+    h.engine->Submit(tenants[i % 3], "o" + std::to_string(i),
+                     i < 6 ? 0.0 : 0.0001 * i, SyntheticBody(3 + i % 4));
+  }
+  ASSERT_TRUE(h.engine->RunUntilIdle().ok());
+  ASSERT_EQ(done.size(), 12u);
+  ExpectStallsConserve(&h.env, done);
+
+  // The backlog was real: some job waited in the admission queue, and
+  // every job burned attributed CPU.
+  StallProfiler::Entry grand = h.env.telemetry().profiler().GrandTotal();
+  EXPECT_GT(grand.ns[static_cast<int>(WaitClass::kAdmissionQueue)], 0);
+  EXPECT_GT(grand.ns[static_cast<int>(WaitClass::kCpuExec)], 0);
+}
+
+TEST(WorkloadStallTest, ClosedLoopScansConserveAndFeedGauges) {
+  // Closed loop over real table scans: each completion resubmits its
+  // tenant until the round quota is met, with the storage stack (buffer
+  // pool, OCM, object store) live underneath — so I/O wait classes and
+  // background cache traffic are all in play.
+  SimEnvironment env;
+  Database db(&env, InstanceProfile::M5ad4xlarge(), SmallDbOptions());
+  {
+    Transaction* txn = db.Begin();
+    TableLoader loader = db.NewTableLoader(txn, ScanSchema());
+    Batch batch;
+    batch.AddColumn("k", {ColumnType::kInt64, {}, {}, {}});
+    for (int64_t i = 0; i < 5000; ++i) {
+      batch.columns[0].ints.push_back(i);
+    }
+    ASSERT_TRUE(loader.Append(batch.columns).ok());
+    ASSERT_TRUE(loader.Finish(db.system()).ok());
+    ASSERT_TRUE(db.Commit(txn).ok());
+  }
+
+  WorkloadEngine::Options options;
+  options.admission.concurrency_limit = 2;
+  options.slots_per_node = 2;
+  WorkloadEngine engine({&db}, options, {});
+  auto scan_body = [](Session*, QueryContext* ctx) {
+    CLOUDIQ_ASSIGN_OR_RETURN(TableReader reader, ctx->OpenTable(7));
+    return ScanTable(ctx, &reader, {"k"}).status();
+  };
+  constexpr int kPerTenant = 3;
+  const std::vector<std::string> tenants = {"red", "green", "blue"};
+  std::vector<WorkloadEngine::Completion> done;
+  std::map<std::string, int> launched;
+  engine.set_completion_hook([&](const WorkloadEngine::Completion& c) {
+    done.push_back(c);
+    if (launched[c.tenant] < kPerTenant) {
+      ++launched[c.tenant];
+      engine.Submit(c.tenant,
+                    c.tenant + std::to_string(launched[c.tenant]),
+                    c.finish, scan_body);
+    }
+  });
+  for (const std::string& name : tenants) {
+    launched[name] = 1;
+    engine.Submit(name, name + "1", 0, scan_body);
+  }
+  ASSERT_TRUE(engine.RunUntilIdle().ok());
+  ASSERT_EQ(done.size(), tenants.size() * kPerTenant);
+  ExpectStallsConserve(&env, done);
+
+  // Real storage waits were attributed, not just CPU.
+  StallProfiler& profiler = env.telemetry().profiler();
+  StallProfiler::Entry grand = profiler.GrandTotal();
+  EXPECT_GT(grand.ns[static_cast<int>(WaitClass::kNetworkTransfer)] +
+                grand.ns[static_cast<int>(WaitClass::kBufferFill)] +
+                grand.ns[static_cast<int>(WaitClass::kOcmFetch)],
+            0);
+
+  // Satellite: workload.<tenant>.stall.<class> gauges. Refreshed at each
+  // completion, so a gauge may lag the final total by at most the
+  // tenant's background shadow time (deferred uploads draining after its
+  // last query finished) — never exceed it.
+  for (const std::string& name : tenants) {
+    StallProfiler::Entry total = profiler.TenantTotal(name);
+    double lag_budget = static_cast<double>(total.background) * 1e-9;
+    for (int i = 0; i < kNumWaitClasses; ++i) {
+      double gauge =
+          env.telemetry()
+              .stats()
+              .gauge("workload." + name + ".stall." +
+                     WaitClassName(static_cast<WaitClass>(i)))
+              .value();
+      double final_seconds = static_cast<double>(total.ns[i]) * 1e-9;
+      EXPECT_LE(gauge, final_seconds + 1e-12) << name << " class " << i;
+      EXPECT_LE(final_seconds - gauge, lag_budget + 1e-12)
+          << name << " class " << i;
+    }
+    EXPECT_GT(env.telemetry()
+                  .stats()
+                  .gauge("workload." + name + ".stall.cpu_exec")
+                  .value(),
+              0.0)
+        << name;
+  }
+}
+
+// Determinism satellite: the full profiled run report — stalls section
+// included — is byte-identical across two identical runs.
+std::string RunProfiledReport() {
+  WorkloadEngine::Options options;
+  options.admission.concurrency_limit = 2;
+  options.slots_per_node = 2;
+  EngineHarness h(options);
+  const std::vector<std::string> tenants = {"red", "green", "blue"};
+  for (int i = 0; i < 9; ++i) {
+    h.engine->Submit(tenants[i % 3], "d" + std::to_string(i), 0.001 * i,
+                     SyntheticBody(2 + i % 3));
+  }
+  EXPECT_TRUE(h.engine->RunUntilIdle().ok());
+  RunReportInfo info;
+  info.bench = "workload_test";
+  info.sim_seconds = h.engine->now();
+  return BuildRunReportJson(info, h.env.telemetry().stats(),
+                            h.env.telemetry().ledger(),
+                            h.env.telemetry().profiler());
+}
+
+TEST(WorkloadStallTest, ProfiledReportIsByteIdentical) {
+  std::string first = RunProfiledReport();
+  std::string second = RunProfiledReport();
+  EXPECT_TRUE(first == second) << "profiled reports diverged";
+  EXPECT_NE(first.find("\"stalls\""), std::string::npos);
+  EXPECT_NE(first.find("\"admission_queue\""), std::string::npos);
 }
 
 // --- driver --------------------------------------------------------------

@@ -35,6 +35,19 @@ level. Rules:
                           caches or transactions. An include from those
                           layers would let server code depend on client
                           state that a real storage service cannot see.
+  cloudiq-stall-report    Every wait/sleep/backoff site in src/ must
+                          report through the StallProfiler: a condition
+                          wait (.Wait/.wait/wait_for/...), a sleep, or a
+                          backoff application (`+ backoff`, `backoff *=`)
+                          needs a profiler Charge / ScopedStall /
+                          ScopedBackgroundStall within a few lines, or
+                          that sim-time silently escapes the wait-state
+                          ledger and the per-query conservation
+                          invariant ("every sim-microsecond attributed")
+                          rots. src/common/mutex.h (the primitives
+                          themselves) and src/telemetry/ (the profiler)
+                          are exempt; real-thread handoffs that consume
+                          no sim-time justify a NOLINT instead.
 
 Escape hatch: `// NOLINT(cloudiq-<rule>): <justification>` on the
 offending line (or the line above) suppresses that rule there. The
@@ -75,6 +88,17 @@ STORE_DECL_RE = re.compile(r"\bSimObjectStore\b\s*[*&]?\s*(\w+)")
 
 NDP_FORBIDDEN_INCLUDE_RE = re.compile(
     r'#\s*include\s*"((?:ocm|buffer|txn)/[^"]*)"')
+
+# Wait/sleep/backoff sites that must report through the stall profiler.
+STALL_WAIT_RE = re.compile(
+    r"\.\s*[Ww]ait(?:_for|_until|For|Until)?\s*\(|"
+    r"\bsleep_(?:for|until)\s*\(|\busleep\s*\(|\bnanosleep\s*\(")
+STALL_BACKOFF_RE = re.compile(r"\+\s*backoff\b|\bbackoff\s*\*=")
+# Evidence the elapsed time is being attributed, looked for within
+# STALL_REPORT_WINDOW lines of the site.
+STALL_REPORT_RE = re.compile(
+    r"profiler|Charge\s*\(|ScopedStall|ScopedBackgroundStall")
+STALL_REPORT_WINDOW = 5
 
 
 class Violation:
@@ -187,6 +211,17 @@ def direct_put_exempt(path):
 def ndp_layer_file(path):
     p = norm(path)
     return p.startswith("src/ndp/") or "/src/ndp/" in p
+
+
+def stall_report_applies(path):
+    p = norm(path)
+    if not (p.startswith("src/") or "/src/" in p):
+        return False
+    # The synchronization primitives themselves and the profiler are the
+    # mechanism, not reporting sites.
+    if os.path.basename(p).startswith("mutex."):
+        return False
+    return "/telemetry/" not in p
 
 
 def unordered_names(stripped_text):
@@ -333,6 +368,23 @@ def lint_file(path, text=None):
                        "NDP engine runs inside the object store and "
                        "cannot see the compute node's OCM, buffer pool "
                        "or transactions")
+
+    # --- cloudiq-stall-report ----------------------------------------------
+    if stall_report_applies(path):
+        for idx, line in enumerate(stripped_lines):
+            if not (STALL_WAIT_RE.search(line) or
+                    STALL_BACKOFF_RE.search(line)):
+                continue
+            lo = max(0, idx - STALL_REPORT_WINDOW)
+            hi = min(len(stripped_lines), idx + STALL_REPORT_WINDOW + 1)
+            nearby = "\n".join(stripped_lines[lo:hi])
+            if STALL_REPORT_RE.search(nearby):
+                continue
+            report(idx, "stall-report",
+                   "wait/sleep/backoff site without a stall-profiler "
+                   "charge nearby; attribute the elapsed sim-time "
+                   "(Charge / ScopedStall / ScopedBackgroundStall) or "
+                   "justify with NOLINT if no sim-time passes here")
 
     # --- cloudiq-direct-put ------------------------------------------------
     if not direct_put_exempt(path):

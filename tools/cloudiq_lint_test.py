@@ -194,6 +194,56 @@ class LintFixtureTest(unittest.TestCase):
         )
         self.assertEqual(self.lint("src/ndp/notes.h", code), [])
 
+    # --- cloudiq-stall-report -----------------------------------------------
+
+    def test_unreported_wait_and_backoff_flagged(self):
+        code = (
+            "void f() {\n"
+            "  cv_.Wait(&mu_, [this] { return done_; });\n"
+            "}\n"
+            "void g(double backoff, double t) {\n"
+            "  t = t + backoff;\n"
+            "  backoff *= 2;\n"
+            "}\n"
+        )
+        violations = self.lint("src/engine/waiter.cc", code)
+        self.assertEqual(self.rules(violations), ["stall-report"] * 3)
+
+    def test_wait_with_nearby_charge_ok(self):
+        code = (
+            "void f(double t, double backoff) {\n"
+            "  t = t + backoff;\n"
+            "  profiler_->Charge(WaitClass::kThrottleBackoff, was, t);\n"
+            "  backoff *= 2;\n"
+            "}\n"
+        )
+        self.assertEqual(self.lint("src/store/retry.cc", code), [])
+
+    def test_scoped_stall_counts_as_reporting(self):
+        code = (
+            "void f() {\n"
+            "  ScopedStall stall(&profiler, &clock, WaitClass::kBufferFill);\n"
+            "  cv_.Wait(&mu_, [this] { return filled_; });\n"
+            "}\n"
+        )
+        self.assertEqual(self.lint("src/buffer/fill.cc", code), [])
+
+    def test_stall_rule_exempts_primitives_and_profiler(self):
+        code = "void f() { cv_.wait(lock, pred); }\n"
+        self.assertEqual(self.lint("src/common/mutex.h", code), [])
+        self.assertEqual(
+            self.lint("src/telemetry/stall_profiler.cc", code), [])
+        # Out of scope entirely: tests and bench harnesses.
+        self.assertEqual(self.lint("tests/fiber_test.cc", code), [])
+
+    def test_stall_rule_nolint_with_justification(self):
+        code = (
+            "// NOLINT(cloudiq-stall-report): real-thread handoff, no\n"
+            "// sim-time passes while parked here.\n"
+            "cv_.Wait(&mu_, [this] { return turn_; });\n"
+        )
+        self.assertEqual(self.lint("src/workload/fiber.cc", code), [])
+
     # --- NOLINT escape hatch ------------------------------------------------
 
     def test_nolint_with_justification_suppresses(self):
