@@ -52,12 +52,19 @@ namespace bench {
 //                                              each run: per-class totals
 //                                              and the top queries by wait
 //                                              time, from the StallProfiler
+//   --whatif         (or CLOUDIQ_WHATIF=1)     print EXPLAIN WHATIF after
+//                                              each TPC-H query: every
+//                                              candidate plan the scan
+//                                              planner priced (USD +
+//                                              per-stall-class latency),
+//                                              the winner and the reason
 // Benches that execute several configurations write the trace/report
 // after each run, so the exported file holds the most recent
 // configuration.
 struct TelemetryOptions {
   bool print_metrics = false;
   bool print_explain = false;
+  bool print_whatif = false;  // print EXPLAIN WHATIF after each query
   bool profile = false;     // print the stall breakdown after each run
   std::string trace_path;   // empty = tracing off
   std::string report_path;  // empty = no JSON report
@@ -129,6 +136,11 @@ inline void InitTelemetry(int argc, char** argv) {
       std::strcmp(env_profile, "0") != 0) {
     options.profile = true;
   }
+  const char* env_whatif = std::getenv("CLOUDIQ_WHATIF");
+  if (env_whatif != nullptr && env_whatif[0] != '\0' &&
+      std::strcmp(env_whatif, "0") != 0) {
+    options.print_whatif = true;
+  }
   const char* env_trace = std::getenv("CLOUDIQ_TRACE");
   if (env_trace != nullptr && env_trace[0] != '\0') {
     options.trace_path = env_trace;
@@ -167,6 +179,8 @@ inline void InitTelemetry(int argc, char** argv) {
       options.print_explain = true;
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       options.profile = true;
+    } else if (std::strcmp(argv[i], "--whatif") == 0) {
+      options.print_whatif = true;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       options.trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
@@ -214,12 +228,35 @@ inline void MaybeWriteTrace(SimEnvironment* env) {
   }
 }
 
+// Process-wide accumulator of predicted-vs-billed accuracy across every
+// query the shared harness ran: what the costopt.prediction_error gauge
+// in --report is computed from.
+inline costopt::PredictionAccuracy& PredictionStats() {
+  static costopt::PredictionAccuracy acc;
+  return acc;
+}
+
+// Publishes the accumulated prediction accuracy as costopt.* gauges so
+// it rides into the JSON run report with the rest of the registry. A
+// no-op until some query actually planned with the cost model, so
+// benches that never consider pushdown keep their report shape.
+inline void PublishPredictionStats(SimEnvironment* env) {
+  const costopt::PredictionAccuracy& acc = PredictionStats();
+  if (acc.scans == 0) return;
+  StatsRegistry& stats = env->telemetry().stats();
+  stats.gauge("costopt.whatif_scans").Set(static_cast<double>(acc.scans));
+  stats.gauge("costopt.predicted_usd").Set(acc.predicted_usd);
+  stats.gauge("costopt.billed_usd").Set(acc.billed_usd);
+  stats.gauge("costopt.prediction_error").Set(acc.RelativeError());
+}
+
 // Writes the structured JSON run report when --report was given.
 // `sim_seconds` is the run's simulated end time (0 when no single node
 // clock is authoritative).
 inline void MaybeWriteReport(SimEnvironment* env, double sim_seconds) {
   const TelemetryOptions& options = Telemetry();
   if (options.report_path.empty()) return;
+  PublishPredictionStats(env);
   const CostMeter& meter = env->cost_meter();
   RunReportInfo info;
   info.bench = options.bench_name;
@@ -413,8 +450,17 @@ inline Status RunOneTpchQuery(Database* db, int q, double* seconds) {
   db->env().telemetry().tracer().CompleteSpan(
       db->node().trace_pid(), kTrackExec, "query", "Q" + std::to_string(q),
       before, db->node().clock().now());
+  // Score the planner's predictions against what the ledger billed this
+  // query (nothing to score when no scan consulted the cost model).
+  const CostLedger& ledger = db->env().telemetry().ledger();
+  PredictionStats().Fold(costopt::ComparePredictions(
+      ctx.whatif(), ledger.entries(), ctx.attribution().query_id,
+      ledger.prices()));
   if (Telemetry().print_explain) {
     std::printf("%s", FormatExplainAnalyze(&ctx).c_str());
+  }
+  if (Telemetry().print_whatif && !ctx.whatif().empty()) {
+    std::printf("%s", FormatExplainWhatIf(&ctx).c_str());
   }
   return Status::Ok();
 }

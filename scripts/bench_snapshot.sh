@@ -13,6 +13,11 @@
 # the per-class stall breakdown of the sequential power run and the
 # multi-tenant concurrency bench (per-tenant gauges included), plus the
 # micro table again so one file carries both CPU and wait trajectories.
+#
+# And the cost-planning trajectory into BENCH_costopt.json: per planning
+# mode the warm-rescan spend / latency / prediction error and the
+# budget-guard overshoot, all lower-is-better so bench_compare.py can
+# gate them directly.
 # Compare two snapshots with scripts/bench_compare.py.
 #
 # Usage: scripts/bench_snapshot.sh            (SF 0.01 by default)
@@ -23,17 +28,19 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "=== bench_snapshot: build bench_micro + bench_ndp + bench_concurrency + tpch_power_run ==="
+echo "=== bench_snapshot: build bench_micro + bench_ndp + bench_concurrency + tpch_power_run + bench_costopt ==="
 cmake -B build -S . > build-configure.log 2>&1 || {
   cat build-configure.log; exit 1; }
 cmake --build build -j "${JOBS}" \
-  --target bench_micro bench_ndp bench_concurrency tpch_power_run
+  --target bench_micro bench_ndp bench_concurrency tpch_power_run \
+  bench_costopt
 
 micro_json="$(mktemp /tmp/cloudiq_micro.XXXXXX.json)"
 ndp_report="$(mktemp /tmp/cloudiq_ndp_report.XXXXXX.json)"
 power_report="$(mktemp /tmp/cloudiq_power_report.XXXXXX.json)"
 conc_report="$(mktemp /tmp/cloudiq_conc_report.XXXXXX.json)"
-trap 'rm -f "${micro_json}" "${ndp_report}" "${power_report}" "${conc_report}"' EXIT
+costopt_report="$(mktemp /tmp/cloudiq_costopt_report.XXXXXX.json)"
+trap 'rm -f "${micro_json}" "${ndp_report}" "${power_report}" "${conc_report}" "${costopt_report}"' EXIT
 
 echo "=== bench_snapshot: bench_micro ==="
 ./build/bench/bench_micro --benchmark_format=json \
@@ -164,5 +171,57 @@ print(f"wrote {sys.argv[4]}: "
       f"{len(snapshot['power']['classes'])} power stall classes, "
       f"{len(snapshot['concurrency']['classes'])} concurrency stall classes, "
       f"{len(snapshot['concurrency_tenants'])} tenants")
+EOF
+
+echo "=== bench_snapshot: bench_costopt (planning modes + budget guard) ==="
+./build/bench/bench_costopt --report="${costopt_report}"
+
+echo "=== bench_snapshot: distill -> BENCH_costopt.json ==="
+python3 - "${costopt_report}" BENCH_costopt.json <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+gauges = report["gauges"]  # {name: value}
+
+# costopt.bench.<case>.<mode>.<metric> gauges, filtered to the metrics
+# that are genuinely lower-is-better (spend, latency, prediction error,
+# budget overshoot) so bench_compare.py's regression direction holds.
+# Counts like completed / deferred are trajectory-neutral and stay out.
+KEEP = {
+    "usd", "mean_seconds", "p95_seconds", "prediction_error",
+    "spent_usd", "overshoot_usd",
+}
+cases = {}
+for name, value in gauges.items():
+    parts = name.split(".")
+    if parts[:2] != ["costopt", "bench"]:
+        continue
+    if len(parts) < 5 or parts[4] not in KEEP:
+        continue
+    case, mode, metric = parts[2], parts[3], ".".join(parts[4:])
+    cases.setdefault(case, {}).setdefault(mode, {})[metric] = value
+
+snapshot = {
+    "bench": "bench_costopt",
+    "scale_factor": report["scale_factor"],
+    "cases": cases,
+    "prediction_error": gauges.get("costopt.prediction_error", 0.0),
+}
+
+with open(sys.argv[2], "w") as f:
+    json.dump(snapshot, f, indent=1, sort_keys=True)
+    f.write("\n")
+
+warm = cases.get("warm_rescan", {})
+if "cost_blind_cold" in warm and "cost_aware" in warm:
+    blind = warm["cost_blind_cold"].get("usd", 0.0)
+    aware = warm["cost_aware"].get("usd", 0.0)
+    print(f"warm_rescan usd cost_blind_cold ${blind:.6g} "
+          f"-> cost_aware ${aware:.6g}")
+print(f"wrote {sys.argv[2]}: {len(cases)} cases, "
+      f"prediction_error {snapshot['prediction_error']:.3g}")
 EOF
 echo "=== bench_snapshot: OK ==="

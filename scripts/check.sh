@@ -23,6 +23,11 @@
 #                               # node and multi-tenant), double-run
 #                               # byte-compare with stalls included, and
 #                               # a --profile run under ASan
+#   scripts/check.sh costopt    # bench_costopt smoke: cost-aware planning
+#                               # dominates cost-blind, predictive
+#                               # admission holds the budget, double-run
+#                               # --report byte-identical, and a run
+#                               # under ASan
 #
 # Each pass uses its own build tree (build/, build-asan/, build-ubsan/,
 # build-tsan/) so the sweeps never poison the primary build's cache.
@@ -258,6 +263,42 @@ profile_pass() {
   echo "=== profile: OK ==="
 }
 
+# Cost-intelligent planning smoke: bench_costopt's own exit status
+# enforces the headline claims (cost-aware strictly dominates the
+# cost-blind cold-pricing planner on the warm-rescan mix, predictive
+# admission defers instead of overshooting the budget); on top of that
+# the --report JSON — which carries the costopt.prediction_error gauge
+# and the whole decision trail — must be byte-identical across double
+# runs, and the bench must be clean under ASan.
+costopt_pass() {
+  echo "=== costopt: bench_costopt dominance + determinism + ASan ==="
+  cmake -B build -S . > build-configure.log 2>&1 || {
+    cat build-configure.log; return 1; }
+  cmake --build build -j "${JOBS}" --target bench_costopt
+  local out1 out2
+  out1="$(mktemp /tmp/cloudiq_costopt1.XXXXXX.json)"
+  out2="$(mktemp /tmp/cloudiq_costopt2.XXXXXX.json)"
+  CLOUDIQ_BENCH_SF=0.005 ./build/bench/bench_costopt --report="${out1}" \
+    > /dev/null
+  CLOUDIQ_BENCH_SF=0.005 ./build/bench/bench_costopt --report="${out2}" \
+    > /dev/null
+  if ! cmp -s "${out1}" "${out2}"; then
+    echo "costopt determinism FAILED: reports differ" >&2
+    diff "${out1}" "${out2}" | head -40 >&2 || true
+    rm -f "${out1}" "${out2}"
+    return 1
+  fi
+  echo "--- costopt: reports byte-identical ($(wc -c < "${out1}") bytes)"
+  rm -f "${out1}" "${out2}"
+  echo "--- costopt: ASan run"
+  cmake -B build-asan -S . -DCLOUDIQ_SANITIZE=address \
+    > build-asan-configure.log 2>&1 || {
+      cat build-asan-configure.log; return 1; }
+  cmake --build build-asan -j "${JOBS}" --target bench_costopt
+  CLOUDIQ_BENCH_SF=0.005 ./build-asan/bench/bench_costopt > /dev/null
+  echo "=== costopt: OK ==="
+}
+
 what="${1:-all}"
 case "${what}" in
   plain)  run_pass "plain" build "" ;;
@@ -271,6 +312,7 @@ case "${what}" in
   determinism) determinism_pass ;;
   ndp) ndp_pass ;;
   profile) profile_pass ;;
+  costopt) costopt_pass ;;
   all)
     lint_pass
     run_pass "plain" build ""
@@ -278,6 +320,7 @@ case "${what}" in
     determinism_pass
     ndp_pass
     profile_pass
+    costopt_pass
     tidy_pass
     run_pass "ASan"  build-asan address
     run_pass "UBSan" build-ubsan undefined
@@ -285,7 +328,7 @@ case "${what}" in
     stress_smoke
     ;;
   *)
-    echo "usage: $0 [all|plain|asan|ubsan|tsan|report|stress|lint|tidy|determinism|ndp|profile]" >&2
+    echo "usage: $0 [all|plain|asan|ubsan|tsan|report|stress|lint|tidy|determinism|ndp|profile|costopt]" >&2
     exit 2
     ;;
 esac

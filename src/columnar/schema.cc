@@ -87,6 +87,8 @@ std::vector<uint8_t> SegmentMeta::Serialize() const {
   for (const ZoneMapEntry& zone : zones) PutZone(out, zone);
   PutU32(out, static_cast<uint32_t>(page_rows.size()));
   for (uint32_t rows : page_rows) PutU32(out, rows);
+  PutU32(out, static_cast<uint32_t>(page_bytes.size()));
+  for (uint32_t bytes : page_bytes) PutU32(out, bytes);
   return out;
 }
 
@@ -99,6 +101,10 @@ SegmentMeta SegmentMeta::Deserialize(ByteReader& reader) {
   uint32_t n_pages = reader.GetU32();
   for (uint32_t i = 0; i < n_pages; ++i) {
     meta.page_rows.push_back(reader.GetU32());
+  }
+  uint32_t n_bytes = reader.GetU32();
+  for (uint32_t i = 0; i < n_bytes; ++i) {
+    meta.page_bytes.push_back(reader.GetU32());
   }
   return meta;
 }

@@ -60,6 +60,11 @@ struct SegmentMeta {
   uint64_t row_count = 0;
   std::vector<ZoneMapEntry> zones;  // one per page, in page order
   std::vector<uint32_t> page_rows;  // rows per page
+  // Stored frame bytes per page (EncodePage output; encryption is
+  // size-preserving). This is the size S3 SELECT bills as "scanned", so
+  // the cost model can price pushdown against real billing instead of a
+  // decoded-width guess. Empty for segments written before this field.
+  std::vector<uint32_t> page_bytes;
 
   std::vector<uint8_t> Serialize() const;
   static SegmentMeta Deserialize(ByteReader& reader);

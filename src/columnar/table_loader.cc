@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "store/page_codec.h"
+
 namespace cloudiq {
 namespace {
 
@@ -125,6 +127,11 @@ Status TableLoader::EmitColumnPage(PartitionState* part, size_t c) {
   std::vector<uint8_t> payload =
       EncodeColumnPage(part->staging[c], 0, rows, &zone);
   cpu_seconds_ += options_.encode_cpu_per_byte * payload.size();
+  // Record the stored frame size before the payload moves: the flush
+  // pipeline wraps it in EncodePage (encryption is size-preserving), so
+  // this is exactly what an S3 SELECT over the page bills as scanned.
+  part->segments[c].page_bytes.push_back(
+      static_cast<uint32_t>(EncodePage(payload).size()));
   CLOUDIQ_RETURN_IF_ERROR(
       part->objects[c]->AppendPage(std::move(payload)).status());
   part->segments[c].zones.push_back(zone);

@@ -102,9 +102,36 @@ Result<std::vector<TableReader::CloudPageRef>> TableReader::CloudPageRefs(
     }
     refs.push_back(CloudPageRef{io.StoreKey(loc.cloud_key()),
                                 first_rows[page],
-                                static_cast<uint32_t>(seg.page_rows[page])});
+                                static_cast<uint32_t>(seg.page_rows[page]),
+                                loc.cloud_key()});
   }
   return refs;
+}
+
+TableReader::Residency TableReader::ProbeResidency(
+    size_t partition, int column, const std::vector<uint64_t>& pages) {
+  Residency res;
+  res.pages = pages.size();
+  Result<StorageObject*> object = ObjectFor(
+      meta_.partitions[partition].columns[column].object_id);
+  if (!object.ok()) return res;  // unknown: price everything cold
+  uint32_t space_id = object.value()->space()->id;
+  BufferManager& buffer = txn_mgr_->buffer();
+  CloudCache* cache = txn_mgr_->storage().cloud_cache();
+  for (uint64_t page : pages) {
+    Result<PhysicalLoc> loc = object.value()->blockmap().Lookup(page);
+    if (!loc.ok() || !loc.value().valid()) {
+      ++res.in_buffer;  // dirty / unmapped: served from RAM, never fetched
+      continue;
+    }
+    if (buffer.Cached(space_id, loc.value())) {
+      ++res.in_buffer;
+    } else if (cache != nullptr && loc.value().is_cloud() &&
+               cache->Resident(loc.value().cloud_key())) {
+      ++res.in_cloud_cache;
+    }
+  }
+  return res;
 }
 
 uint64_t TableReader::PageFirstRow(size_t partition, int column,

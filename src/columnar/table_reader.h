@@ -77,6 +77,9 @@ class TableReader {
     std::string store_key;
     uint64_t first_row = 0;   // partition-local row of the page's first value
     uint32_t row_count = 0;
+    // Raw object key (PhysicalLoc::cloud_key), for residency probes
+    // against the OCM index at plan time.
+    uint64_t cloud_key = 0;
   };
 
   // Whether server-side pushdown can read this table's pages at all:
@@ -90,6 +93,27 @@ class TableReader {
   // dbspace, or a dirty/unflushed page with no physical location yet).
   Result<std::vector<CloudPageRef>> CloudPageRefs(
       size_t partition, int column, const std::vector<uint64_t>& pages);
+
+  // Plan-time residency of `pages` of (partition, column): how many a
+  // pull would find in the RAM buffer pool, how many on the OCM's SSD,
+  // the rest being object-store GETs. Pure probes — no LRU movement, no
+  // simulated I/O, no stats — so the scan cost model can price warm
+  // vs. cold without perturbing what it measures. Pages with no durable
+  // location yet (dirty in this transaction) count as buffer-resident.
+  struct Residency {
+    uint64_t pages = 0;
+    uint64_t in_buffer = 0;
+    uint64_t in_cloud_cache = 0;
+
+    uint64_t Cold() const { return pages - in_buffer - in_cloud_cache; }
+    void Fold(const Residency& o) {
+      pages += o.pages;
+      in_buffer += o.in_buffer;
+      in_cloud_cache += o.in_cloud_cache;
+    }
+  };
+  Residency ProbeResidency(size_t partition, int column,
+                           const std::vector<uint64_t>& pages);
 
   // Bytes decoded since construction (the executor charges decode CPU
   // from this).

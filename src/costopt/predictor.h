@@ -1,0 +1,77 @@
+#ifndef CLOUDIQ_COSTOPT_PREDICTOR_H_
+#define CLOUDIQ_COSTOPT_PREDICTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace cloudiq {
+namespace costopt {
+
+// Predicts what a query is about to spend before it runs, from what
+// queries of the same (tenant, tag) actually billed before — the signal
+// predictive admission defers on. Deterministic: the history is fed
+// exclusively from completed-query ledger totals (sim-visible state),
+// and an unseen tag predicts the configured prior.
+class SpendPredictor {
+ public:
+  explicit SpendPredictor(double prior_usd = 0) : prior_usd_(prior_usd) {}
+
+  void Observe(const std::string& tenant, const std::string& tag,
+               double billed_usd) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    Stat& s = history_[std::make_pair(tenant, tag)];
+    ++s.count;
+    s.total_usd += billed_usd;
+  }
+
+  // Mean billed USD of completed (tenant, tag) queries; falls back to the
+  // tenant-wide mean, then to the prior, so one expensive tag does not
+  // hide behind a fresh label.
+  double Predict(const std::string& tenant,
+                 const std::string& tag) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    auto it = history_.find(std::make_pair(tenant, tag));
+    if (it != history_.end() && it->second.count > 0) {
+      return it->second.total_usd / static_cast<double>(it->second.count);
+    }
+    uint64_t count = 0;
+    double total = 0;
+    for (const auto& [key, stat] : history_) {
+      if (key.first != tenant) continue;
+      count += stat.count;
+      total += stat.total_usd;
+    }
+    if (count > 0) return total / static_cast<double>(count);
+    return prior_usd_;
+  }
+
+  uint64_t observations(const std::string& tenant,
+                        const std::string& tag) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    auto it = history_.find(std::make_pair(tenant, tag));
+    return it == history_.end() ? 0 : it->second.count;
+  }
+
+  double prior_usd() const { return prior_usd_; }
+
+ private:
+  struct Stat {
+    uint64_t count = 0;
+    double total_usd = 0;
+  };
+
+  const double prior_usd_;
+  mutable Mutex mu_;
+  std::map<std::pair<std::string, std::string>, Stat> history_
+      GUARDED_BY(mu_);
+};
+
+}  // namespace costopt
+}  // namespace cloudiq
+
+#endif  // CLOUDIQ_COSTOPT_PREDICTOR_H_

@@ -78,6 +78,14 @@ class Database {
     // stamps query contexts with the mode, so eligible range scans can be
     // evaluated server-side (kAuto: per-scan bytes-moved heuristic).
     ndp::NdpMode ndp_mode = ndp::NdpMode::kOff;
+    // Cost-intelligent planning defaults stamped onto every query context
+    // (src/costopt/): the plan-choice policy, a node-wide latency SLO for
+    // kMinCostUnderSlo, and the cold-pricing regression switch. The
+    // workload engine overrides these per tenant at dispatch time via
+    // QueryContext::SetCostConstraints.
+    costopt::PlanPolicy cost_policy = costopt::PlanPolicy::kCostBlind;
+    double cost_slo_seconds = 0;
+    bool ndp_assume_cold = false;
     // Reader node of a multiplex: modifications are rejected (§2).
     bool read_only = false;
     // Multiplex: name of the shared system-dbspace volume ("" = private
@@ -117,6 +125,9 @@ class Database {
                                const std::string& tag = std::string()) {
     QueryContext::Options qopts;
     qopts.ndp_mode = options_.ndp_mode;
+    qopts.cost_policy = options_.cost_policy;
+    qopts.slo_seconds = options_.cost_slo_seconds;
+    qopts.ndp_assume_cold = options_.ndp_assume_cold;
     QueryContext ctx(txn_mgr_.get(), txn, &system_, qopts);
     ctx.set_meta_provider(
         [this](uint64_t table_id) { return TableMetaFor(table_id); });

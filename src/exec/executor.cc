@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <unordered_map>
+
+#include "costopt/cost_model.h"
 
 namespace cloudiq {
 
@@ -182,9 +185,32 @@ struct NdpScanPlan {
   bool considered = false; // planning ran (mode on/auto and scan eligible)
   std::vector<size_t> partitions;              // partitions with candidates
   std::vector<std::vector<uint8_t>> requests;  // parallel to partitions
-  double est_pull_bytes = 0;  // encoded bytes a pull would move
+  double est_pull_bytes = 0;  // encoded bytes a pull would move over the NIC
   double est_push_bytes = 0;  // requests + estimated result bytes
+  costopt::ScanWork work;     // what the cost model prices either way
 };
+
+// Reduces one node + the cluster's object-store service model to the
+// plain numbers the cost model prices against.
+costopt::NodeResources ResourcesFor(NodeContext* node,
+                                    double cpu_per_decoded_byte) {
+  const ObjectStoreOptions& store = node->env().object_store().options();
+  const LocalSsdOptions& ssd = node->ssd().options();
+  costopt::NodeResources r;
+  r.vcpus = node->profile().vcpus;
+  r.io_width = node->IoWidth();
+  r.nic_bytes_per_sec = node->profile().nic_gbps * 1e9 / 8;
+  r.hourly_usd = node->profile().hourly_usd;
+  r.get_base_latency = store.get_base_latency;
+  r.stream_bandwidth = store.stream_bandwidth;
+  r.select_base_latency = store.select_base_latency;
+  r.select_scan_bandwidth = store.select_scan_bandwidth;
+  r.ssd_base_latency = ssd.base_latency;
+  r.ssd_read_bandwidth =
+      ssd.device_read_bandwidth * std::max(1, ssd.devices);
+  r.cpu_per_decoded_byte = cpu_per_decoded_byte;
+  return r;
+}
 
 // Builds one NdpRequest per candidate partition of a range scan and
 // estimates bytes moved either way. Selectivity is estimated per zone-map
@@ -245,8 +271,33 @@ NdpScanPlan PlanNdpScan(QueryContext* ctx, TableReader* reader,
             ndp::NdpPageRef{ref.store_key, ref.first_row, ref.row_count});
         pull_rows += ref.row_count;
       }
-      plan.est_pull_bytes += pull_rows * EncodedWidth(col.type);
-      if (col.projected) plan.est_push_bytes += est_rows * EncodedWidth(col.type);
+      double seg_bytes = pull_rows * EncodedWidth(col.type);
+      // SELECT bills the stored frame bytes it scans, so price the push
+      // from the loader-recorded per-page sizes when available; the
+      // decoded-width product stays as the fallback for segments written
+      // before page_bytes existed (and for the pull-side NIC heuristic,
+      // whose crossover only depends on the ratio between columns).
+      double stored_bytes = 0;
+      if (!seg.page_bytes.empty()) {
+        for (uint64_t page : pages) {
+          stored_bytes +=
+              page < seg.page_bytes.size() ? seg.page_bytes[page] : 0;
+        }
+      } else {
+        stored_bytes = seg_bytes;
+      }
+      // Plan-time residency: how many of these pages a pull would find
+      // already in RAM or on the OCM's SSD. The store-side engine scans
+      // them all either way.
+      TableReader::Residency res = reader->ProbeResidency(p, c, pages);
+      plan.work.pull_pages += res.pages;
+      plan.work.pull_pages_buffer += res.in_buffer;
+      plan.work.pull_pages_ocm += res.in_cloud_cache;
+      plan.work.pull_bytes += seg_bytes;
+      plan.work.push_scan_bytes += stored_bytes;
+      if (col.projected) {
+        plan.work.push_return_bytes += est_rows * EncodedWidth(col.type);
+      }
       req.columns.push_back(std::move(col));
     }
     uint32_t rp = static_cast<uint32_t>(range_pos);
@@ -254,7 +305,8 @@ NdpScanPlan PlanNdpScan(QueryContext* ctx, TableReader* reader,
         {ndp::NdpExpr::CmpInt(rp, ndp::CmpOp::kGe, range.lo),
          ndp::NdpExpr::CmpInt(rp, ndp::CmpOp::kLe, range.hi)});
     std::vector<uint8_t> bytes = req.Serialize();
-    plan.est_push_bytes += static_cast<double>(bytes.size());
+    plan.work.push_requests += 1;
+    plan.work.push_request_bytes += static_cast<double>(bytes.size());
     plan.partitions.push_back(p);
     plan.requests.push_back(std::move(bytes));
   }
@@ -262,9 +314,83 @@ NdpScanPlan PlanNdpScan(QueryContext* ctx, TableReader* reader,
     plan.considered = false;  // nothing to push (or to pull)
     return plan;
   }
-  plan.use = mode == ndp::NdpMode::kOn ||
-             plan.est_push_bytes <
-                 ctx->options().ndp_auto_threshold * plan.est_pull_bytes;
+
+  // Regression/bench switch: reprice the pull as if every page were a
+  // cold GET — the pre-costopt bug this planner used to have.
+  if (ctx->options().ndp_assume_cold) {
+    plan.work.pull_pages_buffer = 0;
+    plan.work.pull_pages_ocm = 0;
+  }
+  uint64_t cold_pages = plan.work.pull_pages - plan.work.pull_pages_buffer -
+                        plan.work.pull_pages_ocm;
+  double cold_frac =
+      plan.work.pull_pages == 0
+          ? 1.0
+          : static_cast<double>(cold_pages) / plan.work.pull_pages;
+  // The bytes-moved heuristic now compares against the bytes a pull
+  // would actually move over the NIC: warm pages (buffer or OCM) never
+  // cross it, so a warm scan is no longer pushed down at a loss.
+  plan.est_pull_bytes = plan.work.pull_bytes * cold_frac;
+  plan.est_push_bytes =
+      plan.work.push_request_bytes + plan.work.push_return_bytes;
+
+  // Price both shapes with the ledger's own tables — the prediction that
+  // EXPLAIN WHATIF shows and that the run report scores against billing.
+  costopt::CostModel model(ctx->ledger().prices());
+  costopt::NodeResources local =
+      ResourcesFor(ctx->node(), ctx->options().cpu_per_decoded_byte);
+  std::vector<costopt::PlanEstimate> candidates;
+  candidates.push_back(model.PricePull(plan.work, local));
+  candidates.push_back(model.PricePush(plan.work, local));
+
+  costopt::PlanPolicy policy = ctx->options().cost_policy;
+  int chosen;
+  std::string reason;
+  if (mode == ndp::NdpMode::kOn) {
+    chosen = 1;
+    reason = "ndp=on: pushdown forced";
+  } else if (policy == costopt::PlanPolicy::kCostBlind) {
+    bool push_wins = plan.est_push_bytes <
+                     ctx->options().ndp_auto_threshold * plan.est_pull_bytes;
+    chosen = push_wins ? 1 : 0;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "cost_blind: est push %.6g B vs cold pull %.6g B "
+                  "(threshold %.3g, %s)",
+                  plan.est_push_bytes, plan.est_pull_bytes,
+                  ctx->options().ndp_auto_threshold,
+                  candidates[0].detail.c_str());
+    reason = buf;
+  } else {
+    costopt::PlanChoice choice =
+        costopt::ChoosePlan(candidates, policy, ctx->options().slo_seconds,
+                            ctx->options().budget_left_usd);
+    chosen = choice.index;
+    reason = std::move(choice.reason);
+  }
+  plan.use = chosen == 1;
+
+  // Record the decision trail. op_id anticipates the scan's OperatorScope,
+  // which registers immediately after planning — that id is what ties the
+  // prediction to the ledger entry the run bills.
+  costopt::WhatIfScan record;
+  record.op = "scan " + schema.name;
+  record.op_id = static_cast<int>(ctx->operators().size());
+  record.policy = costopt::PolicyName(policy);
+  record.candidates = candidates;
+  record.chosen = chosen;
+  record.reason = std::move(reason);
+  // Reader-node placement, advisory: the chosen shape re-priced on every
+  // node in the environment with compute-time USD at its hourly rate.
+  SimEnvironment& env = ctx->node()->env();
+  for (size_t n = 0; n < env.node_count(); ++n) {
+    costopt::NodeResources remote = ResourcesFor(
+        &env.node(n), ctx->options().cpu_per_decoded_byte);
+    record.placement.push_back(model.PricePlacement(
+        plan.work, remote, plan.use,
+        candidates[chosen].name + "@" + env.node(n).profile().name));
+  }
+  ctx->whatif().Add(std::move(record));
   return plan;
 }
 

@@ -8,6 +8,8 @@
 
 #include "columnar/table_reader.h"
 #include "common/result.h"
+#include "costopt/chooser.h"
+#include "costopt/whatif.h"
 #include "exec/batch.h"
 #include "ndp/ndp_protocol.h"
 #include "sim/environment.h"
@@ -32,6 +34,18 @@ class QueryContext {
     // are below this fraction of the bytes a pull would move — the
     // margin covers the per-request surcharge and estimate error.
     double ndp_auto_threshold = 0.5;
+    // Cost-intelligent planning (src/costopt/). kCostBlind keeps the
+    // bytes-moved heuristic in charge; the other policies hand the
+    // pushdown-vs-pull decision to the cost model's USD/latency
+    // estimates under the SLO / budget below.
+    costopt::PlanPolicy cost_policy = costopt::PlanPolicy::kCostBlind;
+    double slo_seconds = 0;       // <= 0: no latency SLO
+    double budget_left_usd = -1;  // < 0: unlimited remaining budget
+    // Regression/bench switch: reprice pulls as if every page were a
+    // cold object-store GET — the pre-costopt planner bug (warm scans
+    // pushed down at a loss). Kept so bench_costopt can quantify the
+    // fix and tests can pin the old behaviour down.
+    bool ndp_assume_cold = false;
   };
 
   QueryContext(TransactionManager* txn_mgr, Transaction* txn,
@@ -111,6 +125,22 @@ class QueryContext {
   NodeContext* node() { return txn_mgr_->storage().node(); }
   const Options& options() const { return options_; }
 
+  // Per-tenant constraints for the plan chooser, stamped after
+  // construction (the workload engine knows the tenant's SLO and
+  // remaining budget only at dispatch time).
+  void SetCostConstraints(costopt::PlanPolicy policy, double slo_seconds,
+                          double budget_left_usd) {
+    options_.cost_policy = policy;
+    options_.slo_seconds = slo_seconds;
+    options_.budget_left_usd = budget_left_usd;
+  }
+
+  // The query's plan decision trail: every candidate the scan planner
+  // priced, the winner and the deciding estimate — what EXPLAIN WHATIF
+  // prints and the prediction-error tracker compares with the ledger.
+  costopt::WhatIfLog& whatif() { return whatif_; }
+  const costopt::WhatIfLog& whatif() const { return whatif_; }
+
  private:
   TransactionManager* txn_mgr_;
   Transaction* txn_;
@@ -120,6 +150,7 @@ class QueryContext {
   StepHook step_hook_;
   AttributionContext attr_;
   std::vector<OperatorStats> operators_;
+  costopt::WhatIfLog whatif_;
 };
 
 // Installs a query's attribution on the cluster ledger for the scope's

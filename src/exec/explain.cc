@@ -140,4 +140,21 @@ std::string FormatExplainAnalyze(QueryContext* ctx) {
   return out;
 }
 
+std::string FormatExplainWhatIf(QueryContext* ctx) {
+  const AttributionContext& attr = ctx->attribution();
+  std::string out = costopt::FormatWhatIf(
+      ctx->whatif(), attr.tag.empty() ? "(untagged)" : attr.tag);
+  const CostLedger& ledger = ctx->ledger();
+  costopt::PredictionAccuracy acc = costopt::ComparePredictions(
+      ctx->whatif(), ledger.entries(), attr.query_id, ledger.prices());
+  if (acc.scans > 0) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "billed request usd: %.6g (abs err %.6g, rel %.3g)\n",
+                  acc.billed_usd, acc.abs_error_usd, acc.RelativeError());
+    out += buf;
+  }
+  return out;
+}
+
 }  // namespace cloudiq

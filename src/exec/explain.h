@@ -16,6 +16,14 @@ namespace cloudiq {
 // scope.
 std::string FormatExplainAnalyze(QueryContext* ctx);
 
+// EXPLAIN WHATIF: the scan planner's decision trail — every candidate it
+// priced (pull vs. push, plus advisory reader-node placements) with
+// predicted request-USD and a per-stall-class latency decomposition, the
+// winner and the deciding estimate. Called after execution it also scores
+// the prediction against what the ledger actually billed to the same
+// (query, operator) keys.
+std::string FormatExplainWhatIf(QueryContext* ctx);
+
 }  // namespace cloudiq
 
 #endif  // CLOUDIQ_EXEC_EXPLAIN_H_

@@ -107,6 +107,15 @@ Result<std::vector<uint8_t>> ObjectCacheManager::Read(uint64_t key,
   return data;
 }
 
+bool ObjectCacheManager::Resident(uint64_t key) const {
+  MutexLock lock(&mu_);
+  if (index_.find(key) != index_.end()) return true;
+  for (const PendingWrite& pw : write_queue_) {
+    if (pw.key == key) return true;
+  }
+  return false;
+}
+
 void ObjectCacheManager::ScheduleCacheFill(uint64_t key,
                                            std::vector<uint8_t> data,
                                            SimTime at) {

@@ -75,6 +75,12 @@ class ObjectCacheManager : public CloudCache {
                         SimTime* completion) override EXCLUDES(mu_);
   void AbortTxn(uint64_t txn_id) override EXCLUDES(mu_);
 
+  // Plan-time residency probe (CloudCache): true when a Read would be
+  // served from the SSD — the key is in the LRU index, or a queued
+  // write-back still holds its local copy. Touches neither the LRU nor
+  // the stats, and performs no simulated I/O.
+  bool Resident(uint64_t key) const override EXCLUDES(mu_);
+
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;

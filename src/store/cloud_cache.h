@@ -30,6 +30,12 @@ class CloudCache {
   virtual Result<std::vector<uint8_t>> Read(uint64_t key, SimTime start,
                                             SimTime* completion) = 0;
 
+  // Whether a Read of `key` would be served locally right now. A pure
+  // probe for plan-time cost estimation: no LRU touch, no stats, no
+  // simulated I/O — the answer is sim-visible state only, so planning
+  // stays deterministic and free. Defaults to cold.
+  virtual bool Resident(uint64_t /*key*/) const { return false; }
+
   // Writes the object for `key` under the given mode on behalf of
   // transaction `txn_id`.
   virtual Status Write(uint64_t key, std::vector<uint8_t> data,

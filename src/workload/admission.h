@@ -77,6 +77,7 @@ class AdmissionController {
     kShedQueueFull,    // overload: queue at threshold
     kShedRateLimited,  // tenant token bucket empty
     kShedBudget,       // tenant cost budget exhausted
+    kDefer,            // predicted spend would breach budget; park it
   };
 
   explicit AdmissionController(Options options) : options_(options) {}
@@ -108,6 +109,29 @@ class AdmissionController {
     return Decision::kShedQueueFull;
   }
 
+  // Predictive variant (src/costopt/): also consults what the job is
+  // *expected* to cost (`predicted_usd`, from the SpendPredictor) and the
+  // predicted spend of the tenant's in-flight jobs. A job whose predicted
+  // spend would carry the tenant past its budget is deferred — parked
+  // until completions either free predicted headroom or prove the budget
+  // truly exhausted — instead of admitted (blowing the budget) or shed
+  // (historical spend alone says there is room). Checked after the hard
+  // budget gate and before the rate limiter, so a deferral never consumes
+  // a token: the job will be re-decided on wake.
+  Decision DecidePredictive(const std::string& tenant, SimTime now,
+                            double spent_usd, double predicted_usd,
+                            double inflight_predicted_usd, double budget_usd,
+                            bool can_dispatch_now) EXCLUDES(mu_) {
+    if (budget_usd > 0) {
+      MutexLock lock(&mu_);
+      if (spent_usd >= budget_usd) return Decision::kShedBudget;
+      if (spent_usd + inflight_predicted_usd + predicted_usd > budget_usd) {
+        return Decision::kDefer;
+      }
+    }
+    return Decide(tenant, now, spent_usd, budget_usd, can_dispatch_now);
+  }
+
   static bool IsShed(Decision d) {
     return d == Decision::kShedQueueFull ||
            d == Decision::kShedRateLimited || d == Decision::kShedBudget;
@@ -119,6 +143,7 @@ class AdmissionController {
       case Decision::kShedQueueFull: return "shed_queue_full";
       case Decision::kShedRateLimited: return "shed_rate_limited";
       case Decision::kShedBudget: return "shed_budget";
+      case Decision::kDefer: return "defer";
     }
     return "?";
   }

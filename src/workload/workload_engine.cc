@@ -13,7 +13,8 @@ WorkloadEngine::WorkloadEngine(std::vector<Database*> nodes, Options options,
       env_(&nodes_.front()->env()),
       admission_(options.admission),
       scheduler_(options.scheduler),
-      node_active_(nodes_.size(), 0) {
+      node_active_(nodes_.size(), 0),
+      predictor_(options.spend_prior_usd) {
   StatsRegistry& stats = env_->telemetry().stats();
   steps_ = &stats.counter("workload.steps");
   latency_all_ = &stats.histogram("workload.latency");
@@ -44,6 +45,8 @@ WorkloadEngine::TenantState& WorkloadEngine::RegisterTenant(
   ts.shed_budget = &stats.counter(p + "shed_budget");
   ts.slo_met = &stats.counter(p + "slo_met");
   ts.slo_missed = &stats.counter(p + "slo_missed");
+  ts.costopt_deferred = &stats.counter(p + "costopt_deferred");
+  ts.costopt_deferred_shed = &stats.counter(p + "costopt_deferred_shed");
   ts.latency = &stats.histogram(p + "latency");
   ts.queue_wait = &stats.histogram(p + "queue_wait");
   for (int i = 0; i < kNumWaitClasses; ++i) {
@@ -126,6 +129,20 @@ Status WorkloadEngine::RunUntilIdle() {
       }
       continue;
     }
+    if (!deferred_.empty()) {
+      // Nothing running and nothing arriving: no future completion will
+      // change the forecast the deferral cited, so the parked predicted
+      // spend still breaches the budget — those jobs shed as budget
+      // sheds (costopt_deferred_shed counts them apart).
+      while (!deferred_.empty()) {
+        std::unique_ptr<Job> job = std::move(deferred_.front());
+        deferred_.pop_front();
+        TenantFor(job->tenant).costopt_deferred_shed->Add();
+        Shed(std::move(job),
+             AdmissionController::Decision::kShedBudget);
+      }
+      continue;
+    }
     return Status::Ok();
   }
 }
@@ -142,21 +159,38 @@ void WorkloadEngine::ProcessNextArrival() {
   TenantState& ts = TenantFor(job->tenant);
   ts.submitted->Add();
   bool can_dispatch = admission_.HasRunSlot() && FindFreeNode() >= 0;
-  AdmissionController::Decision decision =
-      admission_.Decide(job->tenant, clock_, ts.spent_usd,
-                        ts.config.cost_budget_usd, can_dispatch);
+  AdmissionController::Decision decision;
+  if (options_.predictive_admission) {
+    // Predictive admission: the decision cites the SpendPredictor's
+    // estimate for this (tenant, tag) plus the predicted spend already
+    // in flight — a job expected to breach the budget parks on the
+    // deferred queue instead of running (or being wrongly shed).
+    job->predicted_usd = predictor_.Predict(job->tenant, job->tag);
+    decision = admission_.DecidePredictive(
+        job->tenant, clock_, ts.spent_usd, job->predicted_usd,
+        ts.inflight_predicted_usd, ts.config.cost_budget_usd, can_dispatch);
+  } else {
+    decision = admission_.Decide(job->tenant, clock_, ts.spent_usd,
+                                 ts.config.cost_budget_usd, can_dispatch);
+  }
   switch (decision) {
     case AdmissionController::Decision::kAdmit:
+      ts.inflight_predicted_usd += job->predicted_usd;
       admission_.OnDispatch();
       Dispatch(std::move(job), clock_);
       break;
     case AdmissionController::Decision::kQueue: {
+      ts.inflight_predicted_usd += job->predicted_usd;
       admission_.OnQueue();
       scheduler_.Enqueue(job->tenant, job->id, clock_);
       uint64_t id = job->id;
       queued_jobs_[id] = std::move(job);
       break;
     }
+    case AdmissionController::Decision::kDefer:
+      ts.costopt_deferred->Add();
+      deferred_.push_back(std::move(job));
+      break;
     default:
       Shed(std::move(job), decision);
       break;
@@ -222,6 +256,16 @@ void WorkloadEngine::Dispatch(std::unique_ptr<Job> job, SimTime now) {
   job->db->node().clock().AdvanceTo(now);
   job->session = std::make_unique<Session>(job->db, job->tenant);
   TenantState& ts = TenantFor(job->tenant);
+  // Stash the tenant's plan-choice constraints now, under the lock: the
+  // fiber body stamps them onto the query context (SetCostConstraints)
+  // without touching engine state. budget_left is what the chooser's
+  // kMinLatencyUnderBudget compares predicted request-USD against.
+  job->cost_policy = ts.config.cost_policy;
+  job->slo_seconds = ts.config.slo_seconds;
+  job->budget_left_usd =
+      ts.config.cost_budget_usd > 0
+          ? std::max(0.0, ts.config.cost_budget_usd - ts.spent_usd)
+          : -1;
   double wait = std::max(0.0, now - job->arrival);
   ts.queue_wait->Record(wait);
   queue_wait_all_->Record(wait);
@@ -235,6 +279,12 @@ void WorkloadEngine::RunJobBody(Job* job) {
   Database* db = job->db;
   Transaction* txn = db->Begin();
   QueryContext ctx = job->session->NewQuery(txn, job->tag);
+  // A tenant with a cost-aware policy overrides the database defaults;
+  // kCostBlind tenants leave whatever Database::Options configured.
+  if (job->cost_policy != costopt::PlanPolicy::kCostBlind) {
+    ctx.SetCostConstraints(job->cost_policy, job->slo_seconds,
+                           job->budget_left_usd);
+  }
   job->query_attr = ctx.attribution();
   StepFiber* fiber = job->fiber.get();
   ctx.set_step_hook([fiber](const char*) { fiber->Yield(); });
@@ -336,8 +386,17 @@ void WorkloadEngine::Complete(Job* job) {
   if (ts.config.slo_seconds > 0) {
     (latency <= ts.config.slo_seconds ? ts.slo_met : ts.slo_missed)->Add();
   }
-  ts.spent_usd += ledger.QueryTotal(job->query_attr.query_id)
-                      .TotalUsd(ledger.prices());
+  double billed_usd = ledger.QueryTotal(job->query_attr.query_id)
+                          .TotalUsd(ledger.prices());
+  ts.spent_usd += billed_usd;
+  if (options_.predictive_admission) {
+    // Feed the predictor the job's actual bill and release its budget
+    // reservation; the deferred queue re-prices on this new forecast
+    // below (WakeDeferred).
+    predictor_.Observe(job->tenant, job->tag, billed_usd);
+    ts.inflight_predicted_usd =
+        std::max(0.0, ts.inflight_predicted_usd - job->predicted_usd);
+  }
   // Refresh the tenant's wait-class gauges (cumulative seconds, including
   // background shadow time its queries enqueued).
   StallProfiler::Entry stall =
@@ -366,7 +425,50 @@ void WorkloadEngine::Complete(Job* job) {
     if (event_hook_) event_hook_(finish);
     if (completion_hook_) completion_hook_(c);
   }
+  if (!deferred_.empty()) WakeDeferred(finish);
   TryDispatch(finish);
+}
+
+void WorkloadEngine::WakeDeferred(SimTime now) {
+  // Every parked job gets one fresh DecidePredictive against the
+  // post-completion history: spend and in-flight predictions moved, so
+  // the earlier deferral verdict is stale. Jobs that still don't fit go
+  // back to the end of the queue (FIFO within a wake round).
+  std::deque<std::unique_ptr<Job>> parked;
+  parked.swap(deferred_);
+  while (!parked.empty()) {
+    std::unique_ptr<Job> job = std::move(parked.front());
+    parked.pop_front();
+    TenantState& ts = TenantFor(job->tenant);
+    bool can_dispatch = admission_.HasRunSlot() && FindFreeNode() >= 0;
+    job->predicted_usd = predictor_.Predict(job->tenant, job->tag);
+    AdmissionController::Decision decision = admission_.DecidePredictive(
+        job->tenant, now, ts.spent_usd, job->predicted_usd,
+        ts.inflight_predicted_usd, ts.config.cost_budget_usd, can_dispatch);
+    switch (decision) {
+      case AdmissionController::Decision::kAdmit:
+        ts.inflight_predicted_usd += job->predicted_usd;
+        admission_.OnDispatch();
+        Dispatch(std::move(job), now);
+        break;
+      case AdmissionController::Decision::kQueue: {
+        ts.inflight_predicted_usd += job->predicted_usd;
+        admission_.OnQueue();
+        scheduler_.Enqueue(job->tenant, job->id, now);
+        uint64_t id = job->id;
+        queued_jobs_[id] = std::move(job);
+        break;
+      }
+      case AdmissionController::Decision::kDefer:
+        deferred_.push_back(std::move(job));
+        break;
+      default:
+        ts.costopt_deferred_shed->Add();
+        Shed(std::move(job), decision);
+        break;
+    }
+  }
+  queue_depth_->Set(static_cast<double>(admission_.queued()));
 }
 
 void WorkloadEngine::TryDispatch(SimTime now) {

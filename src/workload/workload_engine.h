@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -12,6 +13,7 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "costopt/predictor.h"
 #include "engine/database.h"
 #include "engine/session.h"
 #include "telemetry/stall_profiler.h"
@@ -59,6 +61,11 @@ class WorkloadEngine {
     double burst = 4;            // token bucket capacity
     double cost_budget_usd = 0;  // ledger spend cap; <= 0 unlimited
     double slo_seconds = 0;      // end-to-end target; <= 0 no SLO
+    // Plan-choice policy handed to this tenant's query contexts at
+    // dispatch (src/costopt/). kCostBlind leaves whatever the Database's
+    // own options say untouched; the other policies override with the
+    // tenant's SLO and remaining budget.
+    costopt::PlanPolicy cost_policy = costopt::PlanPolicy::kCostBlind;
   };
 
   struct Options {
@@ -67,6 +74,16 @@ class WorkloadEngine {
     // Queries time-sharing one node at once. concurrency_limit caps the
     // pool-wide total; this caps one node's multiprogramming.
     int slots_per_node = 2;
+    // Predictive admission (src/costopt/): arrivals are decided against
+    // predicted spend — the SpendPredictor's per-(tenant, tag) mean of
+    // billed USD — on top of historical ledger spend. Jobs whose
+    // prediction would carry the tenant past its budget are parked on a
+    // deferred queue and re-priced when a completion changes the
+    // forecast; parked jobs that still don't fit when the pool drains
+    // are shed as budget sheds.
+    bool predictive_admission = false;
+    // Predicted spend for a (tenant, tag) never seen before.
+    double spend_prior_usd = 0;
   };
 
   WorkloadEngine(std::vector<Database*> nodes, Options options,
@@ -188,11 +205,23 @@ class WorkloadEngine {
     bool stepped = false;
     Status result;
     double active_seconds = 0;
+    // Cost-intelligent planning: the spend the admission decision cited
+    // (reserved against the tenant's budget while in flight), and the
+    // tenant constraints stamped onto the query context at dispatch.
+    double predicted_usd = 0;
+    costopt::PlanPolicy cost_policy = costopt::PlanPolicy::kCostBlind;
+    double slo_seconds = 0;
+    double budget_left_usd = -1;
   };
 
   struct TenantState {
     TenantConfig config;
     double spent_usd = 0;
+    // Sum of predicted_usd over the tenant's admitted-or-queued jobs —
+    // what DecidePredictive holds against the budget besides history.
+    double inflight_predicted_usd = 0;
+    Counter* costopt_deferred = nullptr;       // arrivals parked on predict
+    Counter* costopt_deferred_shed = nullptr;  // parked jobs that never fit
     // Registry instruments, resolved once (stable references).
     Counter* submitted = nullptr;
     Counter* completed = nullptr;
@@ -220,6 +249,10 @@ class WorkloadEngine {
             AdmissionController::Decision decision) REQUIRES(mu_);
   void TryDispatch(SimTime now) REQUIRES(mu_);
   int FindFreeNode() const REQUIRES(mu_);
+  // Re-prices every deferred job against fresh spend history and
+  // headroom (called after each completion). FIFO; a job that still
+  // doesn't fit goes back to the end of the deferred queue.
+  void WakeDeferred(SimTime now) REQUIRES(mu_);
 
   // Wiring set at construction (nodes, env, hooks, instrument pointers) is
   // not guarded; admission_/scheduler_ carry their own locks.
@@ -242,6 +275,11 @@ class WorkloadEngine {
   // Dispatched jobs by id.
   std::map<uint64_t, std::unique_ptr<Job>> running_ GUARDED_BY(mu_);
   std::vector<int> node_active_ GUARDED_BY(mu_);
+  // Jobs parked by predictive admission, FIFO; woken on completions.
+  std::deque<std::unique_ptr<Job>> deferred_ GUARDED_BY(mu_);
+  // Per-(tenant, tag) billed-spend history behind DecidePredictive.
+  // Carries its own lock; sits below mu_ like the other leaf components.
+  costopt::SpendPredictor predictor_;
 
   CompletionHook completion_hook_;
   EventHook event_hook_;

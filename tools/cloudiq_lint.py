@@ -48,6 +48,18 @@ level. Rules:
                           themselves) and src/telemetry/ (the profiler)
                           are exempt; real-thread handoffs that consume
                           no sim-time justify a NOLINT instead.
+  cloudiq-costopt-evidence
+                          Every cost decision site in src/ — a call to
+                          costopt::ChoosePlan or
+                          AdmissionController::DecidePredictive — must
+                          leave an auditable trail nearby: a WhatIfScan /
+                          WhatIfLog record, a SpendPredictor prediction
+                          (predicted_usd), or an Observe() feeding the
+                          predictor, within a few lines. A decision with
+                          no recorded prediction silently escapes the
+                          predicted-vs-billed accounting that EXPLAIN
+                          WHATIF and costopt.prediction_error promise.
+                          src/costopt/ itself (the mechanism) is exempt.
 
 Escape hatch: `// NOLINT(cloudiq-<rule>): <justification>` on the
 offending line (or the line above) suppresses that rule there. The
@@ -99,6 +111,19 @@ STALL_BACKOFF_RE = re.compile(r"\+\s*backoff\b|\bbackoff\s*\*=")
 STALL_REPORT_RE = re.compile(
     r"profiler|Charge\s*\(|ScopedStall|ScopedBackgroundStall")
 STALL_REPORT_WINDOW = 5
+
+# Cost decision sites (calls only — the `.`/`->`/`::` prefix keeps the
+# declarations and definitions in admission.h / chooser.h out of scope).
+COSTOPT_DECISION_RE = re.compile(
+    r"(\.|->|::)\s*(ChoosePlan|DecidePredictive)\s*\(")
+# Evidence the decision was recorded, looked for within
+# COSTOPT_EVIDENCE_WINDOW lines. Deliberately excludes the bare tokens
+# `costopt` and `Predict`, which appear in the decision calls themselves
+# and would make the rule vacuously satisfied.
+COSTOPT_EVIDENCE_RE = re.compile(
+    r"WhatIfScan|WhatIfLog|whatif\s*\(|\.Observe\s*\(|predicted_usd|"
+    r"SpendPredictor|predictor|PredictionStats")
+COSTOPT_EVIDENCE_WINDOW = 10
 
 
 class Violation:
@@ -222,6 +247,13 @@ def stall_report_applies(path):
     if os.path.basename(p).startswith("mutex."):
         return False
     return "/telemetry/" not in p
+
+
+def costopt_evidence_applies(path):
+    p = norm(path)
+    if not (p.startswith("src/") or "/src/" in p):
+        return False
+    return not (p.startswith("src/costopt/") or "/src/costopt/" in p)
 
 
 def unordered_names(stripped_text):
@@ -385,6 +417,22 @@ def lint_file(path, text=None):
                    "charge nearby; attribute the elapsed sim-time "
                    "(Charge / ScopedStall / ScopedBackgroundStall) or "
                    "justify with NOLINT if no sim-time passes here")
+
+    # --- cloudiq-costopt-evidence ------------------------------------------
+    if costopt_evidence_applies(path):
+        for idx, line in enumerate(stripped_lines):
+            if not COSTOPT_DECISION_RE.search(line):
+                continue
+            lo = max(0, idx - COSTOPT_EVIDENCE_WINDOW)
+            hi = min(len(stripped_lines), idx + COSTOPT_EVIDENCE_WINDOW + 1)
+            nearby = "\n".join(stripped_lines[lo:hi])
+            if COSTOPT_EVIDENCE_RE.search(nearby):
+                continue
+            report(idx, "costopt-evidence",
+                   "cost decision (ChoosePlan / DecidePredictive) with no "
+                   "recorded trail nearby; capture it in a WhatIfScan / "
+                   "WhatIfLog or feed the SpendPredictor (predicted_usd / "
+                   "Observe) so predicted-vs-billed accounting sees it")
 
     # --- cloudiq-direct-put ------------------------------------------------
     if not direct_put_exempt(path):

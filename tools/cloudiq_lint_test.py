@@ -244,6 +244,76 @@ class LintFixtureTest(unittest.TestCase):
         )
         self.assertEqual(self.lint("src/workload/fiber.cc", code), [])
 
+    # --- cloudiq-costopt-evidence ---------------------------------------------
+
+    def test_costopt_decision_without_trail_flagged(self):
+        code = (
+            "void Plan() {\n"
+            "  costopt::PlanChoice c =\n"
+            "      costopt::ChoosePlan(cands, policy, slo, budget);\n"
+            "  use_push = c.index == 1;\n"
+            "}\n"
+        )
+        violations = self.lint("src/exec/planner.cc", code)
+        self.assertEqual(self.rules(violations), ["costopt-evidence"])
+
+    def test_predictive_decision_without_trail_flagged(self):
+        # `DecidePredictive` contains `Predict`, but the call itself must
+        # not count as its own evidence.
+        code = (
+            "void Admit() {\n"
+            "  auto d = admission_.DecidePredictive(t, now, spent, est,\n"
+            "                                       inflight, budget, ok);\n"
+            "  Apply(d);\n"
+            "}\n"
+        )
+        violations = self.lint("src/workload/gate.cc", code)
+        self.assertEqual(self.rules(violations), ["costopt-evidence"])
+
+    def test_costopt_decision_with_whatif_record_ok(self):
+        code = (
+            "void Plan() {\n"
+            "  costopt::PlanChoice c =\n"
+            "      costopt::ChoosePlan(cands, policy, slo, budget);\n"
+            "  costopt::WhatIfScan record;\n"
+            "  record.chosen = c.index;\n"
+            "}\n"
+        )
+        self.assertEqual(self.lint("src/exec/planner.cc", code), [])
+
+    def test_predictive_decision_with_predictor_ok(self):
+        code = (
+            "void Admit() {\n"
+            "  job->predicted_usd = predictor_.Predict(job->tenant, tag);\n"
+            "  auto d = admission_.DecidePredictive(t, now, spent,\n"
+            "                                       job->predicted_usd,\n"
+            "                                       inflight, budget, ok);\n"
+            "}\n"
+        )
+        self.assertEqual(self.lint("src/workload/gate.cc", code), [])
+
+    def test_costopt_rule_exempts_mechanism_and_tests(self):
+        code = (
+            "PlanChoice Retry() {\n"
+            "  return costopt::ChoosePlan(cands, policy, slo, budget);\n"
+            "}\n"
+        )
+        # The subsystem itself and out-of-src harnesses are not decision
+        # sites that owe a trail.
+        self.assertEqual(self.lint("src/costopt/chooser.cc", code), [])
+        self.assertEqual(self.lint("tests/costopt_test.cc", code), [])
+        self.assertEqual(self.lint("bench/bench_costopt.cc", code), [])
+
+    def test_costopt_declarations_not_flagged(self):
+        code = (
+            "class AdmissionController {\n"
+            " public:\n"
+            "  Decision DecidePredictive(const std::string& tenant,\n"
+            "                            SimTime now, double spent);\n"
+            "};\n"
+        )
+        self.assertEqual(self.lint("src/workload/admission.h", code), [])
+
     # --- NOLINT escape hatch ------------------------------------------------
 
     def test_nolint_with_justification_suppresses(self):

@@ -197,13 +197,23 @@ def main(argv):
 
     if args.check:
         problems = check_conservation(stalls)
+        # An empty profile passes conservation vacuously (0 == 0 + 0), which
+        # would let a run that never attributed a single query slip through
+        # the gate. Checking nothing is a failure, not a pass.
+        queries = stalls.get("queries", []) or []
+        if not queries:
+            problems.append(
+                "empty stall profile: %d queries checked — the run recorded "
+                "no per-query stalls, so conservation was not exercised"
+                % len(queries)
+            )
         for problem in problems:
             print("FAIL: %s" % problem, file=sys.stderr)
         if not problems:
             print(
                 "stall conservation ok: %d queries, %d ns window, %d ns background"
                 % (
-                    len(stalls.get("queries", [])),
+                    len(queries),
                     int(stalls.get("window_nanos", 0)),
                     int(stalls.get("background_nanos", 0)),
                 )
