@@ -44,9 +44,24 @@ def flatten(node, prefix, out):
     # strings (names already used as keys) carry no magnitude
 
 
+class SkipComparison(Exception):
+    """Raised when a snapshot is missing or empty: comparison is
+    impossible but that is not a regression — a fresh checkout has no
+    baseline yet."""
+
+
 def load_flat(path):
-    with open(path, "r", encoding="utf-8") as f:
-        snapshot = json.load(f)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as err:
+        raise SkipComparison(f"{path}: {err.strerror or err}") from err
+    if not text.strip():
+        raise SkipComparison(f"{path}: empty snapshot")
+    try:
+        snapshot = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise SkipComparison(f"{path}: not valid JSON ({err})") from err
     flat = {}
     flatten(snapshot, "", flat)
     # The name keys themselves double as labels; drop self-referential
@@ -73,8 +88,17 @@ def main(argv):
     )
     args = parser.parse_args(argv)
 
-    old = load_flat(args.old)
-    new = load_flat(args.new)
+    try:
+        old = load_flat(args.old)
+        new = load_flat(args.new)
+    except SkipComparison as skip:
+        print(f"SKIP: {skip}", file=sys.stderr)
+        print(
+            "SKIP: no usable baseline to compare against; run "
+            "scripts/bench_snapshot.sh to create one",
+            file=sys.stderr,
+        )
+        return 0
 
     regressions = []
     improvements = []

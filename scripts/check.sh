@@ -28,6 +28,13 @@
 #                               # admission holds the budget, double-run
 #                               # --report byte-identical, and a run
 #                               # under ASan
+#   scripts/check.sh locks      # lock-order gate: cloudiq_locks.py
+#                               # fixture tests, whole-tree analysis
+#                               # against LOCKS.md, generated rank-header
+#                               # freshness, the runtime tripwire tests
+#                               # with the observer force-enabled, and a
+#                               # double-run byte-compare proving the
+#                               # tripwire never perturbs the simulation
 #
 # Each pass uses its own build tree (build/, build-asan/, build-ubsan/,
 # build-tsan/) so the sweeps never poison the primary build's cache.
@@ -299,6 +306,49 @@ costopt_pass() {
   echo "=== costopt: OK ==="
 }
 
+# Lock-order gate. Static side first: the analyzer's own fixture tests,
+# then the whole-tree run against the LOCKS.md rank manifest (any
+# unregistered mutex, rank inversion, deadlock cycle, or lock held
+# across a callback / simulated I/O fails here — loudly, never SKIP),
+# then the freshness check tying src/common/lock_ranks.h to the
+# manifest. Dynamic side second: the tripwire regression tests with the
+# observer force-enabled, the seed-swept interleaving stress, and a
+# double-run byte-compare showing the tripwire's bookkeeping never
+# changes simulation output.
+locks_pass() {
+  echo "=== locks: analyzer + manifest + tripwire + determinism ==="
+  echo "--- locks: cloudiq_locks.py fixture tests"
+  python3 tools/cloudiq_locks_test.py
+  echo "--- locks: whole-tree lock-graph analysis vs LOCKS.md"
+  python3 tools/cloudiq_locks.py src
+  echo "--- locks: generated rank header is fresh"
+  python3 tools/cloudiq_locks.py --check-ranks src/common/lock_ranks.h
+  echo "--- locks: tripwire regression + interleaving stress (observer on)"
+  cmake -B build -S . > build-configure.log 2>&1 || {
+    cat build-configure.log; return 1; }
+  cmake --build build -j "${JOBS}" --target lock_rank_test lock_stress_test \
+    tpch_power_run
+  CLOUDIQ_LOCK_RANK_CHECK=1 ./build/tests/lock_rank_test
+  CLOUDIQ_LOCK_RANK_CHECK=1 ./build/tests/lock_stress_test
+  echo "--- locks: tripwire-on double-run byte-compare"
+  local out1 out2
+  out1="$(mktemp /tmp/cloudiq_locks1.XXXXXX.json)"
+  out2="$(mktemp /tmp/cloudiq_locks2.XXXXXX.json)"
+  CLOUDIQ_LOCK_RANK_CHECK=1 CLOUDIQ_BENCH_SF=0.002 \
+    ./build/examples/tpch_power_run --report="${out1}" > /dev/null
+  CLOUDIQ_LOCK_RANK_CHECK=1 CLOUDIQ_BENCH_SF=0.002 \
+    ./build/examples/tpch_power_run --report="${out2}" > /dev/null
+  if ! cmp -s "${out1}" "${out2}"; then
+    echo "locks determinism FAILED: reports differ with tripwire on" >&2
+    diff "${out1}" "${out2}" | head -40 >&2 || true
+    rm -f "${out1}" "${out2}"
+    return 1
+  fi
+  echo "--- locks: reports byte-identical ($(wc -c < "${out1}") bytes)"
+  rm -f "${out1}" "${out2}"
+  echo "=== locks: OK ==="
+}
+
 what="${1:-all}"
 case "${what}" in
   plain)  run_pass "plain" build "" ;;
@@ -313,8 +363,10 @@ case "${what}" in
   ndp) ndp_pass ;;
   profile) profile_pass ;;
   costopt) costopt_pass ;;
+  locks) locks_pass ;;
   all)
     lint_pass
+    locks_pass
     run_pass "plain" build ""
     report_smoke
     determinism_pass
@@ -328,7 +380,7 @@ case "${what}" in
     stress_smoke
     ;;
   *)
-    echo "usage: $0 [all|plain|asan|ubsan|tsan|report|stress|lint|tidy|determinism|ndp|profile|costopt]" >&2
+    echo "usage: $0 [all|plain|asan|ubsan|tsan|report|stress|lint|tidy|determinism|ndp|profile|costopt|locks]" >&2
     exit 2
     ;;
 esac

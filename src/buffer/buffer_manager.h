@@ -174,7 +174,7 @@ class BufferManager {
   Options options_;
   FlushBatchFn flush_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kBufferManager};
   std::unordered_map<CleanKey, CleanEntry, CleanKeyHash> clean_
       GUARDED_BY(mu_);
   std::list<CleanKey> lru_ GUARDED_BY(mu_);  // front = most recent

@@ -3,8 +3,16 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <iterator>
 #include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/thread_annotations.h"
 
 namespace cloudiq {
@@ -20,6 +28,131 @@ inline std::atomic<uint64_t>& MutexContentionCounter() {
   static std::atomic<uint64_t> contended{0};
   return contended;
 }
+
+// Runtime lock-rank tripwire — the dynamic counterpart of the static
+// analyzer in tools/cloudiq_locks.py. Every ranked Mutex (constructed
+// with a lockrank:: constant from the generated src/common/lock_ranks.h,
+// which tools/cloudiq_locks.py emits from LOCKS.md) reports its
+// acquisitions and releases here; a per-thread stack of held ranks is
+// kept, and acquiring a mutex whose rank is not strictly greater than
+// every held rank is a lock-order inversion. The check runs *before*
+// blocking on the lock, so an actual deadlock becomes a loud abort with
+// the held stack printed instead of a hang. Unranked mutexes (rank 0 —
+// tests, benches, fixtures) are invisible to the observer.
+//
+// On by default in every build, including the ASan/UBSan/TSan sweeps;
+// set CLOUDIQ_LOCK_RANK_CHECK=0 in the environment to opt out. Tests
+// install a failure handler to observe violations without dying (no
+// death-test machinery, which TSan dislikes); the default handler
+// prints and aborts.
+class LockRankObserver {
+ public:
+  struct Held {
+    int rank;
+    const void* mu;
+  };
+
+  using FailureHandler = std::function<void(const std::string&)>;
+
+  static bool Enabled() {
+    static const bool enabled = [] {
+      const char* v = std::getenv("CLOUDIQ_LOCK_RANK_CHECK");
+      return v == nullptr || v[0] != '0';
+    }();
+    return enabled;
+  }
+
+  // Called before blocking on a ranked mutex; trips on inversion.
+  static void BeforeAcquire(int rank) {
+    if (rank == 0 || !Enabled() || bypass_depth_ > 0) return;
+    for (const Held& held : HeldStack()) {
+      if (rank <= held.rank) {
+        Fail(rank, held);
+        return;
+      }
+    }
+  }
+
+  // Called after a ranked mutex is actually held.
+  static void AfterAcquire(int rank, const void* mu) {
+    if (rank == 0 || !Enabled()) return;
+    HeldStack().push_back(Held{rank, mu});
+  }
+
+  // Called before a ranked mutex is released; removes the most recent
+  // entry for this mutex (releases may be out of LIFO order — e.g.
+  // MutexUnlock re-acquires above an outer scope's eventual release).
+  static void BeforeRelease(int rank, const void* mu) {
+    if (rank == 0 || !Enabled()) return;
+    auto& stack = HeldStack();
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->mu == mu) {
+        stack.erase(std::next(it).base());
+        return;
+      }
+    }
+  }
+
+  // Installs a failure handler for the current process (tests only);
+  // returns the previous one. Pass nullptr to restore print-and-abort.
+  static FailureHandler InstallFailureHandler(FailureHandler handler) {
+    FailureHandler prev = std::move(HandlerSlot());
+    HandlerSlot() = std::move(handler);
+    return prev;
+  }
+
+  // The current thread's held-rank stack (ranked mutexes only), deepest
+  // acquisition last. Exposed for tests.
+  static std::vector<Held>& HeldStack() {
+    thread_local std::vector<Held> stack;
+    return stack;
+  }
+
+ private:
+  friend class ScopedLockRankBypass;
+
+  static FailureHandler& HandlerSlot() {
+    static FailureHandler handler;
+    return handler;
+  }
+
+  static void Fail(int rank, const Held& blocking) {
+    std::string msg = "lock-rank inversion: acquiring ";
+    msg += lockrank::RankName(rank);
+    msg += " (rank " + std::to_string(rank) + ") while holding ";
+    msg += lockrank::RankName(blocking.rank);
+    msg += " (rank " + std::to_string(blocking.rank) + "); held stack:";
+    for (const Held& held : HeldStack()) {
+      msg += ' ';
+      msg += lockrank::RankName(held.rank);
+      msg += "=" + std::to_string(held.rank);
+    }
+    if (HandlerSlot()) {
+      HandlerSlot()(msg);
+      return;
+    }
+    std::fprintf(stderr, "CLOUDIQ LOCK-RANK TRIPWIRE: %s\n", msg.c_str());
+    std::abort();
+  }
+
+  static thread_local int bypass_depth_;
+};
+
+inline thread_local int LockRankObserver::bypass_depth_ = 0;
+
+// Suspends inversion *checking* (acquisitions are still tracked) on the
+// current thread — for the one legitimate same-rank pattern: two
+// instances of the same class locked together (ObjectKeyGenerator's
+// move-assignment). Pair every use with a
+// `// NOLINT(cloudiq-lock-order): why` so the static analyzer agrees.
+class ScopedLockRankBypass {
+ public:
+  ScopedLockRankBypass() { ++LockRankObserver::bypass_depth_; }
+  ~ScopedLockRankBypass() { --LockRankObserver::bypass_depth_; }
+
+  ScopedLockRankBypass(const ScopedLockRankBypass&) = delete;
+  ScopedLockRankBypass& operator=(const ScopedLockRankBypass&) = delete;
+};
 
 // Annotated mutex: std::mutex wrapped as a Clang thread-safety
 // *capability* so -Wthread-safety can verify lock discipline statically
@@ -42,7 +175,13 @@ inline std::atomic<uint64_t>& MutexContentionCounter() {
 //     implicitly EXCLUDES(mu_).
 class CAPABILITY("mutex") Mutex {
  public:
+  // An unranked mutex — invisible to the lock-rank tripwire. For code
+  // outside src/ (tests, benches); every Mutex member inside src/ must
+  // instead carry its LOCKS.md rank (tools/cloudiq_locks.py enforces).
   Mutex() = default;
+  // A ranked mutex: pass the owner class's lockrank:: constant, e.g.
+  //   mutable Mutex mu_{lockrank::kBufferManager};
+  explicit Mutex(int rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
@@ -50,21 +189,37 @@ class CAPABILITY("mutex") Mutex {
   // try_lock (same atomic op as lock's fast path); a contended one bumps
   // the process-wide counter before blocking.
   void Lock() ACQUIRE() {
+    LockRankObserver::BeforeAcquire(rank_);
     if (!mu_.try_lock()) {
       MutexContentionCounter().fetch_add(1, std::memory_order_relaxed);
       mu_.lock();
     }
+    LockRankObserver::AfterAcquire(rank_, this);
   }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Unlock() RELEASE() {
+    LockRankObserver::BeforeRelease(rank_, this);
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    // A TryLock can never deadlock, but an out-of-rank TryLock is still
+    // a discipline violation — it becomes a blocking Lock the day
+    // someone "fixes" a spurious failure — so it is checked the same.
+    LockRankObserver::BeforeAcquire(rank_);
+    if (!mu_.try_lock()) return false;
+    LockRankObserver::AfterAcquire(rank_, this);
+    return true;
+  }
 
   // Static-analysis assertion for paths where the lock is known held but
   // the analysis cannot see it (e.g. across a std::function boundary).
   void AssertHeld() ASSERT_CAPABILITY(this) {}
 
+  int rank() const { return rank_; }
+
  private:
   friend class CondVar;
   std::mutex mu_;
+  const int rank_ = 0;
 };
 
 // RAII lock; the annotated replacement for std::lock_guard<std::mutex>.

@@ -66,7 +66,7 @@ class SpendPredictor {
   };
 
   const double prior_usd_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kSpendPredictor};
   std::map<std::pair<std::string, std::string>, Stat> history_
       GUARDED_BY(mu_);
 };

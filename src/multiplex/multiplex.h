@@ -70,7 +70,7 @@ class Multiplex {
   std::unique_ptr<Database> coordinator_;
   std::vector<std::unique_ptr<Database>> secondaries_;
   // Guards the RPC counter only; the Databases serialize themselves.
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kMultiplex};
   uint64_t rpc_count_ GUARDED_BY(mu_) = 0;
 };
 

@@ -151,7 +151,7 @@ class ObjectCacheManager : public CloudCache {
   // no-ops once the OCM is gone.
   std::shared_ptr<ObjectCacheManager*> liveness_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kObjectCacheManager};
 
   // LRU over admitted keys (front = most recent).
   std::list<uint64_t> lru_ GUARDED_BY(mu_);

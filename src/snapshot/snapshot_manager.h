@@ -142,7 +142,7 @@ class SnapshotManager {
   // snapshot layer calls back into it, so the re-entrancy hazard that
   // forbids lock-across-I/O elsewhere does not exist here, and holding it
   // keeps the FIFO/registry mutations atomic per operation.
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kSnapshotManager};
   std::deque<Retained> fifo_
       GUARDED_BY(mu_);  // ascending expiry (FIFO by drop time)
   std::map<uint64_t, StoredSnapshot> snapshots_ GUARDED_BY(mu_);

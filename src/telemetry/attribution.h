@@ -262,7 +262,7 @@ class CostLedger {
   Entry* MutableLocked() REQUIRES(mu_);
   std::string QueryTenantLocked(uint64_t query_id) const REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kCostLedger};
   AttributionContext current_ GUARDED_BY(mu_);
   LedgerPrices prices_;
   uint64_t last_query_id_ GUARDED_BY(mu_) = 0;

@@ -207,7 +207,7 @@ class StallProfiler {
   CostLedger* const ledger_;
   Tracer* const tracer_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kStallProfiler};
   Frame default_frame_ GUARDED_BY(mu_);
   Frame* current_frame_ GUARDED_BY(mu_) = nullptr;
   std::map<Key, Entry> entries_ GUARDED_BY(mu_);

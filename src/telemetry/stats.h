@@ -133,7 +133,7 @@ class StatsRegistry {
   void Reset() EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kStatsRegistry};
   std::map<std::string, Counter> counters_ GUARDED_BY(mu_);
   std::map<std::string, Gauge> gauges_ GUARDED_BY(mu_);
   std::map<std::string, Histogram> histograms_ GUARDED_BY(mu_);

@@ -113,7 +113,7 @@ class Tracer {
 
  private:
   bool enabled_ = false;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kTracer};
   std::vector<TraceEvent> events_ GUARDED_BY(mu_);
   std::map<uint32_t, std::string> process_names_ GUARDED_BY(mu_);
   std::map<std::pair<uint32_t, uint32_t>, std::string> track_names_

@@ -237,7 +237,7 @@ class TransactionManager {
   TxnLog log_;
   CommitListener commit_listener_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kTransactionManager};
   IdentityCatalog catalog_ GUARDED_BY(mu_);
   std::map<uint64_t, std::unique_ptr<Transaction>> active_ GUARDED_BY(mu_);
   std::list<CommittedTxn> chain_ GUARDED_BY(mu_);

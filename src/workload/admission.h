@@ -192,7 +192,7 @@ class AdmissionController {
   // mu_ guards the occupancy counters and the bucket map; TokenBucket is a
   // plain value type whose instances are only touched under this lock.
   Options options_;  // set at construction, read-only after
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kAdmissionController};
   int running_ GUARDED_BY(mu_) = 0;
   size_t queued_ GUARDED_BY(mu_) = 0;
   std::map<std::string, TokenBucket> buckets_ GUARDED_BY(mu_);

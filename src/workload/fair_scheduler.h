@@ -138,7 +138,7 @@ class FairScheduler {
   };
 
   Options options_;  // set at construction, read-only after
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kFairScheduler};
   std::map<std::string, Tenant> tenants_ GUARDED_BY(mu_);
   size_t queued_total_ GUARDED_BY(mu_) = 0;
 };

@@ -58,7 +58,7 @@ class StepFiber {
   void Trampoline() EXCLUDES(mu_);
 
   Body body_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kStepFiber};
   CondVar cv_;
   bool fiber_turn_ GUARDED_BY(mu_) = false;
   bool finished_ GUARDED_BY(mu_) = false;

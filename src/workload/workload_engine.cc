@@ -115,6 +115,31 @@ Status WorkloadEngine::RunUntilIdle() {
       ProcessNextArrival();
       continue;
     }
+    if (best != nullptr && options_.resume_perturb_seed != 0) {
+      // Stress-sweep mode: pick the next fiber to resume by a seeded
+      // splitmix-style hash of (seed, job id, tick) instead of earliest
+      // virtual time. The arrival-vs-step decision above still uses the
+      // true earliest time, so arrivals are never starved; see
+      // Options::resume_perturb_seed for why any order is legal.
+      Job* pick = nullptr;
+      uint64_t pick_hash = 0;
+      for (auto& [id, job] : running_) {
+        uint64_t h = options_.resume_perturb_seed +
+                     0x9e3779b97f4a7c15ull * (id + 1) +
+                     0xbf58476d1ce4e5b9ull * (perturb_ticks_ + 1);
+        h ^= h >> 30;
+        h *= 0xbf58476d1ce4e5b9ull;
+        h ^= h >> 27;
+        h *= 0x94d049bb133111ebull;
+        h ^= h >> 31;
+        if (pick == nullptr || h > pick_hash) {
+          pick = job.get();
+          pick_hash = h;
+        }
+      }
+      best = pick;
+      ++perturb_ticks_;
+    }
     if (best != nullptr) {
       StepJob(best);
       continue;

@@ -84,6 +84,15 @@ class WorkloadEngine {
     bool predictive_admission = false;
     // Predicted spend for a (tenant, tag) never seen before.
     double spend_prior_usd = 0;
+    // Deterministic resume-order perturbation, for the lock/interleaving
+    // stress sweep (tests only). 0 = off: resume the runnable job
+    // earliest in virtual time — the default schedule, byte-identical
+    // reports. Nonzero: the runnable job is instead chosen by a seeded
+    // hash, so each seed exercises a different — but still legal and
+    // still reproducible — fiber interleaving. Any resume order is
+    // legal: node clocks never run backward and suspension gaps are
+    // charged from ready_time, so charge windows stay non-negative.
+    uint64_t resume_perturb_seed = 0;
   };
 
   WorkloadEngine(std::vector<Database*> nodes, Options options,
@@ -262,7 +271,7 @@ class WorkloadEngine {
   AdmissionController admission_;
   FairScheduler scheduler_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kWorkloadEngine};
   std::map<std::string, TenantState> tenants_ GUARDED_BY(mu_);
   uint64_t last_job_id_ GUARDED_BY(mu_) = 0;
   // Engine time: max event time processed so far.
@@ -277,6 +286,8 @@ class WorkloadEngine {
   std::vector<int> node_active_ GUARDED_BY(mu_);
   // Jobs parked by predictive admission, FIFO; woken on completions.
   std::deque<std::unique_ptr<Job>> deferred_ GUARDED_BY(mu_);
+  // Resume-perturbation step counter (Options::resume_perturb_seed).
+  uint64_t perturb_ticks_ GUARDED_BY(mu_) = 0;
   // Per-(tenant, tag) billed-spend history behind DecidePredictive.
   // Carries its own lock; sits below mu_ like the other leaf components.
   costopt::SpendPredictor predictor_;

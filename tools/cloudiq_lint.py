@@ -68,6 +68,14 @@ violation (cloudiq-nolint-justification).
 
 Usage: cloudiq_lint.py [--root DIR] [paths...]   (default paths:
 src bench tests examples). Exits 1 if any violation is found.
+
+Structure: every rule is a row in the RULES registry — (name, a
+path-applicability predicate, a checker over a FileContext). Sibling
+tools reuse the shared pieces rather than duplicating them:
+FileContext, strip_comments_and_strings, parse_nolint_directives (the
+NOLINT escape-hatch grammar), Violation, collect_files and the
+run_checker() driver are the walker/suppression harness that
+cloudiq_locks.py (the lock-graph analyzer) builds on.
 """
 
 import argparse
@@ -301,17 +309,38 @@ def read_file(path):
         return f.read()
 
 
-def lint_file(path, text=None):
-    """Lints one file; returns a list of Violations."""
-    if text is None:
-        text = read_file(path)
-    original_lines = text.split("\n")
-    stripped_text = strip_comments_and_strings(text)
-    stripped_lines = stripped_text.split("\n")
+class FileContext:
+    """One file's text in every stripped form a checker needs, computed
+    once and shared across rules (and across sibling tools)."""
 
-    # NOLINT directives: rule name -> set of line indexes it covers (the
-    # directive's own line and the one below, so a comment line can
-    # shield the statement under it).
+    def __init__(self, path, text):
+        self.path = path
+        self.text = text
+        self.original_lines = text.split("\n")
+        self.stripped_text = strip_comments_and_strings(text)
+        self.stripped_lines = self.stripped_text.split("\n")
+        self._include_lines = None
+
+    @property
+    def include_lines(self):
+        """Comment-stripped lines with string literals kept — for rules
+        that inspect #include paths (which live inside string tokens)."""
+        if self._include_lines is None:
+            self._include_lines = strip_comments_and_strings(
+                self.text, keep_strings=True).split("\n")
+        return self._include_lines
+
+
+def parse_nolint_directives(path, original_lines, stripped_lines):
+    """Parses `// NOLINT(cloudiq-<rule>): <why>` escape hatches.
+
+    Returns (suppressed, violations): suppressed maps rule name -> set of
+    0-based line indexes the directive covers — its own line, the rest of
+    its (possibly multi-line) comment, and the whole next statement
+    (scanning forward to the first stripped line that closes one with
+    `;`/`{`/`}` within a small window). A directive without the mandatory
+    justification buys nothing and is itself reported.
+    """
     suppressed = {}
     violations = []
     for idx, line in enumerate(original_lines):
@@ -325,10 +354,6 @@ def lint_file(path, text=None):
                 f"NOLINT(cloudiq-{rule}) needs a justification: "
                 "write `// NOLINT(cloudiq-" + rule + "): <why>`"))
             continue
-        # The directive shields its own line, the rest of its (possibly
-        # multi-line) comment, and the whole next statement — scanning
-        # forward to the first stripped line that closes one (`;`/`{`/`}`)
-        # within a small window.
         covered = {idx}
         j = idx + 1
         while j < len(original_lines) and j <= idx + 8:
@@ -338,123 +363,170 @@ def lint_file(path, text=None):
                 break
             j += 1
         suppressed.setdefault(rule, set()).update(covered)
+    return suppressed, violations
+
+
+def run_checker(path, text, check):
+    """Shared driver: builds the FileContext and NOLINT suppression map,
+    runs `check(ctx, report)`, returns the Violations. `report(idx, rule,
+    message)` drops anything a justified NOLINT covers."""
+    ctx = FileContext(path, text if text is not None else read_file(path))
+    suppressed, violations = parse_nolint_directives(
+        path, ctx.original_lines, ctx.stripped_lines)
 
     def report(idx, rule, message):
         if idx in suppressed.get(rule, ()):
             return
         violations.append(Violation(path, idx + 1, rule, message))
 
-    # --- cloudiq-wall-clock ------------------------------------------------
-    if not wallclock_exempt(path):
-        for idx, line in enumerate(stripped_lines):
-            for pattern, what in WALLCLOCK_PATTERNS:
-                if pattern.search(line):
-                    report(idx, "wall-clock",
-                           f"{what} breaks deterministic replay; use "
-                           "SimClock / the seeded engine RNG "
-                           "(src/common/random.h)")
-
-    # --- cloudiq-raw-new ---------------------------------------------------
-    if raw_new_applies(path):
-        for idx, line in enumerate(stripped_lines):
-            if RAW_NEW_RE.search(line):
-                report(idx, "raw-new",
-                       "raw `new` in engine code; use std::make_unique "
-                       "or a container")
-            if RAW_DELETE_RE.search(line):
-                report(idx, "raw-new",
-                       "raw `delete` in engine code; ownership belongs "
-                       "in unique_ptr")
-
-    # --- cloudiq-unordered-iter --------------------------------------------
-    if emit_file(path):
-        names = unordered_names(stripped_text)
-        sib = sibling_path(path)
-        if sib and os.path.exists(sib):
-            names |= unordered_names(
-                strip_comments_and_strings(read_file(sib)))
-        for name in sorted(names):
-            for_re = re.compile(
-                r"for\s*\([^;)]*:\s*[^)]*\b" + re.escape(name) + r"\b")
-            begin_re = re.compile(
-                r"\b" + re.escape(name) +
-                r"\s*(\(\s*\))?\s*\.\s*c?begin\s*\(")
-            for idx, line in enumerate(stripped_lines):
-                if for_re.search(line) or begin_re.search(line):
-                    report(idx, "unordered-iter",
-                           f"iterating unordered container `{name}` in "
-                           "emit code; hash order is nondeterministic — "
-                           "copy into a std::map/sorted vector first")
-
-    # --- cloudiq-ndp-layering ----------------------------------------------
-    # Include paths live inside string tokens, so this rule uses a strip
-    # pass that removes comments but keeps literals.
-    if ndp_layer_file(path):
-        include_lines = strip_comments_and_strings(
-            text, keep_strings=True).split("\n")
-        for idx, line in enumerate(include_lines):
-            m = NDP_FORBIDDEN_INCLUDE_RE.search(line)
-            if m:
-                report(idx, "ndp-layering",
-                       f'src/ndp/ must not include "{m.group(1)}": the '
-                       "NDP engine runs inside the object store and "
-                       "cannot see the compute node's OCM, buffer pool "
-                       "or transactions")
-
-    # --- cloudiq-stall-report ----------------------------------------------
-    if stall_report_applies(path):
-        for idx, line in enumerate(stripped_lines):
-            if not (STALL_WAIT_RE.search(line) or
-                    STALL_BACKOFF_RE.search(line)):
-                continue
-            lo = max(0, idx - STALL_REPORT_WINDOW)
-            hi = min(len(stripped_lines), idx + STALL_REPORT_WINDOW + 1)
-            nearby = "\n".join(stripped_lines[lo:hi])
-            if STALL_REPORT_RE.search(nearby):
-                continue
-            report(idx, "stall-report",
-                   "wait/sleep/backoff site without a stall-profiler "
-                   "charge nearby; attribute the elapsed sim-time "
-                   "(Charge / ScopedStall / ScopedBackgroundStall) or "
-                   "justify with NOLINT if no sim-time passes here")
-
-    # --- cloudiq-costopt-evidence ------------------------------------------
-    if costopt_evidence_applies(path):
-        for idx, line in enumerate(stripped_lines):
-            if not COSTOPT_DECISION_RE.search(line):
-                continue
-            lo = max(0, idx - COSTOPT_EVIDENCE_WINDOW)
-            hi = min(len(stripped_lines), idx + COSTOPT_EVIDENCE_WINDOW + 1)
-            nearby = "\n".join(stripped_lines[lo:hi])
-            if COSTOPT_EVIDENCE_RE.search(nearby):
-                continue
-            report(idx, "costopt-evidence",
-                   "cost decision (ChoosePlan / DecidePredictive) with no "
-                   "recorded trail nearby; capture it in a WhatIfScan / "
-                   "WhatIfLog or feed the SpendPredictor (predicted_usd / "
-                   "Observe) so predicted-vs-billed accounting sees it")
-
-    # --- cloudiq-direct-put ------------------------------------------------
-    if not direct_put_exempt(path):
-        names = store_var_names(stripped_text)
-        sib = sibling_path(path)
-        if sib and os.path.exists(sib):
-            names |= store_var_names(
-                strip_comments_and_strings(read_file(sib)))
-        put_res = [re.compile(r"\bobject_store\s*\(\s*\)\s*\.\s*Put\s*\(")]
-        for name in sorted(names):
-            put_res.append(re.compile(
-                r"\b" + re.escape(name) + r"\s*(\.|->)\s*Put\s*\("))
-        for idx, line in enumerate(stripped_lines):
-            for put_re in put_res:
-                if put_re.search(line):
-                    report(idx, "direct-put",
-                           "direct SimObjectStore::Put bypasses the "
-                           "ObjectKeyGenerator path; go through "
-                           "ObjectStoreIo (or justify with NOLINT)")
-                    break
-
+    check(ctx, report)
     return violations
+
+
+# --- per-rule checkers (each over a FileContext) ---------------------------
+
+def check_wall_clock(ctx, report):
+    for idx, line in enumerate(ctx.stripped_lines):
+        for pattern, what in WALLCLOCK_PATTERNS:
+            if pattern.search(line):
+                report(idx, "wall-clock",
+                       f"{what} breaks deterministic replay; use "
+                       "SimClock / the seeded engine RNG "
+                       "(src/common/random.h)")
+
+
+def check_raw_new(ctx, report):
+    for idx, line in enumerate(ctx.stripped_lines):
+        if RAW_NEW_RE.search(line):
+            report(idx, "raw-new",
+                   "raw `new` in engine code; use std::make_unique "
+                   "or a container")
+        if RAW_DELETE_RE.search(line):
+            report(idx, "raw-new",
+                   "raw `delete` in engine code; ownership belongs "
+                   "in unique_ptr")
+
+
+def check_unordered_iter(ctx, report):
+    names = unordered_names(ctx.stripped_text)
+    sib = sibling_path(ctx.path)
+    if sib and os.path.exists(sib):
+        names |= unordered_names(
+            strip_comments_and_strings(read_file(sib)))
+    for name in sorted(names):
+        for_re = re.compile(
+            r"for\s*\([^;)]*:\s*[^)]*\b" + re.escape(name) + r"\b")
+        begin_re = re.compile(
+            r"\b" + re.escape(name) +
+            r"\s*(\(\s*\))?\s*\.\s*c?begin\s*\(")
+        for idx, line in enumerate(ctx.stripped_lines):
+            if for_re.search(line) or begin_re.search(line):
+                report(idx, "unordered-iter",
+                       f"iterating unordered container `{name}` in "
+                       "emit code; hash order is nondeterministic — "
+                       "copy into a std::map/sorted vector first")
+
+
+def check_ndp_layering(ctx, report):
+    for idx, line in enumerate(ctx.include_lines):
+        m = NDP_FORBIDDEN_INCLUDE_RE.search(line)
+        if m:
+            report(idx, "ndp-layering",
+                   f'src/ndp/ must not include "{m.group(1)}": the '
+                   "NDP engine runs inside the object store and "
+                   "cannot see the compute node's OCM, buffer pool "
+                   "or transactions")
+
+
+def check_stall_report(ctx, report):
+    for idx, line in enumerate(ctx.stripped_lines):
+        if not (STALL_WAIT_RE.search(line) or
+                STALL_BACKOFF_RE.search(line)):
+            continue
+        lo = max(0, idx - STALL_REPORT_WINDOW)
+        hi = min(len(ctx.stripped_lines), idx + STALL_REPORT_WINDOW + 1)
+        nearby = "\n".join(ctx.stripped_lines[lo:hi])
+        if STALL_REPORT_RE.search(nearby):
+            continue
+        report(idx, "stall-report",
+               "wait/sleep/backoff site without a stall-profiler "
+               "charge nearby; attribute the elapsed sim-time "
+               "(Charge / ScopedStall / ScopedBackgroundStall) or "
+               "justify with NOLINT if no sim-time passes here")
+
+
+def check_costopt_evidence(ctx, report):
+    for idx, line in enumerate(ctx.stripped_lines):
+        if not COSTOPT_DECISION_RE.search(line):
+            continue
+        lo = max(0, idx - COSTOPT_EVIDENCE_WINDOW)
+        hi = min(len(ctx.stripped_lines), idx + COSTOPT_EVIDENCE_WINDOW + 1)
+        nearby = "\n".join(ctx.stripped_lines[lo:hi])
+        if COSTOPT_EVIDENCE_RE.search(nearby):
+            continue
+        report(idx, "costopt-evidence",
+               "cost decision (ChoosePlan / DecidePredictive) with no "
+               "recorded trail nearby; capture it in a WhatIfScan / "
+               "WhatIfLog or feed the SpendPredictor (predicted_usd / "
+               "Observe) so predicted-vs-billed accounting sees it")
+
+
+def check_direct_put(ctx, report):
+    names = store_var_names(ctx.stripped_text)
+    sib = sibling_path(ctx.path)
+    if sib and os.path.exists(sib):
+        names |= store_var_names(
+            strip_comments_and_strings(read_file(sib)))
+    put_res = [re.compile(r"\bobject_store\s*\(\s*\)\s*\.\s*Put\s*\(")]
+    for name in sorted(names):
+        put_res.append(re.compile(
+            r"\b" + re.escape(name) + r"\s*(\.|->)\s*Put\s*\("))
+    for idx, line in enumerate(ctx.stripped_lines):
+        for put_re in put_res:
+            if put_re.search(line):
+                report(idx, "direct-put",
+                       "direct SimObjectStore::Put bypasses the "
+                       "ObjectKeyGenerator path; go through "
+                       "ObjectStoreIo (or justify with NOLINT)")
+                break
+
+
+class Rule:
+    """One registry row: the rule's name, its file-applicability
+    predicate, and its checker over a FileContext."""
+
+    def __init__(self, name, applies, check):
+        self.name = name
+        self.applies = applies
+        self.check = check
+
+
+# The rule registry. To add a rule: write a checker + predicate, add the
+# row here, a row to the DESIGN.md §5e table, and fixtures to the test.
+RULES = [
+    Rule("wall-clock", lambda p: not wallclock_exempt(p), check_wall_clock),
+    Rule("raw-new", raw_new_applies, check_raw_new),
+    Rule("unordered-iter", emit_file, check_unordered_iter),
+    Rule("ndp-layering", ndp_layer_file, check_ndp_layering),
+    Rule("stall-report", stall_report_applies, check_stall_report),
+    Rule("costopt-evidence", costopt_evidence_applies,
+         check_costopt_evidence),
+    Rule("direct-put", lambda p: not direct_put_exempt(p),
+         check_direct_put),
+]
+
+
+def lint_file(path, text=None, rules=None):
+    """Lints one file against the registry; returns a list of
+    Violations."""
+    active = [r for r in (rules if rules is not None else RULES)
+              if r.applies(path)]
+
+    def check_all(ctx, report):
+        for rule in active:
+            rule.check(ctx, report)
+
+    return run_checker(path, text, check_all)
 
 
 def collect_files(paths, root):

@@ -1,0 +1,856 @@
+#!/usr/bin/env python3
+"""cloudiq-locks: whole-tree lock-graph analyzer for the CloudIQ repo.
+
+The prose locking discipline in src/common/mutex.h — "a higher layer's
+mutex may be held while taking a lower layer's leaf lock, never the
+reverse; never hold across a callback or simulated I/O" — is enforced
+here, statically, with no compiler plugin (same self-contained style as
+cloudiq_lint.py, whose walker, comment/string stripper and NOLINT
+grammar this tool imports rather than duplicating).
+
+What it does, per run:
+
+  1. Parses LOCKS.md, the rank manifest: every Mutex member in src/ must
+     be registered there with its owner class and a rank (ascending
+     toward the leaves), and declared as
+     `Mutex mu_{lockrank::kOwner};`. Unregistered or unranked mutexes in
+     src/ and stale manifest rows are errors.
+  2. Parses every header and .cc under the given paths: class bodies
+     (brace-matched over comment/string-stripped text), Mutex members,
+     member/parameter/local variable types, std::function-typed callback
+     members and aliases, and REQUIRES(mu_) annotations that seed
+     held-lock state for out-of-line definitions.
+  3. Walks every function body tracking the set of held locks through
+     MutexLock / MutexUnlock / Lock() / Unlock() / TryLock() scopes, and
+     builds the may-hold-while-acquiring graph: a direct nested
+     acquisition is an edge, and so is a call into another lock-owning
+     class while holding (the callee may take its own lock — a
+     held-across-call edge).
+  4. Checks every edge against the manifest: the acquired rank must be
+     strictly greater than every held rank (rank-order inversion
+     otherwise), runs Tarjan SCC over the graph for deadlock cycles, and
+     flags locks held across the two banned surfaces — invoking a
+     callback (std::function member/local/parameter) and calling into
+     the simulated-I/O layer (SimObjectStore, ObjectStoreIo,
+     IoScheduler, SimExecutor, ...) from outside src/sim/.
+
+Escape hatch: `// NOLINT(cloudiq-lock-order): <why>` on or just above a
+line removes that acquisition/call edge from the graph entirely (so a
+justified edge feeds neither inversion, cycle, nor surface checks). The
+justification is mandatory — cloudiq_lint.py's shared NOLINT parser
+already rejects bare directives.
+
+Modes:
+  cloudiq_locks.py [--root R] [paths...]     analyze (default: src)
+  cloudiq_locks.py --emit-ranks FILE         generate src/common/lock_ranks.h
+  cloudiq_locks.py --check-ranks FILE        fail if FILE is stale
+
+Exits 1 on violations; the `scripts/check.sh locks` pass runs the tree
+check, the freshness check, and the tripwire-enabled test targets.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from cloudiq_lint import (  # noqa: E402
+    Violation,
+    collect_files,
+    norm,
+    parse_nolint_directives,
+    read_file,
+    strip_comments_and_strings,
+)
+
+RULE = "lock-order"
+
+# Files whose Mutex uses ARE the locking infrastructure, not clients.
+INFRA_FILES = (
+    "src/common/mutex.h",
+    "src/common/lock_ranks.h",
+    "src/common/thread_annotations.h",
+)
+
+# Calling into these types while holding any lock is "held across
+# simulated I/O" — the banned surface. src/sim/ itself is exempt (the
+# store orchestrates its own devices under its own lock by design).
+SIM_IO_TYPES = frozenset({
+    "SimObjectStore", "ObjectStoreIo", "IoScheduler", "SimExecutor",
+    "SimBlockVolume", "SimLocalSsd", "Nic",
+})
+
+SOURCE_SUFFIXES = (".h", ".cc")
+
+
+# --- LOCKS.md manifest -----------------------------------------------------
+
+class ManifestEntry:
+    def __init__(self, constant, rank, owner, file, stall_classes, line):
+        self.constant = constant        # e.g. "kBufferManager"
+        self.rank = rank                # int
+        self.owner = owner              # e.g. "BufferManager"
+        self.file = file                # declared-in path, repo-relative
+        self.stall_classes = stall_classes  # list of wait-class names
+        self.line = line                # 1-based row line in LOCKS.md
+
+
+MANIFEST_ROW_RE = re.compile(
+    r"^\|\s*`(k\w+)`\s*\|\s*(\d+)\s*\|\s*`(\w+)`\s*\|\s*`([^`]+)`\s*"
+    r"\|([^|]*)\|")
+STALL_TOKEN_RE = re.compile(r"`([a-z_]+)`")
+
+
+def parse_manifest(path, text=None):
+    """Parses LOCKS.md; returns (entries, violations)."""
+    if text is None:
+        text = read_file(path)
+    entries = []
+    violations = []
+    seen_constants = {}
+    seen_ranks = {}
+    for idx, line in enumerate(text.split("\n")):
+        m = MANIFEST_ROW_RE.match(line)
+        if not m:
+            continue
+        constant, rank, owner, file, stall_cell = (
+            m.group(1), int(m.group(2)), m.group(3), m.group(4), m.group(5))
+        if constant in seen_constants:
+            violations.append(Violation(
+                path, idx + 1, RULE,
+                f"duplicate manifest constant `{constant}` "
+                f"(first at line {seen_constants[constant]})"))
+            continue
+        if rank in seen_ranks:
+            violations.append(Violation(
+                path, idx + 1, RULE,
+                f"duplicate rank {rank} for `{constant}` "
+                f"(already used by `{seen_ranks[rank]}`); ranks are a "
+                "total order"))
+            continue
+        if rank <= 0:
+            violations.append(Violation(
+                path, idx + 1, RULE,
+                f"rank {rank} for `{constant}` must be positive "
+                "(0 is reserved for unranked)"))
+            continue
+        seen_constants[constant] = idx + 1
+        seen_ranks[rank] = constant
+        entries.append(ManifestEntry(
+            constant, rank, owner, file,
+            STALL_TOKEN_RE.findall(stall_cell), idx + 1))
+    if not entries:
+        violations.append(Violation(
+            path, 1, RULE, "no manifest rows found — expected a table "
+            "with |`kConstant`|rank|`Owner`|`path`|stall classes|"))
+    return entries, violations
+
+
+# --- generated rank header -------------------------------------------------
+
+RANKS_HEADER_TEMPLATE = """\
+#ifndef CLOUDIQ_COMMON_LOCK_RANKS_H_
+#define CLOUDIQ_COMMON_LOCK_RANKS_H_
+
+// GENERATED FILE — do not edit by hand.
+//
+// Emitted from LOCKS.md (the lock-rank manifest) by:
+//   python3 tools/cloudiq_locks.py --emit-ranks src/common/lock_ranks.h
+// scripts/check.sh locks fails if this file is stale (--check-ranks).
+//
+// Rank ascends toward the leaves: a thread may acquire a mutex only
+// while every mutex it already holds has a strictly smaller rank.
+// Rank 0 means unranked (tests/benches); the tripwire ignores it.
+
+namespace cloudiq {{
+namespace lockrank {{
+
+{constants}
+
+// Human name for a rank, for tripwire diagnostics.
+inline constexpr const char* RankName(int rank) {{
+  switch (rank) {{
+{cases}
+    default: return "unranked";
+  }}
+}}
+
+}}  // namespace lockrank
+}}  // namespace cloudiq
+
+#endif  // CLOUDIQ_COMMON_LOCK_RANKS_H_
+"""
+
+
+def render_ranks_header(entries):
+    constants = "\n".join(
+        f"inline constexpr int {e.constant} = {e.rank};" for e in entries)
+    cases = "\n".join(
+        f'    case {e.rank}: return "{e.owner}";' for e in entries)
+    return RANKS_HEADER_TEMPLATE.format(constants=constants, cases=cases)
+
+
+# --- C++ scanning ----------------------------------------------------------
+
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+"
+    r"(?:[A-Z][A-Z0-9_]*\s*(?:\([^()]*\))?\s+)*"   # attribute macros
+    r"([A-Za-z_]\w*)\s*(?:final\s*)?(?::|$|\Z)?")
+ENUM_HEAD_RE = re.compile(r"\benum\b")
+MUTEX_MEMBER_RE = re.compile(
+    r"\bMutex\s+(\w+)\s*(?:\{\s*lockrank::(k\w+)\s*\})?\s*;")
+MEMBER_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?"
+    r"(?:std::(?:unique_ptr|shared_ptr)<\s*(?:const\s+)?([A-Za-z_]\w*)\s*>"
+    r"|([A-Za-z_]\w*))\s*[*&]*\s+(\w+_)\s*(?:[;{=]|$)")
+CALLBACK_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?std::function<.*>\s+(\w+_?)\s*[;{=]")
+CALLBACK_ALIAS_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*std::function<")
+REQUIRES_RE = re.compile(
+    r"\b(~?\w+)\s*\([^;{}]*\)\s*(?:const\s*)?"
+    r"(?:ACQUIRE\([^)]*\)\s*)?REQUIRES\(\s*(\w+)\s*\)")
+MUTEXLOCK_RE = re.compile(
+    r"\bMutexLock\s+\w+\s*[({]\s*&\s*([\w.>*-]+?)\s*[)}]")
+MUTEXUNLOCK_RE = re.compile(
+    r"\bMutexUnlock\s+\w+\s*[({]\s*&\s*([\w.>*-]+?)\s*[)}]")
+BARE_LOCK_RE = re.compile(r"\b(\w+)\s*[.]\s*(?:Lock|TryLock)\s*\(\s*\)")
+BARE_UNLOCK_RE = re.compile(r"\b(\w+)\s*[.]\s*Unlock\s*\(\s*\)")
+CALL_RE = re.compile(r"\b(\w+)\s*(->|\.)\s*(\w+)\s*\(")
+DIRECT_FN_CALL_RE = re.compile(r"(?<![\w.>])(\w+)\s*\(")
+OBJECT_STORE_ACCESSOR_RE = re.compile(r"\bobject_store\s*\(\s*\)\s*\.\s*\w+\s*\(")
+LOCAL_DECL_RE = re.compile(
+    r"^\s*(?:const\s+)?([A-Z]\w*)\s*[*&]+\s*(\w+)\s*=")
+PARAM_RE = re.compile(r"([A-Z]\w*)\s*(?:<[^<>]*>)?\s*(?:const\s*)?[*&]*\s*(\w+)\s*[,)]")
+FN_DEF_CC_RE = re.compile(r"\b([A-Za-z_]\w*)::(~?\w+)\s*\(")
+FN_DEF_INLINE_RE = re.compile(r"\b(~?[A-Za-z_]\w*)\s*\(")
+
+
+class LockDecl:
+    """One Mutex member found in the tree."""
+
+    def __init__(self, owner, member, constant, path, line):
+        self.owner = owner          # enclosing class name ("" if none)
+        self.member = member        # e.g. "mu_"
+        self.constant = constant    # "kFoo" or None if unranked decl
+        self.path = path
+        self.line = line            # 1-based
+
+    @property
+    def key(self):
+        return (self.owner, self.member)
+
+    def __repr__(self):
+        return f"{self.owner}::{self.member}"
+
+
+class Edge:
+    """May-hold-while-acquiring: holding `src` when `dst` is (possibly)
+    acquired at path:line. kind: 'acquire' (direct) or 'call'
+    (held-across-call into a lock-owning class)."""
+
+    def __init__(self, src, dst, path, line, kind):
+        self.src = src              # lock key (owner, member)
+        self.dst = dst              # lock key
+        self.path = path
+        self.line = line            # 0-based index
+        self.kind = kind
+
+
+class ClassInfo:
+    def __init__(self, name):
+        self.name = name
+        self.mutexes = {}           # member name -> LockDecl
+        self.member_types = {}      # member name -> type name
+        self.callback_members = set()
+        self.requires = {}          # method name -> mutex member name
+
+
+class TreeModel:
+    """Everything the per-body walk needs, harvested from all files."""
+
+    def __init__(self):
+        self.classes = {}           # class name -> ClassInfo
+        self.callback_aliases = set()
+
+    def cls(self, name):
+        if name not in self.classes:
+            self.classes[name] = ClassInfo(name)
+        return self.classes[name]
+
+    def lock_owners(self):
+        return {name for name, info in self.classes.items() if info.mutexes}
+
+
+def scan_scopes(stripped_lines):
+    """Brace-matches the stripped text, yielding per-line scope context.
+
+    Returns a list (one entry per line) of the scope stack *at the start
+    of that line*; each stack element is ('class', name) or
+    ('fn', class_name, fn_name, seg) or ('block', None). `seg` is the
+    text segment (joined) that preceded the function's opening brace —
+    the signature, used for REQUIRES and parameter parsing.
+    """
+    per_line = []
+    stack = []
+    segment = []
+
+    def innermost_class(st):
+        for kind, *rest in reversed(st):
+            if kind == "class":
+                return rest[0]
+        return ""
+
+    def in_function(st):
+        return any(kind == "fn" for kind, *_ in st)
+
+    for line in stripped_lines:
+        per_line.append(list(stack))
+        i, n = 0, len(line)
+        while i < n:
+            c = line[i]
+            if c == "{":
+                seg = "".join(segment).strip()
+                m_class = CLASS_HEAD_RE.search(seg)
+                opened = ("block", None)
+                if (m_class and not ENUM_HEAD_RE.search(seg)
+                        and "=" not in seg.split("class")[0]):
+                    opened = ("class", m_class.group(1))
+                elif not in_function(stack):
+                    m_cc = FN_DEF_CC_RE.search(seg)
+                    if m_cc:
+                        opened = ("fn", m_cc.group(1), m_cc.group(2), seg)
+                    else:
+                        cls = innermost_class(stack)
+                        if cls and "(" in seg and "=" not in seg.split("(")[0]:
+                            m_in = FN_DEF_INLINE_RE.search(seg)
+                            if m_in:
+                                opened = ("fn", cls, m_in.group(1), seg)
+                else:
+                    # Lambda or nested block inside a function body: the
+                    # held-lock model treats it as part of the body.
+                    opened = ("block", None)
+                stack.append(opened)
+                segment = []
+            elif c == "}":
+                if stack:
+                    stack.pop()
+                segment = []
+            elif c == ";":
+                segment = []
+            else:
+                segment.append(c)
+            i += 1
+        segment.append(" ")
+    return per_line
+
+
+def harvest_file(model, path, ctx_lines, per_line_scopes):
+    """First pass over one file: class members, callbacks, REQUIRES."""
+    for idx, line in enumerate(ctx_lines):
+        scopes = per_line_scopes[idx]
+        cls_name = ""
+        for kind, *rest in reversed(scopes):
+            if kind == "class":
+                cls_name = rest[0]
+                break
+        in_fn = any(kind == "fn" for kind, *_ in scopes)
+        for m in CALLBACK_ALIAS_RE.finditer(line):
+            model.callback_aliases.add(m.group(1))
+        if not cls_name or in_fn:
+            continue
+        info = model.cls(cls_name)
+        m = MUTEX_MEMBER_RE.search(line)
+        if m:
+            info.mutexes[m.group(1)] = LockDecl(
+                cls_name, m.group(1), m.group(2), path, idx + 1)
+            continue
+        m = CALLBACK_MEMBER_RE.match(line)
+        if m:
+            info.callback_members.add(m.group(1))
+            continue
+        m = MEMBER_DECL_RE.match(line)
+        if m:
+            type_name = m.group(1) or m.group(2)
+            if type_name in ("mutable", "const", "static", "using",
+                            "return", "typename"):
+                pass
+            else:
+                info.member_types[m.group(3)] = type_name
+                if type_name in model.callback_aliases:
+                    info.callback_members.add(m.group(3))
+        m = REQUIRES_RE.search(line)
+        if m:
+            info.requires[m.group(1)] = m.group(2)
+
+
+class HeldEntry:
+    def __init__(self, kind, lock, depth, line):
+        self.kind = kind    # 'lock' or 'unlock'
+        self.lock = lock    # lock key (owner, member)
+        self.depth = depth
+        self.line = line
+
+
+class BodyWalker:
+    """Second pass: per-function held-lock tracking and edge emission."""
+
+    def __init__(self, model, path, in_sim_layer, suppressed,
+                 edges, violations):
+        self.model = model
+        self.path = path
+        self.in_sim_layer = in_sim_layer
+        self.suppressed = suppressed  # set of 0-based suppressed lines
+        self.edges = edges
+        self.violations = violations
+        self.lock_owner_classes = model.lock_owners()
+
+    def resolve_lock_expr(self, expr, cls_name, var_types):
+        """`mu_`, `this->mu_`, `var->mu_`, `var.mu_` -> lock key."""
+        expr = expr.strip()
+        m = re.match(r"^(?:this->)?(\w+)$", expr)
+        if m:
+            info = self.model.classes.get(cls_name)
+            if info and m.group(1) in info.mutexes:
+                return (cls_name, m.group(1))
+            return None
+        m = re.match(r"^(\*?\w+)(?:->|\.)(\w+)$", expr)
+        if m:
+            var, member = m.group(1).lstrip("*"), m.group(2)
+            type_name = var_types.get(var)
+            if type_name is None:
+                own = self.model.classes.get(cls_name)
+                if own:
+                    type_name = own.member_types.get(var)
+            if type_name:
+                info = self.model.classes.get(type_name)
+                if info and member in info.mutexes:
+                    return (type_name, member)
+        return None
+
+    def walk_function(self, cls_name, fn_name, signature, lines,
+                      start_idx, scope_depth_at_entry, per_line_scopes):
+        """Walks one function body (lines[start_idx..] until its scope
+        closes), tracking held locks and emitting edges/violations."""
+        info = self.model.classes.get(cls_name)
+        var_types = {}
+        callback_vars = set()
+        if signature:
+            sig_args = signature[signature.find("("):]
+            for m in PARAM_RE.finditer(sig_args):
+                var_types[m.group(2)] = m.group(1)
+                if (m.group(1) in self.model.callback_aliases
+                        or "function" in m.group(1)):
+                    callback_vars.add(m.group(2))
+            if "std::function" in signature:
+                for m in re.finditer(r"std::function<[^;]*?>\s*&?\s*(\w+)\s*[,)]",
+                                     signature):
+                    callback_vars.add(m.group(1))
+
+        held = []
+        if info:
+            req = info.requires.get(fn_name)
+            if req and req in info.mutexes:
+                held.append(HeldEntry("lock", (cls_name, req), -1, start_idx))
+
+        idx = start_idx
+        while idx < len(lines):
+            scopes = per_line_scopes[idx]
+            if idx > start_idx and len(scopes) < scope_depth_at_entry:
+                break
+            depth = len(scopes)
+            held = [h for h in held if h.depth == -1 or h.depth <= depth]
+            line = lines[idx]
+            self.scan_line(line, idx, depth, cls_name, info, var_types,
+                           callback_vars, held)
+            m = LOCAL_DECL_RE.match(line)
+            if m and m.group(1) in self.model.classes:
+                var_types[m.group(2)] = m.group(1)
+            if "std::function" in line:
+                m = re.match(r"^\s*(?:const\s+)?std::function<.*>\s*&?\s*(\w+)",
+                             line)
+                if m:
+                    callback_vars.add(m.group(1))
+            idx += 1
+        return idx
+
+    def active_holds(self, held):
+        """Locks currently held = lock entries minus those masked by an
+        in-scope MutexUnlock of the same lock (innermost match wins)."""
+        active = []
+        masked = []
+        for h in held:
+            if h.kind == "unlock":
+                masked.append(h.lock)
+        for h in held:
+            if h.kind == "lock":
+                if h.lock in masked:
+                    masked.remove(h.lock)
+                else:
+                    active.append(h)
+        return active
+
+    def scan_line(self, line, idx, depth, cls_name, info, var_types,
+                  callback_vars, held):
+        suppressed = idx in self.suppressed
+
+        acquired_here = []
+        for m in MUTEXLOCK_RE.finditer(line):
+            lock = self.resolve_lock_expr(m.group(1), cls_name, var_types)
+            if lock:
+                acquired_here.append(lock)
+        for m in BARE_LOCK_RE.finditer(line):
+            lock = self.resolve_lock_expr(m.group(1), cls_name, var_types)
+            if lock:
+                acquired_here.append(lock)
+
+        released_here = []
+        for m in MUTEXUNLOCK_RE.finditer(line):
+            lock = self.resolve_lock_expr(m.group(1), cls_name, var_types)
+            if lock:
+                released_here.append(lock)
+        for m in BARE_UNLOCK_RE.finditer(line):
+            lock = self.resolve_lock_expr(m.group(1), cls_name, var_types)
+            if lock:
+                # Bare Unlock() releases for good (not scope-bound).
+                for h in reversed(held):
+                    if h.kind == "lock" and h.lock == lock:
+                        held.remove(h)
+                        break
+
+        active = self.active_holds(held)
+        for lock in acquired_here:
+            if not suppressed:
+                for h in active:
+                    self.edges.append(Edge(h.lock, lock, self.path, idx,
+                                           "acquire"))
+            held.append(HeldEntry("lock", lock, depth, idx))
+        for lock in released_here:
+            held.append(HeldEntry("unlock", lock, depth, idx))
+
+        active = self.active_holds(held)
+        if not active or suppressed:
+            return
+
+        # Banned surface 1: invoking a callback while holding any lock.
+        callback_names = set(callback_vars)
+        if info:
+            callback_names |= info.callback_members
+        for m in DIRECT_FN_CALL_RE.finditer(line):
+            name = m.group(1)
+            if name in callback_names:
+                holder = active[-1]
+                self.violations.append(Violation(
+                    self.path, idx + 1, RULE,
+                    f"`{name}(...)` invoked while holding "
+                    f"{holder.lock[0]}::{holder.lock[1]} — a lock must "
+                    "never be held across a callback (drop it with "
+                    "MutexUnlock first)"))
+                break
+
+        # Banned surface 2: calling into the simulated-I/O layer.
+        if not self.in_sim_layer:
+            sim_hit = None
+            for m in CALL_RE.finditer(line):
+                var, callee = m.group(1), m.group(3)
+                type_name = var_types.get(var)
+                if type_name is None and info:
+                    type_name = info.member_types.get(var)
+                if type_name in SIM_IO_TYPES:
+                    sim_hit = (var, type_name, callee)
+                    break
+            if sim_hit is None and OBJECT_STORE_ACCESSOR_RE.search(line):
+                sim_hit = ("object_store()", "SimObjectStore", "")
+            if sim_hit:
+                holder = active[-1]
+                self.violations.append(Violation(
+                    self.path, idx + 1, RULE,
+                    f"simulated I/O via `{sim_hit[0]}` "
+                    f"({sim_hit[1]}) while holding "
+                    f"{holder.lock[0]}::{holder.lock[1]} — a lock must "
+                    "never be held across simulated I/O"))
+
+        # Held-across-call edges: a call into another lock-owning class
+        # may take that class's lock inside.
+        for m in CALL_RE.finditer(line):
+            var, callee = m.group(1), m.group(3)
+            if callee in ("Lock", "Unlock", "TryLock", "AssertHeld"):
+                continue
+            type_name = var_types.get(var)
+            if type_name is None and info:
+                type_name = info.member_types.get(var)
+            if (type_name in self.lock_owner_classes
+                    and type_name != cls_name):
+                target = self.model.classes[type_name]
+                for member in target.mutexes:
+                    for h in self.active_holds(held):
+                        self.edges.append(Edge(
+                            h.lock, (type_name, member), self.path, idx,
+                            "call"))
+
+
+def analyze_paths(paths, root="", manifest_path=None):
+    """Runs the whole analysis; returns a list of Violations."""
+    violations = []
+
+    if manifest_path is None:
+        manifest_path = os.path.join(root, "LOCKS.md") if root else "LOCKS.md"
+    if not os.path.exists(manifest_path):
+        return [Violation(manifest_path, 1, RULE,
+                          "rank manifest LOCKS.md not found")]
+    entries, v = parse_manifest(manifest_path)
+    violations.extend(v)
+    by_constant = {e.constant: e for e in entries}
+    rank_of_constant = {e.constant: e.rank for e in entries}
+
+    files = [f for f in collect_files(paths, root)
+             if norm(f).endswith(SOURCE_SUFFIXES)
+             and not any(norm(f).endswith(x) for x in INFRA_FILES)]
+
+    # Pass 1: harvest classes, members, callbacks, REQUIRES.
+    model = TreeModel()
+    file_data = {}
+    for path in files:
+        text = read_file(path)
+        original_lines = text.split("\n")
+        stripped_lines = strip_comments_and_strings(text).split("\n")
+        scopes = scan_scopes(stripped_lines)
+        suppressed_map, nolint_v = parse_nolint_directives(
+            path, original_lines, stripped_lines)
+        # nolint-justification errors are cloudiq_lint's to report.
+        suppressed = suppressed_map.get(RULE, set())
+        file_data[path] = (stripped_lines, scopes, suppressed)
+        harvest_file(model, path, stripped_lines, scopes)
+
+    # Manifest <-> tree cross-check.
+    declared = {}   # constant -> LockDecl
+    for info in model.classes.values():
+        for decl in info.mutexes.values():
+            rel = norm(os.path.relpath(decl.path, root) if root
+                       else decl.path)
+            in_src = rel.startswith("src/")
+            if decl.constant is None:
+                if in_src and (decl.line - 1) not in \
+                        file_data[decl.path][2]:
+                    violations.append(Violation(
+                        decl.path, decl.line, RULE,
+                        f"unranked mutex {decl!r}: every Mutex in src/ "
+                        "must be declared as `Mutex "
+                        f"{decl.member}{{lockrank::k{decl.owner}}};` and "
+                        "registered in LOCKS.md"))
+                continue
+            entry = by_constant.get(decl.constant)
+            if entry is None:
+                violations.append(Violation(
+                    decl.path, decl.line, RULE,
+                    f"mutex {decl!r} uses `lockrank::{decl.constant}` "
+                    "which is not registered in LOCKS.md"))
+                continue
+            if entry.owner != decl.owner:
+                violations.append(Violation(
+                    decl.path, decl.line, RULE,
+                    f"mutex {decl!r} is declared with "
+                    f"`{decl.constant}` but LOCKS.md registers that "
+                    f"constant to owner `{entry.owner}`"))
+            declared[decl.constant] = decl
+    for entry in entries:
+        if entry.constant not in declared:
+            violations.append(Violation(
+                manifest_path, entry.line, RULE,
+                f"stale manifest row: `{entry.constant}` "
+                f"(owner `{entry.owner}`) matches no Mutex declaration "
+                "in the scanned tree"))
+
+    # Pass 2: walk function bodies, build the edge set.
+    edges = []
+    for path in files:
+        stripped_lines, scopes, suppressed = file_data[path]
+        rel = norm(os.path.relpath(path, root) if root else path)
+        in_sim_layer = rel.startswith("src/sim/")
+        walker = BodyWalker(model, path, in_sim_layer, suppressed,
+                            edges, violations)
+        idx = 0
+        while idx < len(stripped_lines):
+            # A function starts on the line after its scope appears.
+            st = scopes[idx]
+            fn = next((s for s in st if s[0] == "fn"), None)
+            if fn is not None and (idx == 0
+                                   or not any(s[0] == "fn"
+                                              for s in scopes[idx - 1])):
+                end = walker.walk_function(
+                    fn[1], fn[2], fn[3] if len(fn) > 3 else "",
+                    stripped_lines, idx, len(st), scopes)
+                idx = end
+            else:
+                idx += 1
+
+    # Rank check on every edge.
+    def rank_of(lock):
+        info = model.classes.get(lock[0])
+        if not info:
+            return None
+        decl = info.mutexes.get(lock[1])
+        if not decl or decl.constant is None:
+            return None
+        return rank_of_constant.get(decl.constant)
+
+    reported = set()
+    for e in edges:
+        r_src, r_dst = rank_of(e.src), rank_of(e.dst)
+        if r_src is None or r_dst is None:
+            continue
+        if r_dst > r_src:
+            continue
+        key = (e.path, e.line, e.src, e.dst)
+        if key in reported:
+            continue
+        reported.add(key)
+        how = ("acquires" if e.kind == "acquire"
+               else "calls into the class owning")
+        violations.append(Violation(
+            e.path, e.line + 1, RULE,
+            f"rank inversion: {how} {e.dst[0]}::{e.dst[1]} "
+            f"(rank {r_dst}) while holding {e.src[0]}::{e.src[1]} "
+            f"(rank {r_src}); LOCKS.md requires strictly ascending "
+            "acquisition"))
+
+    # Cycle detection (Tarjan SCC) over the lock graph — catches
+    # deadlocks even between unranked fixture locks.
+    graph = {}
+    edge_site = {}
+    for e in edges:
+        graph.setdefault(e.src, set()).add(e.dst)
+        graph.setdefault(e.dst, set())
+        edge_site.setdefault((e.src, e.dst), (e.path, e.line))
+    for scc in tarjan_sccs(graph):
+        cyclic = len(scc) > 1 or (len(scc) == 1
+                                  and scc[0] in graph.get(scc[0], ()))
+        if not cyclic:
+            continue
+        names = sorted(f"{c}::{m}" for c, m in scc)
+        site = None
+        for a in scc:
+            for b in graph.get(a, ()):
+                if b in scc and (a, b) in edge_site:
+                    site = edge_site[(a, b)]
+                    break
+            if site:
+                break
+        path, line = site if site else (manifest_path, 0)
+        violations.append(Violation(
+            path, line + 1, RULE,
+            "deadlock cycle in the lock graph: "
+            + " <-> ".join(names)))
+
+    return violations
+
+
+def tarjan_sccs(graph):
+    """Iterative Tarjan; yields each strongly connected component."""
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    counter = [0]
+    sccs = []
+    for start in sorted(graph):
+        if start in index:
+            continue
+        work = [(start, iter(sorted(graph[start])))]
+        index[start] = low[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(graph[nxt]))))
+                    advanced = True
+                    break
+                elif nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                sccs.append(scc)
+    return sccs
+
+
+DEFAULT_PATHS = ["src"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="CloudIQ lock-graph analyzer (rank manifest: LOCKS.md)")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories (default: src)")
+    parser.add_argument("--root", default="",
+                        help="prefix for all paths (repo root)")
+    parser.add_argument("--manifest", default=None,
+                        help="rank manifest (default: <root>/LOCKS.md)")
+    parser.add_argument("--emit-ranks", metavar="FILE",
+                        help="write the generated rank header and exit")
+    parser.add_argument("--check-ranks", metavar="FILE",
+                        help="fail if FILE differs from the manifest")
+    args = parser.parse_args(argv)
+
+    manifest = args.manifest
+    if manifest is None:
+        manifest = (os.path.join(args.root, "LOCKS.md") if args.root
+                    else "LOCKS.md")
+
+    if args.emit_ranks or args.check_ranks:
+        entries, violations = parse_manifest(manifest)
+        for v in violations:
+            print(v)
+        if violations:
+            return 1
+        rendered = render_ranks_header(entries)
+        if args.emit_ranks:
+            with open(args.emit_ranks, "w", encoding="utf-8") as f:
+                f.write(rendered)
+            print(f"cloudiq-locks: wrote {args.emit_ranks} "
+                  f"({len(entries)} ranks)")
+            return 0
+        current = read_file(args.check_ranks) \
+            if os.path.exists(args.check_ranks) else ""
+        if current != rendered:
+            print(f"{args.check_ranks}:1: [cloudiq-{RULE}] stale "
+                  "generated rank header; regenerate with "
+                  f"`python3 tools/cloudiq_locks.py --emit-ranks "
+                  f"{args.check_ranks}`", file=sys.stderr)
+            return 1
+        print(f"cloudiq-locks: {args.check_ranks} is fresh")
+        return 0
+
+    paths = args.paths or DEFAULT_PATHS
+    violations = analyze_paths(paths, args.root, manifest)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"cloudiq-locks: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

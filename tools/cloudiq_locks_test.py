@@ -1,0 +1,480 @@
+#!/usr/bin/env python3
+"""Unit tests for cloudiq_locks.py: manifest parsing, the lock-graph
+walk, and every violation class — unregistered mutex, rank inversion,
+deadlock cycle, held-across-callback, held-across-sim-I/O — plus the
+justified-NOLINT escape and the generated-rank-header roundtrip. Each
+fixture is a miniature repo tree (LOCKS.md + src files) in a temp dir,
+mirroring cloudiq_lint_test.py's harness."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cloudiq_locks  # noqa: E402
+
+MANIFEST = """\
+# fixture manifest
+
+| constant | rank | owner class | declared in | stall classes | notes |
+|---|---|---|---|---|---|
+| `kEngine` | 10 | `Engine` | `src/engine/engine.h` | `lock_wait` | top |
+| `kCache` | 50 | `Cache` | `src/cache/cache.h` | `buffer_fill` | mid |
+| `kStore` | 70 | `Store` | `src/store/store.h` | - | leaf |
+"""
+
+ENGINE_H = """\
+class Engine {
+ public:
+  void Run() {
+    MutexLock lock(&mu_);
+    store_->Get();
+  }
+ private:
+  mutable Mutex mu_{lockrank::kEngine};
+  Store* store_;
+};
+"""
+
+STORE_H = """\
+class Store {
+ public:
+  void Get() { MutexLock lock(&mu_); }
+ private:
+  mutable Mutex mu_{lockrank::kStore};
+};
+"""
+
+CACHE_H = """\
+class Cache {
+ public:
+  void Fill();
+ private:
+  void FillLocked() REQUIRES(mu_);
+  mutable Mutex mu_{lockrank::kCache};
+  SimObjectStore* sim_store_;
+};
+"""
+
+
+class LocksFixtureTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, rel_path, content):
+        path = os.path.join(self.tmp.name, rel_path)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+        return path
+
+    def analyze(self, files, manifest=MANIFEST):
+        self.write("LOCKS.md", manifest)
+        for rel_path, content in files.items():
+            self.write(rel_path, content)
+        return cloudiq_locks.analyze_paths(["src"], root=self.tmp.name)
+
+    def msgs(self, violations):
+        return "\n".join(repr(v) for v in violations)
+
+    # --- manifest ----------------------------------------------------------
+
+    def test_manifest_parses_rows(self):
+        path = self.write("LOCKS.md", MANIFEST)
+        entries, violations = cloudiq_locks.parse_manifest(path)
+        self.assertEqual(violations, [])
+        self.assertEqual([e.constant for e in entries],
+                         ["kEngine", "kCache", "kStore"])
+        self.assertEqual([e.rank for e in entries], [10, 50, 70])
+        self.assertEqual(entries[0].stall_classes, ["lock_wait"])
+        self.assertEqual(entries[2].stall_classes, [])
+
+    def test_manifest_rejects_duplicate_rank(self):
+        bad = MANIFEST + "| `kOther` | 70 | `Other` | `src/o/o.h` | - | |\n"
+        path = self.write("LOCKS.md", bad)
+        _, violations = cloudiq_locks.parse_manifest(path)
+        self.assertIn("duplicate rank 70", self.msgs(violations))
+
+    def test_manifest_rejects_duplicate_constant(self):
+        bad = MANIFEST + "| `kStore` | 71 | `Store2` | `src/o/o.h` | - | |\n"
+        path = self.write("LOCKS.md", bad)
+        _, violations = cloudiq_locks.parse_manifest(path)
+        self.assertIn("duplicate manifest constant `kStore`",
+                      self.msgs(violations))
+
+    def test_missing_manifest_is_an_error(self):
+        violations = cloudiq_locks.analyze_paths(
+            ["src"], root=self.tmp.name)
+        self.assertIn("LOCKS.md not found", self.msgs(violations))
+
+    def test_stale_manifest_row(self):
+        # kCache is registered but no Cache class exists in the tree.
+        violations = self.analyze({
+            "src/engine/engine.h": ENGINE_H,
+            "src/store/store.h": STORE_H,
+        })
+        text = self.msgs(violations)
+        self.assertIn("stale manifest row: `kCache`", text)
+        self.assertEqual(len(violations), 1, text)
+
+    # --- registration ------------------------------------------------------
+
+    def test_clean_tree_has_no_violations(self):
+        violations = self.analyze({
+            "src/engine/engine.h": ENGINE_H,
+            "src/store/store.h": STORE_H,
+            "src/cache/cache.h": CACHE_H,
+        })
+        self.assertEqual(violations, [], self.msgs(violations))
+
+    def test_unregistered_mutex_is_flagged(self):
+        rogue = (
+            "class Rogue {\n"
+            " private:\n"
+            "  mutable Mutex mu_;\n"
+            "};\n"
+        )
+        violations = self.analyze({
+            "src/engine/engine.h": ENGINE_H,
+            "src/store/store.h": STORE_H,
+            "src/cache/cache.h": CACHE_H,
+            "src/rogue/rogue.h": rogue,
+        })
+        text = self.msgs(violations)
+        self.assertIn("unranked mutex Rogue::mu_", text)
+        self.assertIn("registered in LOCKS.md", text)
+
+    def test_unregistered_constant_is_flagged(self):
+        rogue = (
+            "class Rogue {\n"
+            " private:\n"
+            "  mutable Mutex mu_{lockrank::kGhost};\n"
+            "};\n"
+        )
+        violations = self.analyze({
+            "src/engine/engine.h": ENGINE_H,
+            "src/store/store.h": STORE_H,
+            "src/cache/cache.h": CACHE_H,
+            "src/rogue/rogue.h": rogue,
+        })
+        self.assertIn("`lockrank::kGhost` which is not registered",
+                      self.msgs(violations))
+
+    def test_owner_mismatch_is_flagged(self):
+        imposter = (
+            "class Imposter {\n"
+            " private:\n"
+            "  mutable Mutex mu_{lockrank::kCache};\n"
+            "};\n"
+        )
+        violations = self.analyze({
+            "src/engine/engine.h": ENGINE_H,
+            "src/store/store.h": STORE_H,
+            "src/cache/cache.h": CACHE_H,
+            "src/rogue/imposter.h": imposter,
+        })
+        self.assertIn("registers that constant to owner `Cache`",
+                      self.msgs(violations))
+
+    def test_unranked_mutex_nolint_escape(self):
+        rogue = (
+            "class Rogue {\n"
+            " private:\n"
+            "  // NOLINT(cloudiq-lock-order): fixture-only lock, "
+            "never nests.\n"
+            "  mutable Mutex mu_;\n"
+            "};\n"
+        )
+        violations = self.analyze({
+            "src/engine/engine.h": ENGINE_H,
+            "src/store/store.h": STORE_H,
+            "src/cache/cache.h": CACHE_H,
+            "src/rogue/rogue.h": rogue,
+        })
+        self.assertEqual(violations, [], self.msgs(violations))
+
+    # --- rank inversions ---------------------------------------------------
+
+    def test_direct_nested_acquire_inversion(self):
+        store_bad = (
+            "class Store {\n"
+            " public:\n"
+            "  void Get() {\n"
+            "    MutexLock lock(&mu_);\n"
+            "    MutexLock lock2(&engine_->mu_);\n"
+            "  }\n"
+            " private:\n"
+            "  mutable Mutex mu_{lockrank::kStore};\n"
+            "  Engine* engine_;\n"
+            "};\n"
+        )
+        violations = self.analyze({
+            "src/engine/engine.h": ENGINE_H,
+            "src/store/store.h": store_bad,
+            "src/cache/cache.h": CACHE_H,
+        })
+        text = self.msgs(violations)
+        self.assertIn("rank inversion", text)
+        self.assertIn("acquires Engine::mu_ (rank 10) while holding "
+                      "Store::mu_ (rank 70)", text)
+
+    def test_held_across_call_inversion(self):
+        # Store (rank 70) holds its lock while calling into Engine
+        # (rank 10) — the callee may take its own lock.
+        store_bad = (
+            "class Store {\n"
+            " public:\n"
+            "  void Get() {\n"
+            "    MutexLock lock(&mu_);\n"
+            "    engine_->Poke();\n"
+            "  }\n"
+            " private:\n"
+            "  mutable Mutex mu_{lockrank::kStore};\n"
+            "  Engine* engine_;\n"
+            "};\n"
+        )
+        violations = self.analyze({
+            "src/engine/engine.h": ENGINE_H,
+            "src/store/store.h": store_bad,
+            "src/cache/cache.h": CACHE_H,
+        })
+        text = self.msgs(violations)
+        self.assertIn("rank inversion", text)
+        self.assertIn("calls into the class owning Engine::mu_", text)
+
+    def test_ascending_order_is_clean(self):
+        # Engine (10) calling into Store (70) is the sanctioned
+        # direction; covered by test_clean_tree, re-asserted here with a
+        # direct nested acquire.
+        engine_nested = (
+            "class Engine {\n"
+            " public:\n"
+            "  void Run() {\n"
+            "    MutexLock lock(&mu_);\n"
+            "    MutexLock lock2(&store_->mu_);\n"
+            "  }\n"
+            "  mutable Mutex mu_{lockrank::kEngine};\n"
+            "  Store* store_;\n"
+            "};\n"
+        )
+        violations = self.analyze({
+            "src/engine/engine.h": engine_nested,
+            "src/store/store.h": STORE_H,
+            "src/cache/cache.h": CACHE_H,
+        })
+        self.assertEqual(violations, [], self.msgs(violations))
+
+    def test_nolint_escape_suppresses_inversion(self):
+        store_escaped = (
+            "class Store {\n"
+            " public:\n"
+            "  void Get() {\n"
+            "    MutexLock lock(&mu_);\n"
+            "    // NOLINT(cloudiq-lock-order): fixture justification —\n"
+            "    // single-threaded maintenance path.\n"
+            "    MutexLock lock2(&engine_->mu_);\n"
+            "  }\n"
+            " private:\n"
+            "  mutable Mutex mu_{lockrank::kStore};\n"
+            "  Engine* engine_;\n"
+            "};\n"
+        )
+        violations = self.analyze({
+            "src/engine/engine.h": ENGINE_H,
+            "src/store/store.h": store_escaped,
+            "src/cache/cache.h": CACHE_H,
+        })
+        self.assertEqual(violations, [], self.msgs(violations))
+
+    # --- cycles ------------------------------------------------------------
+
+    def test_two_lock_cycle_is_reported(self):
+        engine_bad = (
+            "class Engine {\n"
+            " public:\n"
+            "  void Run() {\n"
+            "    MutexLock lock(&mu_);\n"
+            "    MutexLock lock2(&store_->mu_);\n"
+            "  }\n"
+            "  mutable Mutex mu_{lockrank::kEngine};\n"
+            "  Store* store_;\n"
+            "};\n"
+        )
+        store_bad = (
+            "class Store {\n"
+            " public:\n"
+            "  void Get() {\n"
+            "    MutexLock lock(&mu_);\n"
+            "    MutexLock lock2(&engine_->mu_);\n"
+            "  }\n"
+            "  mutable Mutex mu_{lockrank::kStore};\n"
+            "  Engine* engine_;\n"
+            "};\n"
+        )
+        violations = self.analyze({
+            "src/engine/engine.h": engine_bad,
+            "src/store/store.h": store_bad,
+            "src/cache/cache.h": CACHE_H,
+        })
+        text = self.msgs(violations)
+        self.assertIn("deadlock cycle in the lock graph", text)
+        self.assertIn("Engine::mu_ <-> Store::mu_", text)
+        # The Store->Engine leg is also a rank inversion.
+        self.assertIn("rank inversion", text)
+
+    # --- banned surfaces ---------------------------------------------------
+
+    def test_held_across_callback(self):
+        cache_bad = (
+            "class Cache {\n"
+            " public:\n"
+            "  void Fill() {\n"
+            "    MutexLock lock(&mu_);\n"
+            "    on_fill_(1);\n"
+            "  }\n"
+            " private:\n"
+            "  mutable Mutex mu_{lockrank::kCache};\n"
+            "  std::function<void(int)> on_fill_;\n"
+            "};\n"
+        )
+        violations = self.analyze({
+            "src/engine/engine.h": ENGINE_H,
+            "src/store/store.h": STORE_H,
+            "src/cache/cache.h": cache_bad,
+        })
+        self.assertIn("never be held across a callback",
+                      self.msgs(violations))
+
+    def test_mutex_unlock_masks_callback(self):
+        cache_ok = (
+            "class Cache {\n"
+            " public:\n"
+            "  void Fill() {\n"
+            "    MutexLock lock(&mu_);\n"
+            "    {\n"
+            "      MutexUnlock unlock(&mu_);\n"
+            "      on_fill_(1);\n"
+            "    }\n"
+            "  }\n"
+            " private:\n"
+            "  mutable Mutex mu_{lockrank::kCache};\n"
+            "  std::function<void(int)> on_fill_;\n"
+            "};\n"
+        )
+        violations = self.analyze({
+            "src/engine/engine.h": ENGINE_H,
+            "src/store/store.h": STORE_H,
+            "src/cache/cache.h": cache_ok,
+        })
+        self.assertEqual(violations, [], self.msgs(violations))
+
+    def test_held_across_sim_io(self):
+        cache_cc = (
+            "#include \"cache/cache.h\"\n"
+            "namespace cloudiq {\n"
+            "void Cache::FillLocked() {\n"
+            "  sim_store_->Get(1);\n"
+            "}\n"
+            "}  // namespace cloudiq\n"
+        )
+        violations = self.analyze({
+            "src/engine/engine.h": ENGINE_H,
+            "src/store/store.h": STORE_H,
+            "src/cache/cache.h": CACHE_H,
+            "src/cache/cache.cc": cache_cc,
+        })
+        text = self.msgs(violations)
+        self.assertIn("never be held across simulated I/O", text)
+        self.assertIn("cache.cc:4", text)
+
+    def test_sim_layer_is_exempt_from_sim_io_rule(self):
+        # src/sim/ orchestrates its own devices under its own lock.
+        manifest = MANIFEST + \
+            "| `kSimStore` | 80 | `SimStore` | `src/sim/s.h` | - | |\n"
+        sim_h = (
+            "class SimStore {\n"
+            " public:\n"
+            "  void Get() {\n"
+            "    MutexLock lock(&mu_);\n"
+            "    sched_->Run(1);\n"
+            "  }\n"
+            " private:\n"
+            "  mutable Mutex mu_{lockrank::kSimStore};\n"
+            "  IoScheduler* sched_;\n"
+            "};\n"
+        )
+        violations = self.analyze({
+            "src/engine/engine.h": ENGINE_H,
+            "src/store/store.h": STORE_H,
+            "src/cache/cache.h": CACHE_H,
+            "src/sim/s.h": sim_h,
+        }, manifest=manifest)
+        self.assertEqual(violations, [], self.msgs(violations))
+
+    def test_requires_seeds_held_state_for_out_of_line_bodies(self):
+        # Same as test_held_across_sim_io but asserting the REQUIRES
+        # side: no MutexLock appears anywhere in the .cc.
+        cache_cc = (
+            "#include \"cache/cache.h\"\n"
+            "void Cache::FillLocked() {\n"
+            "  sim_store_->Get(1);\n"
+            "}\n"
+        )
+        violations = self.analyze({
+            "src/engine/engine.h": ENGINE_H,
+            "src/store/store.h": STORE_H,
+            "src/cache/cache.h": CACHE_H,
+            "src/cache/cache.cc": cache_cc,
+        })
+        self.assertIn("while holding Cache::mu_", self.msgs(violations))
+
+    # --- generated rank header --------------------------------------------
+
+    def test_emit_and_check_ranks_roundtrip(self):
+        manifest = self.write("LOCKS.md", MANIFEST)
+        ranks = os.path.join(self.tmp.name, "lock_ranks.h")
+        rc = cloudiq_locks.main(
+            ["--manifest", manifest, "--emit-ranks", ranks])
+        self.assertEqual(rc, 0)
+        with open(ranks, encoding="utf-8") as f:
+            text = f.read()
+        self.assertIn("inline constexpr int kEngine = 10;", text)
+        self.assertIn('case 70: return "Store";', text)
+        self.assertIn("GENERATED FILE", text)
+        rc = cloudiq_locks.main(
+            ["--manifest", manifest, "--check-ranks", ranks])
+        self.assertEqual(rc, 0)
+
+    def test_check_ranks_fails_on_stale_header(self):
+        manifest = self.write("LOCKS.md", MANIFEST)
+        ranks = self.write("lock_ranks.h", "// stale contents\n")
+        rc = cloudiq_locks.main(
+            ["--manifest", manifest, "--check-ranks", ranks])
+        self.assertEqual(rc, 1)
+
+    # --- CLI ---------------------------------------------------------------
+
+    def test_main_exits_nonzero_on_violations(self):
+        self.write("LOCKS.md", MANIFEST)
+        self.write("src/engine/engine.h", ENGINE_H)
+        self.write("src/store/store.h", STORE_H)
+        # kCache is stale -> violation.
+        rc = cloudiq_locks.main(["--root", self.tmp.name, "src"])
+        self.assertEqual(rc, 1)
+
+    def test_main_exits_zero_on_clean_tree(self):
+        self.write("LOCKS.md", MANIFEST)
+        self.write("src/engine/engine.h", ENGINE_H)
+        self.write("src/store/store.h", STORE_H)
+        self.write("src/cache/cache.h", CACHE_H)
+        rc = cloudiq_locks.main(["--root", self.tmp.name, "src"])
+        self.assertEqual(rc, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

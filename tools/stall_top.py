@@ -13,14 +13,22 @@ a `top`-style view:
 
 Usage:
   tools/stall_top.py REPORT.json [--limit N] [--operators QUERY_ID]
+  tools/stall_top.py REPORT.json --locks   # join stalls vs the LOCKS.md ranks
   tools/stall_top.py --check REPORT.json   # verify conservation, exit 1 on drift
 
 --check recomputes the invariant from the JSON alone and is what
 scripts/check.sh's `profile` pass runs against the bench reports.
+
+--locks joins the profile against the lock-rank manifest (LOCKS.md, the
+same file tools/cloudiq_locks.py enforces): each registered lock that
+declares stall classes is charged the run-wide nanoseconds of those
+classes, and the queries with the most `lock_wait` time are listed so a
+contended rank can be chased to the queries paying for it.
 """
 
 import argparse
 import json
+import os
 import sys
 
 WAIT_CLASSES = [
@@ -166,6 +174,55 @@ def print_operator_table(queries, query_id):
     print("no query %d in report" % query_id, file=sys.stderr)
 
 
+def print_locks_table(stalls, manifest_path, limit):
+    """Join the stall profile against the LOCKS.md rank manifest."""
+    from cloudiq_locks import parse_manifest
+
+    entries, problems = parse_manifest(manifest_path)
+    if problems:
+        for violation in problems:
+            print("FAIL: %s" % violation, file=sys.stderr)
+        return 1
+
+    total = stalls.get("total", {})
+    nanos = class_nanos(total)
+    grand = sum(nanos.values())
+    print("ranked locks vs stall classes (%s):" % manifest_path)
+    for entry in sorted(entries, key=lambda e: e.rank):
+        attributed = sum(nanos.get(cls, 0) for cls in entry.stall_classes)
+        classes = ",".join(entry.stall_classes) if entry.stall_classes else "-"
+        share = 100.0 * attributed / grand if grand else 0.0
+        print(
+            "  rank %3d  %-20s %s  %5.1f%%  [%s]"
+            % (entry.rank, entry.owner, fmt_seconds(attributed), share, classes)
+        )
+
+    ranked = sorted(
+        (q for q in stalls.get("queries", [])
+         if int(q.get("lock_wait", 0)) > 0),
+        key=lambda q: (-int(q.get("lock_wait", 0)),
+                       int(q.get("query_id", 0))),
+    )
+    if ranked:
+        print("top queries by lock_wait:")
+        for query in ranked[:limit]:
+            total_ns = int(query.get("total_nanos", 0))
+            wait = int(query.get("lock_wait", 0))
+            share = 100.0 * wait / total_ns if total_ns else 0.0
+            print(
+                "  q%-6s %-14s lock_wait %s  %5.1f%% of query"
+                % (
+                    query.get("query_id"),
+                    query.get("tag") or "(untagged)",
+                    fmt_seconds(wait).strip(),
+                    share,
+                )
+            )
+    else:
+        print("no query recorded lock_wait time")
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="render the stall profile of a --report JSON"
@@ -184,6 +241,19 @@ def main(argv):
         "--check",
         action="store_true",
         help="verify the conservation invariant and exit (1 on drift)",
+    )
+    parser.add_argument(
+        "--locks",
+        action="store_true",
+        help="join the profile against the LOCKS.md lock-rank manifest",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "LOCKS.md",
+        ),
+        help="lock-rank manifest for --locks (default: repo LOCKS.md)",
     )
     args = parser.parse_args(argv)
 
@@ -219,6 +289,9 @@ def main(argv):
                 )
             )
         return 1 if problems else 0
+
+    if args.locks:
+        return print_locks_table(stalls, args.manifest, args.limit)
 
     print_class_table(stalls.get("total", {}))
     print_query_table(stalls.get("queries", []), args.limit)
