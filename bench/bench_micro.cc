@@ -10,6 +10,7 @@
 #include "common/bitmap.h"
 #include "common/interval_set.h"
 #include "common/random.h"
+#include "engine/database.h"
 #include "keygen/object_key_generator.h"
 #include "store/page_codec.h"
 #include "store/physical_loc.h"
@@ -122,6 +123,90 @@ void BM_BitmapSetRange(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BitmapSetRange);
+
+// --- morsel executor: native-mode full scan -------------------------------
+// Host wall time of ScanTable at 1/2/4/8 executor workers over a wide
+// synthetic table. The per-iteration work is fetch + page decode +
+// materialize — exactly what the morsel executor fans out — so the
+// items/s ratio between worker counts is the executor's real scale-up on
+// this host (it saturates at the machine's core count).
+
+constexpr uint64_t kScanFixtureTableId = 42;
+constexpr int kScanFixtureCols = 4;
+constexpr int64_t kScanFixtureRows = 1 << 18;
+
+struct ScanFixture {
+  SimEnvironment env;
+  std::unique_ptr<Database> db;
+};
+
+ScanFixture* GlobalScanFixture() {
+  static ScanFixture* fixture = [] {
+    auto* f = new ScanFixture();  // leaked: lives for the whole process
+    Database::Options options;
+    options.user_storage = UserStorage::kObjectStore;
+    f->db = std::make_unique<Database>(
+        &f->env, InstanceProfile::M5ad4xlarge(), options);
+    TableSchema schema;
+    schema.name = "wide";
+    schema.table_id = kScanFixtureTableId;
+    for (int c = 0; c < kScanFixtureCols; ++c) {
+      schema.columns.push_back({"c" + std::to_string(c),
+                                ColumnType::kInt64});
+    }
+    Transaction* txn = f->db->Begin();
+    TableLoader loader = f->db->NewTableLoader(txn, schema);
+    Rng rng(7);
+    Batch batch;
+    for (int c = 0; c < kScanFixtureCols; ++c) {
+      batch.AddColumn(schema.columns[c].name, {ColumnType::kInt64,
+                                               {}, {}, {}});
+    }
+    for (int64_t i = 0; i < kScanFixtureRows; ++i) {
+      for (int c = 0; c < kScanFixtureCols; ++c) {
+        batch.columns[c].ints.push_back(
+            static_cast<int64_t>(rng.Uniform(1 << 20)));
+      }
+    }
+    if (!loader.Append(batch.columns).ok() ||
+        !loader.Finish(f->db->system()).ok() ||
+        !f->db->Commit(txn).ok()) {
+      std::abort();
+    }
+    return f;
+  }();
+  return fixture;
+}
+
+void BM_ParallelScanDecode(benchmark::State& state) {
+  ScanFixture* f = GlobalScanFixture();
+  f->db->SetExecOptions(ExecMode::kNative,
+                        static_cast<int>(state.range(0)));
+  Transaction* txn = f->db->Begin();
+  QueryContext ctx = f->db->NewQueryContext(txn, "bm_scan");
+  Result<TableReader> reader = ctx.OpenTable(kScanFixtureTableId);
+  if (!reader.ok()) {
+    state.SkipWithError(reader.status().ToString().c_str());
+    return;
+  }
+  std::vector<std::string> cols;
+  for (int c = 0; c < kScanFixtureCols; ++c) {
+    cols.push_back("c" + std::to_string(c));
+  }
+  for (auto _ : state) {
+    Result<Batch> batch = ScanTable(&ctx, &*reader, cols);
+    if (!batch.ok()) {
+      state.SkipWithError(batch.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(batch->rows());
+  }
+  state.SetItemsProcessed(state.iterations() * kScanFixtureRows *
+                          kScanFixtureCols);
+  (void)f->db->Commit(txn);
+}
+BENCHMARK(BM_ParallelScanDecode)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
 
 void BM_IntervalSetInsert(benchmark::State& state) {
   Rng rng(4);

@@ -35,6 +35,13 @@
 #                               # with the observer force-enabled, and a
 #                               # double-run byte-compare proving the
 #                               # tripwire never perturbs the simulation
+#   scripts/check.sh parallel   # morsel-executor gate: scale-up bench
+#                               # --report byte-identical across double
+#                               # runs and across --workers=1 vs 8,
+#                               # stall conservation (incl. per-entry
+#                               # telescoping) on the parallel report,
+#                               # stall_top fixture tests, and the
+#                               # native worker sweep under TSan
 #
 # Each pass uses its own build tree (build/, build-asan/, build-ubsan/,
 # build-tsan/) so the sweeps never poison the primary build's cache.
@@ -349,6 +356,65 @@ locks_pass() {
   echo "=== locks: OK ==="
 }
 
+# Morsel-executor gate. Four legs:
+#   1. sim determinism — the scale-up bench's --report (stalls included)
+#      must be byte-identical across double runs AND across executor
+#      worker counts (--workers=1 vs --workers=8), since sim mode charges
+#      morsels to the simulated clock in a fixed order regardless of
+#      parallel width;
+#   2. conservation — tools/stall_top.py --check on the parallel report,
+#      now including the per-entry telescoping check (a parallel
+#      section's lane totals must sum to each entry's declared total);
+#   3. the checker's own fixture tests (stall_top_test.py);
+#   4. TSan — the native-mode worker sweep under ThreadSanitizer, the
+#      one place real threads race over morsel queues and fragments.
+parallel_pass() {
+  echo "=== parallel: morsel executor determinism + conservation + TSan ==="
+  cmake -B build -S . > build-configure.log 2>&1 || {
+    cat build-configure.log; return 1; }
+  cmake --build build -j "${JOBS}" --target bench_fig7_scale_up
+  local out1 out2 w1 w8
+  out1="$(mktemp /tmp/cloudiq_par1.XXXXXX.json)"
+  out2="$(mktemp /tmp/cloudiq_par2.XXXXXX.json)"
+  w1="$(mktemp /tmp/cloudiq_parw1.XXXXXX.json)"
+  w8="$(mktemp /tmp/cloudiq_parw8.XXXXXX.json)"
+  CLOUDIQ_BENCH_SF=0.01 ./build/bench/bench_fig7_scale_up --quick \
+    --report="${out1}" > /dev/null
+  CLOUDIQ_BENCH_SF=0.01 ./build/bench/bench_fig7_scale_up --quick \
+    --report="${out2}" > /dev/null
+  if ! cmp -s "${out1}" "${out2}"; then
+    echo "parallel determinism FAILED: double-run reports differ" >&2
+    diff "${out1}" "${out2}" | head -40 >&2 || true
+    rm -f "${out1}" "${out2}" "${w1}" "${w8}"
+    return 1
+  fi
+  echo "--- parallel: double-run reports byte-identical ($(wc -c < "${out1}") bytes)"
+  CLOUDIQ_BENCH_SF=0.01 ./build/bench/bench_fig7_scale_up --quick \
+    --workers=1 --report="${w1}" > /dev/null
+  CLOUDIQ_BENCH_SF=0.01 ./build/bench/bench_fig7_scale_up --quick \
+    --workers=8 --report="${w8}" > /dev/null
+  if ! cmp -s "${w1}" "${w8}"; then
+    echo "parallel determinism FAILED: sim report depends on worker count" >&2
+    diff "${w1}" "${w8}" | head -40 >&2 || true
+    rm -f "${out1}" "${out2}" "${w1}" "${w8}"
+    return 1
+  fi
+  echo "--- parallel: --workers=1 vs --workers=8 reports byte-identical"
+  echo "--- parallel: stall conservation on the parallel report"
+  python3 tools/stall_top.py --check "${out1}"
+  rm -f "${out1}" "${out2}" "${w1}" "${w8}"
+  echo "--- parallel: stall_top checker fixture tests"
+  python3 tools/stall_top_test.py
+  echo "--- parallel: TSan native worker sweep"
+  cmake -B build-tsan -S . -DCLOUDIQ_SANITIZE=thread \
+    > build-tsan-configure.log 2>&1 || {
+      cat build-tsan-configure.log; return 1; }
+  cmake --build build-tsan -j "${JOBS}" --target bench_fig7_scale_up
+  CLOUDIQ_BENCH_SF=0.005 ./build-tsan/bench/bench_fig7_scale_up --quick \
+    --exec=native > /dev/null
+  echo "=== parallel: OK ==="
+}
+
 what="${1:-all}"
 case "${what}" in
   plain)  run_pass "plain" build "" ;;
@@ -364,6 +430,7 @@ case "${what}" in
   profile) profile_pass ;;
   costopt) costopt_pass ;;
   locks) locks_pass ;;
+  parallel) parallel_pass ;;
   all)
     lint_pass
     locks_pass
@@ -373,6 +440,7 @@ case "${what}" in
     ndp_pass
     profile_pass
     costopt_pass
+    parallel_pass
     tidy_pass
     run_pass "ASan"  build-asan address
     run_pass "UBSan" build-ubsan undefined
@@ -380,7 +448,7 @@ case "${what}" in
     stress_smoke
     ;;
   *)
-    echo "usage: $0 [all|plain|asan|ubsan|tsan|report|stress|lint|tidy|determinism|ndp|profile|costopt|locks]" >&2
+    echo "usage: $0 [all|plain|asan|ubsan|tsan|report|stress|lint|tidy|determinism|ndp|profile|costopt|locks|parallel]" >&2
     exit 2
     ;;
 esac

@@ -36,13 +36,24 @@ Result<StorageObject*> TableReader::ObjectFor(uint64_t object_id) {
 
 Result<ColumnVector> TableReader::ReadPage(size_t partition, int column,
                                            size_t page) {
+  CLOUDIQ_ASSIGN_OR_RETURN(BufferManager::PageData data,
+                           FetchPage(partition, column, page));
+  return DecodeColumnPage(*data);
+}
+
+Result<BufferManager::PageData> TableReader::FetchPage(size_t partition,
+                                                       int column,
+                                                       size_t page) {
   const SegmentMeta& seg = meta_.partitions[partition].columns[column];
   CLOUDIQ_ASSIGN_OR_RETURN(StorageObject * object,
                            ObjectFor(seg.object_id));
   CLOUDIQ_ASSIGN_OR_RETURN(BufferManager::PageData data,
                            object->ReadPage(page));
+  // Counted at fetch (not decode) time: every fetched frame is decoded
+  // exactly once either way, and the executor charges decode CPU from
+  // this before its parallel region runs.
   decoded_bytes_ += data->size();
-  return DecodeColumnPage(*data);
+  return data;
 }
 
 Status TableReader::Prefetch(size_t partition, int column,

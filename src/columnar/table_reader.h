@@ -34,6 +34,14 @@ class TableReader {
   // Decodes page `page` of (partition, column).
   Result<ColumnVector> ReadPage(size_t partition, int column, size_t page);
 
+  // Fetches the *encoded* frame of page `page` without decoding it.
+  // All simulated I/O and the decoded_bytes() accounting happen here, so
+  // the morsel executor can fetch frames on the (deterministic)
+  // coordinator and hand the pure-CPU DecodeColumnPage calls to native
+  // worker threads. ReadPage == FetchPage + DecodeColumnPage.
+  Result<BufferManager::PageData> FetchPage(size_t partition, int column,
+                                            size_t page);
+
   // Parallel read-ahead of the listed pages of one column segment.
   Status Prefetch(size_t partition, int column,
                   const std::vector<uint64_t>& pages);

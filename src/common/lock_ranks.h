@@ -15,6 +15,7 @@ namespace cloudiq {
 namespace lockrank {
 
 inline constexpr int kWorkloadEngine = 10;
+inline constexpr int kTaskPool = 15;
 inline constexpr int kAdmissionController = 20;
 inline constexpr int kFairScheduler = 21;
 inline constexpr int kStepFiber = 25;
@@ -36,6 +37,7 @@ inline constexpr int kTracer = 93;
 inline constexpr const char* RankName(int rank) {
   switch (rank) {
     case 10: return "WorkloadEngine";
+    case 15: return "TaskPool";
     case 20: return "AdmissionController";
     case 21: return "FairScheduler";
     case 25: return "StepFiber";

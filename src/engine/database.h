@@ -86,6 +86,13 @@ class Database {
     costopt::PlanPolicy cost_policy = costopt::PlanPolicy::kCostBlind;
     double cost_slo_seconds = 0;
     bool ndp_assume_cold = false;
+    // Morsel-driven executor defaults stamped onto every query context
+    // (src/exec/morsel.h): kSim keeps deterministic in-order morsels,
+    // kNative drains them on exec_workers real threads. Either way the
+    // simulated run is identical; only host wall time differs.
+    ExecMode exec_mode = ExecMode::kSim;
+    int exec_workers = 1;
+    uint64_t exec_morsel_rows = 16384;
     // Reader node of a multiplex: modifications are rejected (§2).
     bool read_only = false;
     // Multiplex: name of the shared system-dbspace volume ("" = private
@@ -128,11 +135,22 @@ class Database {
     qopts.cost_policy = options_.cost_policy;
     qopts.slo_seconds = options_.cost_slo_seconds;
     qopts.ndp_assume_cold = options_.ndp_assume_cold;
+    qopts.exec_mode = options_.exec_mode;
+    qopts.exec_workers = options_.exec_workers;
+    qopts.morsel_rows = options_.exec_morsel_rows;
     QueryContext ctx(txn_mgr_.get(), txn, &system_, qopts);
     ctx.set_meta_provider(
         [this](uint64_t table_id) { return TableMetaFor(table_id); });
     ctx.SetAttribution(env_->telemetry().ledger().NextQueryId(), tag);
     return ctx;
+  }
+
+  // Re-points the executor defaults stamped by NewQueryContext. The
+  // scale-up bench sweeps modes and worker counts over one loaded
+  // database instead of reloading per configuration.
+  void SetExecOptions(ExecMode mode, int workers) {
+    options_.exec_mode = mode;
+    options_.exec_workers = workers;
   }
 
   // A tenant-scoped session on this node (defined in engine/session.h):

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <cstdio>
 #include <unordered_map>
+#include <utility>
 
+#include "columnar/encoding.h"
 #include "costopt/cost_model.h"
+#include "exec/task_pool.h"
 
 namespace cloudiq {
 
@@ -19,6 +22,20 @@ void QueryContext::ChargeDecodedBytes(uint64_t bytes) {
   node()->io().AddCpuWork(bytes * options_.cpu_per_decoded_byte,
                           node()->profile().vcpus);
   CheckStep("charge_decoded");
+}
+
+void QueryContext::ChargeMorselValues(uint64_t values) {
+  SimClock& clock = node()->clock();
+  double start = clock.now();
+  node()->io().AddCpuWork(values * options_.cpu_per_value,
+                          node()->profile().vcpus);
+  // Profiled explicitly as a lane of the enclosing parallel section:
+  // consecutive morsel windows are disjoint and telescope to the
+  // section's elapsed time, so EndParallel registers them unscaled and
+  // per-morsel attribution stays conservation-exact. No step check here
+  // — the section defers it (see ScopedParallelSection).
+  node()->telemetry().profiler().Charge(WaitClass::kCpuExec, start,
+                                        clock.now());
 }
 
 namespace {
@@ -165,6 +182,147 @@ Batch MakeOutputShape(const TableSchema& schema,
     out.AddColumn(name, std::move(vec));
   }
   return out;
+}
+
+// --- morsel-parallel helpers -----------------------------------------------
+//
+// Every parallel region follows the same work-then-charge split:
+//   * task lambdas run pure host CPU (decode, materialize, local build /
+//     accumulate, placement) and touch no simulator state, writing only
+//     their own index's output slot;
+//   * the coordinator then charges sim-time in a fixed loop over the
+//     same indices, in order, in both modes.
+// The AddCpuWork / profiler call sequence is therefore identical in sim
+// and native mode and across worker counts — which is the whole
+// determinism contract (DESIGN.md §5j).
+
+// One fetched page of a read column: the encoded frame (phase A, on the
+// coordinator — all simulated I/O happens there) and its decoded values
+// (phase B, on workers — each frame decoded exactly once).
+struct DecodedPage {
+  BufferManager::PageData frame;
+  uint64_t first_row = 0;
+  uint64_t row_count = 0;
+  ColumnVector values;
+};
+
+// Pages of one (partition, read column), ascending by first_row.
+struct ColumnSlice {
+  std::vector<DecodedPage> pages;
+};
+
+// Forward cursor over a ColumnSlice: resolves ascending row ids to
+// (page values, offset) with an amortized-O(1) walk. Valid only for rows
+// covered by a fetched page — which every candidate row is, because the
+// pages were chosen by PagesForRows over the candidate set.
+struct SliceCursor {
+  const ColumnSlice* slice;
+  size_t page = 0;
+
+  const ColumnVector& At(uint64_t row, size_t* offset) {
+    while (row >=
+           slice->pages[page].first_row + slice->pages[page].row_count) {
+      ++page;
+    }
+    *offset = static_cast<size_t>(row - slice->pages[page].first_row);
+    return slice->pages[page].values;
+  }
+};
+
+// Materializes one morsel's candidate rows into a private fragment with
+// `shape`'s columns, applying the exact range filter in-morsel. Pure
+// host CPU.
+Batch MaterializeScanMorsel(const Batch& shape,
+                            const std::vector<ColumnSlice>& cols,
+                            const Morsel& morsel,
+                            const std::optional<ScanRange>& range,
+                            size_t range_pos) {
+  Batch frag = shape.EmptyLike();
+  std::vector<SliceCursor> cursors;
+  cursors.reserve(cols.size());
+  for (const ColumnSlice& slice : cols) {
+    cursors.push_back(SliceCursor{&slice, 0});
+  }
+  for (const IntervalSet::Interval& iv : morsel.rows.Intervals()) {
+    for (uint64_t r = iv.begin; r < iv.end; ++r) {
+      if (range.has_value()) {
+        size_t off;
+        const ColumnVector& vals = cursors[range_pos].At(r, &off);
+        if (vals.ints[off] < range->lo || vals.ints[off] > range->hi) {
+          continue;
+        }
+      }
+      for (size_t c = 0; c < cols.size(); ++c) {
+        size_t off;
+        const ColumnVector& vals = cursors[c].At(r, &off);
+        ColumnVector& dst = frag.columns[c];
+        switch (dst.type) {
+          case ColumnType::kDouble:
+            dst.doubles.push_back(vals.doubles[off]);
+            break;
+          case ColumnType::kString:
+            dst.strings.push_back(vals.strings[off]);
+            break;
+          default:
+            dst.ints.push_back(vals.ints[off]);
+        }
+      }
+    }
+  }
+  return frag;
+}
+
+void ResizeColumn(ColumnVector* col, size_t rows) {
+  switch (col->type) {
+    case ColumnType::kDouble:
+      col->doubles.resize(rows);
+      break;
+    case ColumnType::kString:
+      col->strings.resize(rows);
+      break;
+    default:
+      col->ints.resize(rows);
+  }
+}
+
+// Writes `src`'s values into `dst` starting at row `at`. The caller
+// resized `dst` and assigned each fragment a disjoint slot range, so
+// concurrent placements never overlap.
+void PlaceColumn(ColumnVector* dst, ColumnVector* src, size_t at) {
+  switch (dst->type) {
+    case ColumnType::kDouble:
+      std::copy(src->doubles.begin(), src->doubles.end(),
+                dst->doubles.begin() + at);
+      break;
+    case ColumnType::kString:
+      std::move(src->strings.begin(), src->strings.end(),
+                dst->strings.begin() + at);
+      break;
+    default:
+      std::copy(src->ints.begin(), src->ints.end(),
+                dst->ints.begin() + at);
+  }
+}
+
+// Phase D of every parallel operator: prefix-sums fragment sizes,
+// resizes `out` to the total, and places each fragment into its disjoint
+// slot range (in parallel in native mode).
+void PlaceFragments(ExecMode mode, int workers, std::vector<Batch>* frags,
+                    Batch* out) {
+  std::vector<size_t> offsets(frags->size() + 1, 0);
+  for (size_t i = 0; i < frags->size(); ++i) {
+    offsets[i + 1] = offsets[i] + (*frags)[i].rows();
+  }
+  for (ColumnVector& col : out->columns) {
+    ResizeColumn(&col, offsets.back());
+  }
+  TaskPool::Global().RunIndexed(
+      mode, workers, frags->size(), [&](size_t i) {
+        Batch& frag = (*frags)[i];
+        for (size_t c = 0; c < out->columns.size(); ++c) {
+          PlaceColumn(&out->columns[c], &frag.columns[c], offsets[i]);
+        }
+      });
 }
 
 // --- near-data processing --------------------------------------------------
@@ -500,14 +658,23 @@ Result<Batch> ScanTable(QueryContext* ctx, TableReader* reader,
   }
   if (plan.considered) stats.counter("ndp.pull_scans").Add(1);
 
+  // --- morsel-parallel pull path -----------------------------------------
+  // Phase A (coordinator, simulated): per partition, compute the
+  // candidate row set (zone-map survivors under a range predicate, the
+  // whole partition otherwise), plan page-aligned morsels on the leading
+  // read column, prefetch, and fetch every needed page's *encoded*
+  // frame. All simulated I/O happens here, in partition/column/page
+  // order — identical in both modes.
   uint64_t decoded_before = reader->decoded_bytes();
-  for (size_t p = 0; p < reader->meta().partitions.size(); ++p) {
+  std::vector<Morsel> morsels;
+  std::vector<size_t> morsel_slice;  // morsel -> index into `parts`
+  std::vector<std::vector<ColumnSlice>> parts;
+  for (size_t p = 0;
+       !col_ids.empty() && p < reader->meta().partitions.size(); ++p) {
     const PartitionMeta& pm = reader->meta().partitions[p];
     if (pm.row_count == 0) continue;
     if (!PartitionMayMatch(schema, p, range, range_col)) continue;
 
-    // Candidate rows: all of the partition, or — with a range predicate —
-    // the union of row ranges of the range column's zone-map survivors.
     IntervalSet rows;
     if (range.has_value()) {
       const SegmentMeta& seg = pm.columns[range_col];
@@ -520,27 +687,91 @@ Result<Batch> ScanTable(QueryContext* ctx, TableReader* reader,
     } else {
       rows.InsertRange(0, pm.row_count);
     }
-    CLOUDIQ_RETURN_IF_ERROR(ReadRowSet(ctx, reader, p, col_ids, rows,
-                                       &out));
-  }
-  ctx->ChargeDecodedBytes(reader->decoded_bytes() - decoded_before);
+    if (rows.empty()) continue;
 
-  if (range.has_value()) {
-    // Exact filter on the range column (zone maps only pruned pages).
-    int rc = out.Col(range->column);
-    Batch filtered = out.EmptyLike();
-    const ColumnVector& vals = out.columns[rc];
-    for (size_t r = 0; r < out.rows(); ++r) {
-      if (vals.ints[r] >= range->lo && vals.ints[r] <= range->hi) {
-        out.AppendRowTo(&filtered, r);
+    size_t morsels_before = morsels.size();
+    AppendMorsels(pm.columns[col_ids[0]], p, rows,
+                  ctx->options().morsel_rows, &morsels);
+    if (morsels.size() == morsels_before) continue;
+    morsel_slice.resize(morsels.size(), parts.size());
+
+    std::vector<std::vector<uint64_t>> pages(col_ids.size());
+    for (size_t i = 0; i < col_ids.size(); ++i) {
+      const SegmentMeta& seg = pm.columns[col_ids[i]];
+      pages[i] = PagesForRows(seg, rows);
+      CLOUDIQ_RETURN_IF_ERROR(
+          reader->Prefetch(p, col_ids[i], pages[i]));
+    }
+    std::vector<ColumnSlice> slices(col_ids.size());
+    for (size_t i = 0; i < col_ids.size(); ++i) {
+      const SegmentMeta& seg = pm.columns[col_ids[i]];
+      for (uint64_t page : pages[i]) {
+        DecodedPage dp;
+        CLOUDIQ_ASSIGN_OR_RETURN(
+            dp.frame, reader->FetchPage(p, col_ids[i], page));
+        dp.first_row = reader->PageFirstRow(p, col_ids[i], page);
+        dp.row_count = seg.page_rows[page];
+        slices[i].pages.push_back(std::move(dp));
       }
     }
-    ctx->ChargeValues(out.rows());
-    out = std::move(filtered);
-    if (extra_range_col) {
-      out.names.pop_back();
-      out.columns.pop_back();
+    parts.push_back(std::move(slices));
+  }
+  // Every fetched frame is decoded exactly once below; charge the decode
+  // CPU up front so the parallel section carries only per-morsel values.
+  ctx->ChargeDecodedBytes(reader->decoded_bytes() - decoded_before);
+
+  if (!morsels.empty()) {
+    TaskPool& pool = TaskPool::Global();
+    const ExecMode mode = ctx->options().exec_mode;
+    const int workers = ctx->options().exec_workers;
+    stats.counter("exec.parallel_sections").Add(1);
+    stats.counter("exec.morsels").Add(morsels.size());
+
+    ScopedParallelSection section(ctx);
+    // Phase B (workers, host CPU): decode each fetched frame once.
+    std::vector<DecodedPage*> decode_tasks;
+    for (std::vector<ColumnSlice>& slices : parts) {
+      for (ColumnSlice& slice : slices) {
+        for (DecodedPage& dp : slice.pages) decode_tasks.push_back(&dp);
+      }
     }
+    std::vector<Status> decode_status(decode_tasks.size(), Status::Ok());
+    pool.RunIndexed(mode, workers, decode_tasks.size(), [&](size_t t) {
+      DecodedPage* dp = decode_tasks[t];
+      Result<ColumnVector> decoded = DecodeColumnPage(*dp->frame);
+      if (!decoded.ok()) {
+        decode_status[t] = decoded.status();
+        return;
+      }
+      dp->values = std::move(decoded).value();
+      dp->frame.reset();
+    });
+    for (const Status& st : decode_status) {
+      CLOUDIQ_RETURN_IF_ERROR(st);
+    }
+    // Phase C (workers): per-morsel materialize + exact range filter.
+    std::vector<Batch> frags(morsels.size());
+    pool.RunIndexed(mode, workers, morsels.size(), [&](size_t m) {
+      frags[m] = MaterializeScanMorsel(out, parts[morsel_slice[m]],
+                                       morsels[m], range, range_pos);
+    });
+    // Phase D (workers): place fragments into disjoint slots of `out`.
+    PlaceFragments(mode, workers, &frags, &out);
+    // The coordinator's fixed charge loop: each candidate row costs one
+    // touch per read column plus (with a predicate) the exact filter
+    // touch — the same totals the serial executor charged, attributed
+    // per morsel in morsel order in both modes.
+    for (const Morsel& morsel : morsels) {
+      uint64_t values = morsel.row_count * col_ids.size();
+      if (range.has_value()) values += morsel.row_count;
+      ctx->ChargeMorselValues(values);
+    }
+    section.Finish();
+  }
+
+  if (range.has_value() && extra_range_col) {
+    out.names.pop_back();
+    out.columns.pop_back();
   }
   op.AddRows(out.rows());
   return out;
@@ -591,17 +822,54 @@ Result<Batch> HashJoin(QueryContext* ctx, const Batch& left,
   }
   bool string_key = left.columns[lk].type == ColumnType::kString;
 
-  // Build side: the right batch.
+  TaskPool& pool = TaskPool::Global();
+  const ExecMode mode = ctx->options().exec_mode;
+  const int workers = ctx->options().exec_workers;
+  auto& stats = ctx->node()->telemetry().stats();
+
+  // Build side: the right batch, chunked into thread-local hash tables
+  // merged in chunk order — chunk c's rows all precede chunk c+1's, and
+  // each local chunk appends its ascending row ids, so every key's row
+  // list comes out exactly as a serial build produces it.
   std::unordered_map<int64_t, std::vector<size_t>> int_build;
   std::unordered_map<std::string, std::vector<size_t>> str_build;
-  for (size_t r = 0; r < right.rows(); ++r) {
-    if (string_key) {
-      str_build[right.columns[rk].strings[r]].push_back(r);
-    } else {
-      int_build[right.columns[rk].ints[r]].push_back(r);
+  std::vector<RowChunk> build_chunks =
+      MakeRowChunks(right.rows(), ctx->options().morsel_rows);
+  if (!build_chunks.empty()) {
+    stats.counter("exec.parallel_sections").Add(1);
+    stats.counter("exec.morsels").Add(build_chunks.size());
+    std::vector<std::unordered_map<int64_t, std::vector<size_t>>>
+        int_locals(string_key ? 0 : build_chunks.size());
+    std::vector<std::unordered_map<std::string, std::vector<size_t>>>
+        str_locals(string_key ? build_chunks.size() : 0);
+    ScopedParallelSection section(ctx);
+    pool.RunIndexed(mode, workers, build_chunks.size(), [&](size_t i) {
+      for (size_t r = build_chunks[i].begin; r < build_chunks[i].end;
+           ++r) {
+        if (string_key) {
+          str_locals[i][right.columns[rk].strings[r]].push_back(r);
+        } else {
+          int_locals[i][right.columns[rk].ints[r]].push_back(r);
+        }
+      }
+    });
+    for (size_t i = 0; i < build_chunks.size(); ++i) {
+      if (string_key) {
+        for (auto& [key, rows_list] : str_locals[i]) {
+          std::vector<size_t>& dst = str_build[key];
+          dst.insert(dst.end(), rows_list.begin(), rows_list.end());
+        }
+      } else {
+        for (auto& [key, rows_list] : int_locals[i]) {
+          std::vector<size_t>& dst = int_build[key];
+          dst.insert(dst.end(), rows_list.begin(), rows_list.end());
+        }
+      }
+      ctx->ChargeMorselValues(build_chunks[i].end -
+                              build_chunks[i].begin);
     }
+    section.Finish();
   }
-  ctx->ChargeValues(right.rows());
 
   // Output shape.
   Batch out = left.EmptyLike();
@@ -617,89 +885,83 @@ Result<Batch> HashJoin(QueryContext* ctx, const Batch& left,
     }
   }
 
-  for (size_t r = 0; r < left.rows(); ++r) {
-    const std::vector<size_t>* matches = nullptr;
-    if (string_key) {
-      auto it = str_build.find(left.columns[lk].strings[r]);
-      if (it != str_build.end()) matches = &it->second;
-    } else {
-      auto it = int_build.find(left.columns[lk].ints[r]);
-      if (it != int_build.end()) matches = &it->second;
+  // Probe side: left chunks emit into private fragments (same per-row
+  // semantics as the serial probe), placed into `out` in chunk order.
+  auto append_left_row = [&](size_t r, Batch* frag) {
+    for (size_t c = 0; c < left.columns.size(); ++c) {
+      const ColumnVector& src = left.columns[c];
+      ColumnVector& dst = frag->columns[c];
+      switch (src.type) {
+        case ColumnType::kDouble:
+          dst.doubles.push_back(src.doubles[r]);
+          break;
+        case ColumnType::kString:
+          dst.strings.push_back(src.strings[r]);
+          break;
+        default:
+          dst.ints.push_back(src.ints[r]);
+      }
     }
-    switch (type) {
-      case JoinType::kLeftSemi:
-        if (matches != nullptr) {
-          for (size_t c = 0; c < left.columns.size(); ++c) {
-            const ColumnVector& src = left.columns[c];
-            ColumnVector& dst = out.columns[c];
-            switch (src.type) {
-              case ColumnType::kDouble:
-                dst.doubles.push_back(src.doubles[r]);
-                break;
-              case ColumnType::kString:
-                dst.strings.push_back(src.strings[r]);
-                break;
-              default:
-                dst.ints.push_back(src.ints[r]);
-            }
-          }
+  };
+  std::vector<RowChunk> probe_chunks =
+      MakeRowChunks(left.rows(), ctx->options().morsel_rows);
+  if (!probe_chunks.empty()) {
+    stats.counter("exec.parallel_sections").Add(1);
+    stats.counter("exec.morsels").Add(probe_chunks.size());
+    std::vector<Batch> frags(probe_chunks.size());
+    ScopedParallelSection section(ctx);
+    pool.RunIndexed(mode, workers, probe_chunks.size(), [&](size_t i) {
+      Batch frag = out.EmptyLike();
+      for (size_t r = probe_chunks[i].begin; r < probe_chunks[i].end;
+           ++r) {
+        const std::vector<size_t>* matches = nullptr;
+        if (string_key) {
+          auto it = str_build.find(left.columns[lk].strings[r]);
+          if (it != str_build.end()) matches = &it->second;
+        } else {
+          auto it = int_build.find(left.columns[lk].ints[r]);
+          if (it != int_build.end()) matches = &it->second;
         }
-        break;
-      case JoinType::kLeftAnti:
-        if (matches == nullptr) {
-          for (size_t c = 0; c < left.columns.size(); ++c) {
-            const ColumnVector& src = left.columns[c];
-            ColumnVector& dst = out.columns[c];
-            switch (src.type) {
-              case ColumnType::kDouble:
-                dst.doubles.push_back(src.doubles[r]);
-                break;
-              case ColumnType::kString:
-                dst.strings.push_back(src.strings[r]);
-                break;
-              default:
-                dst.ints.push_back(src.ints[r]);
-            }
-          }
-        }
-        break;
-      case JoinType::kInner:
-        if (matches != nullptr) {
-          for (size_t m : *matches) {
-            for (size_t c = 0; c < left.columns.size(); ++c) {
-              const ColumnVector& src = left.columns[c];
-              ColumnVector& dst = out.columns[c];
-              switch (src.type) {
-                case ColumnType::kDouble:
-                  dst.doubles.push_back(src.doubles[r]);
-                  break;
-                case ColumnType::kString:
-                  dst.strings.push_back(src.strings[r]);
-                  break;
-                default:
-                  dst.ints.push_back(src.ints[r]);
+        switch (type) {
+          case JoinType::kLeftSemi:
+            if (matches != nullptr) append_left_row(r, &frag);
+            break;
+          case JoinType::kLeftAnti:
+            if (matches == nullptr) append_left_row(r, &frag);
+            break;
+          case JoinType::kInner:
+            if (matches != nullptr) {
+              for (size_t m : *matches) {
+                append_left_row(r, &frag);
+                for (size_t rc = 0; rc < right_cols.size(); ++rc) {
+                  const ColumnVector& src = right.columns[right_cols[rc]];
+                  ColumnVector& dst =
+                      frag.columns[left.columns.size() + rc];
+                  switch (src.type) {
+                    case ColumnType::kDouble:
+                      dst.doubles.push_back(src.doubles[m]);
+                      break;
+                    case ColumnType::kString:
+                      dst.strings.push_back(src.strings[m]);
+                      break;
+                    default:
+                      dst.ints.push_back(src.ints[m]);
+                  }
+                }
               }
             }
-            for (size_t i = 0; i < right_cols.size(); ++i) {
-              const ColumnVector& src = right.columns[right_cols[i]];
-              ColumnVector& dst = out.columns[left.columns.size() + i];
-              switch (src.type) {
-                case ColumnType::kDouble:
-                  dst.doubles.push_back(src.doubles[m]);
-                  break;
-                case ColumnType::kString:
-                  dst.strings.push_back(src.strings[m]);
-                  break;
-                default:
-                  dst.ints.push_back(src.ints[m]);
-              }
-            }
-          }
+            break;
         }
-        break;
+      }
+      frags[i] = std::move(frag);
+    });
+    PlaceFragments(mode, workers, &frags, &out);
+    for (const RowChunk& chunk : probe_chunks) {
+      ctx->ChargeMorselValues((chunk.end - chunk.begin) *
+                              (1 + out.columns.size()));
     }
+    section.Finish();
   }
-  ctx->ChargeValues(left.rows() * (1 + out.columns.size()));
   op.AddRows(out.rows());
   return out;
 }
@@ -718,6 +980,103 @@ struct AggState {
   std::string smax;
   bool has_value = false;
 };
+
+// Composite group key of row `r` ('\x1f'-joined, type-agnostic).
+std::string CompositeKey(const Batch& in, const std::vector<int>& key_cols,
+                         size_t r) {
+  std::string composite;
+  for (int c : key_cols) {
+    const ColumnVector& col = in.columns[c];
+    switch (col.type) {
+      case ColumnType::kDouble:
+        composite += std::to_string(col.doubles[r]);
+        break;
+      case ColumnType::kString:
+        composite += col.strings[r];
+        break;
+      default:
+        composite += std::to_string(col.ints[r]);
+    }
+    composite += '\x1f';
+  }
+  return composite;
+}
+
+// Folds row `r` into one group's per-aggregate states.
+void UpdateAggStates(const Batch& in, const std::vector<AggSpec>& aggs,
+                     const std::vector<int>& agg_cols, size_t r,
+                     std::vector<AggState>* st) {
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    AggState& s = (*st)[a];
+    ++s.count;
+    if (agg_cols[a] < 0) continue;
+    const ColumnVector& col = in.columns[agg_cols[a]];
+    double v = 0;
+    int64_t iv = 0;
+    const std::string* sv = nullptr;
+    switch (col.type) {
+      case ColumnType::kDouble:
+        v = col.doubles[r];
+        iv = static_cast<int64_t>(v);
+        break;
+      case ColumnType::kString:
+        sv = &col.strings[r];
+        break;
+      default:
+        iv = col.ints[r];
+        v = static_cast<double>(iv);
+    }
+    if (!s.has_value) {
+      s.min = s.max = v;
+      s.imin = s.imax = iv;
+      if (sv != nullptr) s.smin = s.smax = *sv;
+      s.has_value = true;
+    } else {
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+      s.imin = std::min(s.imin, iv);
+      s.imax = std::max(s.imax, iv);
+      if (sv != nullptr) {
+        if (*sv < s.smin) s.smin = *sv;
+        if (*sv > s.smax) s.smax = *sv;
+      }
+    }
+    s.sum += v;
+    s.isum += iv;
+  }
+}
+
+// Merges a later chunk's partial states for one group into the global
+// states. Sums reassociate (chunk partials then chunk-order folds) but
+// stay deterministic for a given morsel_rows; counts and min/max are
+// order-free.
+void MergeAggStates(const std::vector<AggState>& src,
+                    std::vector<AggState>* dst) {
+  for (size_t a = 0; a < src.size(); ++a) {
+    AggState& s = (*dst)[a];
+    const AggState& o = src[a];
+    s.count += o.count;
+    s.sum += o.sum;
+    s.isum += o.isum;
+    if (!o.has_value) continue;
+    if (!s.has_value) {
+      s.min = o.min;
+      s.max = o.max;
+      s.imin = o.imin;
+      s.imax = o.imax;
+      s.smin = o.smin;
+      s.smax = o.smax;
+      s.has_value = true;
+    } else {
+      s.min = std::min(s.min, o.min);
+      s.max = std::max(s.max, o.max);
+      s.imin = std::min(s.imin, o.imin);
+      s.imax = std::max(s.imax, o.imax);
+      if (o.smin < s.smin) s.smin = o.smin;
+      if (o.smax > s.smax) s.smax = o.smax;
+    }
+  }
+}
 
 }  // namespace
 
@@ -746,72 +1105,63 @@ Result<Batch> HashAggregate(QueryContext* ctx, const Batch& in,
   }
 
   // Group rows by a composite string key (simple and type-agnostic).
+  // Chunked: each chunk accumulates into a thread-local table (the
+  // agg_merge idiom), then chunks merge serially in chunk order — the
+  // first chunk containing a group also contains its globally first row,
+  // so the global insertion order and representative rows match a serial
+  // pass exactly.
   std::unordered_map<std::string, size_t> groups;
   std::vector<size_t> group_of_first_row;  // representative row per group
   std::vector<std::vector<AggState>> states;
 
-  for (size_t r = 0; r < in.rows(); ++r) {
-    std::string composite;
-    for (int c : key_cols) {
-      const ColumnVector& col = in.columns[c];
-      switch (col.type) {
-        case ColumnType::kDouble:
-          composite += std::to_string(col.doubles[r]);
-          break;
-        case ColumnType::kString:
-          composite += col.strings[r];
-          break;
-        default:
-          composite += std::to_string(col.ints[r]);
+  struct LocalGroups {
+    std::unordered_map<std::string, size_t> index;
+    std::vector<std::string> order;  // composite keys, insertion order
+    std::vector<size_t> first_row;   // global row ids
+    std::vector<std::vector<AggState>> states;
+  };
+  std::vector<RowChunk> chunks =
+      MakeRowChunks(in.rows(), ctx->options().morsel_rows);
+  if (!chunks.empty()) {
+    TaskPool& pool = TaskPool::Global();
+    const ExecMode mode = ctx->options().exec_mode;
+    const int workers = ctx->options().exec_workers;
+    auto& stats = ctx->node()->telemetry().stats();
+    stats.counter("exec.parallel_sections").Add(1);
+    stats.counter("exec.morsels").Add(chunks.size());
+    std::vector<LocalGroups> locals(chunks.size());
+    ScopedParallelSection section(ctx);
+    pool.RunIndexed(mode, workers, chunks.size(), [&](size_t i) {
+      LocalGroups& lg = locals[i];
+      for (size_t r = chunks[i].begin; r < chunks[i].end; ++r) {
+        std::string composite = CompositeKey(in, key_cols, r);
+        auto [it, inserted] =
+            lg.index.try_emplace(std::move(composite), lg.order.size());
+        if (inserted) {
+          lg.order.push_back(it->first);
+          lg.first_row.push_back(r);
+          lg.states.emplace_back(aggs.size());
+        }
+        UpdateAggStates(in, aggs, agg_cols, r, &lg.states[it->second]);
       }
-      composite += '\x1f';
-    }
-    auto [it, inserted] = groups.try_emplace(composite, groups.size());
-    if (inserted) {
-      group_of_first_row.push_back(r);
-      states.emplace_back(aggs.size());
-    }
-    std::vector<AggState>& st = states[it->second];
-    for (size_t a = 0; a < aggs.size(); ++a) {
-      AggState& s = st[a];
-      ++s.count;
-      if (agg_cols[a] < 0) continue;
-      const ColumnVector& col = in.columns[agg_cols[a]];
-      double v = 0;
-      int64_t iv = 0;
-      const std::string* sv = nullptr;
-      switch (col.type) {
-        case ColumnType::kDouble:
-          v = col.doubles[r];
-          iv = static_cast<int64_t>(v);
-          break;
-        case ColumnType::kString:
-          sv = &col.strings[r];
-          break;
-        default:
-          iv = col.ints[r];
-          v = static_cast<double>(iv);
-      }
-      if (!s.has_value) {
-        s.min = s.max = v;
-        s.imin = s.imax = iv;
-        if (sv != nullptr) s.smin = s.smax = *sv;
-        s.has_value = true;
-      } else {
-        s.min = std::min(s.min, v);
-        s.max = std::max(s.max, v);
-        s.imin = std::min(s.imin, iv);
-        s.imax = std::max(s.imax, iv);
-        if (sv != nullptr) {
-          if (*sv < s.smin) s.smin = *sv;
-          if (*sv > s.smax) s.smax = *sv;
+    });
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      LocalGroups& lg = locals[i];
+      for (size_t g = 0; g < lg.order.size(); ++g) {
+        auto [it, inserted] =
+            groups.try_emplace(lg.order[g], groups.size());
+        if (inserted) {
+          group_of_first_row.push_back(lg.first_row[g]);
+          states.push_back(std::move(lg.states[g]));
+        } else {
+          MergeAggStates(lg.states[g], &states[it->second]);
         }
       }
-      s.sum += v;
-      s.isum += iv;
+      ctx->ChargeMorselValues((chunks[i].end - chunks[i].begin) *
+                              (key_cols.size() + aggs.size()));
     }
+    section.Finish();
   }
-  ctx->ChargeValues(in.rows() * (key_cols.size() + aggs.size()));
 
   // Materialize output: group keys, then aggregates.
   Batch out;

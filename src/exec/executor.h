@@ -11,6 +11,7 @@
 #include "costopt/chooser.h"
 #include "costopt/whatif.h"
 #include "exec/batch.h"
+#include "exec/morsel.h"
 #include "ndp/ndp_protocol.h"
 #include "sim/environment.h"
 #include "txn/transaction_manager.h"
@@ -46,6 +47,14 @@ class QueryContext {
     // pushed down at a loss). Kept so bench_costopt can quantify the
     // fix and tests can pin the old behaviour down.
     bool ndp_assume_cold = false;
+    // Morsel-driven parallelism (src/exec/morsel.h): execution mode,
+    // worker-thread count for kNative, and target candidate rows per
+    // morsel / row chunk. The *simulated* run — clock, ledger, stall
+    // profile, results — is identical across modes and worker counts;
+    // only host wall time differs (see DESIGN.md §5j).
+    ExecMode exec_mode = ExecMode::kSim;
+    int exec_workers = 1;
+    uint64_t morsel_rows = 16384;
   };
 
   QueryContext(TransactionManager* txn_mgr, Transaction* txn,
@@ -78,6 +87,14 @@ class QueryContext {
   void ChargeValues(uint64_t values);
   void ChargeDecodedBytes(uint64_t bytes);
 
+  // Per-morsel charge inside a parallel section: books the values at the
+  // per-value rate and profiles the resulting clock advance as a
+  // kCpuExec lane of the open parallel section, WITHOUT a step check
+  // (the section defers stepping to its end — see ScopedParallelSection).
+  // Called from the coordinator's fixed charge loop only, never from
+  // worker threads.
+  void ChargeMorselValues(uint64_t values);
+
   // --- cooperative stepping ------------------------------------------------
   // When a hook is installed, execution is sliced into resumable steps:
   // the executor invokes it at operator boundaries and after every CPU
@@ -86,9 +103,18 @@ class QueryContext {
   // Without a hook queries run straight through, as before.
   using StepHook = std::function<void(const char* where)>;
   void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
+  // Deferred inside a parallel section: a fiber's parallel section must
+  // suspend and resume as one unit (the workload engine swaps the stall
+  // profiler's frame around every fiber resume, which must not happen
+  // with a parallel node open on the stack), so steps inside a section
+  // are swallowed and ScopedParallelSection fires exactly one step after
+  // the section closes.
   void CheckStep(const char* where) {
+    if (parallel_depth_ > 0) return;
     if (step_hook_) step_hook_(where);
   }
+  void BeginParallelSection() { ++parallel_depth_; }
+  void EndParallelSection() { --parallel_depth_; }
 
   // --- attribution ---------------------------------------------------------
   // Stamps this query's identity (Database::NewQueryContext draws the id
@@ -148,6 +174,7 @@ class QueryContext {
   Options options_;
   MetaProvider meta_provider_;
   StepHook step_hook_;
+  int parallel_depth_ = 0;
   AttributionContext attr_;
   std::vector<OperatorStats> operators_;
   costopt::WhatIfLog whatif_;
@@ -191,6 +218,47 @@ class OperatorScope {
   // installed (so the residual pins to this operator) and closes before
   // it is restored.
   ScopedStall stall_;
+};
+
+// One parallel region of an operator (a morsel batch): opens a stall-
+// profiler parallel section so the coordinator's per-morsel kCpuExec
+// charges land as lanes of this section (disjoint windows telescoping to
+// the section's elapsed time, so EndParallel registers them unscaled and
+// conservation stays exact), and defers fiber step checks so the section
+// suspends/resumes as one unit.
+//
+// Call Finish() at the end of the happy path: it closes the section and
+// fires the one deferred scheduler step. The destructor only closes the
+// section (no step) so an error-return unwind never re-enters the fiber
+// — StepFiber::Yield can throw its cancel tag, which must not escape a
+// destructor.
+class ScopedParallelSection {
+ public:
+  explicit ScopedParallelSection(QueryContext* ctx) : ctx_(ctx) {
+    ctx_->BeginParallelSection();
+    ctx_->node()->telemetry().profiler().BeginParallel(
+        ctx_->node()->clock().now());
+  }
+  ~ScopedParallelSection() { Close(); }
+  ScopedParallelSection(const ScopedParallelSection&) = delete;
+  ScopedParallelSection& operator=(const ScopedParallelSection&) = delete;
+
+  void Finish() {
+    Close();
+    ctx_->CheckStep("parallel_section");
+  }
+
+ private:
+  void Close() {
+    if (closed_) return;
+    closed_ = true;
+    ctx_->node()->telemetry().profiler().EndParallel(
+        ctx_->node()->clock().now());
+    ctx_->EndParallelSection();
+  }
+
+  QueryContext* ctx_;
+  bool closed_ = false;
 };
 
 // Zone-map-prunable scan predicate: int-family column in [lo, hi].

@@ -1,0 +1,98 @@
+#include "exec/morsel.h"
+
+#include <algorithm>
+
+namespace cloudiq {
+
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kSim: return "sim";
+    case ExecMode::kNative: return "native";
+  }
+  return "unknown";
+}
+
+bool ParseExecMode(const std::string& text, ExecMode* mode) {
+  if (text == "sim") {
+    *mode = ExecMode::kSim;
+    return true;
+  }
+  if (text == "native") {
+    *mode = ExecMode::kNative;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Candidate rows of `rows` that fall inside [first, last).
+uint64_t CandidateRowsIn(const IntervalSet& rows, uint64_t first,
+                         uint64_t last) {
+  uint64_t count = 0;
+  for (const IntervalSet::Interval& iv : rows.Intervals()) {
+    uint64_t begin = std::max(iv.begin, first);
+    uint64_t end = std::min(iv.end, last);
+    if (end > begin) count += end - begin;
+  }
+  return count;
+}
+
+// Clips `rows` to the morsel's [row_begin, row_end) window.
+void FillMorselRows(const IntervalSet& rows, Morsel* morsel) {
+  for (const IntervalSet::Interval& iv : rows.Intervals()) {
+    uint64_t begin = std::max(iv.begin, morsel->row_begin);
+    uint64_t end = std::min(iv.end, morsel->row_end);
+    if (end > begin) morsel->rows.InsertRange(begin, end);
+  }
+}
+
+}  // namespace
+
+void AppendMorsels(const SegmentMeta& align_seg, size_t partition,
+                   const IntervalSet& rows, uint64_t target_rows,
+                   std::vector<Morsel>* out) {
+  if (rows.empty()) return;
+  if (target_rows == 0) target_rows = 1;
+  Morsel cur;
+  bool open = false;
+  uint64_t first = 0;
+  for (size_t page = 0; page < align_seg.page_rows.size(); ++page) {
+    uint64_t last = first + align_seg.page_rows[page];  // exclusive
+    uint64_t candidates = CandidateRowsIn(rows, first, last);
+    if (candidates > 0) {
+      if (!open) {
+        cur = Morsel{};
+        cur.partition = partition;
+        cur.row_begin = first;
+        open = true;
+      }
+      cur.row_end = last;
+      cur.row_count += candidates;
+      if (cur.row_count >= target_rows) {
+        FillMorselRows(rows, &cur);
+        out->push_back(std::move(cur));
+        open = false;
+      }
+    }
+    first = last;
+  }
+  if (open) {
+    // Remainder morsel: the candidate tail that never reached target.
+    FillMorselRows(rows, &cur);
+    out->push_back(std::move(cur));
+  }
+}
+
+std::vector<RowChunk> MakeRowChunks(size_t rows, uint64_t target_rows) {
+  std::vector<RowChunk> chunks;
+  if (rows == 0) return chunks;
+  if (target_rows == 0) target_rows = 1;
+  size_t step = static_cast<size_t>(target_rows);
+  for (size_t begin = 0; begin < rows; begin += step) {
+    chunks.push_back(RowChunk{begin, std::min(rows, begin + step)});
+  }
+  return chunks;
+}
+
+}  // namespace cloudiq

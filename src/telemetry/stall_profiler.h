@@ -232,6 +232,29 @@ class ScopedStall {
   const SimClock* clock_;
 };
 
+// RAII parallel section: lane charges inside (overlapping device windows
+// or the executor's per-morsel kCpuExec charges) are accumulated per
+// (key, class) and scaled to the section's elapsed sim-time when it
+// closes. When the lane windows are disjoint and telescope to the
+// section's elapsed time — the morsel executor's charge loop — the scale
+// is exactly 1 and the raw charges register unchanged, so lane totals
+// still sum to wall sim-time even when the section nests inside a pinned
+// per-job scope (tools/stall_top.py --check verifies this per entry).
+class ScopedParallelStall {
+ public:
+  ScopedParallelStall(StallProfiler* profiler, const SimClock* clock)
+      : profiler_(profiler), clock_(clock) {
+    profiler_->BeginParallel(clock_->now());
+  }
+  ~ScopedParallelStall() { profiler_->EndParallel(clock_->now()); }
+  ScopedParallelStall(const ScopedParallelStall&) = delete;
+  ScopedParallelStall& operator=(const ScopedParallelStall&) = delete;
+
+ private:
+  StallProfiler* profiler_;
+  const SimClock* clock_;
+};
+
 // RAII background section (OCM pump, cache fill).
 class ScopedBackgroundStall {
  public:

@@ -312,6 +312,13 @@ void WorkloadEngine::RunJobBody(Job* job) {
   }
   job->query_attr = ctx.attribution();
   StepFiber* fiber = job->fiber.get();
+  // Executor parallel sections (ScopedParallelSection) defer this hook
+  // until the section closes, so a fiber suspends/resumes only with a
+  // balanced profiler stack: the engine swaps the job's whole stall
+  // frame around every resume, which must never happen with a parallel
+  // node still open (its lanes would scale against the wrong window).
+  // One deferred step fires per section — a section is one scheduling
+  // unit, like a single charge.
   ctx.set_step_hook([fiber](const char*) { fiber->Yield(); });
   Status st;
   {

@@ -1,14 +1,146 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "columnar/table_loader.h"
 #include "exec/executor.h"
 #include "exec/explain.h"
+#include "exec/morsel.h"
+#include "exec/task_pool.h"
 #include "tests/test_util.h"
 
 namespace cloudiq {
 namespace {
 
 using testing_util::SingleNodeHarness;
+
+// --- morsel partitioning -----------------------------------------------
+
+SegmentMeta MakeSeg(std::vector<uint32_t> page_rows) {
+  SegmentMeta seg;
+  for (uint32_t pr : page_rows) {
+    seg.page_rows.push_back(pr);
+    seg.row_count += pr;
+  }
+  return seg;
+}
+
+IntervalSet AllRows(const SegmentMeta& seg) {
+  IntervalSet rows;
+  rows.InsertRange(0, seg.row_count);
+  return rows;
+}
+
+TEST(MorselTest, EmptyRowSetMakesNoMorsels) {
+  SegmentMeta seg = MakeSeg({100, 100, 50});
+  std::vector<Morsel> out;
+  AppendMorsels(seg, 0, IntervalSet(), 100, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MorselTest, TargetLargerThanTableYieldsOneMorsel) {
+  SegmentMeta seg = MakeSeg({100, 100, 50});
+  std::vector<Morsel> out;
+  AppendMorsels(seg, 3, AllRows(seg), 10000, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].partition, 3u);
+  EXPECT_EQ(out[0].row_begin, 0u);
+  EXPECT_EQ(out[0].row_end, 250u);
+  EXPECT_EQ(out[0].row_count, 250u);
+}
+
+TEST(MorselTest, SinglePageTableYieldsOneMorsel) {
+  SegmentMeta seg = MakeSeg({100});
+  std::vector<Morsel> out;
+  AppendMorsels(seg, 0, AllRows(seg), 64, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].row_begin, 0u);
+  EXPECT_EQ(out[0].row_end, 100u);
+}
+
+TEST(MorselTest, CutsAtPageBoundariesWithRemainderTail) {
+  SegmentMeta seg = MakeSeg({100, 100, 50});
+  std::vector<Morsel> out;
+  AppendMorsels(seg, 0, AllRows(seg), 100, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].row_begin, 0u);
+  EXPECT_EQ(out[0].row_end, 100u);
+  EXPECT_EQ(out[1].row_begin, 100u);
+  EXPECT_EQ(out[1].row_end, 200u);
+  // The 50-row tail never reaches the target: remainder morsel.
+  EXPECT_EQ(out[2].row_begin, 200u);
+  EXPECT_EQ(out[2].row_end, 250u);
+  EXPECT_EQ(out[2].row_count, 50u);
+}
+
+TEST(MorselTest, MorselCoversMultiplePagesUntilTarget) {
+  SegmentMeta seg = MakeSeg({100, 100, 50});
+  std::vector<Morsel> out;
+  AppendMorsels(seg, 0, AllRows(seg), 150, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].row_end, 200u);  // closed by the page reaching >= 150
+  EXPECT_EQ(out[0].row_count, 200u);
+  EXPECT_EQ(out[1].row_begin, 200u);
+  EXPECT_EQ(out[1].row_count, 50u);
+}
+
+TEST(MorselTest, PagesWithoutCandidatesExtendNoMorsel) {
+  SegmentMeta seg = MakeSeg({100, 100, 50});
+  IntervalSet rows;
+  rows.InsertRange(210, 220);  // only the last page has candidates
+  std::vector<Morsel> out;
+  AppendMorsels(seg, 0, rows, 100, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].row_begin, 200u);
+  EXPECT_EQ(out[0].row_end, 250u);
+  EXPECT_EQ(out[0].row_count, 10u);
+  EXPECT_EQ(out[0].rows.Count(), 10u);
+}
+
+TEST(MorselTest, TargetZeroTreatedAsOne) {
+  SegmentMeta seg = MakeSeg({10, 10});
+  std::vector<Morsel> out;
+  AppendMorsels(seg, 0, AllRows(seg), 0, &out);
+  EXPECT_EQ(out.size(), 2u);  // every non-empty page closes a morsel
+}
+
+TEST(MorselTest, RowChunksCoverRangeInOrder) {
+  EXPECT_TRUE(MakeRowChunks(0, 16).empty());
+  std::vector<RowChunk> chunks = MakeRowChunks(10, 4);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].begin, 0u);
+  EXPECT_EQ(chunks[0].end, 4u);
+  EXPECT_EQ(chunks[2].begin, 8u);
+  EXPECT_EQ(chunks[2].end, 10u);
+  EXPECT_EQ(MakeRowChunks(3, 0).size(), 3u);  // target 0 -> 1
+}
+
+TEST(MorselTest, ParseExecModeRoundTrips) {
+  ExecMode mode = ExecMode::kSim;
+  EXPECT_TRUE(ParseExecMode("native", &mode));
+  EXPECT_EQ(mode, ExecMode::kNative);
+  EXPECT_TRUE(ParseExecMode("sim", &mode));
+  EXPECT_EQ(mode, ExecMode::kSim);
+  EXPECT_FALSE(ParseExecMode("turbo", &mode));
+  EXPECT_STREQ(ExecModeName(ExecMode::kNative), "native");
+}
+
+TEST(TaskPoolTest, NativeRunsEveryIndexExactlyOnce) {
+  constexpr size_t kCount = 257;
+  std::vector<std::atomic<int>> hits(kCount);
+  TaskPool::Global().RunIndexed(ExecMode::kNative, 4, kCount,
+                                [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskPoolTest, SimModeRunsInlineInAscendingOrder) {
+  std::vector<size_t> order;
+  TaskPool::Global().RunIndexed(ExecMode::kSim, 8, 5,
+                                [&order](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
 
 class ExecTest : public ::testing::Test {
  protected:
@@ -379,6 +511,134 @@ TEST_F(ExecTest, ExplainAnalyzeOperatorRowsSumToQueryLedger) {
   EXPECT_NE(text.find("scan sales"), std::string::npos);
   EXPECT_NE(text.find("hash aggregate"), std::string::npos);
   EXPECT_NE(text.find("total (incl. query-level work)"), std::string::npos);
+}
+
+// --- parallel executor: native output == serial output -----------------
+
+void ExpectBatchesIdentical(const Batch& a, const Batch& b) {
+  ASSERT_EQ(a.columns.size(), b.columns.size());
+  EXPECT_EQ(a.names, b.names);
+  EXPECT_EQ(a.rows(), b.rows());
+  for (size_t c = 0; c < a.columns.size(); ++c) {
+    EXPECT_EQ(a.columns[c].type, b.columns[c].type) << a.names[c];
+    EXPECT_EQ(a.columns[c].ints, b.columns[c].ints) << a.names[c];
+    EXPECT_EQ(a.columns[c].doubles, b.columns[c].doubles) << a.names[c];
+    EXPECT_EQ(a.columns[c].strings, b.columns[c].strings) << a.names[c];
+  }
+}
+
+// ExecTest with a second context in native mode at 4 workers and a tiny
+// morsel target, so even the 1000-row fixture fans out across many
+// morsels/chunks. Output must be bitwise identical to the default serial
+// context: same row order, same group order, same strings.
+class ParallelExecTest : public ExecTest {
+ protected:
+  ParallelExecTest() {
+    QueryContext::Options opts;
+    opts.exec_mode = ExecMode::kNative;
+    opts.exec_workers = 4;
+    opts.morsel_rows = 64;
+    par_ctx_ = std::make_unique<QueryContext>(txn_mgr_.get(), txn_,
+                                              &h_.system, opts);
+  }
+
+  std::unique_ptr<QueryContext> par_ctx_;
+};
+
+TEST_F(ParallelExecTest, FullScanMatchesSerial) {
+  Result<TableReader> r1 = ctx_->OpenTable(10);
+  Result<TableReader> r2 = par_ctx_->OpenTable(10);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  std::vector<std::string> cols = {"id", "region_id", "amount", "day",
+                                   "note"};
+  Result<Batch> serial = ScanTable(ctx_.get(), &*r1, cols);
+  Result<Batch> parallel = ScanTable(par_ctx_.get(), &*r2, cols);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_EQ(parallel->rows(), 1000u);
+  ExpectBatchesIdentical(*serial, *parallel);
+}
+
+TEST_F(ParallelExecTest, RangeScanMatchesSerial) {
+  Result<TableReader> r1 = ctx_->OpenTable(10);
+  Result<TableReader> r2 = par_ctx_->OpenTable(10);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ScanRange range{"day", 10, 19};
+  Result<Batch> serial = ScanTable(ctx_.get(), &*r1, {"id", "note"}, range);
+  Result<Batch> parallel =
+      ScanTable(par_ctx_.get(), &*r2, {"id", "note"}, range);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_EQ(parallel->rows(), 100u);
+  ExpectBatchesIdentical(*serial, *parallel);
+}
+
+TEST_F(ParallelExecTest, HashJoinMatchesSerial) {
+  Result<TableReader> s1 = ctx_->OpenTable(10);
+  Result<TableReader> g1 = ctx_->OpenTable(11);
+  ASSERT_TRUE(s1.ok() && g1.ok());
+  Result<Batch> s = ScanTable(ctx_.get(), &*s1, {"id", "region_id"});
+  Result<Batch> g =
+      ScanTable(ctx_.get(), &*g1, {"region_id", "region_name"});
+  ASSERT_TRUE(s.ok() && g.ok());
+  for (JoinType type :
+       {JoinType::kInner, JoinType::kLeftSemi, JoinType::kLeftAnti}) {
+    Result<Batch> serial = HashJoin(ctx_.get(), *s, "region_id", *g,
+                                    "region_id", type);
+    Result<Batch> parallel = HashJoin(par_ctx_.get(), *s, "region_id", *g,
+                                      "region_id", type);
+    ASSERT_TRUE(serial.ok() && parallel.ok());
+    ExpectBatchesIdentical(*serial, *parallel);
+  }
+}
+
+TEST_F(ParallelExecTest, StringKeyJoinMatchesSerial) {
+  Result<TableReader> sales = ctx_->OpenTable(10);
+  ASSERT_TRUE(sales.ok());
+  Result<Batch> s = ScanTable(ctx_.get(), &*sales, {"id", "note"});
+  ASSERT_TRUE(s.ok());
+  Batch right;
+  right.AddColumn("note", {ColumnType::kString, {}, {}, {}});
+  right.AddColumn("weight", {ColumnType::kInt64, {}, {}, {}});
+  right.columns[0].strings = {"promo sale"};
+  right.columns[1].ints = {9};
+  Result<Batch> serial =
+      HashJoin(ctx_.get(), *s, "note", right, "note", JoinType::kInner);
+  Result<Batch> parallel = HashJoin(par_ctx_.get(), *s, "note", right,
+                                    "note", JoinType::kInner);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  ExpectBatchesIdentical(*serial, *parallel);
+}
+
+TEST_F(ParallelExecTest, HashAggregateMatchesSerial) {
+  Result<TableReader> sales = ctx_->OpenTable(10);
+  ASSERT_TRUE(sales.ok());
+  Result<Batch> s =
+      ScanTable(ctx_.get(), &*sales, {"region_id", "amount", "id"});
+  ASSERT_TRUE(s.ok());
+  std::vector<AggSpec> aggs = {{AggOp::kCount, "", "n"},
+                               {AggOp::kSum, "amount", "total"},
+                               {AggOp::kMin, "id", "min_id"},
+                               {AggOp::kMax, "id", "max_id"},
+                               {AggOp::kAvg, "amount", "avg_amount"}};
+  Result<Batch> serial = HashAggregate(ctx_.get(), *s, {"region_id"}, aggs);
+  Result<Batch> parallel =
+      HashAggregate(par_ctx_.get(), *s, {"region_id"}, aggs);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  // Group order is first-occurrence order in both modes; sums over the
+  // decimal column are integer-exact, so even doubles match bitwise.
+  ExpectBatchesIdentical(*serial, *parallel);
+}
+
+TEST_F(ParallelExecTest, GlobalAggregateMatchesSerial) {
+  Result<TableReader> sales = ctx_->OpenTable(10);
+  ASSERT_TRUE(sales.ok());
+  Result<Batch> s = ScanTable(ctx_.get(), &*sales, {"amount"});
+  ASSERT_TRUE(s.ok());
+  std::vector<AggSpec> aggs = {{AggOp::kCount, "", "n"},
+                               {AggOp::kSum, "amount", "total"}};
+  Result<Batch> serial = HashAggregate(ctx_.get(), *s, {}, aggs);
+  Result<Batch> parallel = HashAggregate(par_ctx_.get(), *s, {}, aggs);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  ExpectBatchesIdentical(*serial, *parallel);
 }
 
 TEST_F(ExecTest, UnattributedWorkStaysOffQueryLedgers) {

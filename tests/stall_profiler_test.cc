@@ -279,6 +279,65 @@ TEST(StallProfilerTest, ResetClearsEverything) {
   EXPECT_EQ(profiler.background_nanos(), 0);
 }
 
+// The morsel executor's shape: a parallel section whose lane charges are
+// consecutive disjoint windows telescoping to exactly the section's
+// elapsed time, nested inside an operator scope, nested inside a pinned
+// per-job query scope (how the workload engine brackets a job body).
+// The telescoping lanes must register unscaled, the operator residual
+// and the pinned query residual must each be exact, and the per-entry
+// class sums must telescope to the window (what tools/stall_top.py
+// --check verifies per entry on every report).
+TEST(StallProfilerTest, MorselLanesInsidePinnedScopeStayExact) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, /*tracer=*/nullptr);
+  {
+    ScopedAttribution query(&ledger, Attr(11, -1, 1, "job"));
+    profiler.BeginScope(WaitClass::kCpuExec, 0.0);
+    profiler.PinScopeAttribution();
+    {
+      ScopedAttribution op(&ledger, Attr(11, 0, 1, "job"));
+      profiler.BeginScope(WaitClass::kCpuExec, 0.0);
+      profiler.BeginParallel(0.0);
+      profiler.Charge(WaitClass::kCpuExec, 0.0, 0.25);  // morsel 0
+      profiler.Charge(WaitClass::kCpuExec, 0.25, 0.5);  // morsel 1
+      profiler.EndParallel(0.5);
+      profiler.EndScope(0.75);
+    }
+    profiler.EndScope(1.0);
+  }
+  int64_t op_ns = 0, query_level_ns = 0;
+  for (const auto& [key, entry] : profiler.entries()) {
+    ASSERT_EQ(key.query_id, 11u);
+    if (key.operator_id == 0) op_ns = entry.TotalNanos();
+    if (key.operator_id == -1) query_level_ns = entry.TotalNanos();
+  }
+  // Operator: 0.5s of unscaled morsel lanes + 0.25s scope residual.
+  EXPECT_EQ(op_ns, 3 * kSecond / 4);
+  // Pinned query scope keeps only its own residual.
+  EXPECT_EQ(query_level_ns, kSecond / 4);
+  EXPECT_EQ(profiler.QueryTotal(11).TotalNanos(), kSecond);
+  EXPECT_EQ(profiler.window_nanos(), kSecond);
+  ExpectConserved(profiler);
+}
+
+// The RAII wrapper the executor-adjacent code uses for parallel
+// sections: construction/destruction bracket Begin/EndParallel on the
+// clock's current time.
+TEST(StallProfilerTest, ScopedParallelStallBracketsSection) {
+  CostLedger ledger;
+  StallProfiler profiler(&ledger, /*tracer=*/nullptr);
+  SimClock clock;
+  ScopedAttribution scope(&ledger, Attr(4, -1, 1));
+  {
+    ScopedParallelStall parallel(&profiler, &clock);
+    profiler.Charge(WaitClass::kCpuExec, 0.0, 0.125);
+    clock.AdvanceTo(0.125);
+  }
+  EXPECT_EQ(profiler.QueryTotal(4).TotalNanos(), kSecond / 8);
+  EXPECT_EQ(profiler.window_nanos(), kSecond / 8);
+  ExpectConserved(profiler);
+}
+
 TEST(StallProfilerTest, WaitClassNamesAreStable) {
   EXPECT_STREQ(WaitClassName(WaitClass::kCpuExec), "cpu_exec");
   EXPECT_STREQ(WaitClassName(WaitClass::kLockWait), "lock_wait");

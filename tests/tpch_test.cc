@@ -444,5 +444,49 @@ TEST_P(TpchAllQueriesTest, RunsClean) {
 INSTANTIATE_TEST_SUITE_P(AllQueries, TpchAllQueriesTest,
                          ::testing::Range(1, kTpchQueryCount + 1));
 
+// Every query must produce bitwise-identical output under the native
+// parallel executor: same rows, same order, same doubles. The morsel
+// target is identical in both runs, so chunked double accumulation
+// reassociates identically and even floating-point columns match
+// exactly.
+class TpchParallelEqualityTest : public TpchTest,
+                                 public ::testing::WithParamInterface<int> {
+ protected:
+  Result<Batch> RunNative(int q) {
+    QueryContext::Options opts;
+    opts.exec_mode = ExecMode::kNative;
+    opts.exec_workers = 4;
+    Transaction* txn = db_->Begin();
+    QueryContext ctx(&db_->txn_mgr(), txn, db_->system(), opts);
+    Result<Batch> result = RunTpchQuery(&ctx, q);
+    EXPECT_TRUE(db_->Commit(txn).ok());
+    return result;
+  }
+};
+
+TEST_P(TpchParallelEqualityTest, NativeMatchesSerialBitwise) {
+  int q = GetParam();
+  Result<Batch> serial = Run(q);
+  Result<Batch> native = RunNative(q);
+  ASSERT_TRUE(serial.ok()) << "Q" << q << ": "
+                           << serial.status().ToString();
+  ASSERT_TRUE(native.ok()) << "Q" << q << ": "
+                           << native.status().ToString();
+  ASSERT_EQ(serial->columns.size(), native->columns.size()) << "Q" << q;
+  EXPECT_EQ(serial->names, native->names) << "Q" << q;
+  ASSERT_EQ(serial->rows(), native->rows()) << "Q" << q;
+  for (size_t c = 0; c < serial->columns.size(); ++c) {
+    EXPECT_EQ(serial->columns[c].ints, native->columns[c].ints)
+        << "Q" << q << " " << serial->names[c];
+    EXPECT_EQ(serial->columns[c].doubles, native->columns[c].doubles)
+        << "Q" << q << " " << serial->names[c];
+    EXPECT_EQ(serial->columns[c].strings, native->columns[c].strings)
+        << "Q" << q << " " << serial->names[c];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchParallelEqualityTest,
+                         ::testing::Range(1, kTpchQueryCount + 1));
+
 }  // namespace
 }  // namespace cloudiq

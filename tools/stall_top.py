@@ -80,9 +80,27 @@ def check_conservation(stalls):
                 "query %s: classes sum to %d but total_nanos says %d"
                 % (query.get("query_id"), qsum, qdecl)
             )
-        esum = sum(
-            int(e.get("total_nanos", 0)) for e in query.get("entries", [])
-        )
+        esum = 0
+        for e in query.get("entries", []):
+            edecl = int(e.get("total_nanos", 0))
+            ecls = sum(class_nanos(e).values())
+            # Per-entry telescoping: each (query, operator, node) entry's
+            # classes must sum to its own declared total — a lane total
+            # that drifted inside a nested parallel section shows up here
+            # even when the query-level sums still balance out.
+            if ecls != edecl:
+                problems.append(
+                    "query %s op %s node %s: entry classes sum to %d but "
+                    "total_nanos says %d"
+                    % (
+                        query.get("query_id"),
+                        e.get("operator_id"),
+                        e.get("node_id"),
+                        ecls,
+                        edecl,
+                    )
+                )
+            esum += edecl
         if esum != qdecl:
             problems.append(
                 "query %s: entries sum to %d but query total is %d"

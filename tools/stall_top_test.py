@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Unit tests for stall_top.py's conservation checker.
+
+Run directly (registered as the `cloudiq_stall_top_unittest` ctest):
+
+    python3 tools/stall_top_test.py
+"""
+
+import copy
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from stall_top import check_conservation  # noqa: E402
+
+
+def entry(operator_id, node_id, classes, background=0):
+    """One (query, operator, node) row in report shape: every wait class
+    explicit, total_nanos derived from the classes."""
+    row = {
+        "operator_id": operator_id,
+        "node_id": node_id,
+        "cpu_exec": 0,
+        "lock_wait": 0,
+        "admission_queue": 0,
+        "buffer_fill": 0,
+        "ocm_fetch": 0,
+        "ocm_upload": 0,
+        "network_transfer": 0,
+        "throttle_backoff": 0,
+        "ndp_select": 0,
+        "background_nanos": background,
+    }
+    row.update(classes)
+    row["total_nanos"] = sum(
+        row[c]
+        for c in row
+        if c not in ("operator_id", "node_id", "total_nanos",
+                     "background_nanos")
+    )
+    return row
+
+
+def query(query_id, tag, entries):
+    """Per-query rollup: class totals folded from the entries."""
+    rollup = {"query_id": query_id, "tag": tag, "entries": entries}
+    for cls in ("cpu_exec", "lock_wait", "admission_queue", "buffer_fill",
+                "ocm_fetch", "ocm_upload", "network_transfer",
+                "throttle_backoff", "ndp_select", "total_nanos",
+                "background_nanos"):
+        rollup[cls] = sum(e[cls] for e in entries)
+    return rollup
+
+
+def profile(queries):
+    total = {"total_nanos": 0, "background_nanos": 0}
+    for cls in ("cpu_exec", "lock_wait", "admission_queue", "buffer_fill",
+                "ocm_fetch", "ocm_upload", "network_transfer",
+                "throttle_backoff", "ndp_select"):
+        total[cls] = sum(q[cls] for q in queries)
+        total["total_nanos"] += total[cls]
+    total["background_nanos"] = sum(q["background_nanos"] for q in queries)
+    return {
+        "window_nanos": total["total_nanos"] - total["background_nanos"],
+        "background_nanos": total["background_nanos"],
+        "total": total,
+        "queries": queries,
+    }
+
+
+def morsel_profile():
+    """The morsel executor's shape: one query whose operator entry holds
+    telescoped parallel-lane cpu charges plus a scope residual, and a
+    query-level entry holding the job residual."""
+    op = entry(0, 1, {"cpu_exec": 750_000_000})
+    job = entry(-1, 1, {"cpu_exec": 250_000_000})
+    return profile([query(9, "Q6", [job, op])])
+
+
+class CheckConservationTest(unittest.TestCase):
+    def test_consistent_profile_passes(self):
+        self.assertEqual(check_conservation(morsel_profile()), [])
+
+    def test_grand_total_drift_detected(self):
+        bad = morsel_profile()
+        bad["window_nanos"] += 5
+        self.assertTrue(
+            any("conservation" in p for p in check_conservation(bad))
+        )
+
+    def test_query_class_drift_detected(self):
+        bad = morsel_profile()
+        bad["queries"][0]["cpu_exec"] -= 1000
+        bad["queries"][0]["total_nanos"] -= 1000
+        problems = check_conservation(bad)
+        self.assertTrue(problems)
+
+    def test_per_entry_class_drift_detected(self):
+        # A lane total that drifted inside one entry while the query-level
+        # rollups still balance: corrupt the operator entry's cpu_exec but
+        # keep every *declared* total — entry, query and grand — unchanged.
+        # The pre-per-entry checker passed this profile; only the
+        # per-entry telescoping check catches it.
+        bad = morsel_profile()
+        good = copy.deepcopy(bad)
+        bad["queries"][0]["entries"][1]["cpu_exec"] -= 50_000_000
+
+        self.assertEqual(check_conservation(good), [])
+        problems = check_conservation(bad)
+        self.assertEqual(len(problems), 1)
+        self.assertIn("entry classes sum to", problems[0])
+        self.assertIn("op 0", problems[0])
+
+    def test_entry_sum_vs_query_total_detected(self):
+        bad = morsel_profile()
+        bad["queries"][0]["entries"][1]["total_nanos"] += 7
+        bad["queries"][0]["entries"][1]["cpu_exec"] += 7
+        problems = check_conservation(bad)
+        self.assertTrue(
+            any("entries sum to" in p for p in problems)
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()
